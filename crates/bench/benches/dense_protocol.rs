@@ -1,0 +1,44 @@
+//! Criterion bench for `DenseProtocol` (Theorem 5.8, experiment E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::monitor::run_on_rows;
+use topk_core::{CombinedMonitor, DenseMonitor};
+use topk_gen::{NoiseOscillationWorkload, Workload};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_protocol");
+    group.sample_size(10);
+    let eps = Epsilon::TENTH;
+    for &sigma in &[8usize, 24] {
+        let mut w = NoiseOscillationWorkload::new(48, 4, sigma, 1 << 20, eps, 13);
+        let rows: Vec<Vec<u64>> = (0..100).map(|_| w.next_step()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("dense_100_steps_sigma", sigma),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut net = DeterministicEngine::new(48, 5);
+                    let mut monitor = DenseMonitor::new(8, eps);
+                    run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("combined_100_steps_sigma", sigma),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut net = DeterministicEngine::new(48, 5);
+                    let mut monitor = CombinedMonitor::new(8, eps);
+                    run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the exact top-k monitor (Corollary 3.3, experiment E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::monitor::run_on_rows;
+use topk_core::ExactTopKMonitor;
+use topk_gen::{RandomWalkWorkload, Workload};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+fn bench_exact_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_topk");
+    group.sample_size(10);
+    for &delta in &[1u64 << 12, 1 << 20] {
+        let mut w = RandomWalkWorkload::new(40, delta, (delta / 64).max(1), 0.6, 3);
+        let rows: Vec<Vec<u64>> = (0..100).map(|_| w.next_step()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("random_walk_100_steps", delta),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut net = DeterministicEngine::new(40, 1);
+                    let mut monitor = ExactTopKMonitor::new(4);
+                    run_on_rows(
+                        &mut monitor,
+                        &mut net,
+                        rows.iter().cloned(),
+                        Epsilon::new(1, 1000).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_topk);
+criterion_main!(benches);

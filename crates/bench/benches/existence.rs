@@ -1,0 +1,36 @@
+//! Criterion bench for the existence protocol (Lemma 3.1, experiment E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::existence::existence;
+use topk_model::message::ExistencePredicate;
+use topk_net::{DeterministicEngine, Network};
+
+fn bench_existence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("existence");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        for &(label, ones) in &[("one", 1usize), ("half", n / 2), ("all", n)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), label),
+                &(n, ones),
+                |b, &(n, ones)| {
+                    let mut values = vec![0u64; n];
+                    for v in values.iter_mut().take(ones) {
+                        *v = 100;
+                    }
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut net = DeterministicEngine::new(n, seed);
+                        net.advance_time(&values);
+                        existence(&mut net, ExistencePredicate::GreaterThan(50))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_existence);
+criterion_main!(benches);

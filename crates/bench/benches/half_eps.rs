@@ -1,0 +1,33 @@
+//! Criterion bench for the ε/2-gap algorithm (Corollary 5.9, experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::monitor::run_on_rows;
+use topk_core::HalfEpsMonitor;
+use topk_gen::{NoiseOscillationWorkload, Workload};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+fn bench_half_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("half_eps");
+    group.sample_size(10);
+    let eps = Epsilon::TENTH;
+    for &sigma in &[8usize, 24] {
+        let mut w = NoiseOscillationWorkload::new(48, 4, sigma, 1 << 20, eps.halved(), 17);
+        let rows: Vec<Vec<u64>> = (0..100).map(|_| w.next_step()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("half_eps_100_steps_sigma", sigma),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut net = DeterministicEngine::new(48, 9);
+                    let mut monitor = HalfEpsMonitor::new(8, eps);
+                    run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_half_eps);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the adversarial lower-bound instance (Theorem 5.1,
+//! experiment E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::monitor::run_adaptive;
+use topk_core::CombinedMonitor;
+use topk_gen::{AdaptiveWorkload, LowerBoundAdversary};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    group.sample_size(10);
+    let eps = Epsilon::new(1, 4).unwrap();
+    for &sigma in &[8usize, 24] {
+        group.bench_with_input(
+            BenchmarkId::new("adversary_3_phases_sigma", sigma),
+            &sigma,
+            |b, &sigma| {
+                b.iter(|| {
+                    let mut adversary = LowerBoundAdversary::new(32, 2, sigma, 1 << 20, eps);
+                    let mut monitor = CombinedMonitor::new(2, eps);
+                    let mut net = DeterministicEngine::new(32, 11);
+                    run_adaptive(&mut monitor, &mut net, eps, |filters| {
+                        if adversary.phases_completed() >= 3 {
+                            None
+                        } else {
+                            Some(adversary.next_step_adaptive(filters))
+                        }
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the maximum protocol (Lemma 2.6, experiment E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::maximum::{find_max, top_m};
+use topk_gen::{RandomWalkWorkload, Workload};
+use topk_net::{DeterministicEngine, Network};
+
+fn bench_maximum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximum");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        let mut w = RandomWalkWorkload::new(n, 1_000_000, 1000, 1.0, 7);
+        let values = w.next_step();
+        group.bench_with_input(BenchmarkId::new("find_max", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut net = DeterministicEngine::new(n, seed);
+                net.advance_time(&values);
+                find_max(&mut net)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("top_5", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut net = DeterministicEngine::new(n, seed);
+                net.advance_time(&values);
+                top_m(&mut net, 5)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximum);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for `TopKProtocol` (Theorem 4.5, experiment E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::monitor::run_on_rows;
+use topk_core::TopKMonitor;
+use topk_gen::{GapWorkload, Workload};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+fn bench_topk_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_protocol");
+    group.sample_size(10);
+    for &inv_eps in &[2u32, 16, 256] {
+        let eps = Epsilon::new(1, inv_eps).unwrap();
+        let mut w = GapWorkload::new(40, 4, 1 << 28, 16, 40, 0, 7);
+        let rows: Vec<Vec<u64>> = (0..100).map(|_| w.next_step()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("gap_100_steps_eps", format!("1/{inv_eps}")),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut net = DeterministicEngine::new(40, 1);
+                    let mut monitor = TopKMonitor::new(4, eps);
+                    run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_protocol);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment harness binary.
+//!
+//! ```text
+//! cargo run -p topk-bench --bin experiments --release            # all experiments, full scale
+//! cargo run -p topk-bench --bin experiments --release -- e1 e5   # a subset
+//! cargo run -p topk-bench --bin experiments --release -- --small # quick smoke run
+//! cargo run -p topk-bench --bin experiments --release -- --json results/
+//! ```
+//!
+//! Prints one aligned table per experiment (the tables quoted in
+//! EXPERIMENTS.md) and optionally writes each as JSON into a directory.
+
+use std::path::PathBuf;
+use topk_bench::experiments::{self, Scale};
+use topk_bench::ExperimentTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--small" => scale = Scale::Small,
+            "--json" => {
+                json_dir = iter.next().map(PathBuf::from);
+                if json_dir.is_none() {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--small] [--json DIR] [e1 e2 ... e8]");
+                return;
+            }
+            other => wanted.push(other.to_lowercase()),
+        }
+    }
+
+    let run = |id: &str| wanted.is_empty() || wanted.iter().any(|w| w == id);
+    let mut tables: Vec<ExperimentTable> = Vec::new();
+    if run("e1") {
+        tables.push(experiments::e1_existence(scale));
+    }
+    if run("e2") {
+        tables.push(experiments::e2_maximum(scale));
+    }
+    if run("e3") {
+        tables.push(experiments::e3_exact_topk(scale));
+    }
+    if run("e4") {
+        tables.push(experiments::e4_topk_protocol(scale));
+    }
+    if run("e5") {
+        tables.push(experiments::e5_lower_bound(scale));
+    }
+    if run("e6") {
+        tables.push(experiments::e6_dense(scale));
+    }
+    if run("e7") {
+        tables.push(experiments::e7_half_eps(scale));
+    }
+    if run("e8") {
+        tables.push(experiments::e8_crossover(scale));
+    }
+
+    for table in &tables {
+        println!("{table}");
+    }
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json output directory");
+        for table in &tables {
+            let path = dir.join(format!("{}.json", table.id.to_lowercase()));
+            std::fs::write(&path, table.to_json()).expect("write json table");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

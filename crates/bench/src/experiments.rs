@@ -1,0 +1,528 @@
+//! The experiment implementations (one function per table/figure).
+//!
+//! Every experiment takes a `scale` knob so the same code can run as a quick
+//! smoke test (`Scale::Small`, used by unit tests and Criterion) or at the full
+//! size reported in EXPERIMENTS.md (`Scale::Full`, used by the `experiments`
+//! binary).
+
+use crate::table::{f2, ExperimentTable};
+use topk_core::monitor::{run_adaptive, run_on_rows, Monitor, RunReport};
+use topk_core::{
+    CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor,
+};
+use topk_gen::{
+    AdaptiveWorkload, GapWorkload, LowerBoundAdversary, NoiseOscillationWorkload,
+    RandomWalkWorkload, Workload,
+};
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_net::{DeterministicEngine, Network};
+use topk_offline::{ApproxOfflineOpt, ExactOfflineOpt};
+
+/// Problem sizes for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick sizes for tests and Criterion benches.
+    Small,
+    /// The sizes reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    fn trials(&self) -> u64 {
+        match self {
+            Scale::Small => 10,
+            Scale::Full => 100,
+        }
+    }
+
+    fn steps(&self) -> usize {
+        match self {
+            Scale::Small => 40,
+            Scale::Full => 400,
+        }
+    }
+}
+
+fn drive_monitor(
+    monitor: &mut dyn Monitor,
+    rows: &[Vec<Value>],
+    eps: Epsilon,
+    seed: u64,
+) -> RunReport {
+    let n = rows[0].len();
+    let mut net = DeterministicEngine::new(n, seed);
+    run_on_rows(monitor, &mut net, rows.iter().cloned(), eps)
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Lemma 3.1: the existence protocol uses O(1) messages on expectation.
+// ---------------------------------------------------------------------------
+
+/// E1 ("Table 1"): mean messages per existence-protocol run for varying `n` and
+/// number of ones `b`. Lemma 3.1 predicts a constant (≤ 6) independent of both.
+pub fn e1_existence(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E1",
+        "Existence protocol: mean messages per run (Lemma 3.1 bound: <= 6)",
+        &["n", "b", "mean msgs", "mean rounds", "bound"],
+    );
+    let sizes: &[usize] = match scale {
+        Scale::Small => &[16, 64],
+        Scale::Full => &[16, 64, 256, 1024, 4096],
+    };
+    for &n in sizes {
+        for frac in [1usize, n / 10, n / 2, n] {
+            let b = frac.clamp(1, n);
+            let mut total_msgs = 0u64;
+            let mut total_rounds = 0u64;
+            for seed in 0..scale.trials() {
+                let mut net = DeterministicEngine::new(n, seed);
+                let mut values = vec![0u64; n];
+                for v in values.iter_mut().take(b) {
+                    *v = 100;
+                }
+                net.advance_time(&values);
+                let _ = topk_core::existence::existence(
+                    &mut net,
+                    ExistencePredicate::GreaterThan(50),
+                );
+                let stats = net.stats();
+                total_msgs += stats.total_messages();
+                total_rounds += stats.rounds;
+            }
+            table.push_row(vec![
+                n.to_string(),
+                b.to_string(),
+                f2(total_msgs as f64 / scale.trials() as f64),
+                f2(total_rounds as f64 / scale.trials() as f64),
+                "6".to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Lemma 2.6: maximum computation uses O(log n) messages on expectation.
+// ---------------------------------------------------------------------------
+
+/// E2 ("Table 2"): mean messages to identify the maximum vs `n`, next to `log₂ n`.
+pub fn e2_maximum(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E2",
+        "Maximum protocol: mean messages vs n (Lemma 2.6: O(log n))",
+        &["n", "mean msgs", "log2(n)", "msgs / log2(n)"],
+    );
+    let sizes: &[usize] = match scale {
+        Scale::Small => &[16, 128],
+        Scale::Full => &[16, 64, 256, 1024, 4096],
+    };
+    for &n in sizes {
+        let mut total = 0u64;
+        for seed in 0..scale.trials() {
+            let mut net = DeterministicEngine::new(n, seed);
+            let mut w = RandomWalkWorkload::new(n, 1_000_000, 1000, 1.0, seed ^ 0x5a5a);
+            net.advance_time(&w.next_step());
+            let _ = topk_core::maximum::find_max(&mut net);
+            total += net.stats().total_messages();
+        }
+        let mean = total as f64 / scale.trials() as f64;
+        let log_n = (n as f64).log2();
+        table.push_row(vec![
+            n.to_string(),
+            f2(mean),
+            f2(log_n),
+            f2(mean / log_n),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Corollary 3.3: exact monitor, O(k log n + log Δ) per OPT message.
+// ---------------------------------------------------------------------------
+
+/// E3 ("Figure 1"): exact top-k monitor on random walks — messages and
+/// competitive ratio against the exact offline OPT, swept over `Δ` and `k`.
+pub fn e3_exact_topk(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E3",
+        "Exact top-k monitor vs exact OPT (Corollary 3.3: O(k log n + log delta))",
+        &["n", "k", "delta", "msgs", "opt lower", "ratio", "k*log2(n)+log2(delta)"],
+    );
+    let deltas: &[u64] = match scale {
+        Scale::Small => &[1 << 10, 1 << 16],
+        Scale::Full => &[1 << 8, 1 << 12, 1 << 16, 1 << 20],
+    };
+    let ks: &[usize] = match scale {
+        Scale::Small => &[2],
+        Scale::Full => &[1, 4, 8],
+    };
+    let n = 50;
+    for &k in ks {
+        for &delta in deltas {
+            let mut w = RandomWalkWorkload::new(n, delta, (delta / 64).max(1), 0.6, 42);
+            let rows: Vec<Vec<Value>> = (0..scale.steps()).map(|_| w.next_step()).collect();
+            let trace = topk_gen::Trace::new(rows.clone()).unwrap();
+            let opt = ExactOfflineOpt::new(k).cost(&trace).unwrap();
+            let mut monitor = ExactTopKMonitor::new(k);
+            let report = drive_monitor(&mut monitor, &rows, Epsilon::new(1, 1000).unwrap(), 1);
+            let bound = k as f64 * (n as f64).log2() + (delta as f64).log2();
+            table.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                delta.to_string(),
+                report.messages().to_string(),
+                opt.lower_bound.to_string(),
+                f2(opt.competitive_ratio(report.messages())),
+                f2(bound),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Theorem 4.5: TopKProtocol, O(k log n + log log Δ + log 1/ε).
+// ---------------------------------------------------------------------------
+
+/// E4 ("Figure 2"): `TopKProtocol` on gap workloads — messages and competitive
+/// ratio against the exact offline OPT, swept over `Δ` and `ε`.
+pub fn e4_topk_protocol(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E4",
+        "TopKProtocol vs exact OPT (Theorem 4.5: O(k log n + log log delta + log 1/eps))",
+        &["n", "k", "delta", "eps", "msgs", "opt lower", "ratio", "bound"],
+    );
+    let deltas: &[u64] = match scale {
+        Scale::Small => &[1 << 16],
+        Scale::Full => &[1 << 12, 1 << 20, 1 << 28],
+    };
+    let epsilons: &[u32] = match scale {
+        Scale::Small => &[2, 8],
+        Scale::Full => &[2, 4, 16, 64, 256],
+    };
+    let (n, k) = (40, 4);
+    for &delta in deltas {
+        for &inv_eps in epsilons {
+            let eps = Epsilon::new(1, inv_eps).unwrap();
+            let mut w = GapWorkload::new(n, k, delta, 16, 40, 0, 7);
+            let rows: Vec<Vec<Value>> = (0..scale.steps()).map(|_| w.next_step()).collect();
+            let trace = topk_gen::Trace::new(rows.clone()).unwrap();
+            let opt = ExactOfflineOpt::new(k).cost(&trace).unwrap();
+            let mut monitor = TopKMonitor::new(k, eps);
+            let report = drive_monitor(&mut monitor, &rows, eps, 3);
+            let bound = k as f64 * (n as f64).log2()
+                + (delta as f64).log2().log2()
+                + (inv_eps as f64).log2();
+            table.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                delta.to_string(),
+                format!("1/{inv_eps}"),
+                report.messages().to_string(),
+                opt.lower_bound.to_string(),
+                f2(opt.competitive_ratio(report.messages())),
+                f2(bound),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Theorem 5.1: lower bound Ω(σ/k) on the adversarial instance.
+// ---------------------------------------------------------------------------
+
+/// E5 ("Figure 3"): the adversarial instance — messages forced from the online
+/// algorithm per phase vs the `k + 1` messages the offline algorithm pays,
+/// swept over `σ` and `k`.
+pub fn e5_lower_bound(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E5",
+        "Lower-bound instance (Theorem 5.1): forced ratio grows like sigma/k",
+        &["n", "k", "sigma", "online msgs", "offline bound", "ratio", "sigma/k"],
+    );
+    let configs: &[(usize, usize, usize)] = match scale {
+        Scale::Small => &[(24, 2, 12), (24, 2, 20)],
+        Scale::Full => &[
+            (64, 2, 8),
+            (64, 2, 16),
+            (64, 2, 32),
+            (64, 2, 64),
+            (64, 8, 32),
+            (64, 8, 64),
+            (64, 16, 64),
+        ],
+    };
+    let eps = Epsilon::new(1, 4).unwrap();
+    for &(n, k, sigma) in configs {
+        let mut adversary = LowerBoundAdversary::new(n, k, sigma, 1 << 20, eps);
+        let phases_target = match scale {
+            Scale::Small => 3,
+            Scale::Full => 10,
+        };
+        let mut monitor = CombinedMonitor::new(k, eps);
+        let mut net = DeterministicEngine::new(n, 11);
+        let report = run_adaptive(&mut monitor, &mut net, eps, |filters| {
+            if adversary.phases_completed() >= phases_target {
+                None
+            } else {
+                Some(adversary.next_step_adaptive(filters))
+            }
+        });
+        let offline = adversary.offline_cost_bound();
+        table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            sigma.to_string(),
+            report.messages().to_string(),
+            offline.to_string(),
+            f2(report.messages() as f64 / offline as f64),
+            f2(sigma as f64 / k as f64),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Theorem 5.8: DenseProtocol against the ε-approximate OPT.
+// ---------------------------------------------------------------------------
+
+/// E6 ("Figure 4"): `DenseProtocol` and the combined algorithm on oscillation
+/// workloads — messages and competitive ratio vs the ε-approximate OPT, swept
+/// over `σ`.
+pub fn e6_dense(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E6",
+        "DenseProtocol vs eps-approximate OPT (Theorem 5.8)",
+        &[
+            "n", "k", "sigma", "dense msgs", "combined msgs", "exact msgs", "opt(eps) lower",
+            "dense ratio",
+        ],
+    );
+    let sigmas: &[usize] = match scale {
+        Scale::Small => &[6, 12],
+        Scale::Full => &[4, 8, 16, 32, 48],
+    };
+    let eps = Epsilon::TENTH;
+    let n = 64;
+    let k = 8;
+    for &sigma in sigmas {
+        let mut w = NoiseOscillationWorkload::new(n, k / 2, sigma, 1 << 20, eps, 13);
+        let rows: Vec<Vec<Value>> = (0..scale.steps()).map(|_| w.next_step()).collect();
+        let trace = topk_gen::Trace::new(rows.clone()).unwrap();
+        let opt = ApproxOfflineOpt::new(k, eps).cost(&trace).unwrap();
+        let mut dense = DenseMonitor::new(k, eps);
+        let dense_report = drive_monitor(&mut dense, &rows, eps, 5);
+        let mut combined = CombinedMonitor::new(k, eps);
+        let combined_report = drive_monitor(&mut combined, &rows, eps, 5);
+        let mut exact = ExactTopKMonitor::new(k);
+        let exact_report = drive_monitor(&mut exact, &rows, eps, 5);
+        table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            sigma.to_string(),
+            dense_report.messages().to_string(),
+            combined_report.messages().to_string(),
+            exact_report.messages().to_string(),
+            opt.lower_bound.to_string(),
+            f2(opt.competitive_ratio(dense_report.messages())),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E7 — Corollary 5.9: the ε/2-gap algorithm.
+// ---------------------------------------------------------------------------
+
+/// E7 ("Figure 5"): the ε/2-gap algorithm on the same oscillation workloads —
+/// messages and competitive ratio against an OPT restricted to error ε/2.
+pub fn e7_half_eps(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E7",
+        "Half-eps algorithm vs eps/2-approximate OPT (Corollary 5.9)",
+        &[
+            "n", "k", "sigma", "half-eps msgs", "dense msgs", "opt(eps/2) lower", "half-eps ratio",
+        ],
+    );
+    let sigmas: &[usize] = match scale {
+        Scale::Small => &[6, 12],
+        Scale::Full => &[4, 8, 16, 32, 48],
+    };
+    let eps = Epsilon::TENTH;
+    let n = 64;
+    let k = 8;
+    for &sigma in sigmas {
+        let mut w = NoiseOscillationWorkload::new(n, k / 2, sigma, 1 << 20, eps.halved(), 17);
+        let rows: Vec<Vec<Value>> = (0..scale.steps()).map(|_| w.next_step()).collect();
+        let trace = topk_gen::Trace::new(rows.clone()).unwrap();
+        let opt_half = ApproxOfflineOpt::half_of(k, eps).cost(&trace).unwrap();
+        let mut half = HalfEpsMonitor::new(k, eps);
+        let half_report = drive_monitor(&mut half, &rows, eps, 9);
+        let mut dense = DenseMonitor::new(k, eps);
+        let dense_report = drive_monitor(&mut dense, &rows, eps, 9);
+        table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            sigma.to_string(),
+            half_report.messages().to_string(),
+            dense_report.messages().to_string(),
+            opt_half.lower_bound.to_string(),
+            f2(opt_half.competitive_ratio(half_report.messages())),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E8 — the log Δ vs log log Δ crossover.
+// ---------------------------------------------------------------------------
+
+/// E8 ("Figure 6"): message count of the exact midpoint monitor vs
+/// `TopKProtocol` as `Δ` grows — the former grows like `log Δ` per phase, the
+/// latter like `log log Δ + log 1/ε`.
+///
+/// The workload is an *adaptive filter prober*: one node outside the output
+/// repeatedly jumps to just above the upper bound of its current filter (the
+/// worst case for the generic halving framework), forcing one violation per
+/// step until the guess interval is exhausted, then resets and the game
+/// repeats. Against this prober the exact monitor pays ~`log Δ` violations per
+/// round of the game, `TopKProtocol` only ~`log log Δ + log 1/ε`.
+pub fn e8_crossover(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E8",
+        "Exact midpoint vs TopKProtocol against a filter prober (log vs log log)",
+        &["delta", "exact msgs", "topk-protocol msgs", "log2(delta)", "log2 log2(delta)"],
+    );
+    let deltas: &[u64] = match scale {
+        Scale::Small => &[1 << 12, 1 << 24],
+        Scale::Full => &[1 << 8, 1 << 16, 1 << 24, 1 << 32, 1 << 40],
+    };
+    let (n, k) = (30usize, 2usize);
+    let eps = Epsilon::new(1, 4).unwrap();
+    let steps = scale.steps();
+    for &delta in deltas {
+        let run = |monitor: &mut dyn Monitor| {
+            let mut net = DeterministicEngine::new(n, 21);
+            let mut emitted = 0usize;
+            run_adaptive(monitor, &mut net, eps, |filters: &[Filter]| {
+                if emitted >= steps {
+                    return None;
+                }
+                emitted += 1;
+                let mut row = vec![delta / 8; n];
+                row[0] = delta;
+                row[1] = delta - 1;
+                // The prober (node 2) jumps just above its current filter's upper
+                // bound, as long as that keeps it below the top-2 values; once the
+                // filter reaches the top it resets to a low value.
+                let bound = filters[2].hi_or_max();
+                row[2] = if emitted == 1 || bound.saturating_add(2) >= delta - 1 {
+                    delta / 8
+                } else {
+                    bound + 1
+                };
+                Some(row)
+            })
+        };
+        let mut exact = ExactTopKMonitor::new(k);
+        let exact_report = run(&mut exact);
+        let mut topk = TopKMonitor::new(k, eps);
+        let topk_report = run(&mut topk);
+        table.push_row(vec![
+            delta.to_string(),
+            exact_report.messages().to_string(),
+            topk_report.messages().to_string(),
+            f2((delta as f64).log2()),
+            f2((delta as f64).log2().log2()),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment at the given scale.
+pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
+    vec![
+        e1_existence(scale),
+        e2_maximum(scale),
+        e3_exact_topk(scale),
+        e4_topk_protocol(scale),
+        e5_lower_bound(scale),
+        e6_dense(scale),
+        e7_half_eps(scale),
+        e8_crossover(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_stays_below_the_lemma_bound() {
+        let t = e1_existence(Scale::Small);
+        for row in &t.rows {
+            let mean: f64 = row[2].parse().unwrap();
+            assert!(mean <= 6.5, "mean {mean} exceeds the Lemma 3.1 bound");
+        }
+    }
+
+    #[test]
+    fn e2_grows_sublinearly() {
+        let t = e2_maximum(Scale::Small);
+        let small: f64 = t.rows[0][1].parse().unwrap();
+        let large: f64 = t.rows[1][1].parse().unwrap();
+        // 8x more nodes must cost far less than 8x more messages.
+        assert!(large < small * 4.0, "maximum protocol not logarithmic: {small} -> {large}");
+    }
+
+    #[test]
+    fn e5_ratio_tracks_sigma_over_k() {
+        let t = e5_lower_bound(Scale::Small);
+        let ratio_small: f64 = t.rows[0][5].parse().unwrap();
+        let ratio_large: f64 = t.rows[1][5].parse().unwrap();
+        assert!(
+            ratio_large > ratio_small,
+            "forced ratio should grow with sigma ({ratio_small} -> {ratio_large})"
+        );
+    }
+
+    #[test]
+    fn e6_dense_beats_exact() {
+        let t = e6_dense(Scale::Small);
+        for row in &t.rows {
+            let dense: u64 = row[3].parse().unwrap();
+            let exact: u64 = row[5].parse().unwrap();
+            assert!(dense < exact, "dense ({dense}) should beat exact ({exact})");
+        }
+    }
+
+    #[test]
+    fn e8_topk_protocol_scales_better_with_delta() {
+        let t = e8_crossover(Scale::Small);
+        let exact_growth: f64 = {
+            let a: f64 = t.rows[0][1].parse().unwrap();
+            let b: f64 = t.rows[1][1].parse().unwrap();
+            b / a.max(1.0)
+        };
+        let topk_growth: f64 = {
+            let a: f64 = t.rows[0][2].parse().unwrap();
+            let b: f64 = t.rows[1][2].parse().unwrap();
+            b / a.max(1.0)
+        };
+        assert!(
+            topk_growth <= exact_growth * 1.5,
+            "TopKProtocol should not grow faster with delta (exact x{exact_growth:.2}, topk x{topk_growth:.2})"
+        );
+    }
+
+    #[test]
+    fn all_experiments_produce_rows() {
+        for table in run_all(Scale::Small) {
+            assert!(!table.rows.is_empty(), "{} has no rows", table.id);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal table type used by the experiment harness.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A named table of string cells, printable as aligned text and serialisable to
+/// JSON (the format EXPERIMENTS.md quotes).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTable {
+    /// Experiment identifier, e.g. `"E1"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; every row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> ExperimentTable {
+        ExperimentTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells does not match the number of headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Serialises the table to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables serialise")
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with two decimals (helper used across the experiments).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_and_serialises() {
+        let mut t = ExperimentTable::new("E0", "demo", &["n", "messages"]);
+        t.push_row(vec!["16".into(), "3.20".into()]);
+        t.push_row(vec!["1024".into(), "4.10".into()]);
+        let text = t.to_string();
+        assert!(text.contains("E0: demo"));
+        assert!(text.contains("messages"));
+        assert!(text.contains("1024"));
+        let json = t.to_json();
+        assert!(json.contains("\"id\": \"E0\""));
+        assert_eq!(f2(1.234), "1.23");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_is_checked() {
+        let mut t = ExperimentTable::new("E0", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,910 @@
+//! `DenseProtocol` and `SubProtocol` (Sect. 5.2 of the paper, Theorem 5.8).
+//!
+//! These protocols handle the regime the lower bound of Theorem 5.1 is built on:
+//! many nodes (`σ` of them) oscillate inside the ε-neighbourhood of the k-th
+//! largest value, so an ε-approximate offline algorithm barely communicates while
+//! the exact top-k set changes constantly.
+//!
+//! ## Structure
+//!
+//! The server partitions the nodes into
+//!
+//! * `V₁` — nodes that observed a value above `z/(1−ε)` and therefore belong to
+//!   every valid output,
+//! * `V₃` — nodes that observed a value below `(1−ε)z` and therefore belong to no
+//!   valid output,
+//! * `V₂` — the undecided nodes in the ε-neighbourhood of the pivot `z` (the
+//!   value of the k-th largest node when the protocol starts),
+//!
+//! and maintains a guess interval `L ⊆ [(1−ε)z, z]` that must contain the lower
+//! endpoint `ℓ*` of the upper filter of any offline algorithm that has not
+//! communicated yet. Each round broadcasts `ℓ_r` (the midpoint of `L`) and
+//! `u_r = ℓ_r/(1−ε)`; `V₂` nodes whose values stray above `u_r` are remembered in
+//! the candidate set `S₁`, nodes straying below `ℓ_r` in `S₂`. Violations either
+//! move a node into `V₁`/`V₃` (it left the neighbourhood), halve `L` (the server
+//! learnt on which side `ℓ*` must lie), or — when one node is in both `S₁` and
+//! `S₂` — trigger the nested `SubProtocol`, which performs the same halving game
+//! on the lower half of `L` until it can either place the node or halve `L`.
+//! When `L` becomes empty no valid `ℓ*` remains, so the ε-approximate offline
+//! algorithm must have communicated; the protocol charges it one message and
+//! restarts (Lemma 5.7).
+//!
+//! The output at any time is `V₁ ∪ (S₁ \ S₂)` filled up to `k` nodes from
+//! `V₂ \ S₂` (Lemma 5.2 shows this is always possible and valid).
+//!
+//! ## Deviations from the pseudocode
+//!
+//! * Group/flag changes that the paper folds into "update all filters using the
+//!   rules in 2." are realised as one broadcast of the round parameters plus one
+//!   unicast per node whose `S`-membership actually changed. This keeps the
+//!   message count within the same `O(σ log(ε v_k))` order as the analysis.
+//! * The paper's hand-over to `TopKProtocol` (step 3.d) is handled by
+//!   [`crate::combined::CombinedMonitor`]; the standalone monitor simply
+//!   restarts itself, which is correct but may be less efficient on inputs whose
+//!   neighbourhood empties out.
+
+use topk_model::prelude::*;
+use topk_net::Network;
+
+use crate::existence::detect_violations;
+use crate::maximum::top_m;
+use crate::monitor::Monitor;
+
+/// Safety cap on protocol iterations within a single time step.
+const MAX_ITERATIONS_PER_STEP: u32 = 200_000;
+
+/// Coarse partition of a node (the `S`-membership lives in separate flag vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Part {
+    V1,
+    V2,
+    V3,
+}
+
+/// Which dense-level candidate set to clear when a round ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Clear {
+    S1,
+    S2,
+}
+
+/// Which half of an interval to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Half {
+    Lower,
+    Upper,
+}
+
+/// Closed integer interval with explicit emptiness; used for `L` and `L'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: Value,
+    hi: Value,
+}
+
+impl Interval {
+    fn new(lo: Value, hi: Value) -> Interval {
+        Interval { lo, hi }
+    }
+
+    fn empty() -> Interval {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    fn midpoint(&self) -> Value {
+        debug_assert!(!self.is_empty());
+        self.lo + (self.hi - self.lo) / 2
+    }
+
+    /// Keeps one half; a singleton interval becomes empty, as prescribed by the
+    /// protocol ("in case `L_r` contains one value and gets halved, `L_{r+1}` is
+    /// defined to be empty").
+    fn halved(&self, half: Half) -> Interval {
+        if self.is_empty() || self.lo == self.hi {
+            return Interval::empty();
+        }
+        let mid = self.midpoint();
+        match half {
+            Half::Lower => Interval::new(self.lo, mid),
+            Half::Upper => Interval::new(mid + 1, self.hi),
+        }
+    }
+}
+
+/// State of a running `SubProtocol` invocation.
+#[derive(Debug, Clone)]
+struct SubState {
+    /// The sub-interval `L'` (a subset of the lower half of `L`).
+    interval: Interval,
+    /// `S'₁` and `S'₂` per node.
+    s1p: Vec<bool>,
+    s2p: Vec<bool>,
+    /// The node whose membership in both `S₁` and `S₂` started the sub-protocol.
+    initiator: NodeId,
+    /// The last node in `S'₁ ∩ S'₂` that violated from above (step 3.b.1 of the
+    /// sub-protocol moves this node to `V₃` when `L'` collapses upward).
+    last_dual_from_above: Option<NodeId>,
+}
+
+/// `DenseProtocol` monitor (Theorem 5.8, without the `TopKProtocol` dispatch —
+/// see [`crate::combined::CombinedMonitor`] for the full Theorem 5.8 algorithm).
+#[derive(Debug, Clone)]
+pub struct DenseMonitor {
+    k: usize,
+    eps: Epsilon,
+    /// Pivot value `z` of the current instance.
+    z: Value,
+    /// Dense-level guess interval `L_r`.
+    interval: Interval,
+    part: Vec<Part>,
+    dense_s1: Vec<bool>,
+    dense_s2: Vec<bool>,
+    /// Nodes the server has seen (via reports this round) above `u_r` / below `ℓ_r`.
+    observed_above: Vec<bool>,
+    observed_below: Vec<bool>,
+    sub: Option<SubState>,
+    output: Vec<NodeId>,
+    initialised: bool,
+    instances: u64,
+    sub_calls: u64,
+}
+
+impl DenseMonitor {
+    /// Creates the monitor for the top `k` positions with error `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, eps: Epsilon) -> DenseMonitor {
+        assert!(k >= 1, "k must be at least 1");
+        DenseMonitor {
+            k,
+            eps,
+            z: 0,
+            interval: Interval::empty(),
+            part: Vec::new(),
+            dense_s1: Vec::new(),
+            dense_s2: Vec::new(),
+            observed_above: Vec::new(),
+            observed_below: Vec::new(),
+            sub: None,
+            output: Vec::new(),
+            initialised: false,
+            instances: 0,
+            sub_calls: 0,
+        }
+    }
+
+    /// Number of protocol instances started so far (the ε-approximate offline
+    /// adversary must communicate at least once per completed instance,
+    /// Lemma 5.7).
+    pub fn instances(&self) -> u64 {
+        self.instances
+    }
+
+    /// Number of `SubProtocol` invocations so far.
+    pub fn sub_calls(&self) -> u64 {
+        self.sub_calls
+    }
+
+    /// The pivot value `z` of the current instance.
+    pub fn pivot(&self) -> Value {
+        self.z
+    }
+
+    // ------------------------------------------------------------------
+    // Round parameters and group bookkeeping
+    // ------------------------------------------------------------------
+
+    fn l_r(&self) -> Value {
+        self.interval.midpoint()
+    }
+
+    fn u_r(&self) -> Value {
+        self.eps.scale_up(self.l_r())
+    }
+
+    fn z_lo(&self) -> Value {
+        self.eps.scale_down(self.z)
+    }
+
+    fn z_hi(&self) -> Value {
+        self.eps.scale_up(self.z)
+    }
+
+    fn current_params(&self) -> FilterParams {
+        match &self.sub {
+            None => FilterParams::Dense {
+                l_r: self.l_r(),
+                u_r: self.u_r(),
+                z_lo: self.z_lo(),
+                z_hi: self.z_hi(),
+            },
+            Some(sub) => {
+                let l_rp = sub.interval.midpoint();
+                FilterParams::SubDense {
+                    l_r: self.l_r(),
+                    l_rp,
+                    u_rp: self.eps.scale_up(l_rp),
+                    z_lo: self.z_lo(),
+                    z_hi: self.z_hi(),
+                }
+            }
+        }
+    }
+
+    /// The group a node should currently have (sub-protocol flags take
+    /// precedence while a sub-protocol runs).
+    fn visible_group(&self, i: usize) -> NodeGroup {
+        match self.part[i] {
+            Part::V1 => NodeGroup::V1,
+            Part::V3 => NodeGroup::V3,
+            Part::V2 => match &self.sub {
+                None => NodeGroup::V2 {
+                    s1: self.dense_s1[i],
+                    s2: self.dense_s2[i],
+                },
+                Some(sub) => NodeGroup::V2 {
+                    s1: sub.s1p[i],
+                    s2: sub.s2p[i],
+                },
+            },
+        }
+    }
+
+    /// Unicasts the node's current group (after a membership change).
+    fn push_group(&mut self, net: &mut dyn Network, i: usize) {
+        net.assign_group(NodeId(i), self.visible_group(i));
+    }
+
+    /// Broadcasts the current round parameters.
+    fn push_params(&mut self, net: &mut dyn Network) {
+        net.broadcast_params(self.current_params());
+    }
+
+    // ------------------------------------------------------------------
+    // Instance management
+    // ------------------------------------------------------------------
+
+    /// (Re)starts the protocol: probe the k-th largest value, set the pivot,
+    /// partition the nodes and broadcast the first round's filters.
+    fn start_instance(&mut self, net: &mut dyn Network) {
+        let n = net.n();
+        assert!(
+            self.k < n,
+            "k = {} must be smaller than the number of nodes n = {}",
+            self.k,
+            n
+        );
+        self.instances += 1;
+        self.sub = None;
+        net.meter().push_label(ProtocolLabel::Init);
+        let top = top_m(net, self.k);
+        self.z = top[self.k - 1].1.max(1);
+        net.meter().pop_label();
+
+        net.meter().push_label(ProtocolLabel::Dense);
+        self.interval = Interval::new(self.z_lo(), self.z);
+        self.part = vec![Part::V3; n];
+        self.dense_s1 = vec![false; n];
+        self.dense_s2 = vec![false; n];
+        self.observed_above = vec![false; n];
+        self.observed_below = vec![false; n];
+
+        // Every node defaults to V3 via one broadcast; the nodes at or above the
+        // neighbourhood (at most k + σ of them) are then enumerated by rank and
+        // promoted individually — this is the "probe all nodes in the
+        // ε-neighbourhood" step of Lemma 5.3, O((k + σ) log n) expected messages.
+        net.broadcast_group(NodeGroup::V3);
+        let mut upper: Option<(Value, NodeId)> = None;
+        loop {
+            let Some((node, value)) = crate::maximum::find_max_below(net, upper) else {
+                break;
+            };
+            if self.eps.clearly_smaller(value, self.z) {
+                break;
+            }
+            let i = node.index();
+            self.part[i] = if self.eps.clearly_larger(value, self.z) {
+                Part::V1
+            } else {
+                Part::V2
+            };
+            self.push_group(net, i);
+            upper = Some((value, node));
+        }
+        self.push_params(net);
+        self.recompute_output();
+        net.meter().pop_label();
+    }
+
+    /// Ends the current dense round: halve `L`, clear one candidate set, reset the
+    /// per-round observation counters and re-broadcast. If `L` becomes empty the
+    /// instance terminates and a new one starts.
+    fn new_dense_round(&mut self, net: &mut dyn Network, half: Half, clear: Clear) {
+        self.interval = self.interval.halved(half);
+        match clear {
+            Clear::S1 => self.clear_dense_flags(net, true),
+            Clear::S2 => self.clear_dense_flags(net, false),
+        }
+        self.observed_above.iter_mut().for_each(|b| *b = false);
+        self.observed_below.iter_mut().for_each(|b| *b = false);
+        if self.interval.is_empty() {
+            // Lemma 5.7: no feasible ℓ* remains, OPT must have communicated.
+            self.start_instance(net);
+        } else {
+            self.push_params(net);
+        }
+    }
+
+    /// Clears `S₁` (if `s1` is true) or `S₂`, unicasting the new group to every
+    /// node whose membership actually changed.
+    fn clear_dense_flags(&mut self, net: &mut dyn Network, s1: bool) {
+        for i in 0..self.part.len() {
+            let was_set = if s1 { self.dense_s1[i] } else { self.dense_s2[i] };
+            if was_set {
+                if s1 {
+                    self.dense_s1[i] = false;
+                } else {
+                    self.dense_s2[i] = false;
+                }
+                if self.part[i] == Part::V2 && self.sub.is_none() {
+                    self.push_group(net, i);
+                }
+            }
+        }
+    }
+
+    /// Moves a `V₂` node into `V₁` or `V₃` and unicasts its new group.
+    fn move_node(&mut self, net: &mut dyn Network, i: usize, to: Part) {
+        self.part[i] = to;
+        self.dense_s1[i] = false;
+        self.dense_s2[i] = false;
+        if let Some(sub) = &mut self.sub {
+            sub.s1p[i] = false;
+            sub.s2p[i] = false;
+        }
+        self.push_group(net, i);
+    }
+
+    // ------------------------------------------------------------------
+    // SubProtocol
+    // ------------------------------------------------------------------
+
+    /// Starts the sub-protocol for `initiator ∈ S₁ ∩ S₂`.
+    fn start_sub(&mut self, net: &mut dyn Network, initiator: usize) {
+        self.sub_calls += 1;
+        net.meter().push_label(ProtocolLabel::Sub);
+        let n = self.part.len();
+        // L' starts as the part of L below ℓ_r (step 1 of the sub-protocol).
+        let l_r = self.l_r();
+        let interval = Interval::new(self.interval.lo, l_r.min(self.interval.hi));
+        let mut s1p = self.dense_s1.clone();
+        let s2p_init = {
+            let mut v = vec![false; n];
+            v[initiator] = true;
+            v
+        };
+        s1p[initiator] = true;
+        self.sub = Some(SubState {
+            interval,
+            s1p,
+            s2p: s2p_init,
+            initiator: NodeId(initiator),
+            last_dual_from_above: None,
+        });
+        // The sub-protocol's filters differ from the dense ones for the nodes
+        // whose S'-flags differ from their dense S-flags (only dense-S₂ members
+        // and the initiator, because S'₁ starts as S₁ and S'₂ as {initiator}).
+        for i in 0..n {
+            if self.part[i] == Part::V2 {
+                let sub = self.sub.as_ref().expect("just set");
+                if self.dense_s2[i] != sub.s2p[i] || self.dense_s1[i] != sub.s1p[i] {
+                    self.push_group(net, i);
+                }
+            }
+        }
+        self.push_params(net);
+        net.meter().pop_label();
+    }
+
+    /// Terminates the sub-protocol, restores the dense-level groups and applies
+    /// the dense-level action the terminating case prescribes.
+    fn end_sub(&mut self, net: &mut dyn Network, dense_action: Option<(Half, Clear)>) {
+        let Some(sub) = self.sub.take() else { return };
+        // Restore dense-level S-flags for every V2 node whose visible group
+        // changes back.
+        for i in 0..self.part.len() {
+            if self.part[i] == Part::V2
+                && (sub.s1p[i] != self.dense_s1[i] || sub.s2p[i] != self.dense_s2[i])
+            {
+                self.push_group(net, i);
+            }
+        }
+        match dense_action {
+            Some((half, clear)) => self.new_dense_round(net, half, clear),
+            None => self.push_params(net),
+        }
+    }
+
+    /// Handles a violation while the sub-protocol is active.
+    fn handle_sub_violation(
+        &mut self,
+        net: &mut dyn Network,
+        i: usize,
+        _value: Value,
+        direction: Violation,
+    ) {
+        let k = self.k;
+        let n = self.part.len();
+        let initiator = self
+            .sub
+            .as_ref()
+            .map(|s| s.initiator)
+            .unwrap_or(NodeId(i));
+        match (self.part[i], direction) {
+            // Case a: a V1 node fell below ℓ_r → ℓ* < ℓ_r.
+            (Part::V1, Violation::FromAbove) => {
+                self.end_sub(net, Some((Half::Lower, Clear::S2)));
+            }
+            // Case a': a V3 node rose above u'_{r'} → ℓ* must lie higher.
+            (Part::V3, Violation::FromBelow) => {
+                self.sub_collapse_upward(net, initiator);
+            }
+            (Part::V2, dir) => {
+                let (in_s1p, in_s2p) = {
+                    let sub = self.sub.as_ref().expect("sub active");
+                    (sub.s1p[i], sub.s2p[i])
+                };
+                match (in_s1p, in_s2p, dir) {
+                    // Case b: plain V2 node rose above u'_{r'}.
+                    (false, false, Violation::FromBelow) => {
+                        if self.count(&self.observed_above) > k {
+                            self.sub_collapse_upward(net, initiator);
+                        } else {
+                            self.set_sub_flag(net, i, true);
+                        }
+                    }
+                    // Case b': plain V2 node fell below ℓ_r.
+                    (false, false, Violation::FromAbove) => {
+                        if self.count(&self.observed_below) > n - k {
+                            self.end_sub(net, Some((Half::Lower, Clear::S2)));
+                        } else {
+                            self.set_sub_flag(net, i, false);
+                        }
+                    }
+                    // Case c.1: S'1-only node rose above z/(1−ε) → must be in F*.
+                    (true, false, Violation::FromBelow) => {
+                        self.move_node(net, i, Part::V1);
+                    }
+                    // Case c.2: S'1-only node fell below ℓ'_{r'}.
+                    (true, false, Violation::FromAbove) => {
+                        self.set_sub_flag(net, i, false);
+                    }
+                    // Case c'.1: S'2-only node fell below (1−ε)z → never in F*.
+                    (false, true, Violation::FromAbove) => {
+                        self.move_node(net, i, Part::V3);
+                    }
+                    // Case c'.2: S'2-only node rose above u'_{r'}.
+                    (false, true, Violation::FromBelow) => {
+                        self.set_sub_flag(net, i, true);
+                    }
+                    // Case d.1: a node in S'1 ∩ S'2 rose above z/(1−ε).
+                    (true, true, Violation::FromBelow) => {
+                        self.move_node(net, i, Part::V1);
+                        self.end_sub(net, None);
+                    }
+                    // Case d.2: a node in S'1 ∩ S'2 fell below ℓ'_{r'}.
+                    (true, true, Violation::FromAbove) => {
+                        let collapsed = {
+                            let sub = self.sub.as_mut().expect("sub active");
+                            sub.last_dual_from_above = Some(NodeId(i));
+                            sub.interval = sub.interval.halved(Half::Lower);
+                            for f in sub.s2p.iter_mut() {
+                                *f = false;
+                            }
+                            sub.interval.is_empty()
+                        };
+                        if collapsed {
+                            self.move_node(net, i, Part::V3);
+                            self.end_sub(net, None);
+                        } else {
+                            // Push the cleared S'2 flags and the new sub round.
+                            self.refresh_sub_groups(net);
+                            self.push_params(net);
+                        }
+                    }
+                }
+            }
+            // A V1 node violating from below or a V3 node from above cannot occur
+            // with the filters the protocol assigns; treat it as a stale report.
+            _ => {}
+        }
+    }
+
+    /// Sub-protocol step shared by cases 3.b.1 and 3.a': halve `L'` upward and
+    /// reset `S'₁ := S₁`; if `L'` collapses, move the recorded dual violator (or
+    /// the initiator) to `V₃` and terminate.
+    fn sub_collapse_upward(&mut self, net: &mut dyn Network, initiator: NodeId) {
+        let (collapsed, victim) = {
+            let sub = self.sub.as_mut().expect("sub active");
+            sub.interval = sub.interval.halved(Half::Upper);
+            sub.s1p = self.dense_s1.clone();
+            sub.s1p[initiator.index()] = true;
+            (
+                sub.interval.is_empty(),
+                sub.last_dual_from_above.unwrap_or(initiator),
+            )
+        };
+        if collapsed {
+            self.move_node(net, victim.index(), Part::V3);
+            self.end_sub(net, None);
+        } else {
+            self.refresh_sub_groups(net);
+            self.push_params(net);
+        }
+    }
+
+    /// Adds node `i` to `S'₁` (`to_s1` true) or `S'₂` and pushes its new group.
+    fn set_sub_flag(&mut self, net: &mut dyn Network, i: usize, to_s1: bool) {
+        {
+            let sub = self.sub.as_mut().expect("sub active");
+            if to_s1 {
+                sub.s1p[i] = true;
+            } else {
+                sub.s2p[i] = true;
+            }
+        }
+        self.push_group(net, i);
+    }
+
+    /// Unicasts the group of every V2 node (used after bulk S'-resets, whose
+    /// membership changes the nodes cannot infer from the broadcast alone).
+    fn refresh_sub_groups(&mut self, net: &mut dyn Network) {
+        for i in 0..self.part.len() {
+            if self.part[i] == Part::V2 {
+                self.push_group(net, i);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dense-level violation handling
+    // ------------------------------------------------------------------
+
+    fn handle_violation(
+        &mut self,
+        net: &mut dyn Network,
+        i: usize,
+        value: Value,
+        direction: Violation,
+    ) {
+        if !self.interval.is_empty() {
+            if value > self.u_r() {
+                self.observed_above[i] = true;
+            }
+            if value < self.l_r() {
+                self.observed_below[i] = true;
+            }
+        }
+        if self.sub.is_some() {
+            self.handle_sub_violation(net, i, value, direction);
+            return;
+        }
+        let k = self.k;
+        let n = self.part.len();
+        match (self.part[i], direction) {
+            // Case a: V1 node fell below ℓ_r.
+            (Part::V1, Violation::FromAbove) => {
+                self.new_dense_round(net, Half::Lower, Clear::S2);
+            }
+            // Case a': V3 node rose above u_r.
+            (Part::V3, Violation::FromBelow) => {
+                self.new_dense_round(net, Half::Upper, Clear::S1);
+            }
+            (Part::V2, dir) => {
+                let (s1, s2) = (self.dense_s1[i], self.dense_s2[i]);
+                match (s1, s2, dir) {
+                    // Case b: plain V2 node rose above u_r.
+                    (false, false, Violation::FromBelow) => {
+                        if self.count(&self.observed_above) > k {
+                            self.new_dense_round(net, Half::Upper, Clear::S1);
+                        } else {
+                            self.dense_s1[i] = true;
+                            self.push_group(net, i);
+                        }
+                    }
+                    // Case b': plain V2 node fell below ℓ_r.
+                    (false, false, Violation::FromAbove) => {
+                        if self.count(&self.observed_below) > n - k {
+                            self.new_dense_round(net, Half::Lower, Clear::S2);
+                        } else {
+                            self.dense_s2[i] = true;
+                            self.push_group(net, i);
+                        }
+                    }
+                    // Case c.1: S1 node rose above z/(1−ε) → it must be in F*.
+                    (true, false, Violation::FromBelow) => {
+                        self.move_node(net, i, Part::V1);
+                    }
+                    // Case c.2: S1 node fell below ℓ_r → it is in S1 ∩ S2,
+                    // call the sub-protocol.
+                    (true, false, Violation::FromAbove) => {
+                        self.dense_s2[i] = true;
+                        self.start_sub(net, i);
+                    }
+                    // Case c'.1: S2 node fell below (1−ε)z → it can never be in F*.
+                    (false, true, Violation::FromAbove) => {
+                        self.move_node(net, i, Part::V3);
+                    }
+                    // Case c'.2: S2 node rose above u_r → S1 ∩ S2, sub-protocol.
+                    (false, true, Violation::FromBelow) => {
+                        self.dense_s1[i] = true;
+                        self.start_sub(net, i);
+                    }
+                    // A node already in S1 ∩ S2 outside a sub-protocol should not
+                    // exist; resolve it by starting the sub-protocol.
+                    (true, true, _) => {
+                        self.start_sub(net, i);
+                    }
+                }
+            }
+            // V1 from below / V3 from above are impossible under the assigned
+            // filters; ignore stale reports defensively.
+            _ => {}
+        }
+    }
+
+    fn count(&self, flags: &[bool]) -> usize {
+        flags.iter().filter(|&&b| b).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Output
+    // ------------------------------------------------------------------
+
+    /// Recomputes the output `V₁ ∪ (S₁ \ S₂)` (or the sub-protocol variant)
+    /// filled from `V₂ \ S₂`. Returns `false` if no valid output of size `k`
+    /// exists, in which case the caller restarts the instance.
+    fn recompute_output(&mut self) -> bool {
+        let n = self.part.len();
+        let mut mandatory = Vec::new();
+        let mut fill = Vec::new();
+        for i in 0..n {
+            match self.part[i] {
+                Part::V1 => mandatory.push(NodeId(i)),
+                Part::V3 => {}
+                Part::V2 => {
+                    let (s1, s2) = match &self.sub {
+                        None => (self.dense_s1[i], self.dense_s2[i]),
+                        Some(sub) => (sub.s1p[i], sub.s2p[i]),
+                    };
+                    // S1-members (including S1 ∩ S2 while the sub-protocol runs)
+                    // are part of the output; S2-only members are excluded from
+                    // the fill.
+                    if s1 {
+                        mandatory.push(NodeId(i));
+                    } else if !s2 {
+                        fill.push(NodeId(i));
+                    }
+                }
+            }
+        }
+        if mandatory.len() > self.k || mandatory.len() + fill.len() < self.k {
+            return false;
+        }
+        mandatory.extend(fill.into_iter().take(self.k - mandatory.len()));
+        self.output = mandatory;
+        true
+    }
+}
+
+impl Monitor for DenseMonitor {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn eps(&self) -> Option<Epsilon> {
+        Some(self.eps)
+    }
+
+    fn process_step(&mut self, net: &mut dyn Network) {
+        if !self.initialised {
+            self.start_instance(net);
+            self.initialised = true;
+        }
+        net.meter().push_label(ProtocolLabel::Dense);
+        for _ in 0..MAX_ITERATIONS_PER_STEP {
+            let violations = detect_violations(net);
+            let Some(first) = violations.first() else {
+                break;
+            };
+            let (node, value, direction) = match *first {
+                NodeMessage::ViolationReport {
+                    node,
+                    value,
+                    direction,
+                } => (node, value, direction),
+                ref other => unreachable!("violation detection returned {other:?}"),
+            };
+            self.handle_violation(net, node.index(), value, direction);
+            if !self.recompute_output() {
+                self.start_instance(net);
+            }
+        }
+        net.meter().pop_label();
+    }
+
+    fn output(&self) -> Vec<NodeId> {
+        self.output.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-protocol"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{run_on_rows, RunReport};
+    use topk_gen::{NoiseOscillationWorkload, RandomWalkWorkload, Workload};
+    use topk_net::DeterministicEngine;
+
+    fn drive(
+        rows: Vec<Vec<Value>>,
+        k: usize,
+        eps: Epsilon,
+        seed: u64,
+    ) -> (RunReport, DenseMonitor) {
+        let n = rows[0].len();
+        let mut net = DeterministicEngine::new(n, seed);
+        let mut monitor = DenseMonitor::new(k, eps);
+        let report = run_on_rows(&mut monitor, &mut net, rows, eps);
+        (report, monitor)
+    }
+
+    #[test]
+    fn interval_halving_behaves() {
+        let i = Interval::new(10, 20);
+        assert_eq!(i.midpoint(), 15);
+        assert_eq!(i.halved(Half::Lower), Interval::new(10, 15));
+        assert_eq!(i.halved(Half::Upper), Interval::new(16, 20));
+        let s = Interval::new(7, 7);
+        assert!(s.halved(Half::Lower).is_empty());
+        assert!(s.halved(Half::Upper).is_empty());
+        assert!(Interval::empty().halved(Half::Lower).is_empty());
+        // Repeated halving always terminates.
+        let mut i = Interval::new(0, 1_000_000);
+        let mut rounds = 0;
+        while !i.is_empty() {
+            i = i.halved(if rounds % 2 == 0 { Half::Lower } else { Half::Upper });
+            rounds += 1;
+            assert!(rounds < 64);
+        }
+    }
+
+    #[test]
+    fn valid_output_on_static_values() {
+        let rows = vec![vec![100, 95, 90, 50, 10]; 15];
+        let (report, monitor) = drive(rows, 2, Epsilon::TENTH, 1);
+        assert_eq!(report.invalid_steps, 0);
+        assert_eq!(monitor.instances(), 1);
+    }
+
+    #[test]
+    fn valid_output_on_noise_oscillation() {
+        let eps = Epsilon::TENTH;
+        for seed in 0..4 {
+            let mut w = NoiseOscillationWorkload::new(16, 3, 8, 100_000, eps, seed);
+            let rows: Vec<Vec<Value>> = (0..60).map(|_| w.next_step()).collect();
+            let (report, _) = drive(rows, 6, eps, seed);
+            assert_eq!(report.invalid_steps, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn valid_output_on_random_walks() {
+        let eps = Epsilon::new(1, 4).unwrap();
+        for seed in 0..3 {
+            let mut w = RandomWalkWorkload::new(10, 50_000, 1_000, 0.8, seed);
+            let rows: Vec<Vec<Value>> = (0..60).map(|_| w.next_step()).collect();
+            let (report, _) = drive(rows, 3, eps, seed);
+            assert_eq!(report.invalid_steps, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cheaper_than_exact_monitor_on_dense_oscillation() {
+        let eps = Epsilon::TENTH;
+        let mut w = NoiseOscillationWorkload::new(24, 4, 12, 1_000_000, eps, 7);
+        let rows: Vec<Vec<Value>> = (0..150).map(|_| w.next_step()).collect();
+        let (dense_report, _) = drive(rows.clone(), 8, eps, 7);
+        let mut net = DeterministicEngine::new(24, 7);
+        let mut exact = crate::ExactTopKMonitor::new(8);
+        let exact_report = run_on_rows(&mut exact, &mut net, rows, eps);
+        assert_eq!(dense_report.invalid_steps, 0);
+        assert!(
+            dense_report.messages() < exact_report.messages(),
+            "dense ({}) should beat exact ({}) on oscillating inputs",
+            dense_report.messages(),
+            exact_report.messages()
+        );
+    }
+
+    #[test]
+    fn oscillation_inside_the_neighbourhood_is_eventually_silent() {
+        // Two nodes swap inside a narrow band around z while a clear leader and a
+        // clear loser exist; after the protocol settles, the swaps must not cost
+        // messages every step.
+        let eps = Epsilon::HALF;
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|t| {
+                let a = if t % 2 == 0 { 100 } else { 96 };
+                let b = if t % 2 == 0 { 96 } else { 100 };
+                vec![1000, a, b, 5]
+            })
+            .collect();
+        let (report, _) = drive(rows, 2, eps, 3);
+        assert_eq!(report.invalid_steps, 0);
+        // A per-step-communication monitor would send ≥ 200 messages; the dense
+        // monitor should settle and stay well below that.
+        assert!(
+            report.messages() < 120,
+            "dense monitor did not settle: {} messages",
+            report.messages()
+        );
+    }
+
+    #[test]
+    fn sub_protocol_is_exercised() {
+        // A node that alternately jumps above u_r and below ℓ_r ends up in S1 ∩ S2
+        // and triggers the sub-protocol.
+        let eps = Epsilon::new(1, 4).unwrap();
+        let rows: Vec<Vec<Value>> = (0..60)
+            .map(|t| {
+                let wobble = match t % 4 {
+                    0 => 1000,
+                    1 => 790,
+                    2 => 1200,
+                    _ => 760,
+                };
+                vec![1100, 1000, wobble, 900, 100]
+            })
+            .collect();
+        let (report, monitor) = drive(rows, 3, eps, 5);
+        assert_eq!(report.invalid_steps, 0);
+        assert!(
+            monitor.sub_calls() > 0,
+            "expected at least one sub-protocol invocation"
+        );
+    }
+
+    #[test]
+    fn instances_restart_when_the_neighbourhood_moves() {
+        // The whole value landscape collapses halfway through; the old pivot z
+        // becomes useless and the protocol must restart.
+        let rows: Vec<Vec<Value>> = (0..40)
+            .map(|t| {
+                if t < 20 {
+                    vec![1000, 990, 980, 970, 10]
+                } else {
+                    vec![100, 99, 98, 97, 10]
+                }
+            })
+            .collect();
+        let (report, monitor) = drive(rows, 2, Epsilon::TENTH, 2);
+        assert_eq!(report.invalid_steps, 0);
+        assert!(monitor.instances() >= 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_zero() {
+        let _ = DenseMonitor::new(0, Epsilon::HALF);
+    }
+}

@@ -1,0 +1,197 @@
+//! The existence protocol (Sect. 3 of the paper).
+//!
+//! All nodes hold a bit (here: the result of evaluating an
+//! [`ExistencePredicate`] locally); the server wants to know whether any node
+//! holds a 1, and — because responses carry the sender's identity and value —
+//! *which* nodes do. The protocol proceeds in rounds `r = 0, 1, …, ⌈log₂ n⌉`: in
+//! round `r` every node holding a 1 sends a message independently with
+//! probability `2^r / n`. The run ends as soon as at least one message arrived or
+//! the last round finished. Lemma 3.1 shows the expected number of node messages
+//! is at most 6 regardless of how many nodes hold a 1 (a Las Vegas protocol: the
+//! answer is always correct, only the cost is random). Experiment E1 measures
+//! this constant.
+//!
+//! Corollary 3.2 instantiates the predicate with "I observed a filter violation"
+//! to detect violations with O(1) expected messages per time step — the
+//! work-horse every other protocol in this crate uses after every observation.
+
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_net::Network;
+
+/// Result of one existence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExistenceOutcome {
+    /// The responses received in the terminating round (empty iff no node's
+    /// predicate holds — the protocol is always correct).
+    pub responses: Vec<NodeMessage>,
+    /// The round in which the first responses arrived, if any.
+    pub terminated_in_round: Option<u32>,
+}
+
+impl ExistenceOutcome {
+    /// Whether some node's predicate holds.
+    pub fn exists(&self) -> bool {
+        !self.responses.is_empty()
+    }
+}
+
+/// Number of rounds the protocol uses for `n` nodes: `⌈log₂ n⌉ + 1` (rounds are
+/// numbered `0..=⌈log₂ n⌉`, and in the last round active nodes send with
+/// probability 1).
+pub fn round_budget(n: usize) -> u32 {
+    (n.max(1) as u64).next_power_of_two().trailing_zeros() + 1
+}
+
+/// Runs the existence protocol of Lemma 3.1 for `predicate`.
+///
+/// Returns the responses of the terminating round. The expected number of
+/// upstream messages is O(1); if at least one response arrives the server
+/// announces the end of the run with one broadcast (silent runs need no
+/// announcement, so a time step without filter violations is free).
+pub fn existence(net: &mut dyn Network, predicate: ExistencePredicate) -> ExistenceOutcome {
+    net.meter().push_label(ProtocolLabel::Existence);
+    let n = net.n();
+    let rounds = round_budget(n);
+    let mut outcome = ExistenceOutcome {
+        responses: Vec::new(),
+        terminated_in_round: None,
+    };
+    for round in 0..rounds {
+        let responses = net.existence_round(round, n as u32, predicate);
+        if !responses.is_empty() {
+            net.end_existence_run();
+            outcome.responses = responses;
+            outcome.terminated_in_round = Some(round);
+            break;
+        }
+    }
+    net.meter().pop_label();
+    outcome
+}
+
+/// Detects filter violations at the current time step (Corollary 3.2).
+///
+/// Every node that currently observes a value outside its filter participates
+/// with a 1; the reports carry the violating value and the direction, so the
+/// caller can react without further probes.
+pub fn detect_violations(net: &mut dyn Network) -> Vec<NodeMessage> {
+    existence(net, ExistencePredicate::PendingViolation).responses
+}
+
+/// Convenience wrapper: "is any value strictly above `threshold`?".
+pub fn any_above(net: &mut dyn Network, threshold: Value) -> ExistenceOutcome {
+    existence(net, ExistencePredicate::GreaterThan(threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::DeterministicEngine;
+
+    #[test]
+    fn round_budget_is_log_n_plus_one() {
+        assert_eq!(round_budget(1), 1);
+        assert_eq!(round_budget(2), 2);
+        assert_eq!(round_budget(8), 4);
+        assert_eq!(round_budget(9), 5);
+        assert_eq!(round_budget(1024), 11);
+    }
+
+    #[test]
+    fn existence_is_always_correct() {
+        for seed in 0..30 {
+            let mut net = DeterministicEngine::new(16, seed);
+            let mut values = vec![0u64; 16];
+            values[(seed as usize) % 16] = 100;
+            net.advance_time(&values);
+            // Exactly one node above 50.
+            let out = any_above(&mut net, 50);
+            assert!(out.exists());
+            assert!(out.responses.iter().all(|r| r.value() == 100));
+            // No node above 100.
+            let out = any_above(&mut net, 100);
+            assert!(!out.exists());
+            assert_eq!(out.terminated_in_round, None);
+        }
+    }
+
+    #[test]
+    fn silent_runs_cost_nothing() {
+        let mut net = DeterministicEngine::new(64, 3);
+        net.advance_time(&vec![10; 64]);
+        let before = net.stats().total_messages();
+        let out = any_above(&mut net, 100);
+        assert!(!out.exists());
+        assert_eq!(net.stats().total_messages(), before, "silent run must be free");
+        // But it still uses its round budget.
+        assert_eq!(net.stats().rounds, u64::from(round_budget(64)));
+    }
+
+    #[test]
+    fn expected_messages_are_constant() {
+        // Lemma 3.1: expected messages <= 6 for any number b of ones. We measure
+        // the empirical mean over many runs for b = n (the worst case for naive
+        // polling) and assert it is far below b.
+        let n = 256;
+        let trials = 200;
+        let mut total_upstream = 0u64;
+        for seed in 0..trials {
+            let mut net = DeterministicEngine::new(n, seed);
+            net.advance_time(&vec![100u64; n]);
+            let out = any_above(&mut net, 0);
+            assert!(out.exists());
+            total_upstream += net.stats().messages_of_kind(MessageKind::Upstream);
+        }
+        let mean = total_upstream as f64 / trials as f64;
+        assert!(
+            mean <= 6.0,
+            "mean upstream messages {mean} exceeds the Lemma 3.1 bound"
+        );
+        assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn detect_violations_reports_direction_and_value() {
+        let mut net = DeterministicEngine::new(4, 9);
+        net.advance_time(&[10, 20, 30, 40]);
+        net.assign_filter(NodeId(3), Filter::at_most(35));
+        net.assign_filter(NodeId(0), Filter::at_least(15));
+        let mut reports = detect_violations(&mut net);
+        reports.sort_by_key(|r| r.sender());
+        // Both violations exist; the existence protocol may surface one or both
+        // in the terminating round, but at least one must be reported.
+        assert!(!reports.is_empty());
+        for r in &reports {
+            match *r {
+                NodeMessage::ViolationReport { node, value, direction } => {
+                    if node == NodeId(0) {
+                        assert_eq!(value, 10);
+                        assert_eq!(direction, Violation::FromAbove);
+                    } else {
+                        assert_eq!(node, NodeId(3));
+                        assert_eq!(value, 40);
+                        assert_eq!(direction, Violation::FromBelow);
+                    }
+                }
+                ref other => panic!("unexpected response {other:?}"),
+            }
+        }
+        // No violations → empty.
+        net.assign_filter(NodeId(3), Filter::FULL);
+        net.assign_filter(NodeId(0), Filter::FULL);
+        assert!(detect_violations(&mut net).is_empty());
+    }
+
+    #[test]
+    fn messages_are_attributed_to_the_existence_label() {
+        let mut net = DeterministicEngine::new(8, 1);
+        net.advance_time(&[1, 2, 3, 4, 5, 6, 7, 100]);
+        let _ = any_above(&mut net, 50);
+        let stats = net.stats();
+        assert_eq!(
+            stats.messages_of_label(ProtocolLabel::Existence),
+            stats.total_messages()
+        );
+    }
+}

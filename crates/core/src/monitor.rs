@@ -1,0 +1,230 @@
+//! The common monitoring interface and the step driver.
+//!
+//! Every online algorithm in this crate implements [`Monitor`]: it is given the
+//! network after each observation step and must afterwards report a candidate
+//! output set of `k` nodes. The driver functions [`run_on_rows`] (pre-recorded
+//! workloads) and [`run_adaptive`] (adaptive adversaries that see the filters)
+//! feed observations, invoke the monitor, validate every output against the
+//! ε-top-k definition of Sect. 2 and collect the [`RunReport`] the experiments
+//! are built from.
+
+use topk_model::prelude::*;
+use topk_net::Network;
+
+/// A filter-based online monitoring algorithm.
+pub trait Monitor {
+    /// The monitored `k`.
+    fn k(&self) -> usize;
+
+    /// The error the monitor is allowed in its output (`None` for monitors that
+    /// solve the exact problem).
+    fn eps(&self) -> Option<Epsilon>;
+
+    /// Called after every [`Network::advance_time`] (including the first one).
+    /// The monitor runs its communication protocol here: detect violations,
+    /// update filters, possibly recompute its output.
+    fn process_step(&mut self, net: &mut dyn Network);
+
+    /// The monitor's current output set `F(t)` (must have exactly `k` elements
+    /// once at least one step was processed).
+    fn output(&self) -> Vec<NodeId>;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Outcome of driving a monitor over a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Number of observation steps processed.
+    pub steps: u64,
+    /// Number of steps at which the output violated the ε-top-k definition
+    /// (0 for a correct monitor).
+    pub invalid_steps: u64,
+    /// Number of steps at which the output differed from the *exact* top-k set
+    /// (informational: allowed to be non-zero for approximate monitors).
+    pub inexact_steps: u64,
+    /// Communication statistics accumulated by the engine.
+    pub stats: CommStats,
+    /// Largest value observed over the run (`Δ`).
+    pub delta: Value,
+    /// Largest ε-neighbourhood size observed over the run (`σ`).
+    pub sigma: usize,
+}
+
+impl RunReport {
+    /// Total number of messages the online algorithm sent.
+    pub fn messages(&self) -> u64 {
+        self.stats.total_messages()
+    }
+}
+
+/// Drives `monitor` over pre-recorded observation rows.
+///
+/// `validation_eps` is the error used to *validate* the output (usually the same
+/// as the monitor's own ε; pass something larger to accept sloppier outputs).
+///
+/// # Panics
+///
+/// Panics if a row's length differs from `net.n()`.
+pub fn run_on_rows(
+    monitor: &mut dyn Monitor,
+    net: &mut dyn Network,
+    rows: impl IntoIterator<Item = Vec<Value>>,
+    validation_eps: Epsilon,
+) -> RunReport {
+    run_adaptive(monitor, net, validation_eps, {
+        let mut iter = rows.into_iter();
+        move |_filters: &[Filter]| iter.next()
+    })
+}
+
+/// Drives `monitor` with an adaptive source: `next_row` sees the filters
+/// currently assigned to the nodes (what the adversary of Theorem 5.1 needs) and
+/// returns `None` to end the run.
+pub fn run_adaptive(
+    monitor: &mut dyn Monitor,
+    net: &mut dyn Network,
+    validation_eps: Epsilon,
+    mut next_row: impl FnMut(&[Filter]) -> Option<Vec<Value>>,
+) -> RunReport {
+    let k = monitor.k();
+    let mut report = RunReport {
+        steps: 0,
+        invalid_steps: 0,
+        inexact_steps: 0,
+        stats: CommStats::default(),
+        delta: 0,
+        sigma: 0,
+    };
+    loop {
+        let filters = net.peek_filters();
+        let Some(row) = next_row(&filters) else {
+            break;
+        };
+        net.advance_time(&row);
+        monitor.process_step(net);
+        let output = monitor.output();
+        let view = TopKView::new(&row, k, validation_eps);
+        if !view.validate_output(&output).is_valid() {
+            report.invalid_steps += 1;
+        }
+        if !view.validate_exact(&output) {
+            report.inexact_steps += 1;
+        }
+        report.steps += 1;
+        report.delta = report.delta.max(row.iter().copied().max().unwrap_or(0));
+        report.sigma = report.sigma.max(view.sigma());
+    }
+    report.stats = net.stats();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_net::DeterministicEngine;
+
+    /// A trivial (and expensive) reference monitor: probes every node every step
+    /// and outputs the exact top-k. Used to test the driver itself.
+    struct ProbeAllMonitor {
+        k: usize,
+        eps: Epsilon,
+        output: Vec<NodeId>,
+    }
+
+    impl ProbeAllMonitor {
+        fn new(k: usize, eps: Epsilon) -> Self {
+            ProbeAllMonitor {
+                k,
+                eps,
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Monitor for ProbeAllMonitor {
+        fn k(&self) -> usize {
+            self.k
+        }
+        fn eps(&self) -> Option<Epsilon> {
+            Some(self.eps)
+        }
+        fn process_step(&mut self, net: &mut dyn Network) {
+            let values: Vec<Value> = (0..net.n()).map(|i| net.probe(NodeId(i))).collect();
+            self.output = TopKView::new(&values, self.k, self.eps).exact_top_k();
+        }
+        fn output(&self) -> Vec<NodeId> {
+            self.output.clone()
+        }
+        fn name(&self) -> &'static str {
+            "probe-all"
+        }
+    }
+
+    /// A deliberately broken monitor that always outputs nodes 0..k.
+    struct ConstantMonitor {
+        k: usize,
+    }
+
+    impl Monitor for ConstantMonitor {
+        fn k(&self) -> usize {
+            self.k
+        }
+        fn eps(&self) -> Option<Epsilon> {
+            Some(Epsilon::HALF)
+        }
+        fn process_step(&mut self, _net: &mut dyn Network) {}
+        fn output(&self) -> Vec<NodeId> {
+            (0..self.k).map(NodeId).collect()
+        }
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+    }
+
+    #[test]
+    fn driver_counts_steps_and_messages() {
+        let rows = vec![vec![1, 2, 3], vec![3, 2, 1], vec![2, 3, 1]];
+        let mut net = DeterministicEngine::new(3, 1);
+        let mut monitor = ProbeAllMonitor::new(1, Epsilon::HALF);
+        let report = run_on_rows(&mut monitor, &mut net, rows, Epsilon::HALF);
+        assert_eq!(report.steps, 3);
+        assert_eq!(report.invalid_steps, 0);
+        assert_eq!(report.inexact_steps, 0);
+        // 3 steps × 3 probes × 2 messages each.
+        assert_eq!(report.messages(), 18);
+        assert_eq!(report.delta, 3);
+        assert_eq!(monitor.name(), "probe-all");
+    }
+
+    #[test]
+    fn driver_flags_invalid_outputs() {
+        // Node 2 clearly dominates but the constant monitor reports node 0.
+        let rows = vec![vec![1, 2, 1000], vec![1, 2, 1000]];
+        let mut net = DeterministicEngine::new(3, 1);
+        let mut monitor = ConstantMonitor { k: 1 };
+        let report = run_on_rows(&mut monitor, &mut net, rows, Epsilon::HALF);
+        assert_eq!(report.invalid_steps, 2);
+        assert_eq!(report.inexact_steps, 2);
+        assert_eq!(report.messages(), 0);
+    }
+
+    #[test]
+    fn adaptive_driver_passes_filters() {
+        let mut net = DeterministicEngine::new(2, 1);
+        let mut monitor = ProbeAllMonitor::new(1, Epsilon::HALF);
+        let mut calls = 0;
+        let report = run_adaptive(&mut monitor, &mut net, Epsilon::HALF, |filters| {
+            calls += 1;
+            assert_eq!(filters.len(), 2);
+            if calls <= 3 {
+                Some(vec![10 * calls as Value, 5])
+            } else {
+                None
+            }
+        });
+        assert_eq!(report.steps, 3);
+        assert_eq!(report.sigma, 2);
+    }
+}

@@ -1,0 +1,422 @@
+//! `TopKProtocol` — the ε-approximate monitor of Sect. 4 (Theorem 4.5).
+//!
+//! The monitor fixes the exact top-k set as its output and *witnesses* its
+//! validity as cheaply as possible. It maintains a guess interval `L = [ℓ, u]`
+//! that must contain the lower endpoint of the upper filter of any offline
+//! algorithm that has not communicated yet; the interval starts at
+//! `[v_{π(k+1)}, v_{π(k)}]` and shrinks on every filter violation. The trick that
+//! turns the `log Δ` of the exact protocol into `log log Δ + log 1/ε` is to
+//! shrink `L` with four different strategies depending on its shape:
+//!
+//! | phase | property | separator broadcast |
+//! |-------|----------|---------------------|
+//! | P1 (`A1`) | `log log u > log log ℓ + 1` | `m = ℓ₀ + 2^(2^r)` after `r` violations (double-exponential probing) |
+//! | P2 (`A2`) | gap at most double-exponential but `u > 4ℓ` | `m = 2^{mid(log ℓ, log u)}` (geometric midpoint) |
+//! | P3 (`A3`) | `u ≤ 4ℓ` but `u > ℓ/(1−ε)` | arithmetic midpoint of `L` |
+//! | P4 | `u ≤ ℓ/(1−ε)` | final overlapping filters `F₁ = [ℓ, ∞)`, `F₂ = [0, u]` |
+//!
+//! P1 costs O(log log Δ) violations, P2 O(1), P3 O(log 1/ε); P4 ends at the first
+//! violation, at which point the interval is empty and the whole protocol
+//! restarts (the analysis of Theorem 4.5 shows the *exact* offline adversary must
+//! have communicated in the meantime).
+
+use topk_model::prelude::*;
+use topk_net::Network;
+
+use crate::existence::detect_violations;
+use crate::maximum::top_m;
+use crate::monitor::Monitor;
+
+/// Safety cap on protocol iterations within a single time step (the analysis
+/// bounds the real number by O(log log Δ + log 1/ε) per protocol instance).
+const MAX_ITERATIONS_PER_STEP: u32 = 100_000;
+
+/// The four strategies of `TopKProtocol`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolPhase {
+    /// Double-exponential probing (`A1`).
+    P1,
+    /// Geometric midpoint (`A2`).
+    P2,
+    /// Arithmetic midpoint (`A3`).
+    P3,
+    /// Final overlapping filters.
+    P4,
+}
+
+impl ProtocolPhase {
+    fn label(self) -> ProtocolLabel {
+        match self {
+            ProtocolPhase::P1 => ProtocolLabel::TopKPhase1,
+            ProtocolPhase::P2 => ProtocolLabel::TopKPhase2,
+            ProtocolPhase::P3 => ProtocolLabel::TopKPhase3,
+            ProtocolPhase::P4 => ProtocolLabel::TopKPhase4,
+        }
+    }
+}
+
+/// `log₂ log₂ x` with the arguments clamped so the expression is defined.
+fn loglog(x: Value) -> f64 {
+    let lx = (x.max(2) as f64).log2();
+    lx.max(1.0).log2()
+}
+
+/// `TopKProtocol` monitor (Theorem 4.5).
+#[derive(Debug, Clone)]
+pub struct TopKMonitor {
+    k: usize,
+    eps: Epsilon,
+    output: Vec<NodeId>,
+    lo: Value,
+    hi: Value,
+    phase: ProtocolPhase,
+    /// `ℓ₀` of the current `A1` execution.
+    a1_base: Value,
+    /// Violations observed by the current `A1` execution.
+    a1_violations: u32,
+    initialised: bool,
+    restarts: u64,
+}
+
+impl TopKMonitor {
+    /// Creates the monitor for the top `k` positions with error `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, eps: Epsilon) -> TopKMonitor {
+        assert!(k >= 1, "k must be at least 1");
+        TopKMonitor {
+            k,
+            eps,
+            output: Vec::new(),
+            lo: 0,
+            hi: 0,
+            phase: ProtocolPhase::P4,
+            a1_base: 0,
+            a1_violations: 0,
+            initialised: false,
+            restarts: 0,
+        }
+    }
+
+    /// Number of times the protocol restarted from scratch (equals the number of
+    /// intervals in which the exact offline adversary must have communicated).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// The phase currently executed.
+    pub fn phase(&self) -> ProtocolPhase {
+        self.phase
+    }
+
+    /// The current guess interval `L = [ℓ, u]`.
+    pub fn guess_interval(&self) -> (Value, Value) {
+        (self.lo, self.hi)
+    }
+
+    /// Step 1 of `TopKProtocol`: compute the top-(k+1) values, fix the output and
+    /// initialise the guess interval and filters.
+    fn start_protocol(&mut self, net: &mut dyn Network) {
+        assert!(
+            self.k < net.n(),
+            "k = {} must be smaller than the number of nodes n = {}",
+            self.k,
+            net.n()
+        );
+        self.restarts += 1;
+        net.meter().push_label(ProtocolLabel::Init);
+        let top = top_m(net, self.k + 1);
+        debug_assert_eq!(top.len(), self.k + 1);
+        self.output = top[..self.k].iter().map(|&(id, _)| id).collect();
+        self.hi = top[self.k - 1].1;
+        self.lo = top[self.k].1;
+        net.broadcast_group(NodeGroup::Lower);
+        for &(id, _) in &top[..self.k] {
+            net.assign_group(id, NodeGroup::Upper);
+        }
+        net.meter().pop_label();
+        // Reset the A1 state unconditionally: a fresh protocol instance starts a
+        // fresh double-exponential probe from the new ℓ.
+        self.phase = ProtocolPhase::P4;
+        self.a1_base = self.lo;
+        self.a1_violations = 0;
+        self.enter_phase(self.dispatch());
+        self.broadcast_separator(net);
+    }
+
+    /// Chooses the phase whose property currently holds (steps 2–5).
+    fn dispatch(&self) -> ProtocolPhase {
+        if self.lo > self.hi {
+            // Empty interval: the caller restarts; P4 is returned as a harmless
+            // placeholder.
+            return ProtocolPhase::P4;
+        }
+        if loglog(self.hi) > loglog(self.lo) + 1.0 {
+            ProtocolPhase::P1
+        } else if self.hi > 4 * self.lo.max(1) {
+            ProtocolPhase::P2
+        } else if self.hi > self.eps.scale_up(self.lo) {
+            ProtocolPhase::P3
+        } else {
+            ProtocolPhase::P4
+        }
+    }
+
+    fn enter_phase(&mut self, phase: ProtocolPhase) {
+        if phase == ProtocolPhase::P1 && self.phase != ProtocolPhase::P1 {
+            self.a1_base = self.lo;
+            self.a1_violations = 0;
+        }
+        self.phase = phase;
+    }
+
+    /// The separator value `m` the current phase broadcasts (clamped into
+    /// `[ℓ, u]` so that every violation makes progress).
+    fn separator(&self) -> Value {
+        match self.phase {
+            ProtocolPhase::P1 => {
+                let exp = 1u64
+                    .checked_shl(self.a1_violations)
+                    .unwrap_or(u64::MAX)
+                    .min(63);
+                let probe = self.a1_base.saturating_add(1u64 << exp);
+                probe.clamp(self.lo, self.hi)
+            }
+            ProtocolPhase::P2 => {
+                let mid = (log2_clamped(self.lo) + log2_clamped(self.hi)) / 2.0;
+                let m = mid.exp2().round() as Value;
+                m.clamp(self.lo, self.hi)
+            }
+            ProtocolPhase::P3 | ProtocolPhase::P4 => self.lo + (self.hi - self.lo) / 2,
+        }
+    }
+
+    fn broadcast_separator(&mut self, net: &mut dyn Network) {
+        net.meter().push_label(self.phase.label());
+        let params = match self.phase {
+            ProtocolPhase::P4 => FilterParams::Separator {
+                lo: self.lo,
+                hi: self.hi,
+            },
+            _ => {
+                let m = self.separator();
+                FilterParams::Separator { lo: m, hi: m }
+            }
+        };
+        net.broadcast_params(params);
+        net.meter().pop_label();
+    }
+}
+
+/// `log₂ x` clamped to be defined (used for the geometric midpoint of `A2`).
+fn log2_clamped(x: Value) -> f64 {
+    (x.max(1) as f64).log2()
+}
+
+impl Monitor for TopKMonitor {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn eps(&self) -> Option<Epsilon> {
+        Some(self.eps)
+    }
+
+    fn process_step(&mut self, net: &mut dyn Network) {
+        if !self.initialised {
+            self.start_protocol(net);
+            self.initialised = true;
+        }
+        for _ in 0..MAX_ITERATIONS_PER_STEP {
+            let violations = detect_violations(net);
+            let Some(first) = violations.first() else {
+                break;
+            };
+            let (value, direction) = match *first {
+                NodeMessage::ViolationReport {
+                    value, direction, ..
+                } => (value, direction),
+                ref other => unreachable!("violation detection returned {other:?}"),
+            };
+            let was_p4 = self.phase == ProtocolPhase::P4;
+            // Generic framework: intersect L with the half-line learned from the
+            // violation (Sect. 3, "a generic approach").
+            match direction {
+                Violation::FromBelow => self.lo = self.lo.max(value),
+                Violation::FromAbove => self.hi = self.hi.min(value),
+            }
+            self.a1_violations = self.a1_violations.saturating_add(1);
+            if was_p4 || self.lo > self.hi {
+                // Step 6: terminate; the driver immediately starts the next
+                // protocol instance (Theorem 4.5 charges OPT once per instance).
+                self.start_protocol(net);
+            } else {
+                self.enter_phase(self.dispatch());
+                self.broadcast_separator(net);
+            }
+        }
+    }
+
+    fn output(&self) -> Vec<NodeId> {
+        self.output.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "topk-protocol"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{run_on_rows, RunReport};
+    use topk_gen::{GapWorkload, RandomWalkWorkload, Workload};
+    use topk_net::DeterministicEngine;
+
+    fn drive(
+        rows: Vec<Vec<Value>>,
+        k: usize,
+        eps: Epsilon,
+        seed: u64,
+    ) -> (RunReport, TopKMonitor) {
+        let n = rows[0].len();
+        let mut net = DeterministicEngine::new(n, seed);
+        let mut monitor = TopKMonitor::new(k, eps);
+        let report = run_on_rows(&mut monitor, &mut net, rows, eps);
+        (report, monitor)
+    }
+
+    #[test]
+    fn loglog_is_monotone_and_clamped() {
+        assert_eq!(loglog(0), 0.0);
+        assert_eq!(loglog(2), 0.0);
+        assert!((loglog(16) - 2.0).abs() < 1e-9);
+        assert!((loglog(1 << 16) - 4.0).abs() < 1e-9);
+        assert!(loglog(1 << 40) > loglog(1 << 16));
+    }
+
+    #[test]
+    fn phase_dispatch_matches_properties() {
+        let mut m = TopKMonitor::new(1, Epsilon::HALF);
+        // Huge double-exponential gap → P1.
+        m.lo = 4;
+        m.hi = 1 << 40;
+        assert_eq!(m.dispatch(), ProtocolPhase::P1);
+        // Single-exponential gap → P2.
+        m.lo = 1 << 20;
+        m.hi = 1 << 30;
+        assert_eq!(m.dispatch(), ProtocolPhase::P2);
+        // Small gap but wider than 1/(1-ε) → P3.
+        m.lo = 100;
+        m.hi = 350;
+        assert_eq!(m.dispatch(), ProtocolPhase::P3);
+        // Inside the ε slack → P4.
+        m.lo = 100;
+        m.hi = 150;
+        assert_eq!(m.dispatch(), ProtocolPhase::P4);
+    }
+
+    #[test]
+    fn separator_stays_inside_the_interval() {
+        let mut m = TopKMonitor::new(1, Epsilon::HALF);
+        m.lo = 10;
+        m.hi = 1 << 35;
+        m.enter_phase(ProtocolPhase::P1);
+        for v in 0..10 {
+            m.a1_violations = v;
+            let s = m.separator();
+            assert!(s >= m.lo && s <= m.hi, "P1 separator {s} out of range");
+        }
+        m.enter_phase(ProtocolPhase::P2);
+        let s = m.separator();
+        assert!(s >= m.lo && s <= m.hi);
+        m.enter_phase(ProtocolPhase::P3);
+        let s = m.separator();
+        assert!(s >= m.lo && s <= m.hi);
+    }
+
+    #[test]
+    fn valid_output_on_static_values() {
+        let rows = vec![vec![10, 500, 30, 700, 20]; 20];
+        let (report, _) = drive(rows, 2, Epsilon::HALF, 1);
+        assert_eq!(report.invalid_steps, 0);
+        assert_eq!(report.inexact_steps, 0);
+    }
+
+    #[test]
+    fn valid_output_on_random_walks() {
+        for seed in 0..5 {
+            let mut w = RandomWalkWorkload::new(10, 100_000, 2_000, 0.8, seed);
+            let rows: Vec<Vec<Value>> = (0..80).map(|_| w.next_step()).collect();
+            let (report, _) = drive(rows, 3, Epsilon::new(1, 4).unwrap(), seed);
+            assert_eq!(report.invalid_steps, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cheaper_than_exact_monitor_on_large_delta_gap_workload() {
+        // Large Δ with a clear gap: the double-exponential probing of P1/P2
+        // should reach the ε slack with far fewer broadcasts than the plain
+        // midpoint halving needs.
+        let mut w = GapWorkload::new(20, 2, 1 << 40, 1 << 10, 30, 0, 3);
+        let rows: Vec<Vec<Value>> = (0..100).map(|_| w.next_step()).collect();
+        let eps = Epsilon::HALF;
+        let (approx_report, _) = drive(rows.clone(), 2, eps, 3);
+        let mut net = DeterministicEngine::new(20, 3);
+        let mut exact = crate::ExactTopKMonitor::new(2);
+        let exact_report = run_on_rows(&mut exact, &mut net, rows, eps);
+        assert_eq!(approx_report.invalid_steps, 0);
+        assert_eq!(exact_report.invalid_steps, 0);
+        assert!(
+            approx_report.messages() <= exact_report.messages(),
+            "TopKProtocol ({}) should not send more than the exact monitor ({})",
+            approx_report.messages(),
+            exact_report.messages()
+        );
+    }
+
+    #[test]
+    fn restarts_are_counted() {
+        // Force repeated leadership swaps: each swap empties the interval and
+        // restarts the protocol.
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|t| {
+                if t % 2 == 0 {
+                    vec![1000, 10, 5]
+                } else {
+                    vec![10, 1000, 5]
+                }
+            })
+            .collect();
+        let (report, monitor) = drive(rows, 1, Epsilon::TENTH, 9);
+        assert_eq!(report.invalid_steps, 0);
+        assert!(monitor.restarts() >= 10);
+    }
+
+    #[test]
+    fn p4_reaches_quiescence_on_close_values() {
+        // Values within the ε slack: the protocol should settle in P4 and then
+        // stay silent while values wobble inside the overlapping filters.
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|t| vec![1000 + (t % 3), 995 - (t % 3), 10])
+            .collect();
+        let (report, monitor) = drive(rows, 1, Epsilon::HALF, 4);
+        assert_eq!(report.invalid_steps, 0);
+        assert_eq!(monitor.phase(), ProtocolPhase::P4);
+        // After the initial setup the wobble stays inside the filters: the last
+        // 40 steps must be free.
+        let early: Vec<Vec<Value>> = (0..10)
+            .map(|t| vec![1000 + (t % 3), 995 - (t % 3), 10])
+            .collect();
+        let (early_report, _) = drive(early, 1, Epsilon::HALF, 4);
+        assert_eq!(report.messages(), early_report.messages());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_zero() {
+        let _ = TopKMonitor::new(0, Epsilon::HALF);
+    }
+}

@@ -1,0 +1,250 @@
+//! The adaptive adversary from the lower-bound proof of Theorem 5.1.
+//!
+//! The construction: `σ ∈ [k+1, n]` nodes start at a common value `y₀` (the other
+//! `n − σ` nodes hold small background values). In every step the adversary picks
+//! one node that still holds `y₀` *and whose current filter would be violated* by
+//! dropping it to `y₁ < (1 − ε)·y₀`, and drops it. Such a node must exist as long
+//! as the online algorithm's filters are feasible, so the online algorithm is
+//! forced to pay one message per step. After `σ − k` drops the phase ends: an
+//! offline algorithm that knows which `k` nodes survive the phase pays only
+//! `k + 1` messages (k unicast filters `[y₀, ∞)` plus one broadcast `[0, y₀]`),
+//! giving the `Ω(σ/k)` gap. The adversary then lifts the dropped nodes back to
+//! `y₀` (which violates no offline filter) and starts the next phase, extending
+//! the stream to arbitrary length exactly as the proof describes.
+
+use crate::AdaptiveWorkload;
+use topk_model::prelude::*;
+
+/// Adaptive lower-bound adversary (Theorem 5.1).
+#[derive(Debug, Clone)]
+pub struct LowerBoundAdversary {
+    n: usize,
+    k: usize,
+    sigma: usize,
+    y0: Value,
+    y1: Value,
+    state: Vec<Value>,
+    dropped_this_phase: usize,
+    phases_completed: usize,
+    steps_emitted: usize,
+}
+
+impl LowerBoundAdversary {
+    /// Creates the adversary.
+    ///
+    /// * `sigma` — number of nodes initially at `y₀`; must satisfy `k < sigma ≤ n`,
+    /// * `eps` — the error the *online* algorithm is allowed; `y₁` is chosen just
+    ///   below `(1 − ε)·y₀` so every drop leaves the ε-neighbourhood,
+    /// * `y0` — the common starting value (must be large enough that
+    ///   `(1 − ε)·y₀ ≥ 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters.
+    pub fn new(n: usize, k: usize, sigma: usize, y0: Value, eps: Epsilon) -> Self {
+        assert!(k >= 1 && k < n, "need 1 <= k < n");
+        assert!(sigma > k && sigma <= n, "need k < sigma <= n");
+        let below = eps.scale_down(y0);
+        assert!(below >= 4, "y0 too small for the construction");
+        // Strictly below (1-ε)·y0 → clearly smaller than y0.
+        let y1 = below - 1;
+        let background = y1 / 2;
+        let mut state = vec![background; n];
+        for v in state.iter_mut().take(sigma) {
+            *v = y0;
+        }
+        LowerBoundAdversary {
+            n,
+            k,
+            sigma,
+            y0,
+            y1,
+            state,
+            dropped_this_phase: 0,
+            phases_completed: 0,
+            steps_emitted: 0,
+        }
+    }
+
+    /// Number of completed adversary phases so far.
+    pub fn phases_completed(&self) -> usize {
+        self.phases_completed
+    }
+
+    /// Upper bound on the cost of the offline algorithm described in the proof:
+    /// `k + 1` messages per completed phase plus the initial assignment.
+    pub fn offline_cost_bound(&self) -> u64 {
+        ((self.phases_completed + 1) * (self.k + 1)) as u64
+    }
+
+    /// Number of forced drops per phase (`σ − k`), i.e. the minimum number of
+    /// filter violations the online algorithm suffers per phase.
+    pub fn drops_per_phase(&self) -> usize {
+        self.sigma - self.k
+    }
+
+    /// The common starting value `y₀`.
+    pub fn y0(&self) -> Value {
+        self.y0
+    }
+
+    /// The drop target `y₁ < (1 − ε)·y₀`.
+    pub fn y1(&self) -> Value {
+        self.y1
+    }
+
+    /// Picks the node to drop: a node still at `y₀` whose filter has a lower
+    /// bound above `y₁` (so the drop is guaranteed to violate it). Falls back to
+    /// any node still at `y₀` if the online algorithm left all of them unbounded
+    /// below (in which case its output can not have been valid for long anyway).
+    fn pick_victim(&self, filters: &[Filter]) -> Option<usize> {
+        let candidates = (0..self.sigma).filter(|&i| self.state[i] == self.y0);
+        let mut fallback = None;
+        for i in candidates {
+            if fallback.is_none() {
+                fallback = Some(i);
+            }
+            let lo = filters.get(i).map_or(0, |f| f.lo());
+            if lo > self.y1 {
+                return Some(i);
+            }
+        }
+        fallback
+    }
+}
+
+impl AdaptiveWorkload for LowerBoundAdversary {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_step_adaptive(&mut self, filters: &[Filter]) -> Vec<Value> {
+        self.steps_emitted += 1;
+        // The very first step presents the initial configuration unchanged so the
+        // online algorithm can set up its filters before the attack starts.
+        if self.steps_emitted == 1 {
+            return self.state.clone();
+        }
+        if self.dropped_this_phase == self.sigma - self.k {
+            // Phase complete: lift every dropped node back to y0 and start over.
+            for v in self.state.iter_mut().take(self.sigma) {
+                *v = self.y0;
+            }
+            self.dropped_this_phase = 0;
+            self.phases_completed += 1;
+            return self.state.clone();
+        }
+        if let Some(victim) = self.pick_victim(filters) {
+            self.state[victim] = self.y1;
+            self.dropped_this_phase += 1;
+        }
+        self.state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filters_for(state: &[Value], k: usize, y0: Value) -> Vec<Filter> {
+        // A plausible online filter assignment: nodes at y0 that the algorithm
+        // outputs get [y0, ∞), the rest [0, y0]. We mark the first k nodes
+        // holding y0 as the output.
+        let mut out = Vec::with_capacity(state.len());
+        let mut granted = 0;
+        for &v in state {
+            if v == y0 && granted < k {
+                out.push(Filter::at_least(y0));
+                granted += 1;
+            } else {
+                out.push(Filter::at_most(y0));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn initial_configuration_has_sigma_nodes_at_y0() {
+        let eps = Epsilon::HALF;
+        let mut adv = LowerBoundAdversary::new(10, 2, 6, 1000, eps);
+        let row = adv.next_step_adaptive(&vec![Filter::FULL; 10]);
+        assert_eq!(row.iter().filter(|&&v| v == 1000).count(), 6);
+        assert!(row[6..].iter().all(|&v| v < adv.y1()));
+    }
+
+    #[test]
+    fn drops_target_nodes_with_binding_filters() {
+        let eps = Epsilon::HALF;
+        let mut adv = LowerBoundAdversary::new(8, 2, 6, 1000, eps);
+        let mut row = adv.next_step_adaptive(&vec![Filter::FULL; 8]);
+        let mut drops = 0;
+        for _ in 0..(6 - 2) {
+            let filters = filters_for(&row, 2, 1000);
+            let next = adv.next_step_adaptive(&filters);
+            // Exactly one node moved, and it moved from y0 to y1.
+            let changed: Vec<usize> = (0..8).filter(|&i| next[i] != row[i]).collect();
+            assert_eq!(changed.len(), 1);
+            let i = changed[0];
+            assert_eq!(row[i], 1000);
+            assert_eq!(next[i], adv.y1());
+            // The victim had a binding filter (the adversary is adaptive).
+            assert!(filters[i].lo() > adv.y1());
+            drops += 1;
+            row = next;
+        }
+        assert_eq!(drops, adv.drops_per_phase());
+        // Next step resets the phase.
+        let filters = filters_for(&row, 2, 1000);
+        let next = adv.next_step_adaptive(&filters);
+        assert_eq!(next.iter().filter(|&&v| v == 1000).count(), 6);
+        assert_eq!(adv.phases_completed(), 1);
+    }
+
+    #[test]
+    fn y1_is_clearly_smaller_than_y0() {
+        let eps = Epsilon::new(1, 4).unwrap();
+        let adv = LowerBoundAdversary::new(10, 3, 7, 10_000, eps);
+        assert!(eps.clearly_smaller(adv.y1(), adv.y0()));
+    }
+
+    #[test]
+    fn offline_cost_bound_grows_per_phase() {
+        let eps = Epsilon::HALF;
+        let mut adv = LowerBoundAdversary::new(6, 1, 4, 1000, eps);
+        let initial_bound = adv.offline_cost_bound();
+        assert_eq!(initial_bound, 2); // (0 completed + 1) * (k+1)
+        // Run two full phases.
+        let steps = 1 + 2 * (adv.drops_per_phase() + 1);
+        for _ in 0..steps {
+            let filters = vec![Filter::at_least(adv.y0()); 6];
+            adv.next_step_adaptive(&filters);
+        }
+        assert!(adv.phases_completed() >= 2);
+        assert_eq!(
+            adv.offline_cost_bound(),
+            ((adv.phases_completed() + 1) * 2) as u64
+        );
+    }
+
+    #[test]
+    fn adversary_output_always_admits_a_valid_k_output() {
+        // Sanity: at every step at least k nodes hold a value that is not clearly
+        // smaller than the k-th largest (namely the y0 nodes).
+        let eps = Epsilon::HALF;
+        let k = 3;
+        let mut adv = LowerBoundAdversary::new(12, k, 9, 4096, eps);
+        let mut filters = vec![Filter::FULL; 12];
+        for _ in 0..40 {
+            let row = adv.next_step_adaptive(&filters);
+            let at_y0 = row.iter().filter(|&&v| v == 4096).count();
+            assert!(at_y0 >= k, "fewer than k nodes left at y0");
+            filters = filters_for(&row, k, 4096);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_sigma_not_larger_than_k() {
+        let _ = LowerBoundAdversary::new(5, 3, 3, 1000, Epsilon::HALF);
+    }
+}

@@ -1,0 +1,162 @@
+//! Gap workload: the ε-approximate output is always unique.
+//!
+//! The top `k` nodes hold values around `high_base`, the remaining nodes around
+//! `low_base`, with `low_base` chosen clearly smaller than `high_base` (for the
+//! configured `ε`). Both groups jitter multiplicatively, and the whole landscape
+//! can drift upward over time to exercise large `Δ`. Because the (k+1)-st value
+//! stays clearly below the k-th, the ε-approximate output coincides with the
+//! exact top-k set and `TopKProtocol` (Sect. 4 of the paper) is the algorithm of
+//! choice; this is the workload behind experiment E4.
+
+use crate::Workload;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// Workload with a persistent multiplicative gap between ranks `k` and `k+1`.
+#[derive(Debug, Clone)]
+pub struct GapWorkload {
+    n: usize,
+    k: usize,
+    high_base: Value,
+    low_base: Value,
+    jitter_permille: u64,
+    drift_permille: u64,
+    step: u64,
+    /// Nodes `0..k` are the designated top group; a fixed assignment keeps the
+    /// output literally constant, which is the regime the theorem's upper bound
+    /// addresses (OPT communicates rarely).
+    rng: ChaCha8Rng,
+}
+
+impl GapWorkload {
+    /// Creates a gap workload.
+    ///
+    /// * `high_base` — centre of the top group's values,
+    /// * `gap_factor` — `high_base / low_base`; must be large enough that the
+    ///   jittered groups never overlap (≥ 4 is plenty for the default jitter),
+    /// * `jitter_permille` — multiplicative jitter amplitude in ‰ of the base,
+    /// * `drift_permille` — upward drift of both bases per step in ‰.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k >= n`, `high_base == 0` or `gap_factor < 2`.
+    pub fn new(
+        n: usize,
+        k: usize,
+        high_base: Value,
+        gap_factor: u64,
+        jitter_permille: u64,
+        drift_permille: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(k >= 1 && k < n, "need 1 <= k < n");
+        assert!(high_base > 0, "high_base must be positive");
+        assert!(gap_factor >= 2, "gap_factor must be at least 2");
+        GapWorkload {
+            n,
+            k,
+            high_base,
+            low_base: (high_base / gap_factor).max(1),
+            jitter_permille: jitter_permille.min(500),
+            drift_permille,
+            step: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Default configuration used by the experiments: gap factor 8, 5 % jitter,
+    /// no drift.
+    pub fn standard(n: usize, k: usize, high_base: Value, seed: u64) -> Self {
+        GapWorkload::new(n, k, high_base, 8, 50, 0, seed)
+    }
+
+    fn jitter(&mut self, base: Value) -> Value {
+        if self.jitter_permille == 0 {
+            return base;
+        }
+        let amplitude = base * self.jitter_permille / 1000;
+        if amplitude == 0 {
+            return base;
+        }
+        let offset = self.rng.gen_range(0..=2 * amplitude);
+        (base + offset).saturating_sub(amplitude).max(1)
+    }
+}
+
+impl Workload for GapWorkload {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        let drift = 1000 + self.drift_permille * self.step;
+        let high = self.high_base * drift / 1000;
+        let low = self.low_base * drift / 1000;
+        self.step += 1;
+        (0..self.n)
+            .map(|i| {
+                if i < self.k {
+                    self.jitter(high)
+                } else {
+                    self.jitter(low)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_always_unique() {
+        let mut w = GapWorkload::standard(20, 4, 1_000_000, 11);
+        let eps = Epsilon::HALF;
+        for _ in 0..200 {
+            let row = w.next_step();
+            let view = TopKView::new(&row, 4, eps);
+            assert!(view.unique_output(), "gap workload must keep a clear gap");
+            // The designated group really is the top-k set.
+            let top: Vec<usize> = view.exact_top_k().iter().map(|id| id.index()).collect();
+            for i in top {
+                assert!(i < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_increases_values() {
+        let mut w = GapWorkload::new(4, 1, 1000, 8, 0, 100, 3);
+        let first = w.next_step()[0];
+        for _ in 0..20 {
+            w.next_step();
+        }
+        let later = w.next_step()[0];
+        assert!(later > first, "drift must push values up ({first} -> {later})");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = GapWorkload::standard(10, 2, 10_000, 5);
+        let mut b = GapWorkload::standard(10, 2, 10_000, 5);
+        assert_eq!(a.generate(30), b.generate(30));
+    }
+
+    #[test]
+    fn zero_jitter_is_constant_within_group() {
+        let mut w = GapWorkload::new(6, 2, 1000, 4, 0, 0, 1);
+        let row = w.next_step();
+        assert!(row[..2].iter().all(|&v| v == row[0]));
+        assert!(row[2..].iter().all(|&v| v == row[2]));
+        assert!(row[0] > row[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_equal_n() {
+        let _ = GapWorkload::standard(4, 4, 100, 0);
+    }
+}

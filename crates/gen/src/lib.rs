@@ -1,0 +1,125 @@
+//! # topk-gen
+//!
+//! Workload and trace generators for the top-k-position monitoring experiments.
+//!
+//! The paper evaluates its algorithms analytically; there is no public trace. The
+//! experiments in this reproduction therefore run on synthetic workloads that are
+//! designed to hit exactly the regimes the paper's theorems distinguish:
+//!
+//! * [`RandomWalkWorkload`] — smooth per-node random walks; the bread-and-butter
+//!   input where filters save most of the communication (Corollary 3.3,
+//!   Theorem 4.5).
+//! * [`GapWorkload`] — keeps a clear multiplicative gap between the k-th and the
+//!   (k+1)-st value, so the ε-approximate output is unique and `TopKProtocol`
+//!   applies (Sect. 4).
+//! * [`NoiseOscillationWorkload`] — `σ` nodes oscillate inside the
+//!   ε-neighbourhood of the k-th value ("lots of nodes observe values oscillating
+//!   around the k-th largest value", Sect. 1); the regime `DenseProtocol`
+//!   (Sect. 5) is built for.
+//! * [`ZipfLoadWorkload`] — the web-server load-balancer scenario from the
+//!   introduction: heavy-tailed per-node loads with bursts and drift.
+//! * [`LowerBoundAdversary`] — the explicit adaptive adversary from the proof of
+//!   Theorem 5.1; it inspects the currently assigned filters and always knocks
+//!   one output node below the filter boundary.
+//!
+//! Non-adaptive workloads implement [`Workload`] and can be pre-materialised into
+//! a [`Trace`]; the adversary implements [`AdaptiveWorkload`] because its next
+//! values depend on the filters the online algorithm just published.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod gap;
+pub mod noise;
+pub mod random_walk;
+pub mod trace;
+pub mod zipf;
+
+pub use adversarial::LowerBoundAdversary;
+pub use gap::GapWorkload;
+pub use noise::NoiseOscillationWorkload;
+pub use random_walk::RandomWalkWorkload;
+pub use trace::Trace;
+pub use zipf::ZipfLoadWorkload;
+
+use topk_model::prelude::*;
+
+/// A source of synthetic observations: one vector of `n` values per time step.
+pub trait Workload {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Produces the observations of the next time step (`values[i]` is node `i`'s
+    /// observation).
+    fn next_step(&mut self) -> Vec<Value>;
+
+    /// Materialises `steps` time steps into a [`Trace`].
+    fn generate(&mut self, steps: usize) -> Trace {
+        let mut rows = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            rows.push(self.next_step());
+        }
+        Trace::new(rows).expect("workloads produce rectangular traces")
+    }
+}
+
+/// A workload whose next observations may depend on the filters the online
+/// algorithm currently has in place (an *adaptive adversary* in the sense of
+/// Sect. 2.1 of the paper).
+pub trait AdaptiveWorkload {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Produces the observations of the next time step, given the filters the
+    /// server assigned at the end of the previous step.
+    fn next_step_adaptive(&mut self, filters: &[Filter]) -> Vec<Value>;
+}
+
+/// Every oblivious workload is trivially an adaptive workload that ignores the
+/// filters.
+impl<W: Workload> AdaptiveWorkload for W {
+    fn n(&self) -> usize {
+        Workload::n(self)
+    }
+
+    fn next_step_adaptive(&mut self, _filters: &[Filter]) -> Vec<Value> {
+        self.next_step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant {
+        n: usize,
+        value: Value,
+    }
+
+    impl Workload for Constant {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn next_step(&mut self) -> Vec<Value> {
+            vec![self.value; self.n]
+        }
+    }
+
+    #[test]
+    fn generate_materialises_steps() {
+        let mut w = Constant { n: 3, value: 7 };
+        let trace = w.generate(5);
+        assert_eq!(trace.steps(), 5);
+        assert_eq!(trace.n(), 3);
+        assert_eq!(trace.row(TimeStep(4)), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn oblivious_workload_is_adaptive() {
+        let mut w = Constant { n: 2, value: 1 };
+        let vals = AdaptiveWorkload::next_step_adaptive(&mut w, &[Filter::FULL, Filter::FULL]);
+        assert_eq!(vals, vec![1, 1]);
+        assert_eq!(AdaptiveWorkload::n(&w), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Noise-oscillation workload: a dense ε-neighbourhood around the k-th value.
+//!
+//! The introduction of the paper motivates the approximate problem with
+//! "situations where lots of nodes observe values oscillating around the k-th
+//! largest value". This workload constructs exactly that situation:
+//!
+//! * `sigma` nodes oscillate multiplicatively inside the ε-neighbourhood of a
+//!   base value `z` (so `σ(t) ≈ sigma` every step),
+//! * `high` nodes sit clearly above the neighbourhood,
+//! * the remaining nodes sit clearly below it.
+//!
+//! For the exact problem this input forces communication almost every step (the
+//! identity of the k-th node keeps changing); for the ε-approximate problem an
+//! offline algorithm needs barely any communication — which is precisely the
+//! regime in which the lower bound of Theorem 5.1 and the `DenseProtocol`
+//! analysis (Theorem 5.8) live. Used by experiments E6 and E7.
+
+use crate::Workload;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// Workload keeping `sigma` nodes inside the ε-neighbourhood of a pivot value.
+#[derive(Debug, Clone)]
+pub struct NoiseOscillationWorkload {
+    n: usize,
+    high: usize,
+    sigma: usize,
+    z: Value,
+    eps: Epsilon,
+    rng: ChaCha8Rng,
+}
+
+impl NoiseOscillationWorkload {
+    /// Creates the workload.
+    ///
+    /// * `n` — number of nodes,
+    /// * `high` — number of nodes held clearly above the neighbourhood,
+    /// * `sigma` — number of nodes oscillating inside the ε-neighbourhood of `z`
+    ///   (`high + sigma ≤ n` must hold and `sigma ≥ 1`),
+    /// * `z` — the pivot value around which the neighbourhood is centred,
+    /// * `eps` — the neighbourhood width.
+    ///
+    /// Choosing `k = high + 1 … high + sigma` makes the k-th value land inside
+    /// the oscillating pack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group sizes are inconsistent or `z` is too small for the
+    /// oscillation to be non-trivial (`z < 16`).
+    pub fn new(n: usize, high: usize, sigma: usize, z: Value, eps: Epsilon, seed: u64) -> Self {
+        assert!(sigma >= 1, "need at least one oscillating node");
+        assert!(high + sigma <= n, "high + sigma must not exceed n");
+        assert!(z >= 16, "pivot too small for meaningful oscillation");
+        NoiseOscillationWorkload {
+            n,
+            high,
+            sigma,
+            z,
+            eps,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The pivot value `z`.
+    pub fn pivot(&self) -> Value {
+        self.z
+    }
+
+    /// Number of oscillating nodes (target `σ`).
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+}
+
+impl Workload for NoiseOscillationWorkload {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        // The oscillating pack is drawn from the ε/2-neighbourhood of z (shrunk by
+        // one to absorb integer rounding). Any two values a, b in that slice
+        // satisfy a ≤ b/(1-ε) because 1/(1-ε/2)² ≤ 1/(1-ε), so every pack member
+        // stays inside the ε-neighbourhood of the k-th largest value whenever the
+        // k-th largest value itself belongs to the pack.
+        let half = self.eps.halved();
+        let lo = self.eps.scale_down(self.z);
+        let hi = self.eps.scale_up(self.z);
+        let inner_lo = half.scale_down(self.z) + 1;
+        let inner_hi = half.scale_up(self.z).saturating_sub(1).max(inner_lo);
+        let clearly_above = self.eps.scale_up(hi) + 1;
+        let clearly_below = (self.eps.scale_down(lo)).saturating_sub(1).max(1);
+        (0..self.n)
+            .map(|i| {
+                if i < self.high {
+                    // Clearly above the whole neighbourhood, with some jitter.
+                    clearly_above + self.rng.gen_range(0..=clearly_above / 10)
+                } else if i < self.high + self.sigma {
+                    self.rng.gen_range(inner_lo..=inner_hi)
+                } else {
+                    // Clearly below, with jitter that keeps it clearly below.
+                    self.rng.gen_range(1..=clearly_below)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_is_at_least_the_oscillating_pack() {
+        let eps = Epsilon::TENTH;
+        let mut w = NoiseOscillationWorkload::new(30, 5, 10, 100_000, eps, 9);
+        let k = 8; // inside the oscillating pack (5 high nodes + 3rd oscillator)
+        for _ in 0..100 {
+            let row = w.next_step();
+            let view = TopKView::new(&row, k, eps);
+            // Every oscillating node is inside the neighbourhood of the k-th value.
+            assert!(
+                view.sigma() >= 10,
+                "sigma {} smaller than oscillating pack",
+                view.sigma()
+            );
+            // The high nodes are clearly larger.
+            for i in 0..5 {
+                assert!(view.clearly_larger(NodeId(i)));
+            }
+            // The low nodes are clearly smaller.
+            for i in 15..30 {
+                assert!(view.clearly_smaller(NodeId(i)), "node {i} not clearly smaller");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_rarely_unique() {
+        let eps = Epsilon::TENTH;
+        let mut w = NoiseOscillationWorkload::new(20, 2, 10, 50_000, eps, 4);
+        let k = 5;
+        let unique_steps = (0..100)
+            .filter(|_| {
+                let row = w.next_step();
+                TopKView::new(&row, k, eps).unique_output()
+            })
+            .count();
+        assert_eq!(unique_steps, 0, "dense workload must not produce unique outputs");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let eps = Epsilon::HALF;
+        let mut a = NoiseOscillationWorkload::new(10, 1, 5, 1000, eps, 2);
+        let mut b = NoiseOscillationWorkload::new(10, 1, 5, 1000, eps, 2);
+        assert_eq!(a.generate(20), b.generate(20));
+    }
+
+    #[test]
+    fn accessors() {
+        let w = NoiseOscillationWorkload::new(10, 1, 5, 1000, Epsilon::HALF, 2);
+        assert_eq!(w.pivot(), 1000);
+        assert_eq!(w.sigma(), 5);
+        assert_eq!(w.n(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inconsistent_sizes() {
+        let _ = NoiseOscillationWorkload::new(5, 3, 3, 1000, Epsilon::HALF, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded random-walk workload.
+//!
+//! Every node performs an independent, lazy random walk on `{0, …, Δ}`: at each
+//! step it stays put with probability `1 − move_prob` and otherwise moves up or
+//! down by a step drawn uniformly from `1..=max_step`. This models slowly
+//! drifting quantities (queue lengths, temperatures, load averages) — the kind of
+//! input for which filter-based algorithms were designed: values usually stay
+//! inside their filters and communication is rare.
+
+use crate::Workload;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// Configuration and state of the random-walk workload.
+#[derive(Debug, Clone)]
+pub struct RandomWalkWorkload {
+    current: Vec<Value>,
+    delta: Value,
+    max_step: Value,
+    move_prob: f64,
+    rng: ChaCha8Rng,
+}
+
+impl RandomWalkWorkload {
+    /// Creates a workload of `n` nodes walking on `{0, …, delta}`.
+    ///
+    /// Initial positions are drawn uniformly at random. `max_step` is the largest
+    /// single-step displacement and `move_prob ∈ [0, 1]` the probability that a
+    /// node moves at all in a given step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `delta == 0`, `max_step == 0` or `move_prob` is not in
+    /// `[0, 1]`.
+    pub fn new(n: usize, delta: Value, max_step: Value, move_prob: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(delta > 0, "delta must be positive");
+        assert!(max_step > 0, "max_step must be positive");
+        assert!(
+            (0.0..=1.0).contains(&move_prob),
+            "move_prob must be a probability"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let current = (0..n).map(|_| rng.gen_range(0..=delta)).collect();
+        RandomWalkWorkload {
+            current,
+            delta,
+            max_step,
+            move_prob,
+            rng,
+        }
+    }
+
+    /// A quiet configuration: small steps, rare moves. Handy default for examples.
+    pub fn quiet(n: usize, delta: Value, seed: u64) -> Self {
+        RandomWalkWorkload::new(n, delta, (delta / 100).max(1), 0.2, seed)
+    }
+
+    /// A volatile configuration: large steps, every node moves every step.
+    pub fn volatile(n: usize, delta: Value, seed: u64) -> Self {
+        RandomWalkWorkload::new(n, delta, (delta / 10).max(1), 1.0, seed)
+    }
+
+    /// The walk's upper bound `Δ`.
+    pub fn delta(&self) -> Value {
+        self.delta
+    }
+}
+
+impl Workload for RandomWalkWorkload {
+    fn n(&self) -> usize {
+        self.current.len()
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        for v in &mut self.current {
+            if !self.rng.gen_bool(self.move_prob) {
+                continue;
+            }
+            let step = self.rng.gen_range(1..=self.max_step);
+            if self.rng.gen_bool(0.5) {
+                *v = v.saturating_add(step).min(self.delta);
+            } else {
+                *v = v.saturating_sub(step);
+            }
+        }
+        self.current.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn values_stay_in_range() {
+        let mut w = RandomWalkWorkload::new(10, 1000, 50, 0.8, 42);
+        for _ in 0..200 {
+            let row = w.next_step();
+            assert_eq!(row.len(), 10);
+            assert!(row.iter().all(|&v| v <= 1000));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = RandomWalkWorkload::new(5, 100, 3, 0.5, 7);
+        let mut b = RandomWalkWorkload::new(5, 100, 3, 0.5, 7);
+        assert_eq!(a.generate(50), b.generate(50));
+        let mut c = RandomWalkWorkload::new(5, 100, 3, 0.5, 8);
+        assert_ne!(a.generate(50), c.generate(50));
+    }
+
+    #[test]
+    fn zero_move_probability_freezes_values() {
+        let mut w = RandomWalkWorkload::new(4, 100, 10, 0.0, 1);
+        let first = w.next_step();
+        for _ in 0..20 {
+            assert_eq!(w.next_step(), first);
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_volatility() {
+        let steps = 100;
+        let changed = |mut w: RandomWalkWorkload| {
+            let mut changes = 0usize;
+            let mut prev = w.next_step();
+            for _ in 0..steps {
+                let next = w.next_step();
+                changes += prev.iter().zip(&next).filter(|(a, b)| a != b).count();
+                prev = next;
+            }
+            changes
+        };
+        let quiet = changed(RandomWalkWorkload::quiet(10, 10_000, 3));
+        let volatile = changed(RandomWalkWorkload::volatile(10, 10_000, 3));
+        assert!(
+            volatile > quiet,
+            "volatile preset ({volatile}) should change more often than quiet ({quiet})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_nodes() {
+        let _ = RandomWalkWorkload::new(0, 10, 1, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probability() {
+        let _ = RandomWalkWorkload::new(1, 10, 1, 1.5, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn single_step_displacement_is_bounded(
+            seed in 0u64..1000, max_step in 1u64..20, delta in 100u64..10_000
+        ) {
+            let mut w = RandomWalkWorkload::new(6, delta, max_step, 1.0, seed);
+            let a = w.next_step();
+            let b = w.next_step();
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!(x.abs_diff(*y) <= max_step);
+            }
+        }
+    }
+}

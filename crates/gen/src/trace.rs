@@ -1,0 +1,196 @@
+//! Materialised traces: a rectangular table of observations.
+//!
+//! A [`Trace`] stores one row of `n` values per time step. Traces are what the
+//! offline (OPT) solvers consume — an offline algorithm by definition sees the
+//! whole input — and what the experiment harness feeds, step by step, to the
+//! online protocols.
+
+use serde::{Deserialize, Serialize};
+use topk_model::prelude::*;
+use topk_model::ModelError;
+
+/// A rectangular table of observations: `rows[t][i]` is node `i`'s value at time `t`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    rows: Vec<Vec<Value>>,
+}
+
+impl Trace {
+    /// Builds a trace from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyTrace`] if there are no rows or the first row is
+    /// empty, and [`ModelError::RaggedTrace`] if rows have different lengths.
+    pub fn new(rows: Vec<Vec<Value>>) -> Result<Trace, ModelError> {
+        let Some(first) = rows.first() else {
+            return Err(ModelError::EmptyTrace);
+        };
+        if first.is_empty() {
+            return Err(ModelError::EmptyTrace);
+        }
+        let n = first.len();
+        for (t, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(ModelError::RaggedTrace {
+                    at: TimeStep(t as u64),
+                    expected: n,
+                    found: row.len(),
+                });
+            }
+        }
+        Ok(Trace { rows })
+    }
+
+    /// Builds a trace by evaluating `f(t, i)` for every time step and node.
+    pub fn from_fn(steps: usize, n: usize, mut f: impl FnMut(usize, usize) -> Value) -> Trace {
+        let rows = (0..steps)
+            .map(|t| (0..n).map(|i| f(t, i)).collect())
+            .collect();
+        Trace::new(rows).expect("from_fn produces rectangular traces")
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Number of time steps.
+    pub fn steps(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The observations of one time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn row(&self, t: TimeStep) -> &[Value] {
+        &self.rows[t.raw() as usize]
+    }
+
+    /// Iterates over `(time step, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeStep, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(t, row)| (TimeStep(t as u64), row.as_slice()))
+    }
+
+    /// The values of a single node over time.
+    pub fn column(&self, node: NodeId) -> Vec<Value> {
+        self.rows.iter().map(|row| row[node.index()]).collect()
+    }
+
+    /// `Δ` — the largest value appearing anywhere in the trace.
+    pub fn delta(&self) -> Value {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `σ = max_t σ(t)` — the largest size of the ε-neighbourhood of the k-th
+    /// value over the whole trace (Sect. 2 of the paper).
+    pub fn sigma(&self, k: usize, eps: Epsilon) -> usize {
+        self.rows
+            .iter()
+            .map(|row| TopKView::new(row, k, eps).sigma())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Appends another trace with the same number of nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RaggedTrace`] if the node counts differ.
+    pub fn concat(&mut self, other: &Trace) -> Result<(), ModelError> {
+        if other.n() != self.n() {
+            return Err(ModelError::RaggedTrace {
+                at: TimeStep(self.steps() as u64),
+                expected: self.n(),
+                found: other.n(),
+            });
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        Ok(())
+    }
+
+    /// Serialises the trace to JSON (one array of arrays).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("traces are always serialisable")
+    }
+
+    /// Parses a trace from the JSON produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyTrace`] for syntactically valid but empty input
+    /// and propagates shape errors from [`Trace::new`]; malformed JSON is also
+    /// mapped onto [`ModelError::EmptyTrace`] to keep the error type closed.
+    pub fn from_json(s: &str) -> Result<Trace, ModelError> {
+        let parsed: Trace = serde_json::from_str(s).map_err(|_| ModelError::EmptyTrace)?;
+        Trace::new(parsed.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        assert_eq!(Trace::new(vec![]), Err(ModelError::EmptyTrace));
+        assert_eq!(Trace::new(vec![vec![]]), Err(ModelError::EmptyTrace));
+        assert!(matches!(
+            Trace::new(vec![vec![1, 2], vec![3]]),
+            Err(ModelError::RaggedTrace { .. })
+        ));
+        assert!(Trace::new(vec![vec![1, 2], vec![3, 4]]).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Trace::from_fn(4, 3, |t, i| (t * 10 + i) as Value);
+        assert_eq!(t.n(), 3);
+        assert_eq!(t.steps(), 4);
+        assert_eq!(t.row(TimeStep(2)), &[20, 21, 22]);
+        assert_eq!(t.column(NodeId(1)), vec![1, 11, 21, 31]);
+        assert_eq!(t.delta(), 32);
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[3].0, TimeStep(3));
+    }
+
+    #[test]
+    fn sigma_counts_neighbourhood_maximum() {
+        // Two steps: in the first all 4 values are far apart, in the second three
+        // values sit inside the ε-neighbourhood of the top value.
+        let t = Trace::new(vec![vec![1000, 10, 1, 1], vec![1000, 990, 980, 1]]).unwrap();
+        assert_eq!(t.sigma(1, Epsilon::TENTH), 3);
+        assert_eq!(t.sigma(1, Epsilon::new(1, 1000).unwrap()), 1);
+    }
+
+    #[test]
+    fn concat_checks_node_count() {
+        let mut a = Trace::from_fn(2, 3, |_, i| i as Value);
+        let b = Trace::from_fn(1, 3, |_, i| (i + 10) as Value);
+        a.concat(&b).unwrap();
+        assert_eq!(a.steps(), 3);
+        assert_eq!(a.row(TimeStep(2)), &[10, 11, 12]);
+        let c = Trace::from_fn(1, 2, |_, i| i as Value);
+        assert!(a.concat(&c).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace::from_fn(3, 2, |t, i| (t + i) as Value);
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(Trace::from_json("not json").is_err());
+        assert!(Trace::from_json("{\"rows\": []}").is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Zipf-distributed web-server load workload.
+//!
+//! The paper motivates top-k monitoring with "a central load balancer within a
+//! local cluster of webservers \[that\] is interested in keeping track of those
+//! nodes which are facing the highest loads". Real request loads are heavy-tailed
+//! and bursty, so this workload models every node's load as
+//!
+//! `load_i(t) = base_i · season(t) · burst_i(t) + noise`
+//!
+//! where `base_i ∝ 1 / rank_i^s` is a Zipf profile over the nodes (a few nodes
+//! serve most of the traffic), `season(t)` is a slow global modulation (diurnal
+//! pattern compressed into `period` steps), and `burst_i(t)` occasionally
+//! multiplies a node's load for a few steps (flash crowd). Node ranks are shuffled
+//! so node ids carry no information.
+
+use crate::Workload;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// Heavy-tailed, bursty load workload (web-server scenario).
+#[derive(Debug, Clone)]
+pub struct ZipfLoadWorkload {
+    base: Vec<f64>,
+    scale: f64,
+    period: u64,
+    burst_prob: f64,
+    burst_remaining: Vec<u32>,
+    step: u64,
+    rng: ChaCha8Rng,
+}
+
+impl ZipfLoadWorkload {
+    /// Creates a Zipf load workload over `n` nodes.
+    ///
+    /// * `exponent` — Zipf exponent `s` (1.0 is the classic web distribution),
+    /// * `peak_load` — approximate load of the busiest node at the seasonal peak,
+    /// * `period` — length of the seasonal cycle in steps (0 disables seasonality),
+    /// * `burst_prob` — per-node, per-step probability of starting a 5–20 step
+    ///   burst that multiplies the node's load by 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `peak_load == 0` or `burst_prob ∉ [0, 1]`.
+    pub fn new(
+        n: usize,
+        exponent: f64,
+        peak_load: Value,
+        period: u64,
+        burst_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(peak_load > 0, "peak load must be positive");
+        assert!((0.0..=1.0).contains(&burst_prob), "burst_prob must be a probability");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ranks: Vec<usize> = (0..n).collect();
+        ranks.shuffle(&mut rng);
+        let mut base = vec![0.0; n];
+        for (rank, &node) in ranks.iter().enumerate() {
+            base[node] = 1.0 / ((rank + 1) as f64).powf(exponent);
+        }
+        ZipfLoadWorkload {
+            base,
+            scale: peak_load as f64,
+            period,
+            burst_prob,
+            burst_remaining: vec![0; n],
+            step: 0,
+            rng,
+        }
+    }
+
+    /// The default configuration used by the `load_balancer` example: 64 servers,
+    /// exponent 1.1, peak load 100 000 requests/s, a 500-step day, 0.5 % bursts.
+    pub fn web_cluster(n: usize, seed: u64) -> Self {
+        ZipfLoadWorkload::new(n, 1.1, 100_000, 500, 0.005, seed)
+    }
+
+    fn season(&self) -> f64 {
+        if self.period == 0 {
+            return 1.0;
+        }
+        let phase = (self.step % self.period) as f64 / self.period as f64;
+        // Smooth day/night cycle between 0.4 and 1.0.
+        0.7 + 0.3 * (2.0 * std::f64::consts::PI * phase).sin()
+    }
+}
+
+impl Workload for ZipfLoadWorkload {
+    fn n(&self) -> usize {
+        self.base.len()
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        let season = self.season();
+        self.step += 1;
+        let n = self.base.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if self.burst_remaining[i] > 0 {
+                self.burst_remaining[i] -= 1;
+            } else if self.rng.gen_bool(self.burst_prob) {
+                self.burst_remaining[i] = self.rng.gen_range(5..=20);
+            }
+            let burst = if self.burst_remaining[i] > 0 { 4.0 } else { 1.0 };
+            let noise = self.rng.gen_range(0.9..1.1);
+            let load = self.base[i] * self.scale * season * burst * noise;
+            out.push(load.max(1.0) as Value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_are_heavy_tailed() {
+        let mut w = ZipfLoadWorkload::new(100, 1.0, 1_000_000, 0, 0.0, 5);
+        let row = w.next_step();
+        let mut sorted = row.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = sorted[..10].iter().sum();
+        let total: u64 = sorted.iter().sum();
+        assert!(
+            top10 * 2 > total,
+            "top 10 of 100 nodes should carry more than half the load"
+        );
+    }
+
+    #[test]
+    fn bursts_multiply_load() {
+        // With burst probability 1 every node bursts immediately.
+        let mut quiet = ZipfLoadWorkload::new(10, 1.0, 10_000, 0, 0.0, 9);
+        let mut bursty = ZipfLoadWorkload::new(10, 1.0, 10_000, 0, 1.0, 9);
+        let q = quiet.next_step();
+        // Skip the first step (bursts start after the flag is set).
+        bursty.next_step();
+        let b = bursty.next_step();
+        let q_total: u64 = q.iter().sum();
+        let b_total: u64 = b.iter().sum();
+        assert!(b_total > 2 * q_total, "bursts should raise total load substantially");
+    }
+
+    #[test]
+    fn seasonality_modulates_load() {
+        let mut w = ZipfLoadWorkload::new(10, 1.0, 100_000, 100, 0.0, 3);
+        let mut totals = Vec::new();
+        for _ in 0..100 {
+            totals.push(w.next_step().iter().sum::<u64>());
+        }
+        let max = *totals.iter().max().unwrap() as f64;
+        let min = *totals.iter().min().unwrap() as f64;
+        assert!(max / min > 1.5, "seasonal swing too small: {min}..{max}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = ZipfLoadWorkload::web_cluster(16, 1);
+        let mut b = ZipfLoadWorkload::web_cluster(16, 1);
+        assert_eq!(a.generate(50), b.generate(50));
+    }
+
+    #[test]
+    fn values_are_positive() {
+        let mut w = ZipfLoadWorkload::web_cluster(32, 2);
+        for _ in 0..50 {
+            assert!(w.next_step().iter().all(|&v| v >= 1));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_nodes() {
+        let _ = ZipfLoadWorkload::new(0, 1.0, 100, 0, 0.0, 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Communication-cost accounting.
+//!
+//! The efficiency measure of the continuous monitoring model is the *number of
+//! messages*: node → server unicasts, server → node unicasts and broadcasts each
+//! cost one unit. [`CostMeter`] counts them, split by [`MessageKind`] and by the
+//! protocol phase ([`ProtocolLabel`]) that caused them, and additionally tracks
+//! the number of interactive rounds used between consecutive observation steps
+//! (the model allows polylogarithmically many).
+//!
+//! The competitive-ratio experiments divide the online total by OPT's total, so
+//! getting these counters right is as important as getting the protocols right.
+//! Every transport primitive in `topk-net` reports to exactly one meter.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Physical class of a message; each costs one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Node → server unicast.
+    Upstream,
+    /// Server → single node unicast.
+    DownstreamUnicast,
+    /// Server → all nodes broadcast (one unit regardless of `n`).
+    Broadcast,
+}
+
+impl MessageKind {
+    /// All message kinds, for iteration in reports.
+    pub const ALL: [MessageKind; 3] = [
+        MessageKind::Upstream,
+        MessageKind::DownstreamUnicast,
+        MessageKind::Broadcast,
+    ];
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageKind::Upstream => write!(f, "upstream"),
+            MessageKind::DownstreamUnicast => write!(f, "downstream-unicast"),
+            MessageKind::Broadcast => write!(f, "broadcast"),
+        }
+    }
+}
+
+/// The protocol (or protocol phase) on whose behalf a message was sent.
+///
+/// Used to produce the per-phase breakdowns of the experiment tables (e.g. "how
+/// many messages did the initial top-(k+1) computation cost vs. the witnessing
+/// phase").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProtocolLabel {
+    /// Initialisation (e.g. probing the k+1 largest values at start-up).
+    Init,
+    /// The existence protocol of Sect. 3.
+    Existence,
+    /// The maximum-computation protocol of Lemma 2.6.
+    Maximum,
+    /// The exact top-k protocol of Corollary 3.3 (generic midpoint framework).
+    ExactTopK,
+    /// `TopKProtocol` of Sect. 4 — phase P1 (double-exponential probing, `A1`).
+    TopKPhase1,
+    /// `TopKProtocol` — phase P2 (logarithmic midpoint, `A2`).
+    TopKPhase2,
+    /// `TopKProtocol` — phase P3 (plain midpoint, `A3`).
+    TopKPhase3,
+    /// `TopKProtocol` — phase P4 (final ε-overlapping filters).
+    TopKPhase4,
+    /// `DenseProtocol` of Sect. 5.
+    Dense,
+    /// `SubProtocol` of Sect. 5.
+    Sub,
+    /// The ε/2-gap algorithm of Corollary 5.9.
+    HalfEps,
+    /// Offline baseline (OPT) filter updates.
+    Offline,
+    /// Anything else (drivers, glue, tests).
+    Other,
+}
+
+impl fmt::Display for ProtocolLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolLabel::Init => "init",
+            ProtocolLabel::Existence => "existence",
+            ProtocolLabel::Maximum => "maximum",
+            ProtocolLabel::ExactTopK => "exact-top-k",
+            ProtocolLabel::TopKPhase1 => "topk-p1",
+            ProtocolLabel::TopKPhase2 => "topk-p2",
+            ProtocolLabel::TopKPhase3 => "topk-p3",
+            ProtocolLabel::TopKPhase4 => "topk-p4",
+            ProtocolLabel::Dense => "dense",
+            ProtocolLabel::Sub => "sub",
+            ProtocolLabel::HalfEps => "half-eps",
+            ProtocolLabel::Offline => "offline",
+            ProtocolLabel::Other => "other",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Immutable snapshot of the counters in a [`CostMeter`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Message counts per `(label, kind)` pair.
+    pub by_label_kind: BTreeMap<(ProtocolLabel, MessageKind), u64>,
+    /// Total number of interactive protocol rounds used.
+    pub rounds: u64,
+    /// Number of observation time steps covered by the measurement.
+    pub time_steps: u64,
+}
+
+impl CommStats {
+    /// Total number of messages of all kinds and labels.
+    pub fn total_messages(&self) -> u64 {
+        self.by_label_kind.values().sum()
+    }
+
+    /// Total number of messages of one kind.
+    pub fn messages_of_kind(&self, kind: MessageKind) -> u64 {
+        self.by_label_kind
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total number of messages attributed to one protocol label.
+    pub fn messages_of_label(&self, label: ProtocolLabel) -> u64 {
+        self.by_label_kind
+            .iter()
+            .filter(|((l, _), _)| *l == label)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merges another snapshot into this one (summing all counters).
+    pub fn merge(&mut self, other: &CommStats) {
+        for (k, v) in &other.by_label_kind {
+            *self.by_label_kind.entry(*k).or_insert(0) += v;
+        }
+        self.rounds += other.rounds;
+        self.time_steps += other.time_steps;
+    }
+
+    /// Average number of messages per observation time step
+    /// (0 if no steps were recorded).
+    pub fn messages_per_step(&self) -> f64 {
+        if self.time_steps == 0 {
+            0.0
+        } else {
+            self.total_messages() as f64 / self.time_steps as f64
+        }
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} messages over {} steps ({} rounds)",
+            self.total_messages(),
+            self.time_steps,
+            self.rounds
+        )?;
+        for kind in MessageKind::ALL {
+            writeln!(f, "  {kind}: {}", self.messages_of_kind(kind))?;
+        }
+        for ((label, kind), count) in &self.by_label_kind {
+            writeln!(f, "  {label}/{kind}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Mutable message/round counter used by the simulation engines.
+///
+/// The meter keeps a *current label* (a stack of protocol phases) so that nested
+/// protocols — e.g. `DenseProtocol` calling the existence protocol to detect
+/// violations — can attribute their messages precisely.
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    stats: CommStats,
+    label_stack: Vec<ProtocolLabel>,
+}
+
+impl CostMeter {
+    /// Creates a fresh meter with the label `Other` active.
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// The label messages are currently attributed to.
+    pub fn current_label(&self) -> ProtocolLabel {
+        *self.label_stack.last().unwrap_or(&ProtocolLabel::Other)
+    }
+
+    /// Pushes a protocol label; subsequent messages are attributed to it until
+    /// [`CostMeter::pop_label`] is called.
+    pub fn push_label(&mut self, label: ProtocolLabel) {
+        self.label_stack.push(label);
+    }
+
+    /// Pops the most recent protocol label.
+    pub fn pop_label(&mut self) {
+        self.label_stack.pop();
+    }
+
+    /// Records one message of the given kind under the current label.
+    pub fn record(&mut self, kind: MessageKind) {
+        let label = self.current_label();
+        *self.stats.by_label_kind.entry((label, kind)).or_insert(0) += 1;
+    }
+
+    /// Records `count` messages of the given kind under the current label.
+    pub fn record_many(&mut self, kind: MessageKind, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let label = self.current_label();
+        *self.stats.by_label_kind.entry((label, kind)).or_insert(0) += count;
+    }
+
+    /// Records one interactive protocol round.
+    pub fn record_round(&mut self) {
+        self.stats.rounds += 1;
+    }
+
+    /// Records one observation time step.
+    pub fn record_time_step(&mut self) {
+        self.stats.time_steps += 1;
+    }
+
+    /// Returns a snapshot of the counters.
+    pub fn snapshot(&self) -> CommStats {
+        self.stats.clone()
+    }
+
+    /// Total messages so far.
+    pub fn total_messages(&self) -> u64 {
+        self.stats.total_messages()
+    }
+
+    /// Resets all counters (labels stay).
+    pub fn reset(&mut self) {
+        self.stats = CommStats::default();
+    }
+}
+
+/// RAII guard that pops the label pushed at construction when dropped.
+///
+/// ```
+/// use topk_model::cost::{CostMeter, LabelGuard, MessageKind, ProtocolLabel};
+/// let mut meter = CostMeter::new();
+/// {
+///     // Scope all messages to the existence protocol.
+///     meter.push_label(ProtocolLabel::Existence);
+///     meter.record(MessageKind::Broadcast);
+///     meter.pop_label();
+/// }
+/// assert_eq!(meter.snapshot().messages_of_label(ProtocolLabel::Existence), 1);
+/// ```
+pub struct LabelGuard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let mut m = CostMeter::new();
+        m.record(MessageKind::Upstream);
+        m.record(MessageKind::Upstream);
+        m.record(MessageKind::Broadcast);
+        m.record_round();
+        m.record_time_step();
+        let s = m.snapshot();
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.messages_of_kind(MessageKind::Upstream), 2);
+        assert_eq!(s.messages_of_kind(MessageKind::Broadcast), 1);
+        assert_eq!(s.messages_of_kind(MessageKind::DownstreamUnicast), 0);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.time_steps, 1);
+        assert_eq!(s.messages_per_step(), 3.0);
+    }
+
+    #[test]
+    fn labels_attribute_messages() {
+        let mut m = CostMeter::new();
+        m.record(MessageKind::Upstream); // Other
+        m.push_label(ProtocolLabel::Dense);
+        m.record(MessageKind::Broadcast);
+        m.push_label(ProtocolLabel::Existence);
+        m.record(MessageKind::Upstream);
+        m.pop_label();
+        m.record(MessageKind::DownstreamUnicast);
+        m.pop_label();
+        let s = m.snapshot();
+        assert_eq!(s.messages_of_label(ProtocolLabel::Other), 1);
+        assert_eq!(s.messages_of_label(ProtocolLabel::Dense), 2);
+        assert_eq!(s.messages_of_label(ProtocolLabel::Existence), 1);
+        assert_eq!(m.current_label(), ProtocolLabel::Other);
+    }
+
+    #[test]
+    fn record_many_and_reset() {
+        let mut m = CostMeter::new();
+        m.record_many(MessageKind::DownstreamUnicast, 5);
+        m.record_many(MessageKind::DownstreamUnicast, 0);
+        assert_eq!(m.total_messages(), 5);
+        m.reset();
+        assert_eq!(m.total_messages(), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CommStats::default();
+        let mut m = CostMeter::new();
+        m.push_label(ProtocolLabel::Maximum);
+        m.record(MessageKind::Upstream);
+        m.record_time_step();
+        a.merge(&m.snapshot());
+        a.merge(&m.snapshot());
+        assert_eq!(a.total_messages(), 2);
+        assert_eq!(a.time_steps, 2);
+        assert_eq!(a.messages_of_label(ProtocolLabel::Maximum), 2);
+    }
+
+    #[test]
+    fn messages_per_step_handles_zero_steps() {
+        let s = CommStats::default();
+        assert_eq!(s.messages_per_step(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let mut m = CostMeter::new();
+        m.record(MessageKind::Broadcast);
+        m.record_time_step();
+        let text = m.snapshot().to_string();
+        assert!(text.contains("1 messages over 1 steps"));
+        assert!(text.contains("broadcast"));
+        assert!(format!("{}", ProtocolLabel::Dense).contains("dense"));
+        assert!(format!("{}", MessageKind::Upstream).contains("upstream"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Exact rational representation of the approximation error `ε`.
+//!
+//! Every comparison in the paper involving `ε` is of the form
+//! `x ≥ (1 − ε) · y` or `x > y / (1 − ε)` for natural numbers `x`, `y`. Performing
+//! these with floating point would make the validity of filter sets (Observation
+//! 2.2) depend on rounding noise, which in turn could flip message counts in the
+//! experiments. We therefore keep `ε = p/q` as an exact rational and carry out all
+//! comparisons in 128-bit integer arithmetic.
+
+use crate::types::Value;
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The approximation error `ε ∈ (0, 1)` as an exact rational `p/q`.
+///
+/// The most common instantiations in the paper are `ε = 1/2` (the largest error
+/// Sect. 4 allows) and powers of two `ε = 2^{-j}`; both are exactly representable.
+///
+/// All arithmetic keeps values in `u128` intermediates, so no overflow can occur
+/// for observed values up to `2^63` and denominators up to `2^32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Epsilon {
+    /// Numerator `p` with `0 < p < q`.
+    num: u32,
+    /// Denominator `q`.
+    den: u32,
+}
+
+impl Epsilon {
+    /// Creates `ε = num/den`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidEpsilon`] unless `0 < num/den < 1`.
+    pub fn new(num: u32, den: u32) -> Result<Self, ModelError> {
+        if den == 0 || num == 0 || num >= den {
+            return Err(ModelError::InvalidEpsilon { num, den });
+        }
+        let g = gcd(num, den);
+        Ok(Epsilon {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// Creates `ε = 2^{-j}` for `1 ≤ j ≤ 31`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j == 0` or `j > 31`.
+    pub fn pow2_inverse(j: u32) -> Self {
+        assert!(j >= 1 && j <= 31, "2^-j only supported for 1 <= j <= 31");
+        Epsilon {
+            num: 1,
+            den: 1u32 << j,
+        }
+    }
+
+    /// The canonical `ε = 1/2`, the largest error considered in Sect. 4 of the paper.
+    pub const HALF: Epsilon = Epsilon { num: 1, den: 2 };
+
+    /// `ε = 1/10`, a convenient default for examples.
+    pub const TENTH: Epsilon = Epsilon { num: 1, den: 10 };
+
+    /// Approximates an `f64` error by a rational with denominator `2^20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidEpsilon`] if the input is not strictly between
+    /// 0 and 1 (after rounding to the grid).
+    pub fn from_f64(eps: f64) -> Result<Self, ModelError> {
+        const DEN: u32 = 1 << 20;
+        if !(eps.is_finite()) {
+            return Err(ModelError::InvalidEpsilon { num: 0, den: DEN });
+        }
+        let num = (eps * f64::from(DEN)).round();
+        if !(num >= 1.0 && num < f64::from(DEN)) {
+            return Err(ModelError::InvalidEpsilon {
+                num: num.max(0.0) as u32,
+                den: DEN,
+            });
+        }
+        Epsilon::new(num as u32, DEN)
+    }
+
+    /// Returns `ε` as a floating-point number (for reporting only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+
+    /// Numerator of the reduced fraction.
+    #[inline]
+    pub fn numerator(self) -> u32 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction.
+    #[inline]
+    pub fn denominator(self) -> u32 {
+        self.den
+    }
+
+    /// Returns `ε/2`, used by Corollary 5.9 where the adversary's error is `ε' ≤ ε/2`.
+    pub fn halved(self) -> Epsilon {
+        if self.num % 2 == 0 {
+            Epsilon {
+                num: self.num / 2,
+                den: self.den,
+            }
+        } else {
+            Epsilon {
+                num: self.num,
+                den: self
+                    .den
+                    .checked_mul(2)
+                    .expect("epsilon denominator overflow when halving"),
+            }
+        }
+    }
+
+    /// `⌊(1 − ε) · v⌋` — the largest integer not exceeding `(1 − ε)·v`.
+    ///
+    /// Used for the lower end of the ε-neighbourhood `A(t)` and for lower filter
+    /// bounds; rounding *down* keeps every value that the real-valued definition
+    /// admits.
+    #[inline]
+    pub fn scale_down(self, v: Value) -> Value {
+        let q = u128::from(self.den);
+        let p = u128::from(self.num);
+        ((u128::from(v) * (q - p)) / q) as Value
+    }
+
+    /// `⌊v / (1 − ε)⌋` — the largest integer not exceeding `v/(1−ε)`, saturating
+    /// at [`Value::MAX`].
+    ///
+    /// Used for the upper end of the ε-neighbourhood and for upper filter bounds.
+    #[inline]
+    pub fn scale_up(self, v: Value) -> Value {
+        let q = u128::from(self.den);
+        let p = u128::from(self.num);
+        let r = (u128::from(v) * q) / (q - p);
+        if r > u128::from(Value::MAX) {
+            Value::MAX
+        } else {
+            r as Value
+        }
+    }
+
+    /// Exact test `a ≥ (1 − ε) · b`.
+    ///
+    /// This is the filter-overlap condition of Observation 2.2: a pair of filters
+    /// `F_i = [ℓ_i, u_i]` (inside the output) and `F_j = [ℓ_j, u_j]` (outside) is
+    /// compatible iff `ℓ_i ≥ (1 − ε) · u_j`.
+    #[inline]
+    pub fn ge_one_minus_eps_times(self, a: Value, b: Value) -> bool {
+        let q = u128::from(self.den);
+        let p = u128::from(self.num);
+        u128::from(a) * q >= u128::from(b) * (q - p)
+    }
+
+    /// Exact test `a > b / (1 − ε)`, i.e. "`a` is clearly larger than `b`"
+    /// (`a ∈ E(t)` when `b` is the k-th largest value).
+    #[inline]
+    pub fn clearly_larger(self, a: Value, b: Value) -> bool {
+        let q = u128::from(self.den);
+        let p = u128::from(self.num);
+        u128::from(a) * (q - p) > u128::from(b) * q
+    }
+
+    /// Exact test `a < (1 − ε) · b`, i.e. "`a` is clearly smaller than `b`".
+    #[inline]
+    pub fn clearly_smaller(self, a: Value, b: Value) -> bool {
+        let q = u128::from(self.den);
+        let p = u128::from(self.num);
+        u128::from(a) * q < u128::from(b) * (q - p)
+    }
+
+    /// Exact test whether `a` lies in the ε-neighbourhood
+    /// `A = [(1−ε)·b, b/(1−ε)]` of `b`.
+    #[inline]
+    pub fn in_neighbourhood(self, a: Value, b: Value) -> bool {
+        !self.clearly_larger(a, b) && !self.clearly_smaller(a, b)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(Epsilon::new(1, 2).is_ok());
+        assert!(Epsilon::new(0, 2).is_err());
+        assert!(Epsilon::new(2, 2).is_err());
+        assert!(Epsilon::new(3, 2).is_err());
+        assert!(Epsilon::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn construction_reduces_fraction() {
+        let e = Epsilon::new(2, 4).unwrap();
+        assert_eq!(e, Epsilon::HALF);
+        assert_eq!(e.numerator(), 1);
+        assert_eq!(e.denominator(), 2);
+    }
+
+    #[test]
+    fn pow2_inverse_matches_new() {
+        assert_eq!(Epsilon::pow2_inverse(1), Epsilon::HALF);
+        assert_eq!(Epsilon::pow2_inverse(3), Epsilon::new(1, 8).unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pow2_inverse_rejects_zero() {
+        let _ = Epsilon::pow2_inverse(0);
+    }
+
+    #[test]
+    fn from_f64_roundtrips_reasonably() {
+        let e = Epsilon::from_f64(0.25).unwrap();
+        assert!((e.as_f64() - 0.25).abs() < 1e-9);
+        assert!(Epsilon::from_f64(0.0).is_err());
+        assert!(Epsilon::from_f64(1.0).is_err());
+        assert!(Epsilon::from_f64(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn halved_is_exactly_half() {
+        let e = Epsilon::new(1, 4).unwrap();
+        assert_eq!(e.halved(), Epsilon::new(1, 8).unwrap());
+        let e = Epsilon::new(2, 5).unwrap();
+        assert_eq!(e.halved(), Epsilon::new(1, 5).unwrap());
+        let e = Epsilon::new(3, 7).unwrap();
+        assert_eq!(e.halved(), Epsilon::new(3, 14).unwrap());
+    }
+
+    #[test]
+    fn scaling_half() {
+        let e = Epsilon::HALF;
+        assert_eq!(e.scale_down(100), 50);
+        assert_eq!(e.scale_up(100), 200);
+        assert_eq!(e.scale_down(0), 0);
+        assert_eq!(e.scale_up(0), 0);
+        // Saturation.
+        assert_eq!(e.scale_up(Value::MAX), Value::MAX);
+    }
+
+    #[test]
+    fn neighbourhood_membership_half() {
+        let e = Epsilon::HALF;
+        let vk = 100;
+        // Clearly larger than 100 means > 200.
+        assert!(e.clearly_larger(201, vk));
+        assert!(!e.clearly_larger(200, vk));
+        // Clearly smaller than 100 means < 50.
+        assert!(e.clearly_smaller(49, vk));
+        assert!(!e.clearly_smaller(50, vk));
+        // Neighbourhood is [50, 200].
+        assert!(e.in_neighbourhood(50, vk));
+        assert!(e.in_neighbourhood(200, vk));
+        assert!(!e.in_neighbourhood(49, vk));
+        assert!(!e.in_neighbourhood(201, vk));
+    }
+
+    #[test]
+    fn filter_overlap_condition() {
+        let e = Epsilon::new(1, 10).unwrap();
+        // ℓ_i >= (1-ε) u_j  with ε = 0.1: 90 >= 0.9 * 100 holds, 89 does not.
+        assert!(e.ge_one_minus_eps_times(90, 100));
+        assert!(!e.ge_one_minus_eps_times(89, 100));
+    }
+
+    proptest! {
+        /// scale_down and clearly_smaller must agree: v is clearly smaller than b
+        /// iff v < ⌈(1-ε)·b⌉, and scale_down(b) is never clearly smaller than b... we
+        /// check the weaker, load-bearing invariants used by the protocols.
+        #[test]
+        fn scale_down_is_not_clearly_smaller_boundary(
+            num in 1u32..64, den_off in 1u32..64, b in 0u64..1_000_000_000u64
+        ) {
+            let den = num + den_off;
+            let e = Epsilon::new(num, den).unwrap();
+            // The value ⌊(1-ε)b⌋ + 1 is never clearly smaller than b
+            // (it is ≥ (1-ε)b by construction).
+            let lo = e.scale_down(b);
+            prop_assert!(!e.clearly_smaller(lo.saturating_add(1), b));
+            // Anything strictly below ⌊(1-ε)b⌋ is clearly smaller (when b > 0).
+            if lo > 0 {
+                prop_assert!(e.clearly_smaller(lo - 1, b) || u128::from(lo - 1 + 1) * u128::from(e.denominator()) >= u128::from(b) * u128::from(e.denominator() - e.numerator()));
+            }
+        }
+
+        #[test]
+        fn scale_up_is_not_clearly_larger(
+            num in 1u32..64, den_off in 1u32..64, b in 0u64..1_000_000_000u64
+        ) {
+            let den = num + den_off;
+            let e = Epsilon::new(num, den).unwrap();
+            // ⌊b/(1-ε)⌋ is never clearly larger than b.
+            prop_assert!(!e.clearly_larger(e.scale_up(b), b));
+            // One above it is clearly larger or equal to the true bound.
+            prop_assert!(e.clearly_larger(e.scale_up(b) + 1, b) || e.scale_up(b) == Value::MAX);
+        }
+
+        #[test]
+        fn clearly_larger_and_smaller_are_mutually_exclusive(
+            num in 1u32..1000, den_off in 1u32..1000, a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2
+        ) {
+            let den = num + den_off;
+            let e = Epsilon::new(num, den).unwrap();
+            prop_assert!(!(e.clearly_larger(a, b) && e.clearly_smaller(a, b)));
+            // Exactly one of the three relations holds.
+            let in_nb = e.in_neighbourhood(a, b);
+            let larger = e.clearly_larger(a, b);
+            let smaller = e.clearly_smaller(a, b);
+            prop_assert_eq!(1, usize::from(in_nb) + usize::from(larger) + usize::from(smaller));
+        }
+
+        #[test]
+        fn overlap_condition_matches_definition(
+            num in 1u32..100, den_off in 1u32..100, a in 0u64..1_000_000u64, b in 0u64..1_000_000u64
+        ) {
+            let den = num + den_off;
+            let e = Epsilon::new(num, den).unwrap();
+            let exact = u128::from(a) * u128::from(den) >= u128::from(b) * u128::from(den - num);
+            prop_assert_eq!(e.ge_one_minus_eps_times(a, b), exact);
+        }
+
+        #[test]
+        fn halved_value_is_half(num in 1u32..1000, den_off in 1u32..1000) {
+            let den = num + den_off;
+            let e = Epsilon::new(num, den).unwrap();
+            let h = e.halved();
+            // h == e/2 exactly: num_h/den_h == num/(2 den)
+            prop_assert_eq!(
+                u64::from(h.numerator()) * 2 * u64::from(e.denominator()),
+                u64::from(e.numerator()) * u64::from(h.denominator())
+            );
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Broadcast filter rules.
+//!
+//! The protocols of the paper rarely ship explicit intervals to individual
+//! nodes. Instead the server broadcasts a small set of *parameters* (for example
+//! the separating value `m` of the generic framework, or the current interval
+//! bounds `ℓ_r`, `u_r` of `DenseProtocol`) and every node derives its own filter
+//! from the parameters and its *group* (inside/outside the output, or the
+//! `V_1/V_2/V_3` and `S_1/S_2` membership of Sect. 5). This is what makes a single
+//! broadcast message sufficient to update all `n` filters.
+//!
+//! [`NodeGroup`] is the per-node state, [`FilterParams`] is the broadcast
+//! payload, and [`filter_for`] is the pure function both the server (for
+//! bookkeeping and validation) and the nodes (for actual filtering) evaluate.
+//! Keeping it in `topk-model` guarantees the two sides can never disagree.
+
+use crate::filter::Filter;
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+
+/// The group a node currently belongs to, as assigned by the server.
+///
+/// * `Upper` / `Lower` are used by the generic halving framework (Sect. 3), the
+///   exact top-k protocol (Corollary 3.3) and `TopKProtocol` (Sect. 4): nodes in
+///   the output set are `Upper`, the rest are `Lower`.
+/// * `V1`, `V2`, `V3` are the partition maintained by `DenseProtocol` and
+///   `SubProtocol` (Sect. 5). For `V2` nodes the two flags record membership in
+///   the candidate sets `S_1`/`S_2` (or `S'_1`/`S'_2` while `SubProtocol` runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeGroup {
+    /// Member of the output set under a separator rule; filter `[lo, ∞)`.
+    Upper,
+    /// Non-member of the output set under a separator rule; filter `[0, hi]`.
+    Lower,
+    /// `V_1`: definitely part of every valid output (`v > z/(1−ε)` observed).
+    V1,
+    /// `V_2`: undecided nodes in the ε-neighbourhood of `z`; `s1`/`s2` record
+    /// membership in the candidate sets `S_1`/`S_2` (resp. `S'_1`/`S'_2`).
+    V2 {
+        /// Membership in `S_1` (observed a value above the current upper guess).
+        s1: bool,
+        /// Membership in `S_2` (observed a value below the current lower guess).
+        s2: bool,
+    },
+    /// `V_3`: definitely not part of any valid output (`v < (1−ε)z` observed).
+    V3,
+}
+
+impl NodeGroup {
+    /// Plain `V_2` membership with empty `S_1`/`S_2` flags.
+    pub const V2_PLAIN: NodeGroup = NodeGroup::V2 {
+        s1: false,
+        s2: false,
+    };
+
+    /// Whether this group puts the node into the server's output set by default.
+    ///
+    /// `V_2` nodes may or may not be in the output depending on the cardinality
+    /// constraint `|F(t)| = k`; this helper only answers for the unambiguous
+    /// groups and treats `V2` as "eligible".
+    pub fn output_eligible(&self) -> bool {
+        !matches!(self, NodeGroup::Lower | NodeGroup::V3 | NodeGroup::V2 { s2: true, s1: false })
+    }
+}
+
+/// Parameters broadcast by the server from which every node derives its filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterParams {
+    /// Generic-framework separator: `Upper` nodes get `[lo, ∞)`, `Lower` nodes
+    /// get `[0, hi]`. The exact protocols use `lo == hi == m`; `TopKProtocol`'s
+    /// final phase (P4) uses `lo < hi ≤ lo/(1−ε)`.
+    Separator {
+        /// Lower bound assigned to `Upper` nodes.
+        lo: Value,
+        /// Upper bound assigned to `Lower` nodes.
+        hi: Value,
+    },
+    /// `DenseProtocol` round parameters (step 2 of the protocol).
+    ///
+    /// `l_r` is the midpoint of the current guess interval `L_r`,
+    /// `u_r = l_r/(1−ε)`, `z_lo = (1−ε)z` and `z_hi = z/(1−ε)` are precomputed by
+    /// the server so nodes need no ε-arithmetic.
+    Dense {
+        /// `ℓ_r` — lower separator of the current round.
+        l_r: Value,
+        /// `u_r = ℓ_r/(1−ε)` — upper separator of the current round.
+        u_r: Value,
+        /// `(1−ε)·z` — lower end of the ε-neighbourhood of the pivot `z`.
+        z_lo: Value,
+        /// `z/(1−ε)` — upper end of the ε-neighbourhood of the pivot `z`.
+        z_hi: Value,
+    },
+    /// `SubProtocol` round parameters (step 2 of the sub-protocol). Carries both
+    /// the enclosing `DenseProtocol` separator `l_r` and the sub-round separators
+    /// `l_rp = ℓ'_{r'}`, `u_rp = u'_{r'}`.
+    SubDense {
+        /// `ℓ_r` of the enclosing `DenseProtocol` round.
+        l_r: Value,
+        /// `ℓ'_{r'}` — lower separator of the current sub-round.
+        l_rp: Value,
+        /// `u'_{r'} = ℓ'_{r'}/(1−ε)` — upper separator of the current sub-round.
+        u_rp: Value,
+        /// `(1−ε)·z`.
+        z_lo: Value,
+        /// `z/(1−ε)`.
+        z_hi: Value,
+    },
+}
+
+/// Derives the filter a node with group `group` uses under the broadcast
+/// parameters `params`.
+///
+/// This is the single source of truth for the filter tables in step 2 of
+/// `DenseProtocol` and `SubProtocol` and for the generic separator rule. Both
+/// the node simulation and the server-side bookkeeping call this function, so a
+/// disagreement between the two sides is impossible by construction.
+///
+/// The function never constructs an empty interval: if rounding ever makes a
+/// lower bound exceed its upper bound the two are swapped into the singleton
+/// interval at the upper bound, which keeps the node silent only on exactly that
+/// value (and is therefore conservative: it can only cause *more* reports, never
+/// missed violations).
+pub fn filter_for(group: NodeGroup, params: &FilterParams) -> Filter {
+    match (*params, group) {
+        (FilterParams::Separator { lo, .. }, NodeGroup::Upper) => Filter::at_least(lo),
+        (FilterParams::Separator { hi, .. }, NodeGroup::Lower) => Filter::at_most(hi),
+        // Degenerate combinations: a node in a dense group while a separator rule
+        // is broadcast keeps the conservative choice derived from eligibility.
+        (FilterParams::Separator { lo, hi }, g) => {
+            if g.output_eligible() {
+                Filter::at_least(lo)
+            } else {
+                Filter::at_most(hi)
+            }
+        }
+
+        (FilterParams::Dense { l_r, .. }, NodeGroup::V1) => Filter::at_least(l_r),
+        (FilterParams::Dense { u_r, .. }, NodeGroup::V3) => Filter::at_most(u_r),
+        (FilterParams::Dense { l_r, u_r, z_lo, z_hi }, NodeGroup::V2 { s1, s2 }) => {
+            match (s1, s2) {
+                // V2 ∩ S1 (only): [ℓ_r, z/(1−ε)]
+                (true, false) => bounded_or_singleton(l_r, z_hi),
+                // V2 \ S: [ℓ_r, u_r]
+                (false, false) => bounded_or_singleton(l_r, u_r),
+                // V2 ∩ S2 (only): [(1−ε)z, u_r]
+                (false, true) => bounded_or_singleton(z_lo, u_r),
+                // In both S1 and S2 the DenseProtocol immediately hands over to
+                // SubProtocol; until the SubDense parameters arrive the node uses
+                // the widest of the two candidate intervals so that no violation
+                // can be missed.
+                (true, true) => bounded_or_singleton(z_lo, z_hi),
+            }
+        }
+        (FilterParams::Dense { l_r, u_r, .. }, NodeGroup::Upper) => {
+            bounded_or_singleton(l_r, u_r)
+        }
+        (FilterParams::Dense { l_r, u_r, .. }, NodeGroup::Lower) => {
+            bounded_or_singleton(l_r, u_r)
+        }
+
+        (FilterParams::SubDense { l_r, .. }, NodeGroup::V1) => Filter::at_least(l_r),
+        (FilterParams::SubDense { u_rp, .. }, NodeGroup::V3) => Filter::at_most(u_rp),
+        (
+            FilterParams::SubDense {
+                l_r,
+                l_rp,
+                u_rp,
+                z_lo,
+                z_hi,
+            },
+            NodeGroup::V2 { s1, s2 },
+        ) => match (s1, s2) {
+            // V2 ∩ (S'1 \ S'2): [ℓ_r, z/(1−ε)]
+            (true, false) => bounded_or_singleton(l_r, z_hi),
+            // V2 ∩ S'1 ∩ S'2: [ℓ'_{r'}, z/(1−ε)]
+            (true, true) => bounded_or_singleton(l_rp, z_hi),
+            // V2 \ S': [ℓ_r, u'_{r'}]
+            (false, false) => bounded_or_singleton(l_r, u_rp),
+            // V2 ∩ (S'2 \ S'1): [(1−ε)z, u'_{r'}]
+            (false, true) => bounded_or_singleton(z_lo, u_rp),
+        },
+        (FilterParams::SubDense { l_rp, u_rp, .. }, NodeGroup::Upper) => {
+            bounded_or_singleton(l_rp, u_rp)
+        }
+        (FilterParams::SubDense { l_rp, u_rp, .. }, NodeGroup::Lower) => {
+            bounded_or_singleton(l_rp, u_rp)
+        }
+    }
+}
+
+/// `[lo, hi]` if `lo ≤ hi`, otherwise the singleton `[hi, hi]` (see
+/// [`filter_for`] for why this is the conservative degenerate choice).
+fn bounded_or_singleton(lo: Value, hi: Value) -> Filter {
+    if lo <= hi {
+        Filter::bounded(lo, hi).expect("lo <= hi checked")
+    } else {
+        Filter::bounded(hi, hi).expect("singleton filter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::Epsilon;
+
+    fn dense_params(eps: Epsilon, l_r: Value, z: Value) -> FilterParams {
+        FilterParams::Dense {
+            l_r,
+            u_r: eps.scale_up(l_r),
+            z_lo: eps.scale_down(z),
+            z_hi: eps.scale_up(z),
+        }
+    }
+
+    #[test]
+    fn separator_rule() {
+        let p = FilterParams::Separator { lo: 50, hi: 50 };
+        assert_eq!(filter_for(NodeGroup::Upper, &p), Filter::at_least(50));
+        assert_eq!(filter_for(NodeGroup::Lower, &p), Filter::at_most(50));
+    }
+
+    #[test]
+    fn separator_rule_with_gap() {
+        let p = FilterParams::Separator { lo: 40, hi: 60 };
+        assert_eq!(filter_for(NodeGroup::Upper, &p), Filter::at_least(40));
+        assert_eq!(filter_for(NodeGroup::Lower, &p), Filter::at_most(60));
+        // Dense groups under a separator rule fall back to eligibility.
+        assert_eq!(filter_for(NodeGroup::V1, &p), Filter::at_least(40));
+        assert_eq!(filter_for(NodeGroup::V3, &p), Filter::at_most(60));
+    }
+
+    #[test]
+    fn dense_rule_matches_paper_table() {
+        let eps = Epsilon::HALF;
+        let z = 100; // neighbourhood [50, 200]
+        let p = dense_params(eps, 80, z); // u_r = 160
+        assert_eq!(filter_for(NodeGroup::V1, &p), Filter::at_least(80));
+        assert_eq!(filter_for(NodeGroup::V3, &p), Filter::at_most(160));
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: true, s2: false }, &p),
+            Filter::bounded(80, 200).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2_PLAIN, &p),
+            Filter::bounded(80, 160).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: false, s2: true }, &p),
+            Filter::bounded(50, 160).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: true, s2: true }, &p),
+            Filter::bounded(50, 200).unwrap()
+        );
+    }
+
+    #[test]
+    fn sub_dense_rule_matches_paper_table() {
+        let eps = Epsilon::HALF;
+        let z = 100;
+        let p = FilterParams::SubDense {
+            l_r: 80,
+            l_rp: 60,
+            u_rp: eps.scale_up(60), // 120
+            z_lo: eps.scale_down(z),
+            z_hi: eps.scale_up(z),
+        };
+        assert_eq!(filter_for(NodeGroup::V1, &p), Filter::at_least(80));
+        assert_eq!(filter_for(NodeGroup::V3, &p), Filter::at_most(120));
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: true, s2: false }, &p),
+            Filter::bounded(80, 200).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: true, s2: true }, &p),
+            Filter::bounded(60, 200).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2_PLAIN, &p),
+            Filter::bounded(80, 120).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: false, s2: true }, &p),
+            Filter::bounded(50, 120).unwrap()
+        );
+    }
+
+    #[test]
+    fn degenerate_bounds_become_singletons() {
+        // l_r > u_r can only arise through extreme rounding; the rule must not panic.
+        let p = FilterParams::Dense {
+            l_r: 10,
+            u_r: 5,
+            z_lo: 4,
+            z_hi: 3,
+        };
+        assert_eq!(
+            filter_for(NodeGroup::V2_PLAIN, &p),
+            Filter::bounded(5, 5).unwrap()
+        );
+        assert_eq!(
+            filter_for(NodeGroup::V2 { s1: true, s2: false }, &p),
+            Filter::bounded(3, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn output_eligibility() {
+        assert!(NodeGroup::Upper.output_eligible());
+        assert!(!NodeGroup::Lower.output_eligible());
+        assert!(NodeGroup::V1.output_eligible());
+        assert!(!NodeGroup::V3.output_eligible());
+        assert!(NodeGroup::V2_PLAIN.output_eligible());
+        assert!(NodeGroup::V2 { s1: true, s2: false }.output_eligible());
+        assert!(!NodeGroup::V2 { s1: false, s2: true }.output_eligible());
+        assert!(NodeGroup::V2 { s1: true, s2: true }.output_eligible());
+    }
+}

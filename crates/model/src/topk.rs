@@ -1,0 +1,413 @@
+//! Semantics of the (ε-approximate) top-k-position set.
+//!
+//! [`TopKView`] is a snapshot of all `n` values at one time step, annotated with
+//! the quantities the paper defines in Sect. 2:
+//!
+//! * `π(k, t)` — the node holding the k-th largest value (ties broken by node id),
+//! * `E(t) = (v_{π(k,t)}/(1−ε), ∞]` — the *clearly larger* range,
+//! * `A(t) = [(1−ε)v_{π(k,t)}, v_{π(k,t)}/(1−ε)]` — the ε-neighbourhood,
+//! * `K(t)` — the nodes inside `A(t)`, `σ(t) = |K(t)|`,
+//! * the validity predicate for candidate output sets `F(t)`.
+
+use crate::epsilon::Epsilon;
+use crate::types::{value_order, NodeId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Result of validating a candidate output set against a [`TopKView`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputValidity {
+    /// The candidate satisfies both ε-top-k properties.
+    Valid,
+    /// The candidate has the wrong cardinality.
+    WrongSize {
+        /// Number of nodes in the candidate.
+        got: usize,
+        /// Required number `k`.
+        want: usize,
+    },
+    /// A node whose value is clearly larger than the k-th largest is missing.
+    MissingClearlyLarger {
+        /// The missing node.
+        node: NodeId,
+        /// Its value.
+        value: Value,
+    },
+    /// A node whose value is clearly smaller than the k-th largest is included.
+    ContainsClearlySmaller {
+        /// The offending node.
+        node: NodeId,
+        /// Its value.
+        value: Value,
+    },
+    /// A node identifier outside `0..n` appears in the candidate.
+    UnknownNode(NodeId),
+    /// The same node appears twice in the candidate.
+    DuplicateNode(NodeId),
+}
+
+impl OutputValidity {
+    /// `true` iff the candidate was accepted.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, OutputValidity::Valid)
+    }
+}
+
+/// Snapshot of one time step's values with top-k bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TopKView {
+    values: Vec<Value>,
+    /// Node indices sorted by decreasing value (ties: smaller id first).
+    order: Vec<NodeId>,
+    k: usize,
+    eps: Epsilon,
+}
+
+impl TopKView {
+    /// Builds a view of `values` (index = node id) for parameters `k` and `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > values.len()`; use
+    /// [`crate::ModelError::InvalidK`]-returning wrappers upstream if the
+    /// parameters are user-controlled.
+    pub fn new(values: &[Value], k: usize, eps: Epsilon) -> TopKView {
+        assert!(
+            k >= 1 && k <= values.len(),
+            "k = {k} must be in 1..={}",
+            values.len()
+        );
+        let mut order: Vec<NodeId> = NodeId::all(values.len()).collect();
+        order.sort_by(|&a, &b| {
+            value_order((values[b.index()], b), (values[a.index()], a))
+        });
+        TopKView {
+            values: values.to_vec(),
+            order,
+            k,
+            eps,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The monitored `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The approximation error `ε`.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The value observed by `node`.
+    pub fn value(&self, node: NodeId) -> Value {
+        self.values[node.index()]
+    }
+
+    /// `π(r, t)` — the node holding the r-th largest value (`r` is 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0` or `r > n`.
+    pub fn pi(&self, r: usize) -> NodeId {
+        assert!(r >= 1 && r <= self.order.len());
+        self.order[r - 1]
+    }
+
+    /// The k-th largest value `v_{π(k,t)}`.
+    pub fn kth_value(&self) -> Value {
+        self.value(self.pi(self.k))
+    }
+
+    /// The (k+1)-st largest value, or `None` if `k == n`.
+    pub fn kplus1_value(&self) -> Option<Value> {
+        if self.k < self.n() {
+            Some(self.value(self.pi(self.k + 1)))
+        } else {
+            None
+        }
+    }
+
+    /// The exact top-k set `{π(1,t), …, π(k,t)}` (ties broken by node id).
+    pub fn exact_top_k(&self) -> Vec<NodeId> {
+        self.order[..self.k].to_vec()
+    }
+
+    /// Nodes ordered by decreasing value.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Whether `node`'s value is clearly larger than the k-th largest
+    /// (`v ∈ E(t)`).
+    pub fn clearly_larger(&self, node: NodeId) -> bool {
+        self.eps.clearly_larger(self.value(node), self.kth_value())
+    }
+
+    /// Whether `node`'s value is clearly smaller than the k-th largest.
+    pub fn clearly_smaller(&self, node: NodeId) -> bool {
+        self.eps.clearly_smaller(self.value(node), self.kth_value())
+    }
+
+    /// `K(t)` — the nodes inside the ε-neighbourhood `A(t)` of the k-th largest value.
+    pub fn neighbourhood(&self) -> Vec<NodeId> {
+        NodeId::all(self.n())
+            .filter(|&i| self.eps.in_neighbourhood(self.value(i), self.kth_value()))
+            .collect()
+    }
+
+    /// `σ(t) = |K(t)|`.
+    pub fn sigma(&self) -> usize {
+        self.neighbourhood().len()
+    }
+
+    /// `F_E(t)` — the nodes whose values are clearly larger than the k-th largest.
+    pub fn clearly_larger_set(&self) -> Vec<NodeId> {
+        NodeId::all(self.n())
+            .filter(|&i| self.clearly_larger(i))
+            .collect()
+    }
+
+    /// Whether the output is forced to be unique, i.e. the exact top-k set is the
+    /// only valid output. This holds when the (k+1)-st value is clearly smaller
+    /// than the k-th (or there is no (k+1)-st node), cf. Sect. 2 of the paper.
+    pub fn unique_output(&self) -> bool {
+        match self.kplus1_value() {
+            None => true,
+            Some(v) => self.eps.clearly_smaller(v, self.kth_value()),
+        }
+    }
+
+    /// Validates a candidate output set `F(t)` against the two ε-top-k properties:
+    ///
+    /// 1. every node in `E(t)` (clearly larger) belongs to the candidate, and
+    /// 2. no node whose value is clearly smaller than `v_{π(k,t)}` belongs to it,
+    ///
+    /// plus `|F(t)| = k` and basic well-formedness.
+    pub fn validate_output(&self, candidate: &[NodeId]) -> OutputValidity {
+        // Well-formedness first.
+        let mut seen = vec![false; self.n()];
+        for &id in candidate {
+            if id.index() >= self.n() {
+                return OutputValidity::UnknownNode(id);
+            }
+            if seen[id.index()] {
+                return OutputValidity::DuplicateNode(id);
+            }
+            seen[id.index()] = true;
+        }
+        if candidate.len() != self.k {
+            return OutputValidity::WrongSize {
+                got: candidate.len(),
+                want: self.k,
+            };
+        }
+        for node in NodeId::all(self.n()) {
+            if self.clearly_larger(node) && !seen[node.index()] {
+                return OutputValidity::MissingClearlyLarger {
+                    node,
+                    value: self.value(node),
+                };
+            }
+        }
+        for &node in candidate {
+            if self.clearly_smaller(node) {
+                return OutputValidity::ContainsClearlySmaller {
+                    node,
+                    value: self.value(node),
+                };
+            }
+        }
+        OutputValidity::Valid
+    }
+
+    /// Validates a candidate against the *exact* top-k requirement (set equality
+    /// with [`TopKView::exact_top_k`], ties broken by node id).
+    pub fn validate_exact(&self, candidate: &[NodeId]) -> bool {
+        if candidate.len() != self.k {
+            return false;
+        }
+        let mut a: Vec<usize> = candidate.iter().map(|id| id.index()).collect();
+        let mut b: Vec<usize> = self.exact_top_k().iter().map(|id| id.index()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn view(values: &[Value], k: usize, eps: Epsilon) -> TopKView {
+        TopKView::new(values, k, eps)
+    }
+
+    #[test]
+    fn ordering_and_pi() {
+        let v = view(&[10, 50, 30, 50, 20], 2, Epsilon::HALF);
+        // Values sorted: 50(id1), 50(id3), 30(id2), 20(id4), 10(id0); ties by smaller id first.
+        assert_eq!(v.pi(1), NodeId(1));
+        assert_eq!(v.pi(2), NodeId(3));
+        assert_eq!(v.pi(3), NodeId(2));
+        assert_eq!(v.kth_value(), 50);
+        assert_eq!(v.kplus1_value(), Some(30));
+        assert_eq!(v.exact_top_k(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn kplus1_absent_when_k_equals_n() {
+        let v = view(&[5, 9], 2, Epsilon::HALF);
+        assert_eq!(v.kplus1_value(), None);
+        assert!(v.unique_output());
+    }
+
+    #[test]
+    fn neighbourhood_and_sigma() {
+        // k = 1, ε = 1/2: k-th largest is 100, neighbourhood [50, 200].
+        let v = view(&[100, 60, 49, 201, 200], 1, Epsilon::HALF);
+        // Note: k-th largest is actually 201 here. Sorted: 201, 200, 100, 60, 49; k=1 → vk=201.
+        // The ε-neighbourhood is [100.5, 402], so 100 is (just) clearly smaller.
+        assert_eq!(v.kth_value(), 201);
+        let nb = v.neighbourhood();
+        assert!(nb.contains(&NodeId(3)));
+        assert!(nb.contains(&NodeId(4)));
+        assert!(!nb.contains(&NodeId(0)));
+        assert!(!nb.contains(&NodeId(1)));
+        assert_eq!(v.sigma(), 2);
+    }
+
+    #[test]
+    fn unique_output_detection() {
+        // k = 1, ε = 1/2: values 100 and 49 → 49 < 50 = (1-ε)·100, unique.
+        assert!(view(&[100, 49], 1, Epsilon::HALF).unique_output());
+        // 50 is not clearly smaller → not unique.
+        assert!(!view(&[100, 50], 1, Epsilon::HALF).unique_output());
+    }
+
+    #[test]
+    fn validate_output_accepts_exact_top_k() {
+        let v = view(&[10, 50, 30, 45, 20], 2, Epsilon::TENTH);
+        let validity = v.validate_output(&v.exact_top_k());
+        assert!(validity.is_valid(), "{validity:?}");
+    }
+
+    #[test]
+    fn validate_output_accepts_swap_inside_neighbourhood() {
+        // k = 1, ε = 1/2: values 100 and 95 are within each other's neighbourhood,
+        // so either node is a valid "top-1".
+        let v = view(&[100, 95], 1, Epsilon::HALF);
+        assert!(v.validate_output(&[NodeId(0)]).is_valid());
+        assert!(v.validate_output(&[NodeId(1)]).is_valid());
+    }
+
+    #[test]
+    fn validate_output_rejects_bad_candidates() {
+        let v = view(&[100, 95, 10, 300], 2, Epsilon::TENTH);
+        // k-th largest value = 100 (sorted: 300, 100, 95, 10). Node 3 is clearly larger.
+        assert_eq!(
+            v.validate_output(&[NodeId(0), NodeId(1)]),
+            OutputValidity::MissingClearlyLarger {
+                node: NodeId(3),
+                value: 300
+            }
+        );
+        assert_eq!(
+            v.validate_output(&[NodeId(3), NodeId(2)]),
+            OutputValidity::ContainsClearlySmaller {
+                node: NodeId(2),
+                value: 10
+            }
+        );
+        assert_eq!(
+            v.validate_output(&[NodeId(3)]),
+            OutputValidity::WrongSize { got: 1, want: 2 }
+        );
+        assert_eq!(
+            v.validate_output(&[NodeId(3), NodeId(9)]),
+            OutputValidity::UnknownNode(NodeId(9))
+        );
+        assert_eq!(
+            v.validate_output(&[NodeId(3), NodeId(3)]),
+            OutputValidity::DuplicateNode(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn validate_exact_matches_set_equality() {
+        let v = view(&[10, 50, 30, 45, 20], 2, Epsilon::TENTH);
+        assert!(v.validate_exact(&[NodeId(3), NodeId(1)]));
+        assert!(v.validate_exact(&[NodeId(1), NodeId(3)]));
+        assert!(!v.validate_exact(&[NodeId(1), NodeId(2)]));
+        assert!(!v.validate_exact(&[NodeId(1)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let _ = view(&[1, 2, 3], 0, Epsilon::HALF);
+    }
+
+    proptest! {
+        /// The exact top-k set is always a valid ε-approximate output.
+        #[test]
+        fn exact_top_k_is_always_valid(
+            values in proptest::collection::vec(0u64..10_000, 1..40),
+            k_seed in 0usize..40,
+            j in 1u32..10,
+        ) {
+            let k = 1 + k_seed % values.len();
+            let v = TopKView::new(&values, k, Epsilon::pow2_inverse(j));
+            prop_assert!(v.validate_output(&v.exact_top_k()).is_valid());
+            prop_assert!(v.validate_exact(&v.exact_top_k()));
+        }
+
+        /// Any k nodes drawn from the neighbourhood ∪ clearly-larger set that
+        /// include all clearly-larger nodes form a valid output.
+        #[test]
+        fn neighbourhood_completions_are_valid(
+            values in proptest::collection::vec(0u64..10_000, 2..40),
+            k_seed in 0usize..40,
+        ) {
+            let k = 1 + k_seed % values.len();
+            let v = TopKView::new(&values, k, Epsilon::HALF);
+            let mut candidate = v.clearly_larger_set();
+            // Fill up with neighbourhood nodes in order of decreasing value.
+            for &node in v.order() {
+                if candidate.len() == k { break; }
+                if !candidate.contains(&node) && !v.clearly_smaller(node) {
+                    candidate.push(node);
+                }
+            }
+            prop_assert_eq!(candidate.len(), k);
+            prop_assert!(v.validate_output(&candidate).is_valid());
+        }
+
+        /// σ(t) ≥ 1 always (the k-th node itself is in its own neighbourhood) and
+        /// σ(t) ≤ n.
+        #[test]
+        fn sigma_bounds(
+            values in proptest::collection::vec(0u64..1_000, 1..30),
+            k_seed in 0usize..30,
+        ) {
+            let k = 1 + k_seed % values.len();
+            let v = TopKView::new(&values, k, Epsilon::TENTH);
+            prop_assert!(v.sigma() >= 1);
+            prop_assert!(v.sigma() <= values.len());
+        }
+
+        /// The order returned by `order()` is sorted by decreasing value.
+        #[test]
+        fn order_is_sorted(values in proptest::collection::vec(0u64..1_000, 1..30)) {
+            let v = TopKView::new(&values, 1, Epsilon::HALF);
+            for w in v.order().windows(2) {
+                prop_assert!(v.value(w[0]) >= v.value(w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Fundamental scalar types of the monitoring model.
+//!
+//! Values observed by nodes are natural numbers (`v_i^t ∈ ℕ` in the paper); we
+//! represent them as [`u64`]. `Δ` denotes the largest value ever observed and is
+//! only used in the *analysis*, never by the algorithms themselves — the
+//! protocols work without knowing `Δ` in advance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value observed by a node at some time step.
+///
+/// The paper assumes `v ∈ {0, 1, …, Δ}`. Using `u64` supports `Δ` up to `2^63`
+/// (one bit of head-room is kept so that midpoint computations `⌊(ℓ+u)/2⌋` never
+/// overflow).
+pub type Value = u64;
+
+/// Sentinel used when a conceptually infinite upper bound has to be expressed as
+/// a concrete [`Value`] (for example when serialising filters).
+///
+/// Filters represent infinity structurally (see [`crate::filter::Filter`]); this
+/// constant only exists for human-readable exports.
+pub const INFINITY_VALUE: Value = Value::MAX;
+
+/// Identifier of a distributed node.
+///
+/// Nodes are numbered `0..n`. The paper numbers them `1..=n`; the shift is purely
+/// cosmetic. Identifiers also serve as the deterministic tie-breaker that makes
+/// all observed values distinct for the *exact* problem (Sect. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Enumerates the identifiers of `n` nodes.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// A discrete observation time step.
+///
+/// Time step `t` denotes the state *after* all nodes observed their `t`-th value
+/// and *after* the communication protocol between steps `t` and `t+1` finished.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeStep(pub u64);
+
+impl TimeStep {
+    /// The first time step.
+    pub const ZERO: TimeStep = TimeStep(0);
+
+    /// The next time step.
+    #[inline]
+    pub fn next(self) -> TimeStep {
+        TimeStep(self.0 + 1)
+    }
+
+    /// Raw counter value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl From<u64> for TimeStep {
+    fn from(t: u64) -> Self {
+        TimeStep(t)
+    }
+}
+
+/// Breaks ties between equal values using node identifiers, as the paper
+/// prescribes for the exact problem ("using the nodes' identifiers to break ties
+/// in case the same value is observed by several nodes").
+///
+/// Returns the total order on `(value, node)` pairs: larger value wins, on equal
+/// values the *smaller* identifier is considered larger. The choice of direction
+/// is arbitrary but must be used consistently, which all crates in this workspace
+/// do by calling this single function.
+#[inline]
+pub fn value_order(a: (Value, NodeId), b: (Value, NodeId)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let id = NodeId::from(7usize);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "node#7");
+        let all: Vec<_> = NodeId::all(3).collect();
+        assert_eq!(all, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn time_step_advances() {
+        let t = TimeStep::ZERO;
+        assert_eq!(t.next(), TimeStep(1));
+        assert_eq!(t.next().next().raw(), 2);
+        assert_eq!(format!("{}", TimeStep(5)), "t=5");
+        assert_eq!(TimeStep::from(9u64), TimeStep(9));
+    }
+
+    #[test]
+    fn value_order_breaks_ties_by_id() {
+        // Larger value wins regardless of id.
+        assert_eq!(
+            value_order((10, NodeId(5)), (9, NodeId(0))),
+            Ordering::Greater
+        );
+        // Equal values: smaller id is "larger".
+        assert_eq!(
+            value_order((10, NodeId(1)), (10, NodeId(2))),
+            Ordering::Greater
+        );
+        assert_eq!(
+            value_order((10, NodeId(2)), (10, NodeId(1))),
+            Ordering::Less
+        );
+        assert_eq!(
+            value_order((10, NodeId(2)), (10, NodeId(2))),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn value_order_is_total_and_antisymmetric() {
+        let samples = [
+            (0u64, NodeId(0)),
+            (0, NodeId(1)),
+            (1, NodeId(0)),
+            (1, NodeId(1)),
+            (u64::MAX, NodeId(3)),
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                let ab = value_order(a, b);
+                let ba = value_order(b, a);
+                assert_eq!(ab, ba.reverse());
+                if a == b {
+                    assert_eq!(ab, Ordering::Equal);
+                } else {
+                    assert_ne!(ab, Ordering::Equal, "{a:?} vs {b:?} must not tie");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`Network`] trait — the transport API the online protocols program against.
+//!
+//! Protocols in `topk-core` are written once against this trait and can then run
+//! on the deterministic engine (for exact message accounting), on the threaded
+//! engine (for real channel-based message passing), or on any future transport.
+
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+
+/// Transport and accounting interface between the server-side protocols and the
+/// simulated distributed nodes.
+///
+/// All methods that move a message charge the engine's [`CostMeter`]; the
+/// `peek_*` methods are free and exist only for validation, experiment
+/// harnesses and adaptive adversaries — protocol implementations must never use
+/// them to make decisions (that would be cheating the model, and the test suite
+/// asserts protocols behave identically when peeks are disabled).
+pub trait Network {
+    /// Number of nodes `n`.
+    fn n(&self) -> usize;
+
+    /// Delivers the next observation to every node (index = node id).
+    ///
+    /// Observations are local and free; the engine also records one time step on
+    /// the meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    fn advance_time(&mut self, values: &[Value]);
+
+    /// Broadcasts new filter parameters to all nodes (cost: 1 broadcast).
+    fn broadcast_params(&mut self, params: FilterParams);
+
+    /// Assigns a group to one node (cost: 1 downstream unicast). The node
+    /// re-derives its filter from the group and the last broadcast parameters.
+    fn assign_group(&mut self, node: NodeId, group: NodeGroup);
+
+    /// Assigns the same group to every node (cost: 1 broadcast). Used at phase
+    /// starts to reset the partition before unicasting the few exceptions.
+    fn broadcast_group(&mut self, group: NodeGroup);
+
+    /// Assigns an explicit filter to one node (cost: 1 downstream unicast).
+    fn assign_filter(&mut self, node: NodeId, filter: Filter);
+
+    /// Probes one node for its current value (cost: 1 downstream + 1 upstream).
+    fn probe(&mut self, node: NodeId) -> Value;
+
+    /// Runs one round of the existence protocol: every node for which
+    /// `predicate` holds sends a response with probability
+    /// `min(1, 2^round / population)`.
+    ///
+    /// Cost: 1 upstream message per responding node; the round itself is
+    /// accounted as one protocol round but carries no broadcast cost because the
+    /// round schedule is predetermined (see the crate-level documentation).
+    fn existence_round(
+        &mut self,
+        round: u32,
+        population: u32,
+        predicate: ExistencePredicate,
+    ) -> Vec<NodeMessage>;
+
+    /// Announces the end of an existence run that produced at least one response
+    /// (cost: 1 broadcast). Runs that stay silent need no announcement.
+    fn end_existence_run(&mut self);
+
+    /// Mutable access to the engine's cost meter (for protocol-phase labels).
+    fn meter(&mut self) -> &mut CostMeter;
+
+    /// Snapshot of the accumulated communication statistics.
+    fn stats(&self) -> CommStats;
+
+    /// Inspection: the value node `node` currently observes (free, not part of
+    /// the model — for validation and adversaries only).
+    fn peek_value(&self, node: NodeId) -> Value;
+
+    /// Inspection: the filter node `node` currently uses (free).
+    fn peek_filter(&self, node: NodeId) -> Filter;
+
+    /// Inspection: the group node `node` currently has (free).
+    fn peek_group(&self, node: NodeId) -> NodeGroup;
+
+    /// Inspection: all filters, indexed by node id (free).
+    fn peek_filters(&self) -> Vec<Filter> {
+        (0..self.n()).map(|i| self.peek_filter(NodeId(i))).collect()
+    }
+
+    /// Inspection: all current values, indexed by node id (free).
+    fn peek_values(&self) -> Vec<Value> {
+        (0..self.n()).map(|i| self.peek_value(NodeId(i))).collect()
+    }
+}
+
+/// Blanket helpers available on every [`Network`].
+pub trait NetworkExt: Network {
+    /// Assigns the same group to a list of nodes, one unicast each.
+    fn assign_groups(&mut self, nodes: &[NodeId], group: NodeGroup) {
+        for &node in nodes {
+            self.assign_group(node, group);
+        }
+    }
+
+    /// Total messages sent so far (convenience around [`Network::stats`]).
+    fn total_messages(&self) -> u64 {
+        self.stats().total_messages()
+    }
+}
+
+impl<T: Network + ?Sized> NetworkExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicEngine;
+
+    #[test]
+    fn network_ext_helpers() {
+        let mut net = DeterministicEngine::new(4, 1);
+        net.advance_time(&[1, 2, 3, 4]);
+        net.assign_groups(&[NodeId(0), NodeId(1)], NodeGroup::Upper);
+        assert_eq!(net.peek_group(NodeId(0)), NodeGroup::Upper);
+        assert_eq!(net.peek_group(NodeId(1)), NodeGroup::Upper);
+        assert_eq!(net.peek_group(NodeId(2)), NodeGroup::Lower);
+        assert_eq!(net.total_messages(), 2);
+        assert_eq!(net.peek_values(), vec![1, 2, 3, 4]);
+        assert_eq!(net.peek_filters().len(), 4);
+    }
+}

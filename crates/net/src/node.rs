@@ -1,0 +1,314 @@
+//! Node-side state machine.
+//!
+//! [`SimNode`] is the *entire* logic a distributed node needs: store the filter
+//! (or derive it from the last broadcast parameters and the assigned group),
+//! watch the locally observed value for filter violations, answer probes, and
+//! participate in existence-protocol rounds by flipping the prescribed coin.
+//!
+//! Both simulation engines drive the same `SimNode` type, so their behaviour —
+//! including every random decision, because each node owns a `ChaCha8` RNG
+//! seeded from `(master seed, node id)` — is identical by construction.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_model::rule::filter_for;
+
+/// The state machine executed by every simulated node.
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    id: NodeId,
+    value: Value,
+    filter: Filter,
+    group: NodeGroup,
+    params: Option<FilterParams>,
+    pending_violation: Option<Violation>,
+    rng: ChaCha8Rng,
+}
+
+impl SimNode {
+    /// Creates a node with the all-embracing filter `[0, ∞)`, value 0 and a
+    /// deterministic RNG derived from `(master_seed, id)`.
+    pub fn new(id: NodeId, master_seed: u64) -> SimNode {
+        let seed = master_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id.index() as u64 + 1);
+        SimNode {
+            id,
+            value: 0,
+            filter: Filter::FULL,
+            group: NodeGroup::Lower,
+            params: None,
+            pending_violation: None,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The value observed most recently.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// The filter currently in effect.
+    pub fn filter(&self) -> Filter {
+        self.filter
+    }
+
+    /// The group currently assigned by the server.
+    pub fn group(&self) -> NodeGroup {
+        self.group
+    }
+
+    /// The violation the node is waiting to report, if any.
+    pub fn pending_violation(&self) -> Option<Violation> {
+        self.pending_violation
+    }
+
+    /// Observes a new value from the node's private stream.
+    ///
+    /// Observation is free of communication cost: the node merely records the
+    /// value and notes whether it violates the current filter.
+    pub fn observe(&mut self, v: Value) {
+        self.value = v;
+        self.pending_violation = self.filter.check(v);
+    }
+
+    /// Handles a message from the server, returning an immediate reply if the
+    /// protocol calls for one.
+    pub fn handle(&mut self, msg: &ServerMessage) -> Option<NodeMessage> {
+        match *msg {
+            ServerMessage::AssignFilter(f) => {
+                self.filter = f;
+                self.pending_violation = self.filter.check(self.value);
+                None
+            }
+            ServerMessage::AssignGroup(g) | ServerMessage::BroadcastGroup(g) => {
+                self.group = g;
+                if let Some(p) = self.params {
+                    self.filter = filter_for(g, &p);
+                }
+                self.pending_violation = self.filter.check(self.value);
+                None
+            }
+            ServerMessage::BroadcastParams(p) => {
+                self.params = Some(p);
+                self.filter = filter_for(self.group, &p);
+                self.pending_violation = self.filter.check(self.value);
+                None
+            }
+            ServerMessage::Probe => Some(NodeMessage::ValueReport {
+                node: self.id,
+                value: self.value,
+            }),
+            ServerMessage::ExistenceRound {
+                round,
+                population,
+                predicate,
+            } => self.existence_round(round, population, predicate),
+            ServerMessage::EndExistenceRun => None,
+        }
+    }
+
+    /// Participates in round `round` of an existence run: if the predicate holds
+    /// locally, send a message with probability `min(1, 2^round / population)`.
+    fn existence_round(
+        &mut self,
+        round: u32,
+        population: u32,
+        predicate: ExistencePredicate,
+    ) -> Option<NodeMessage> {
+        if !predicate.evaluate(self.id, self.value, self.pending_violation) {
+            return None;
+        }
+        let population = population.max(1);
+        let numerator = 1u32.checked_shl(round).unwrap_or(u32::MAX).min(population);
+        if !self.rng.gen_ratio(numerator, population) {
+            return None;
+        }
+        Some(match (predicate, self.pending_violation) {
+            (ExistencePredicate::PendingViolation, Some(direction)) => {
+                NodeMessage::ViolationReport {
+                    node: self.id,
+                    value: self.value,
+                    direction,
+                }
+            }
+            _ => NodeMessage::ExistenceResponse {
+                node: self.id,
+                value: self.value,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> SimNode {
+        SimNode::new(NodeId(0), 42)
+    }
+
+    #[test]
+    fn fresh_node_never_violates() {
+        let mut n = node();
+        n.observe(12345);
+        assert_eq!(n.pending_violation(), None);
+        assert_eq!(n.value(), 12345);
+        assert_eq!(n.filter(), Filter::FULL);
+    }
+
+    #[test]
+    fn filter_assignment_detects_immediate_violation() {
+        let mut n = node();
+        n.observe(100);
+        // The paper allows "invalid" filters: assigning [0, 50] to a node holding
+        // 100 makes the node observe a violation right away.
+        n.handle(&ServerMessage::AssignFilter(Filter::at_most(50)));
+        assert_eq!(n.pending_violation(), Some(Violation::FromBelow));
+        // And assigning [200, ∞) gives a violation from above.
+        n.handle(&ServerMessage::AssignFilter(Filter::at_least(200)));
+        assert_eq!(n.pending_violation(), Some(Violation::FromAbove));
+        // A containing filter clears the pending violation.
+        n.handle(&ServerMessage::AssignFilter(Filter::bounded(50, 150).unwrap()));
+        assert_eq!(n.pending_violation(), None);
+    }
+
+    #[test]
+    fn observation_after_filter_triggers_violation() {
+        let mut n = node();
+        n.handle(&ServerMessage::AssignFilter(Filter::bounded(10, 20).unwrap()));
+        n.observe(15);
+        assert_eq!(n.pending_violation(), None);
+        n.observe(25);
+        assert_eq!(n.pending_violation(), Some(Violation::FromBelow));
+        n.observe(5);
+        assert_eq!(n.pending_violation(), Some(Violation::FromAbove));
+    }
+
+    #[test]
+    fn group_and_params_derive_filter() {
+        let mut n = node();
+        n.observe(100);
+        n.handle(&ServerMessage::AssignGroup(NodeGroup::Upper));
+        // No params yet: filter unchanged.
+        assert_eq!(n.filter(), Filter::FULL);
+        n.handle(&ServerMessage::BroadcastParams(FilterParams::Separator {
+            lo: 80,
+            hi: 80,
+        }));
+        assert_eq!(n.filter(), Filter::at_least(80));
+        // Switching the group re-derives from the stored params.
+        n.handle(&ServerMessage::AssignGroup(NodeGroup::Lower));
+        assert_eq!(n.filter(), Filter::at_most(80));
+        assert_eq!(n.pending_violation(), Some(Violation::FromBelow));
+        assert_eq!(n.group(), NodeGroup::Lower);
+    }
+
+    #[test]
+    fn probe_reports_current_value() {
+        let mut n = node();
+        n.observe(77);
+        let reply = n.handle(&ServerMessage::Probe);
+        assert_eq!(
+            reply,
+            Some(NodeMessage::ValueReport {
+                node: NodeId(0),
+                value: 77
+            })
+        );
+    }
+
+    #[test]
+    fn existence_round_only_fires_when_predicate_holds() {
+        let mut n = node();
+        n.observe(10);
+        // Predicate false: never responds, regardless of probability 1.
+        for round in 0..8 {
+            let reply = n.handle(&ServerMessage::ExistenceRound {
+                round,
+                population: 1,
+                predicate: ExistencePredicate::GreaterThan(10),
+            });
+            assert_eq!(reply, None);
+        }
+        // Predicate true with probability 1 (round so that 2^r >= population).
+        let reply = n.handle(&ServerMessage::ExistenceRound {
+            round: 0,
+            population: 1,
+            predicate: ExistencePredicate::AtLeast(10),
+        });
+        assert!(matches!(
+            reply,
+            Some(NodeMessage::ExistenceResponse { node: NodeId(0), value: 10 })
+        ));
+    }
+
+    #[test]
+    fn existence_round_reports_violation_direction() {
+        let mut n = node();
+        n.handle(&ServerMessage::AssignFilter(Filter::bounded(10, 20).unwrap()));
+        n.observe(30);
+        let reply = n.handle(&ServerMessage::ExistenceRound {
+            round: 10,
+            population: 1,
+            predicate: ExistencePredicate::PendingViolation,
+        });
+        assert_eq!(
+            reply,
+            Some(NodeMessage::ViolationReport {
+                node: NodeId(0),
+                value: 30,
+                direction: Violation::FromBelow
+            })
+        );
+    }
+
+    #[test]
+    fn existence_round_respects_probability_zero_rounds() {
+        // With a large population and round 0 the probability is 1/population;
+        // over many trials the empirical rate should be roughly 1/population.
+        let mut hits = 0;
+        let trials = 2000;
+        for seed in 0..trials {
+            let mut n = SimNode::new(NodeId(0), seed);
+            n.observe(100);
+            let reply = n.handle(&ServerMessage::ExistenceRound {
+                round: 0,
+                population: 16,
+                predicate: ExistencePredicate::GreaterThan(0),
+            });
+            if reply.is_some() {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials as u32);
+        assert!(
+            (rate - 1.0 / 16.0).abs() < 0.03,
+            "empirical rate {rate} too far from 1/16"
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_same_decisions() {
+        let mut a = SimNode::new(NodeId(3), 7);
+        let mut b = SimNode::new(NodeId(3), 7);
+        a.observe(5);
+        b.observe(5);
+        for round in 0..10 {
+            let msg = ServerMessage::ExistenceRound {
+                round,
+                population: 64,
+                predicate: ExistencePredicate::GreaterThan(0),
+            };
+            assert_eq!(a.handle(&msg), b.handle(&msg));
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Channel-based, multi-threaded simulation engine.
+//!
+//! [`ThreadedEngine`] spawns one OS thread per node. Every interaction crosses a
+//! `crossbeam` channel: the server pushes [`ServerMessage`]s (wrapped in
+//! [`NodeCommand`]) into per-node command channels, and nodes answer over a
+//! shared reply channel. Each command is acknowledged with exactly one reply
+//! (possibly carrying no payload), which is how the engine realises the
+//! synchronous rounds of the model on top of asynchronous channels. The
+//! acknowledgement itself is *not* a model message and is never charged.
+//!
+//! The node logic is the same [`SimNode`] used by the deterministic engine and
+//! the per-node RNG seeding is identical, so message counts agree between the
+//! two engines run for run; an integration test asserts this.
+
+use crate::network::Network;
+use crate::node::SimNode;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_model::rule::filter_for;
+
+/// Command sent from the engine to a node thread.
+#[derive(Debug, Clone)]
+enum NodeCommand {
+    /// Deliver the next observation (free of communication cost).
+    Observe(Value),
+    /// Deliver a server message (charged by the caller).
+    Server(ServerMessage),
+    /// Terminate the node thread.
+    Shutdown,
+}
+
+/// Acknowledgement sent from a node thread back to the engine.
+#[derive(Debug)]
+struct Ack {
+    #[allow(dead_code)]
+    node: NodeId,
+    reply: Option<NodeMessage>,
+}
+
+/// Multi-threaded engine (see module documentation).
+pub struct ThreadedEngine {
+    senders: Vec<Sender<NodeCommand>>,
+    reply_rx: Receiver<Ack>,
+    handles: Vec<JoinHandle<()>>,
+    meter: CostMeter,
+    // Server-side mirrors used only by the free inspection API. They are updated
+    // from the very messages the server sends, so they can never disagree with
+    // the node-side state (filters are a pure function of group + params).
+    mirror_values: Vec<Value>,
+    mirror_groups: Vec<NodeGroup>,
+    mirror_filters: Vec<Filter>,
+    mirror_params: Option<FilterParams>,
+}
+
+impl ThreadedEngine {
+    /// Spawns `n` node threads whose RNGs are derived from `master_seed`.
+    pub fn new(n: usize, master_seed: u64) -> ThreadedEngine {
+        let (reply_tx, reply_rx) = unbounded::<Ack>();
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for id in NodeId::all(n) {
+            let (tx, rx) = unbounded::<NodeCommand>();
+            let reply_tx = reply_tx.clone();
+            let mut node = SimNode::new(id, master_seed);
+            let handle = std::thread::Builder::new()
+                .name(format!("topk-node-{}", id.index()))
+                .spawn(move || loop {
+                    match rx.recv() {
+                        Ok(NodeCommand::Observe(v)) => {
+                            node.observe(v);
+                            if reply_tx.send(Ack { node: id, reply: None }).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(NodeCommand::Server(msg)) => {
+                            let reply = node.handle(&msg);
+                            if reply_tx.send(Ack { node: id, reply }).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(NodeCommand::Shutdown) | Err(_) => break,
+                    }
+                })
+                .expect("failed to spawn node thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ThreadedEngine {
+            senders,
+            reply_rx,
+            handles,
+            meter: CostMeter::new(),
+            mirror_values: vec![0; n],
+            mirror_groups: vec![NodeGroup::Lower; n],
+            mirror_filters: vec![Filter::FULL; n],
+            mirror_params: None,
+        }
+    }
+
+    /// Sends a command to every node and waits for all acknowledgements.
+    fn broadcast_command(&mut self, make: impl Fn(NodeId) -> NodeCommand) -> Vec<NodeMessage> {
+        for (i, tx) in self.senders.iter().enumerate() {
+            tx.send(make(NodeId(i))).expect("node thread hung up");
+        }
+        let mut replies = Vec::new();
+        for _ in 0..self.senders.len() {
+            let ack = self.reply_rx.recv().expect("node thread hung up");
+            if let Some(reply) = ack.reply {
+                replies.push(reply);
+            }
+        }
+        // Keep replies in node-id order so both engines process violations in
+        // the same order (channels deliver acknowledgements in arrival order,
+        // which depends on the scheduler).
+        replies.sort_by_key(|r| r.sender());
+        replies
+    }
+
+    /// Sends a command to a single node and waits for its acknowledgement.
+    fn unicast_command(&mut self, node: NodeId, cmd: NodeCommand) -> Option<NodeMessage> {
+        self.senders[node.index()]
+            .send(cmd)
+            .expect("node thread hung up");
+        let ack = self.reply_rx.recv().expect("node thread hung up");
+        ack.reply
+    }
+}
+
+impl Drop for ThreadedEngine {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(NodeCommand::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Network for ThreadedEngine {
+    fn n(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn advance_time(&mut self, values: &[Value]) {
+        assert_eq!(values.len(), self.n(), "one observation per node required");
+        self.mirror_values.copy_from_slice(values);
+        let values = values.to_vec();
+        let replies = self.broadcast_command(|id| NodeCommand::Observe(values[id.index()]));
+        debug_assert!(replies.is_empty());
+        self.meter.record_time_step();
+    }
+
+    fn broadcast_params(&mut self, params: FilterParams) {
+        self.meter.record(MessageKind::Broadcast);
+        self.mirror_params = Some(params);
+        for i in 0..self.n() {
+            self.mirror_filters[i] = filter_for(self.mirror_groups[i], &params);
+        }
+        let replies =
+            self.broadcast_command(|_| NodeCommand::Server(ServerMessage::BroadcastParams(params)));
+        debug_assert!(replies.is_empty());
+    }
+
+    fn assign_group(&mut self, node: NodeId, group: NodeGroup) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        self.mirror_groups[node.index()] = group;
+        if let Some(p) = self.mirror_params {
+            self.mirror_filters[node.index()] = filter_for(group, &p);
+        }
+        let reply = self.unicast_command(node, NodeCommand::Server(ServerMessage::AssignGroup(group)));
+        debug_assert!(reply.is_none());
+    }
+
+    fn broadcast_group(&mut self, group: NodeGroup) {
+        self.meter.record(MessageKind::Broadcast);
+        for i in 0..self.n() {
+            self.mirror_groups[i] = group;
+            if let Some(p) = self.mirror_params {
+                self.mirror_filters[i] = filter_for(group, &p);
+            }
+        }
+        let replies =
+            self.broadcast_command(|_| NodeCommand::Server(ServerMessage::BroadcastGroup(group)));
+        debug_assert!(replies.is_empty());
+    }
+
+    fn assign_filter(&mut self, node: NodeId, filter: Filter) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        self.mirror_filters[node.index()] = filter;
+        let reply =
+            self.unicast_command(node, NodeCommand::Server(ServerMessage::AssignFilter(filter)));
+        debug_assert!(reply.is_none());
+    }
+
+    fn probe(&mut self, node: NodeId) -> Value {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        let reply = self.unicast_command(node, NodeCommand::Server(ServerMessage::Probe));
+        self.meter.record(MessageKind::Upstream);
+        match reply {
+            Some(NodeMessage::ValueReport { value, .. }) => value,
+            other => unreachable!("probe must be answered with a value report, got {other:?}"),
+        }
+    }
+
+    fn existence_round(
+        &mut self,
+        round: u32,
+        population: u32,
+        predicate: ExistencePredicate,
+    ) -> Vec<NodeMessage> {
+        self.meter.record_round();
+        let replies = self.broadcast_command(|_| {
+            NodeCommand::Server(ServerMessage::ExistenceRound {
+                round,
+                population,
+                predicate,
+            })
+        });
+        self.meter
+            .record_many(MessageKind::Upstream, replies.len() as u64);
+        replies
+    }
+
+    fn end_existence_run(&mut self) {
+        self.meter.record(MessageKind::Broadcast);
+        let replies =
+            self.broadcast_command(|_| NodeCommand::Server(ServerMessage::EndExistenceRun));
+        debug_assert!(replies.is_empty());
+    }
+
+    fn meter(&mut self) -> &mut CostMeter {
+        &mut self.meter
+    }
+
+    fn stats(&self) -> CommStats {
+        self.meter.snapshot()
+    }
+
+    fn peek_value(&self, node: NodeId) -> Value {
+        self.mirror_values[node.index()]
+    }
+
+    fn peek_filter(&self, node: NodeId) -> Filter {
+        self.mirror_filters[node.index()]
+    }
+
+    fn peek_group(&self, node: NodeId) -> NodeGroup {
+        self.mirror_groups[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicEngine;
+
+    #[test]
+    fn threaded_engine_basic_flow() {
+        let mut net = ThreadedEngine::new(4, 7);
+        net.advance_time(&[5, 10, 15, 20]);
+        assert_eq!(net.probe(NodeId(2)), 15);
+        net.assign_group(NodeId(3), NodeGroup::Upper);
+        net.broadcast_params(FilterParams::Separator { lo: 12, hi: 12 });
+        assert_eq!(net.peek_filter(NodeId(3)), Filter::at_least(12));
+        assert_eq!(net.peek_filter(NodeId(0)), Filter::at_most(12));
+        let stats = net.stats();
+        assert_eq!(stats.messages_of_kind(MessageKind::Broadcast), 1);
+        assert_eq!(stats.messages_of_kind(MessageKind::DownstreamUnicast), 2);
+        assert_eq!(stats.messages_of_kind(MessageKind::Upstream), 1);
+    }
+
+    #[test]
+    fn violation_detection_over_channels() {
+        let mut net = ThreadedEngine::new(3, 7);
+        net.advance_time(&[10, 20, 30]);
+        net.assign_filter(NodeId(2), Filter::at_most(25));
+        let replies = net.existence_round(8, 3, ExistencePredicate::PendingViolation);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].sender(), NodeId(2));
+        assert_eq!(replies[0].value(), 30);
+    }
+
+    #[test]
+    fn threaded_matches_deterministic_counts() {
+        // Drive the exact same call sequence through both engines with the same
+        // seed and compare the resulting statistics.
+        let script = |net: &mut dyn Network| {
+            net.advance_time(&[3, 1, 4, 1, 5, 9, 2, 6]);
+            net.assign_group(NodeId(5), NodeGroup::Upper);
+            net.broadcast_params(FilterParams::Separator { lo: 5, hi: 5 });
+            // Node 7 (value 6) violates [0,5] from below; find it.
+            let mut found = Vec::new();
+            for round in 0..=3 {
+                let r = net.existence_round(round, 8, ExistencePredicate::PendingViolation);
+                if !r.is_empty() {
+                    found = r;
+                    net.end_existence_run();
+                    break;
+                }
+            }
+            (found, net.stats())
+        };
+        let mut det = DeterministicEngine::new(8, 1234);
+        let mut thr = ThreadedEngine::new(8, 1234);
+        let (found_det, stats_det) = script(&mut det);
+        let (found_thr, stats_thr) = script(&mut thr);
+        assert_eq!(found_det, found_thr);
+        assert_eq!(stats_det.total_messages(), stats_thr.total_messages());
+        assert_eq!(stats_det.rounds, stats_thr.rounds);
+    }
+
+    #[test]
+    fn drop_joins_node_threads() {
+        let net = ThreadedEngine::new(16, 3);
+        drop(net); // must not hang or panic
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline baseline for ε-Top-k-Position Monitoring.
+//!
+//! This is the *approximate adversary* of Sect. 5 of the paper: an offline
+//! filter-based algorithm that only has to maintain a valid ε'-approximate
+//! output. It is strictly stronger (cheaper) than the exact adversary — the gap
+//! is exactly what the lower bound of Theorem 5.1 exploits. Instantiating the
+//! error with `ε' = ε/2` gives the weaker adversary of Corollary 5.9.
+
+use crate::cost::OfflineCost;
+use crate::phase::{decompose, PhaseDecomposition};
+use topk_gen::Trace;
+use topk_model::prelude::*;
+use topk_model::ModelError;
+
+/// Optimal filter-based offline algorithm for the ε'-approximate problem.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxOfflineOpt {
+    k: usize,
+    eps: Epsilon,
+}
+
+impl ApproxOfflineOpt {
+    /// Creates the baseline for parameter `k` and offline error `eps`.
+    pub fn new(k: usize, eps: Epsilon) -> ApproxOfflineOpt {
+        ApproxOfflineOpt { k, eps }
+    }
+
+    /// Creates the `ε/2` adversary used by Corollary 5.9, given the *online*
+    /// algorithm's error `eps`.
+    pub fn half_of(k: usize, eps: Epsilon) -> ApproxOfflineOpt {
+        ApproxOfflineOpt {
+            k,
+            eps: eps.halved(),
+        }
+    }
+
+    /// The monitored `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The offline algorithm's error `ε'`.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// Computes the optimal phase decomposition of `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
+    pub fn decompose(&self, trace: &Trace) -> Result<PhaseDecomposition, ModelError> {
+        decompose(trace, self.k, Some(self.eps))
+    }
+
+    /// Computes the message-count bounds for OPT on `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
+    pub fn cost(&self, trace: &Trace) -> Result<OfflineCost, ModelError> {
+        Ok(OfflineCost::from_decomposition(&self.decompose(trace)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_gen::{NoiseOscillationWorkload, Workload};
+
+    #[test]
+    fn approximate_adversary_is_cheaper_on_oscillation() {
+        // σ nodes oscillate inside the ε-neighbourhood: the approximate OPT keeps
+        // one phase, the exact OPT needs many.
+        let eps = Epsilon::TENTH;
+        let mut w = NoiseOscillationWorkload::new(12, 2, 6, 100_000, eps, 3);
+        let trace = w.generate(80);
+        let k = 4;
+        let approx = ApproxOfflineOpt::new(k, eps).cost(&trace).unwrap();
+        let exact = crate::ExactOfflineOpt::new(k).cost(&trace).unwrap();
+        assert_eq!(approx.phases, 1, "oscillation fits into one ε-phase");
+        assert!(
+            exact.phases > 10,
+            "exact OPT should pay on almost every step, got {}",
+            exact.phases
+        );
+    }
+
+    #[test]
+    fn half_of_uses_halved_epsilon() {
+        let a = ApproxOfflineOpt::half_of(3, Epsilon::HALF);
+        assert_eq!(a.eps(), Epsilon::new(1, 4).unwrap());
+        assert_eq!(a.k(), 3);
+    }
+
+    #[test]
+    fn smaller_offline_error_never_reduces_phases() {
+        let eps = Epsilon::new(1, 5).unwrap();
+        let mut w = NoiseOscillationWorkload::new(10, 1, 5, 10_000, eps, 7);
+        let trace = w.generate(60);
+        let full = ApproxOfflineOpt::new(3, eps).cost(&trace).unwrap();
+        let half = ApproxOfflineOpt::half_of(3, eps).cost(&trace).unwrap();
+        assert!(half.phases >= full.phases);
+    }
+
+    #[test]
+    fn invalid_k_propagates() {
+        let trace = Trace::from_fn(2, 3, |_, i| i as Value);
+        assert!(ApproxOfflineOpt::new(0, Epsilon::HALF).cost(&trace).is_err());
+    }
+}

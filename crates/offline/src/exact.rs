@@ -1,0 +1,112 @@
+//! Offline baseline for the *exact* Top-k-Position Monitoring problem.
+//!
+//! This is the adversary of Sect. 4 of the paper (Theorem 4.5): an offline
+//! filter-based algorithm that must output the exact top-k set at every time
+//! step. Its minimum communication on a trace is obtained from the greedy phase
+//! decomposition with `ε = 0` (see [`crate::phase`]).
+
+use crate::cost::OfflineCost;
+use crate::phase::{decompose, PhaseDecomposition};
+use topk_gen::Trace;
+use topk_model::prelude::*;
+use topk_model::ModelError;
+
+/// Optimal filter-based offline algorithm for the exact problem.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactOfflineOpt {
+    k: usize,
+}
+
+impl ExactOfflineOpt {
+    /// Creates the baseline for parameter `k`.
+    pub fn new(k: usize) -> ExactOfflineOpt {
+        ExactOfflineOpt { k }
+    }
+
+    /// The monitored `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Computes the optimal phase decomposition of `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
+    pub fn decompose(&self, trace: &Trace) -> Result<PhaseDecomposition, ModelError> {
+        decompose(trace, self.k, None)
+    }
+
+    /// Computes the message-count bounds for OPT on `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
+    pub fn cost(&self, trace: &Trace) -> Result<OfflineCost, ModelError> {
+        Ok(OfflineCost::from_decomposition(&self.decompose(trace)?))
+    }
+
+    /// Convenience: the exact top-k set (the unique valid exact output) at one
+    /// time step of the trace.
+    pub fn output_at(&self, trace: &Trace, t: TimeStep) -> Vec<NodeId> {
+        // The ε below is irrelevant for the exact top-k set; any valid value works.
+        TopKView::new(trace.row(t), self.k, Epsilon::HALF).exact_top_k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_trace_needs_one_phase() {
+        let trace = Trace::from_fn(30, 4, |_, i| (100 - 10 * i) as Value);
+        let opt = ExactOfflineOpt::new(2);
+        assert_eq!(opt.k(), 2);
+        let cost = opt.cost(&trace).unwrap();
+        assert_eq!(cost.phases, 1);
+        assert_eq!(cost.upper_bound, 3);
+    }
+
+    #[test]
+    fn leadership_swaps_cost_messages() {
+        // Node 0 and node 1 swap the lead every step; the exact OPT must
+        // communicate every step.
+        let trace = Trace::from_fn(10, 3, |t, i| match i {
+            0 => {
+                if t % 2 == 0 {
+                    100
+                } else {
+                    80
+                }
+            }
+            1 => {
+                if t % 2 == 0 {
+                    80
+                } else {
+                    100
+                }
+            }
+            _ => 10,
+        });
+        let opt = ExactOfflineOpt::new(1);
+        let d = opt.decompose(&trace).unwrap();
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn output_at_returns_exact_top_k() {
+        let trace = Trace::new(vec![vec![5, 50, 20]]).unwrap();
+        let opt = ExactOfflineOpt::new(2);
+        assert_eq!(
+            opt.output_at(&trace, TimeStep(0)),
+            vec![NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn invalid_k_propagates() {
+        let trace = Trace::from_fn(2, 2, |_, i| i as Value);
+        assert!(ExactOfflineOpt::new(2).cost(&trace).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # topk-offline
+//!
+//! Offline (OPT) baselines for competitive-ratio measurements.
+//!
+//! The paper's adversaries are *filter-based offline algorithms*: they see the
+//! whole input in advance, must output a valid (exact or ε-approximate) top-k set
+//! at every time step, may only stay silent while every node's value remains
+//! inside its assigned filter, and pay one message per filter update. The
+//! competitive ratio of an online algorithm is its message count divided by
+//! OPT's.
+//!
+//! By Proposition 2.4 an optimal offline algorithm needs only two distinct
+//! filters at any time, and by Lemma 2.5 it can keep the same filters throughout
+//! an interval `[t, t']` if and only if it can pick an output `F*` with
+//! `MIN_{F*}(t, t') ≥ (1 − ε) · MAX_{\bar F*}(t, t')` (with `ε = 0` for the exact
+//! problem). The offline solvers below therefore perform a *greedy phase
+//! decomposition*: starting at `t`, extend the phase as long as some valid output
+//! set satisfies the condition above; when no output survives, close the phase,
+//! charge `k + 1` messages (k unicast upper filters plus one broadcast lower
+//! filter — exactly the assignment used in the proof of Theorem 5.1), and start a
+//! new phase. Greedily extending phases maximises phase length and therefore
+//! minimises the number of phase boundaries; the number of boundaries is a lower
+//! bound on the number of filter reassignments any filter-based offline algorithm
+//! needs, so `phases · (k + 1)` brackets OPT within a constant factor and
+//! `phases` itself is the lower bound used for the competitive ratios reported in
+//! EXPERIMENTS.md.
+//!
+//! The crate provides:
+//!
+//! * [`ExactOfflineOpt`] — phase decomposition for the exact top-k problem,
+//! * [`ApproxOfflineOpt`] — phase decomposition for ε-top-k (the `ε'`-adversary of
+//!   Sect. 5; instantiate with `ε/2` for Corollary 5.9-style comparisons),
+//! * [`OfflineCost`] — the resulting phase boundaries and message-count bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod cost;
+pub mod exact;
+pub mod phase;
+
+pub use approx::ApproxOfflineOpt;
+pub use cost::OfflineCost;
+pub use exact::ExactOfflineOpt;
+pub use phase::{Phase, PhaseDecomposition};

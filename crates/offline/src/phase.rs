@@ -1,0 +1,368 @@
+//! Greedy phase decomposition — the engine behind both offline baselines.
+//!
+//! A *phase* is a maximal interval `[t, t']` during which a filter-based offline
+//! algorithm can stay completely silent. By Proposition 2.4 such an algorithm
+//! needs only two filters, `F₁ = [ℓ*, ∞)` for its output `F*` and `F₂ = [0, u*]`
+//! for the rest, and by (the ε-generalised) Lemma 2.5 staying silent over
+//! `[t, t']` is possible iff
+//!
+//! ```text
+//!   ∃ F* ⊆ nodes, |F*| = k :  MIN_{F*}(t, t') ≥ (1 − ε') · MAX_{rest}(t, t')
+//! ```
+//!
+//! (with `ε' = 0` for the exact problem). The condition is closed under
+//! shortening the interval, so the decomposition with the fewest phases is found
+//! greedily: extend the current phase while some witness set `F*` exists, close
+//! it when none does. The number of phases minus one lower-bounds the number of
+//! filter updates *any* filter-based offline algorithm needs, and `k + 1` messages
+//! per phase (k unicast upper filters plus one broadcast) suffice to realise the
+//! decomposition — these are the two bounds [`crate::OfflineCost`] reports.
+
+use serde::{Deserialize, Serialize};
+use topk_model::prelude::*;
+use topk_model::ModelError;
+use topk_gen::Trace;
+
+/// One silent interval of the offline algorithm together with a witness output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// First time step of the phase (inclusive).
+    pub start: TimeStep,
+    /// Last time step of the phase (inclusive).
+    pub end: TimeStep,
+    /// A witness output set `F*` that is valid throughout the phase.
+    pub output: Vec<NodeId>,
+    /// The filter boundary the witness can use: `F₁ = [lower_filter, ∞)`.
+    pub lower_filter: Value,
+    /// The filter boundary the witness can use: `F₂ = [0, upper_filter]`.
+    pub upper_filter: Value,
+}
+
+impl Phase {
+    /// Number of time steps covered by the phase.
+    pub fn len(&self) -> u64 {
+        self.end.raw() - self.start.raw() + 1
+    }
+
+    /// Whether the phase is empty (never true for phases produced by the solver).
+    pub fn is_empty(&self) -> bool {
+        self.end < self.start
+    }
+}
+
+/// Result of decomposing a trace into silent phases.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseDecomposition {
+    /// The phases in chronological order; they tile the trace exactly.
+    pub phases: Vec<Phase>,
+    /// `k` used for the decomposition.
+    pub k: usize,
+    /// The offline algorithm's error (`None` = exact problem).
+    pub eps: Option<Epsilon>,
+}
+
+impl PhaseDecomposition {
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether there are no phases (only possible for the empty trace, which the
+    /// solver rejects).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Lower bound on the number of messages any filter-based offline algorithm
+    /// needs on this trace: one initial filter assignment plus one update per
+    /// additional phase.
+    pub fn opt_lower_bound(&self) -> u64 {
+        self.phases.len() as u64
+    }
+
+    /// Cost of the explicit two-filter offline strategy from the proof of
+    /// Theorem 5.1: `k` unicast filters plus one broadcast per phase.
+    pub fn opt_upper_bound(&self) -> u64 {
+        (self.phases.len() as u64) * (self.k as u64 + 1)
+    }
+}
+
+/// Greedy phase decomposition of `trace` for parameter `k` and offline error
+/// `eps` (`None` for the exact problem).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidK`] if `k` is not in `1..n`.
+pub fn decompose(
+    trace: &Trace,
+    k: usize,
+    eps: Option<Epsilon>,
+) -> Result<PhaseDecomposition, ModelError> {
+    let n = trace.n();
+    if k == 0 || k >= n {
+        return Err(ModelError::InvalidK { k, n });
+    }
+    let mut phases = Vec::new();
+    let mut start = 0usize;
+    while start < trace.steps() {
+        // Interval minima / maxima per node, over [start, current].
+        let row = trace.row(TimeStep(start as u64));
+        let mut mins: Vec<Value> = row.to_vec();
+        let mut maxs: Vec<Value> = row.to_vec();
+        let mut witness = feasible_witness(&mins, &maxs, k, eps)
+            .expect("a single time step always admits its exact top-k as witness");
+        let mut end = start;
+        while end + 1 < trace.steps() {
+            let next = trace.row(TimeStep((end + 1) as u64));
+            let saved_mins = mins.clone();
+            let saved_maxs = maxs.clone();
+            for i in 0..n {
+                mins[i] = mins[i].min(next[i]);
+                maxs[i] = maxs[i].max(next[i]);
+            }
+            match feasible_witness(&mins, &maxs, k, eps) {
+                Some(w) => {
+                    witness = w;
+                    end += 1;
+                }
+                None => {
+                    mins = saved_mins;
+                    maxs = saved_maxs;
+                    break;
+                }
+            }
+        }
+        let lower_filter = witness
+            .set
+            .iter()
+            .map(|id| mins[id.index()])
+            .min()
+            .unwrap_or(0);
+        let upper_filter = (0..n)
+            .filter(|i| !witness.member[*i])
+            .map(|i| maxs[i])
+            .max()
+            .unwrap_or(Value::MAX);
+        phases.push(Phase {
+            start: TimeStep(start as u64),
+            end: TimeStep(end as u64),
+            output: witness.set,
+            lower_filter,
+            upper_filter,
+        });
+        start = end + 1;
+    }
+    Ok(PhaseDecomposition { phases, k, eps })
+}
+
+struct Witness {
+    set: Vec<NodeId>,
+    member: Vec<bool>,
+}
+
+/// Searches for a witness set `F*` with
+/// `MIN_{F*} ≥ (1 − ε) · MAX_{complement}` given per-node interval minima and
+/// maxima. Returns `None` if no k-subset satisfies the condition.
+///
+/// Enumeration: sort nodes by interval maximum (descending). If the complement's
+/// largest maximum is attained by the node at position `p` (0-based) of this
+/// order, then every node before `p` must be in `F*`, and the remaining slots are
+/// best filled with the nodes of largest interval minimum among the rest. Trying
+/// every `p ∈ 0..=k` covers all candidate complement maxima.
+fn feasible_witness(
+    mins: &[Value],
+    maxs: &[Value],
+    k: usize,
+    eps: Option<Epsilon>,
+) -> Option<Witness> {
+    let n = mins.len();
+    debug_assert!(k < n);
+    let ge_threshold = |a: Value, b: Value| match eps {
+        Some(e) => e.ge_one_minus_eps_times(a, b),
+        None => a >= b,
+    };
+    // Node indices sorted by interval maximum, descending (ties: smaller id first
+    // to mirror the tie-breaking used everywhere else).
+    let mut by_max: Vec<usize> = (0..n).collect();
+    by_max.sort_by(|&a, &b| maxs[b].cmp(&maxs[a]).then(a.cmp(&b)));
+
+    for p in 0..=k {
+        // Nodes by_max[0..p] are forced into F*; by_max[p] is the first excluded
+        // node and determines the complement's maximum.
+        let threshold = maxs[by_max[p]];
+        let mut forced_min = Value::MAX;
+        for &i in &by_max[..p] {
+            forced_min = forced_min.min(mins[i]);
+        }
+        // Fill the remaining k - p slots with the largest interval minima among
+        // the nodes after position p.
+        let mut rest: Vec<usize> = by_max[p + 1..].to_vec();
+        rest.sort_by(|&a, &b| mins[b].cmp(&mins[a]).then(a.cmp(&b)));
+        if rest.len() < k - p {
+            continue;
+        }
+        let chosen = &rest[..k - p];
+        let chosen_min = chosen.iter().map(|&i| mins[i]).min().unwrap_or(Value::MAX);
+        let overall_min = forced_min.min(chosen_min);
+        if ge_threshold(overall_min, threshold) {
+            let mut member = vec![false; n];
+            for &i in &by_max[..p] {
+                member[i] = true;
+            }
+            for &i in chosen {
+                member[i] = true;
+            }
+            let set = (0..n).filter(|&i| member[i]).map(NodeId).collect();
+            return Some(Witness { set, member });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn constant_trace_is_one_phase() {
+        let trace = Trace::from_fn(50, 5, |_, i| (100 - i * 10) as Value);
+        let d = decompose(&trace, 2, None).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.phases[0].output, ids(&[0, 1]));
+        assert_eq!(d.opt_lower_bound(), 1);
+        assert_eq!(d.opt_upper_bound(), 3);
+        assert_eq!(d.phases[0].len(), 50);
+    }
+
+    #[test]
+    fn swap_forces_new_phase_in_exact_problem() {
+        // Two nodes swapping leadership force the exact offline algorithm to
+        // communicate, but the approximate one (large ε) can keep one output.
+        let rows = vec![
+            vec![100, 90],
+            vec![90, 100],
+            vec![100, 90],
+            vec![90, 100],
+        ];
+        let trace = Trace::new(rows).unwrap();
+        let exact = decompose(&trace, 1, None).unwrap();
+        assert_eq!(exact.len(), 4);
+        let approx = decompose(&trace, 1, Some(Epsilon::HALF)).unwrap();
+        assert_eq!(approx.len(), 1);
+    }
+
+    #[test]
+    fn eps_threshold_controls_phase_boundaries() {
+        // Values oscillate by 20 % around 100: ε = 0.5 tolerates it, ε = 0.05 does not.
+        let rows = vec![vec![110, 100], vec![90, 110], vec![110, 95], vec![88, 110]];
+        let trace = Trace::new(rows).unwrap();
+        assert_eq!(decompose(&trace, 1, Some(Epsilon::HALF)).unwrap().len(), 1);
+        assert!(decompose(&trace, 1, Some(Epsilon::new(1, 20).unwrap())).unwrap().len() > 1);
+    }
+
+    #[test]
+    fn phases_tile_the_trace() {
+        let trace = Trace::from_fn(37, 4, |t, i| ((t * 13 + i * 7) % 50) as Value);
+        let d = decompose(&trace, 2, Some(Epsilon::TENTH)).unwrap();
+        assert_eq!(d.phases[0].start, TimeStep(0));
+        assert_eq!(d.phases.last().unwrap().end, TimeStep(36));
+        for w in d.phases.windows(2) {
+            assert_eq!(w[1].start.raw(), w[0].end.raw() + 1);
+        }
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let trace = Trace::from_fn(3, 3, |_, i| i as Value);
+        assert!(matches!(decompose(&trace, 0, None), Err(ModelError::InvalidK { .. })));
+        assert!(matches!(decompose(&trace, 3, None), Err(ModelError::InvalidK { .. })));
+    }
+
+    #[test]
+    fn witness_is_valid_output_throughout_phase() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let trace = Trace::from_fn(60, 6, |_, _| rng.gen_range(1..1000));
+        let eps = Epsilon::new(1, 4).unwrap();
+        let d = decompose(&trace, 3, Some(eps)).unwrap();
+        for phase in &d.phases {
+            for t in phase.start.raw()..=phase.end.raw() {
+                let view = TopKView::new(trace.row(TimeStep(t)), 3, eps);
+                let validity = view.validate_output(&phase.output);
+                assert!(
+                    validity.is_valid(),
+                    "phase witness invalid at t={t}: {validity:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_filters_are_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let trace = Trace::from_fn(40, 5, |_, _| rng.gen_range(1..500));
+        let eps = Epsilon::HALF;
+        let d = decompose(&trace, 2, Some(eps)).unwrap();
+        for phase in &d.phases {
+            // The witness filter boundary must satisfy Observation 2.2.
+            assert!(
+                eps.ge_one_minus_eps_times(phase.lower_filter, phase.upper_filter),
+                "phase filters violate the overlap condition: {phase:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_per_step_decomposition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let trace = Trace::from_fn(80, 4, |_, _| rng.gen_range(1..100));
+        let d = decompose(&trace, 2, Some(Epsilon::TENTH)).unwrap();
+        assert!(d.len() <= trace.steps());
+    }
+
+    proptest! {
+        /// The exact decomposition never has fewer phases than the approximate one
+        /// for the same trace (an exact adversary is weaker, cf. Sect. 5).
+        #[test]
+        fn exact_has_at_least_as_many_phases(
+            seed in 0u64..200, n in 3usize..7, steps in 2usize..30
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let trace = Trace::from_fn(steps, n, |_, _| rng.gen_range(1..200));
+            let k = 1 + (seed as usize) % (n - 1);
+            let exact = decompose(&trace, k, None).unwrap();
+            let approx = decompose(&trace, k, Some(Epsilon::HALF)).unwrap();
+            prop_assert!(exact.len() >= approx.len());
+        }
+
+        /// Larger ε never increases the number of phases.
+        #[test]
+        fn monotone_in_eps(seed in 0u64..200, steps in 2usize..25) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let trace = Trace::from_fn(steps, 5, |_, _| rng.gen_range(1..200));
+            let tight = decompose(&trace, 2, Some(Epsilon::new(1, 100).unwrap())).unwrap();
+            let loose = decompose(&trace, 2, Some(Epsilon::HALF)).unwrap();
+            prop_assert!(loose.len() <= tight.len());
+        }
+
+        /// Every phase's witness is a valid output at its first time step.
+        #[test]
+        fn witness_valid_at_phase_start(seed in 0u64..100, steps in 1usize..20) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let trace = Trace::from_fn(steps, 6, |_, _| rng.gen_range(1..50));
+            let eps = Epsilon::new(1, 3).unwrap();
+            let d = decompose(&trace, 3, Some(eps)).unwrap();
+            for phase in &d.phases {
+                let view = TopKView::new(trace.row(phase.start), 3, eps);
+                prop_assert!(view.validate_output(&phase.output).is_valid());
+            }
+        }
+    }
+}

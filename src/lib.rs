@@ -1,0 +1,23 @@
+//! # topk-repro
+//!
+//! Umbrella crate for the reproduction of *On Competitive Algorithms for
+//! Approximations of Top-k-Position Monitoring of Distributed Streams*
+//! (Mäcker, Malatyali, Meyer auf der Heide, 2016).
+//!
+//! It re-exports the workspace crates so that the examples under `examples/` and
+//! the integration tests under `tests/` can reach every public API through a
+//! single dependency:
+//!
+//! * [`model`] — execution-model substrate (values, filters, ε, cost accounting),
+//! * [`net`] — simulation runtimes (deterministic and channel-threaded),
+//! * [`gen`] — workload generators,
+//! * [`offline`] — optimal offline (OPT) baselines,
+//! * [`core`] — the paper's online protocols.
+
+#![forbid(unsafe_code)]
+
+pub use topk_core as core;
+pub use topk_gen as gen;
+pub use topk_model as model;
+pub use topk_net as net;
+pub use topk_offline as offline;

@@ -1,0 +1,118 @@
+//! Integration tests asserting the *shape* of the paper's results across crates
+//! (online protocols vs offline baselines vs workload generators).
+
+use topk_core::monitor::{run_adaptive, run_on_rows};
+use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, TopKMonitor};
+use topk_gen::{AdaptiveWorkload, GapWorkload, LowerBoundAdversary, NoiseOscillationWorkload, Trace, Workload};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+use topk_offline::{ApproxOfflineOpt, ExactOfflineOpt};
+
+/// Theorem 5.1 shape: on the adversarial instance the online/offline ratio grows
+/// with σ while the offline cost per phase stays k + 1.
+#[test]
+fn lower_bound_ratio_grows_with_sigma() {
+    let eps = Epsilon::new(1, 4).unwrap();
+    let (n, k) = (32, 2);
+    let ratio_for = |sigma: usize| {
+        let mut adversary = LowerBoundAdversary::new(n, k, sigma, 1 << 16, eps);
+        let mut monitor = CombinedMonitor::new(k, eps);
+        let mut net = DeterministicEngine::new(n, 11);
+        let report = run_adaptive(&mut monitor, &mut net, eps, |filters| {
+            if adversary.phases_completed() >= 4 {
+                None
+            } else {
+                Some(adversary.next_step_adaptive(filters))
+            }
+        });
+        assert_eq!(report.invalid_steps, 0);
+        report.messages() as f64 / adversary.offline_cost_bound() as f64
+    };
+    let small = ratio_for(8);
+    let large = ratio_for(28);
+    assert!(
+        large > 1.5 * small,
+        "ratio should grow with sigma: sigma=8 -> {small:.1}, sigma=28 -> {large:.1}"
+    );
+}
+
+/// Section 5 shape: the approximate offline adversary is strictly stronger than
+/// the exact one on oscillating inputs, and DenseProtocol exploits exactly that
+/// regime better than the exact online monitor.
+#[test]
+fn dense_regime_separates_exact_and_approximate() {
+    let eps = Epsilon::TENTH;
+    let (n, k) = (24, 6);
+    let rows: Vec<Vec<u64>> = NoiseOscillationWorkload::new(n, 2, 12, 1 << 18, eps, 3)
+        .generate(120)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let trace = Trace::new(rows.clone()).unwrap();
+
+    let exact_opt = ExactOfflineOpt::new(k).cost(&trace).unwrap();
+    let approx_opt = ApproxOfflineOpt::new(k, eps).cost(&trace).unwrap();
+    assert!(
+        exact_opt.lower_bound > 5 * approx_opt.lower_bound,
+        "the approximate adversary should be far cheaper: exact {} vs approx {}",
+        exact_opt.lower_bound,
+        approx_opt.lower_bound
+    );
+
+    let mut net = DeterministicEngine::new(n, 7);
+    let mut dense = DenseMonitor::new(k, eps);
+    let dense_report = run_on_rows(&mut dense, &mut net, rows.iter().cloned(), eps);
+    let mut net = DeterministicEngine::new(n, 7);
+    let mut exact = ExactTopKMonitor::new(k);
+    let exact_report = run_on_rows(&mut exact, &mut net, rows.iter().cloned(), eps);
+    assert!(
+        dense_report.messages() < exact_report.messages(),
+        "dense ({}) must beat exact ({}) in its own regime",
+        dense_report.messages(),
+        exact_report.messages()
+    );
+}
+
+/// Theorem 4.5 vs Corollary 3.3 shape: on inputs with a clear gap and a huge Δ,
+/// TopKProtocol needs no more messages than the exact midpoint monitor.
+#[test]
+fn topk_protocol_is_no_worse_than_exact_for_large_delta() {
+    let eps = Epsilon::new(1, 4).unwrap();
+    let (n, k) = (20, 2);
+    let rows: Vec<Vec<u64>> = GapWorkload::new(n, k, 1 << 36, 1 << 8, 40, 0, 5)
+        .generate(120)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let mut net = DeterministicEngine::new(n, 2);
+    let mut topk = TopKMonitor::new(k, eps);
+    let topk_report = run_on_rows(&mut topk, &mut net, rows.iter().cloned(), eps);
+    let mut net = DeterministicEngine::new(n, 2);
+    let mut exact = ExactTopKMonitor::new(k);
+    let exact_report = run_on_rows(&mut exact, &mut net, rows.iter().cloned(), eps);
+    assert_eq!(topk_report.invalid_steps, 0);
+    assert_eq!(exact_report.invalid_steps, 0);
+    assert!(
+        topk_report.messages() <= exact_report.messages(),
+        "TopKProtocol ({}) should not exceed the exact monitor ({}) at large delta",
+        topk_report.messages(),
+        exact_report.messages()
+    );
+}
+
+/// The offline baselines themselves: a constant trace needs exactly one phase,
+/// and the two-filter realisation costs k + 1 messages.
+#[test]
+fn offline_baseline_sanity_across_crates() {
+    let rows: Vec<Vec<u64>> = GapWorkload::new(10, 3, 1 << 12, 8, 0, 0, 1)
+        .generate(50)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let trace = Trace::new(rows).unwrap();
+    let exact = ExactOfflineOpt::new(3).cost(&trace).unwrap();
+    assert_eq!(exact.phases, 1);
+    assert_eq!(exact.upper_bound, 4);
+    let approx = ApproxOfflineOpt::new(3, Epsilon::HALF).cost(&trace).unwrap();
+    assert_eq!(approx.phases, 1);
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: every monitor, on every workload regime, must
+//! produce a valid ε-top-k output at every time step while communicating far
+//! less than the naive poll-everything strategy.
+
+use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
+use topk_gen::{GapWorkload, NoiseOscillationWorkload, RandomWalkWorkload, Workload, ZipfLoadWorkload};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+const N: usize = 24;
+const K: usize = 4;
+const STEPS: usize = 80;
+
+fn workloads(eps: Epsilon) -> Vec<(&'static str, Vec<Vec<u64>>)> {
+    vec![
+        (
+            "gap",
+            GapWorkload::standard(N, K, 1 << 20, 5)
+                .generate(STEPS)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect(),
+        ),
+        (
+            "noise",
+            NoiseOscillationWorkload::new(N, 2, 10, 1 << 18, eps, 5)
+                .generate(STEPS)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect(),
+        ),
+        (
+            "random-walk",
+            RandomWalkWorkload::new(N, 1 << 16, 500, 0.7, 5)
+                .generate(STEPS)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect(),
+        ),
+        (
+            "zipf",
+            ZipfLoadWorkload::web_cluster(N, 5)
+                .generate(STEPS)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect(),
+        ),
+    ]
+}
+
+fn monitors(eps: Epsilon) -> Vec<Box<dyn Monitor>> {
+    vec![
+        Box::new(ExactTopKMonitor::new(K)),
+        Box::new(TopKMonitor::new(K, eps)),
+        Box::new(DenseMonitor::new(K, eps)),
+        Box::new(CombinedMonitor::new(K, eps)),
+        Box::new(HalfEpsMonitor::new(K, eps)),
+    ]
+}
+
+#[test]
+fn every_monitor_is_valid_on_every_regime() {
+    let eps = Epsilon::TENTH;
+    for (regime, rows) in workloads(eps) {
+        for mut monitor in monitors(eps) {
+            let mut net = DeterministicEngine::new(N, 77);
+            let report = run_on_rows(monitor.as_mut(), &mut net, rows.iter().cloned(), eps);
+            assert_eq!(
+                report.invalid_steps,
+                0,
+                "{} produced {} invalid steps on the {regime} workload",
+                monitor.name(),
+                report.invalid_steps
+            );
+            assert_eq!(report.steps, STEPS as u64);
+            assert_eq!(monitor.output().len(), K);
+        }
+    }
+}
+
+#[test]
+fn exact_monitors_track_the_exact_top_k() {
+    let eps = Epsilon::TENTH;
+    for (regime, rows) in workloads(eps) {
+        let mut monitor = ExactTopKMonitor::new(K);
+        let mut net = DeterministicEngine::new(N, 3);
+        let report = run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps);
+        assert_eq!(
+            report.inexact_steps, 0,
+            "exact monitor deviated from the exact top-k on the {regime} workload"
+        );
+    }
+}
+
+#[test]
+fn all_monitors_beat_naive_polling() {
+    let eps = Epsilon::TENTH;
+    let naive = (N * STEPS * 2) as u64;
+    for (regime, rows) in workloads(eps) {
+        for mut monitor in monitors(eps) {
+            let mut net = DeterministicEngine::new(N, 13);
+            let report = run_on_rows(monitor.as_mut(), &mut net, rows.iter().cloned(), eps);
+            assert!(
+                report.messages() < naive,
+                "{} used {} messages on {regime}, naive polling needs {naive}",
+                monitor.name(),
+                report.messages()
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_epsilon_never_hurts_much_on_dense_inputs() {
+    // On a dense oscillation, a larger error budget must reduce (or at least not
+    // blow up) the communication of the combined algorithm.
+    let tight = Epsilon::new(1, 100).unwrap();
+    let loose = Epsilon::new(1, 4).unwrap();
+    let rows: Vec<Vec<u64>> = NoiseOscillationWorkload::new(N, 2, 10, 1 << 18, loose, 9)
+        .generate(STEPS)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let run = |eps: Epsilon| {
+        let mut net = DeterministicEngine::new(N, 21);
+        let mut monitor = CombinedMonitor::new(K, eps);
+        run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps)
+    };
+    let tight_report = run(tight);
+    let loose_report = run(loose);
+    assert_eq!(loose_report.invalid_steps, 0);
+    assert!(
+        loose_report.messages() <= tight_report.messages() * 2,
+        "loose ε ({}) should not cost much more than tight ε ({})",
+        loose_report.messages(),
+        tight_report.messages()
+    );
+}

@@ -1,0 +1,70 @@
+//! The deterministic engine and the threaded (crossbeam-channel) engine must
+//! produce identical message counts and identical outputs for the same seed —
+//! the protocols cannot tell which transport they run on.
+
+use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
+use topk_gen::{NoiseOscillationWorkload, RandomWalkWorkload, Workload};
+use topk_model::Epsilon;
+use topk_net::{DeterministicEngine, Network, ThreadedEngine};
+
+fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>], eps: Epsilon) {
+    let n = rows[0].len();
+    let seed = 4242;
+
+    let mut det_monitor = make_monitor();
+    let mut det_net = DeterministicEngine::new(n, seed);
+    let det = run_on_rows(det_monitor.as_mut(), &mut det_net, rows.iter().cloned(), eps);
+
+    let mut thr_monitor = make_monitor();
+    let mut thr_net = ThreadedEngine::new(n, seed);
+    let thr = run_on_rows(thr_monitor.as_mut(), &mut thr_net, rows.iter().cloned(), eps);
+
+    assert_eq!(
+        det.messages(),
+        thr.messages(),
+        "{}: message counts differ between engines",
+        det_monitor.name()
+    );
+    assert_eq!(det.stats.rounds, thr.stats.rounds);
+    assert_eq!(det.invalid_steps, thr.invalid_steps);
+    assert_eq!(det_monitor.output(), thr_monitor.output());
+    // The filters visible at the end must agree as well.
+    assert_eq!(det_net.peek_filters(), thr_net.peek_filters());
+}
+
+#[test]
+fn engines_agree_for_exact_monitor() {
+    let rows: Vec<Vec<u64>> = RandomWalkWorkload::new(12, 10_000, 300, 0.7, 9)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    compare(
+        || Box::new(ExactTopKMonitor::new(3)),
+        &rows,
+        Epsilon::new(1, 1000).unwrap(),
+    );
+}
+
+#[test]
+fn engines_agree_for_topk_protocol() {
+    let eps = Epsilon::new(1, 4).unwrap();
+    let rows: Vec<Vec<u64>> = RandomWalkWorkload::new(12, 1 << 20, 5_000, 0.8, 11)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    compare(|| Box::new(TopKMonitor::new(3, eps)), &rows, eps);
+}
+
+#[test]
+fn engines_agree_for_combined_monitor_on_dense_input() {
+    let eps = Epsilon::TENTH;
+    let rows: Vec<Vec<u64>> = NoiseOscillationWorkload::new(16, 2, 8, 100_000, eps, 13)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    compare(|| Box::new(CombinedMonitor::new(4, eps)), &rows, eps);
+}

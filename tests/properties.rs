@@ -1,0 +1,81 @@
+//! Property-based integration tests: random traces, every monitor, always a
+//! valid output; plus determinism of the whole pipeline under a fixed seed.
+
+use proptest::prelude::*;
+use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
+use topk_model::Epsilon;
+use topk_net::DeterministicEngine;
+
+fn run_monitor(
+    mut monitor: Box<dyn Monitor>,
+    rows: &[Vec<u64>],
+    eps: Epsilon,
+    seed: u64,
+) -> (u64, u64) {
+    let n = rows[0].len();
+    let mut net = DeterministicEngine::new(n, seed);
+    let report = run_on_rows(monitor.as_mut(), &mut net, rows.iter().cloned(), eps);
+    (report.invalid_steps, report.messages())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every monitor maintains a valid ε-top-k output on arbitrary small traces.
+    #[test]
+    fn monitors_are_always_valid_on_random_traces(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1u64..10_000, 6),
+            3..20,
+        ),
+        k_seed in 1usize..6,
+        inv_eps in 2u32..16,
+        seed in 0u64..1000,
+    ) {
+        let k = 1 + (k_seed % 5).min(4); // 1..=5 < n = 6
+        let eps = Epsilon::new(1, inv_eps).unwrap();
+        let monitors: Vec<Box<dyn Monitor>> = vec![
+            Box::new(ExactTopKMonitor::new(k)),
+            Box::new(TopKMonitor::new(k, eps)),
+            Box::new(DenseMonitor::new(k, eps)),
+            Box::new(CombinedMonitor::new(k, eps)),
+            Box::new(HalfEpsMonitor::new(k, eps)),
+        ];
+        for monitor in monitors {
+            let name = monitor.name();
+            let (invalid, _) = run_monitor(monitor, &rows, eps, seed);
+            prop_assert_eq!(invalid, 0, "{} produced invalid outputs", name);
+        }
+    }
+
+    /// The exact monitor tracks the exact top-k on arbitrary traces.
+    #[test]
+    fn exact_monitor_is_exact_on_random_traces(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000, 5),
+            2..15,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let mut net = DeterministicEngine::new(5, seed);
+        let mut monitor = ExactTopKMonitor::new(2);
+        let report = run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), Epsilon::new(1, 1_000_000).unwrap());
+        prop_assert_eq!(report.inexact_steps, 0);
+    }
+
+    /// The entire pipeline is deterministic under a fixed seed.
+    #[test]
+    fn runs_are_deterministic(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1u64..100_000, 8),
+            2..12,
+        ),
+        seed in 0u64..100,
+    ) {
+        let eps = Epsilon::TENTH;
+        let a = run_monitor(Box::new(CombinedMonitor::new(3, eps)), &rows, eps, seed);
+        let b = run_monitor(Box::new(CombinedMonitor::new(3, eps)), &rows, eps, seed);
+        prop_assert_eq!(a, b);
+    }
+}
