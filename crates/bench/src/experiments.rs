@@ -7,9 +7,7 @@
 
 use crate::table::{f2, ExperimentTable};
 use topk_core::monitor::{run_adaptive, run_on_rows, Monitor, RunReport};
-use topk_core::{
-    CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor,
-};
+use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
 use topk_gen::{
     AdaptiveWorkload, GapWorkload, LowerBoundAdversary, NoiseOscillationWorkload,
     RandomWalkWorkload, Workload,
@@ -83,10 +81,8 @@ pub fn e1_existence(scale: Scale) -> ExperimentTable {
                     *v = 100;
                 }
                 net.advance_time(&values);
-                let _ = topk_core::existence::existence(
-                    &mut net,
-                    ExistencePredicate::GreaterThan(50),
-                );
+                let _ =
+                    topk_core::existence::existence(&mut net, ExistencePredicate::GreaterThan(50));
                 let stats = net.stats();
                 total_msgs += stats.total_messages();
                 total_rounds += stats.rounds;
@@ -129,12 +125,7 @@ pub fn e2_maximum(scale: Scale) -> ExperimentTable {
         }
         let mean = total as f64 / scale.trials() as f64;
         let log_n = (n as f64).log2();
-        table.push_row(vec![
-            n.to_string(),
-            f2(mean),
-            f2(log_n),
-            f2(mean / log_n),
-        ]);
+        table.push_row(vec![n.to_string(), f2(mean), f2(log_n), f2(mean / log_n)]);
     }
     table
 }
@@ -149,7 +140,15 @@ pub fn e3_exact_topk(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E3",
         "Exact top-k monitor vs exact OPT (Corollary 3.3: O(k log n + log delta))",
-        &["n", "k", "delta", "msgs", "opt lower", "ratio", "k*log2(n)+log2(delta)"],
+        &[
+            "n",
+            "k",
+            "delta",
+            "msgs",
+            "opt lower",
+            "ratio",
+            "k*log2(n)+log2(delta)",
+        ],
     );
     let deltas: &[u64] = match scale {
         Scale::Small => &[1 << 10, 1 << 16],
@@ -193,7 +192,16 @@ pub fn e4_topk_protocol(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E4",
         "TopKProtocol vs exact OPT (Theorem 4.5: O(k log n + log log delta + log 1/eps))",
-        &["n", "k", "delta", "eps", "msgs", "opt lower", "ratio", "bound"],
+        &[
+            "n",
+            "k",
+            "delta",
+            "eps",
+            "msgs",
+            "opt lower",
+            "ratio",
+            "bound",
+        ],
     );
     let deltas: &[u64] = match scale {
         Scale::Small => &[1 << 16],
@@ -242,7 +250,15 @@ pub fn e5_lower_bound(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E5",
         "Lower-bound instance (Theorem 5.1): forced ratio grows like sigma/k",
-        &["n", "k", "sigma", "online msgs", "offline bound", "ratio", "sigma/k"],
+        &[
+            "n",
+            "k",
+            "sigma",
+            "online msgs",
+            "offline bound",
+            "ratio",
+            "sigma/k",
+        ],
     );
     let configs: &[(usize, usize, usize)] = match scale {
         Scale::Small => &[(24, 2, 12), (24, 2, 20)],
@@ -298,7 +314,13 @@ pub fn e6_dense(scale: Scale) -> ExperimentTable {
         "E6",
         "DenseProtocol vs eps-approximate OPT (Theorem 5.8)",
         &[
-            "n", "k", "sigma", "dense msgs", "combined msgs", "exact msgs", "opt(eps) lower",
+            "n",
+            "k",
+            "sigma",
+            "dense msgs",
+            "combined msgs",
+            "exact msgs",
+            "opt(eps) lower",
             "dense ratio",
         ],
     );
@@ -345,7 +367,13 @@ pub fn e7_half_eps(scale: Scale) -> ExperimentTable {
         "E7",
         "Half-eps algorithm vs eps/2-approximate OPT (Corollary 5.9)",
         &[
-            "n", "k", "sigma", "half-eps msgs", "dense msgs", "opt(eps/2) lower", "half-eps ratio",
+            "n",
+            "k",
+            "sigma",
+            "half-eps msgs",
+            "dense msgs",
+            "opt(eps/2) lower",
+            "half-eps ratio",
         ],
     );
     let sigmas: &[usize] = match scale {
@@ -395,7 +423,13 @@ pub fn e8_crossover(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E8",
         "Exact midpoint vs TopKProtocol against a filter prober (log vs log log)",
-        &["delta", "exact msgs", "topk-protocol msgs", "log2(delta)", "log2 log2(delta)"],
+        &[
+            "delta",
+            "exact msgs",
+            "topk-protocol msgs",
+            "log2(delta)",
+            "log2 log2(delta)",
+        ],
     );
     let deltas: &[u64] = match scale {
         Scale::Small => &[1 << 12, 1 << 24],
@@ -476,7 +510,10 @@ mod tests {
         let small: f64 = t.rows[0][1].parse().unwrap();
         let large: f64 = t.rows[1][1].parse().unwrap();
         // 8x more nodes must cost far less than 8x more messages.
-        assert!(large < small * 4.0, "maximum protocol not logarithmic: {small} -> {large}");
+        assert!(
+            large < small * 4.0,
+            "maximum protocol not logarithmic: {small} -> {large}"
+        );
     }
 
     #[test]

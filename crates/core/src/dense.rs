@@ -143,6 +143,11 @@ pub struct DenseMonitor {
     part: Vec<Part>,
     dense_s1: Vec<bool>,
     dense_s2: Vec<bool>,
+    /// The group most recently *sent* to each node (unicast or broadcast). The
+    /// server must restore groups by diffing against this — not against the
+    /// current flag vectors — because the sub-protocol resets its flags in bulk
+    /// without telling the nodes (see [`DenseMonitor::end_sub`]).
+    sent_groups: Vec<NodeGroup>,
     /// Nodes the server has seen (via reports this round) above `u_r` / below `ℓ_r`.
     observed_above: Vec<bool>,
     observed_below: Vec<bool>,
@@ -169,6 +174,7 @@ impl DenseMonitor {
             part: Vec::new(),
             dense_s1: Vec::new(),
             dense_s2: Vec::new(),
+            sent_groups: Vec::new(),
             observed_above: Vec::new(),
             observed_below: Vec::new(),
             sub: None,
@@ -258,7 +264,9 @@ impl DenseMonitor {
 
     /// Unicasts the node's current group (after a membership change).
     fn push_group(&mut self, net: &mut dyn Network, i: usize) {
-        net.assign_group(NodeId(i), self.visible_group(i));
+        let group = self.visible_group(i);
+        self.sent_groups[i] = group;
+        net.assign_group(NodeId(i), group);
     }
 
     /// Broadcasts the current round parameters.
@@ -300,11 +308,9 @@ impl DenseMonitor {
         // promoted individually — this is the "probe all nodes in the
         // ε-neighbourhood" step of Lemma 5.3, O((k + σ) log n) expected messages.
         net.broadcast_group(NodeGroup::V3);
+        self.sent_groups = vec![NodeGroup::V3; n];
         let mut upper: Option<(Value, NodeId)> = None;
-        loop {
-            let Some((node, value)) = crate::maximum::find_max_below(net, upper) else {
-                break;
-            };
+        while let Some((node, value)) = crate::maximum::find_max_below(net, upper) {
             if self.eps.clearly_smaller(value, self.z) {
                 break;
             }
@@ -326,11 +332,16 @@ impl DenseMonitor {
     /// per-round observation counters and re-broadcast. If `L` becomes empty the
     /// instance terminates and a new one starts.
     fn new_dense_round(&mut self, net: &mut dyn Network, half: Half, clear: Clear) {
+        self.clear_flags(clear);
+        self.sync_groups(net);
+        self.advance_dense_round(net, half);
+    }
+
+    /// Halves `L`, resets the per-round observation counters and re-broadcasts
+    /// (or restarts the instance when `L` becomes empty). Group changes must
+    /// already have been pushed.
+    fn advance_dense_round(&mut self, net: &mut dyn Network, half: Half) {
         self.interval = self.interval.halved(half);
-        match clear {
-            Clear::S1 => self.clear_dense_flags(net, true),
-            Clear::S2 => self.clear_dense_flags(net, false),
-        }
         self.observed_above.iter_mut().for_each(|b| *b = false);
         self.observed_below.iter_mut().for_each(|b| *b = false);
         if self.interval.is_empty() {
@@ -341,20 +352,24 @@ impl DenseMonitor {
         }
     }
 
-    /// Clears `S₁` (if `s1` is true) or `S₂`, unicasting the new group to every
-    /// node whose membership actually changed.
-    fn clear_dense_flags(&mut self, net: &mut dyn Network, s1: bool) {
+    /// Clears the dense-level `S₁` or `S₂` flags without notifying nodes.
+    fn clear_flags(&mut self, clear: Clear) {
+        let flags = match clear {
+            Clear::S1 => &mut self.dense_s1,
+            Clear::S2 => &mut self.dense_s2,
+        };
+        flags.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Unicasts the currently visible group to every `V₂` node whose node-side
+    /// group (the one last sent) differs from it. This is the single
+    /// reconciliation point after any bulk flag change — dense-level clears,
+    /// sub-protocol starts, bulk `S'`-resets and sub-protocol termination all
+    /// route through it, so server- and node-side state cannot diverge.
+    fn sync_groups(&mut self, net: &mut dyn Network) {
         for i in 0..self.part.len() {
-            let was_set = if s1 { self.dense_s1[i] } else { self.dense_s2[i] };
-            if was_set {
-                if s1 {
-                    self.dense_s1[i] = false;
-                } else {
-                    self.dense_s2[i] = false;
-                }
-                if self.part[i] == Part::V2 && self.sub.is_none() {
-                    self.push_group(net, i);
-                }
+            if self.part[i] == Part::V2 && self.sent_groups[i] != self.visible_group(i) {
+                self.push_group(net, i);
             }
         }
     }
@@ -400,14 +415,7 @@ impl DenseMonitor {
         // The sub-protocol's filters differ from the dense ones for the nodes
         // whose S'-flags differ from their dense S-flags (only dense-S₂ members
         // and the initiator, because S'₁ starts as S₁ and S'₂ as {initiator}).
-        for i in 0..n {
-            if self.part[i] == Part::V2 {
-                let sub = self.sub.as_ref().expect("just set");
-                if self.dense_s2[i] != sub.s2p[i] || self.dense_s1[i] != sub.s1p[i] {
-                    self.push_group(net, i);
-                }
-            }
-        }
+        self.sync_groups(net);
         self.push_params(net);
         net.meter().pop_label();
     }
@@ -415,18 +423,25 @@ impl DenseMonitor {
     /// Terminates the sub-protocol, restores the dense-level groups and applies
     /// the dense-level action the terminating case prescribes.
     fn end_sub(&mut self, net: &mut dyn Network, dense_action: Option<(Half, Clear)>) {
-        let Some(sub) = self.sub.take() else { return };
-        // Restore dense-level S-flags for every V2 node whose visible group
-        // changes back.
-        for i in 0..self.part.len() {
-            if self.part[i] == Part::V2
-                && (sub.s1p[i] != self.dense_s1[i] || sub.s2p[i] != self.dense_s2[i])
-            {
-                self.push_group(net, i);
-            }
+        if self.sub.take().is_none() {
+            return;
         }
+        // Apply the dense-level flag clear *before* restoring groups, so the
+        // single diff below targets the groups the next round will actually
+        // use (clearing afterwards would unicast some nodes twice).
+        if let Some((_, clear)) = dense_action {
+            self.clear_flags(clear);
+        }
+        // Restore dense-level S-flags for every V2 node whose *node-side* group
+        // differs from the dense-level one. The diff must run against the groups
+        // actually sent (`sent_groups`), not against the sub-protocol's final
+        // flag vectors: cases 3.b.1 and 3.d.2 reset `S'₁`/`S'₂` in bulk without
+        // notifying the nodes, so the final flags may coincide with the dense
+        // flags while a node still holds a stale earlier assignment — leaving it
+        // with a too-wide filter that silently misses violations.
+        self.sync_groups(net);
         match dense_action {
-            Some((half, clear)) => self.new_dense_round(net, half, clear),
+            Some((half, _)) => self.advance_dense_round(net, half),
             None => self.push_params(net),
         }
     }
@@ -441,11 +456,7 @@ impl DenseMonitor {
     ) {
         let k = self.k;
         let n = self.part.len();
-        let initiator = self
-            .sub
-            .as_ref()
-            .map(|s| s.initiator)
-            .unwrap_or(NodeId(i));
+        let initiator = self.sub.as_ref().map(|s| s.initiator).unwrap_or(NodeId(i));
         match (self.part[i], direction) {
             // Case a: a V1 node fell below ℓ_r → ℓ* < ℓ_r.
             (Part::V1, Violation::FromAbove) => {
@@ -514,7 +525,7 @@ impl DenseMonitor {
                             self.end_sub(net, None);
                         } else {
                             // Push the cleared S'2 flags and the new sub round.
-                            self.refresh_sub_groups(net);
+                            self.sync_groups(net);
                             self.push_params(net);
                         }
                     }
@@ -544,7 +555,7 @@ impl DenseMonitor {
             self.move_node(net, victim.index(), Part::V3);
             self.end_sub(net, None);
         } else {
-            self.refresh_sub_groups(net);
+            self.sync_groups(net);
             self.push_params(net);
         }
     }
@@ -560,16 +571,6 @@ impl DenseMonitor {
             }
         }
         self.push_group(net, i);
-    }
-
-    /// Unicasts the group of every V2 node (used after bulk S'-resets, whose
-    /// membership changes the nodes cannot infer from the broadcast alone).
-    fn refresh_sub_groups(&mut self, net: &mut dyn Network) {
-        for i in 0..self.part.len() {
-            if self.part[i] == Part::V2 {
-                self.push_group(net, i);
-            }
-        }
     }
 
     // ------------------------------------------------------------------
@@ -782,7 +783,11 @@ mod tests {
         let mut i = Interval::new(0, 1_000_000);
         let mut rounds = 0;
         while !i.is_empty() {
-            i = i.halved(if rounds % 2 == 0 { Half::Lower } else { Half::Upper });
+            i = i.halved(if rounds % 2 == 0 {
+                Half::Lower
+            } else {
+                Half::Upper
+            });
             rounds += 1;
             assert!(rounds < 64);
         }

@@ -252,9 +252,7 @@ mod tests {
 
     #[test]
     fn works_on_the_threaded_engine() {
-        let rows: Vec<Vec<Value>> = (0..20)
-            .map(|t| vec![100 + t, 50, 10, 200 - t])
-            .collect();
+        let rows: Vec<Vec<Value>> = (0..20).map(|t| vec![100 + t, 50, 10, 200 - t]).collect();
         let mut net = ThreadedEngine::new(4, 9);
         let mut monitor = ExactTopKMonitor::new(2);
         let report = run_on_rows(&mut monitor, &mut net, rows, Epsilon::new(1, 1000).unwrap());

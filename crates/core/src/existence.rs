@@ -123,7 +123,11 @@ mod tests {
         let before = net.stats().total_messages();
         let out = any_above(&mut net, 100);
         assert!(!out.exists());
-        assert_eq!(net.stats().total_messages(), before, "silent run must be free");
+        assert_eq!(
+            net.stats().total_messages(),
+            before,
+            "silent run must be free"
+        );
         // But it still uses its round budget.
         assert_eq!(net.stats().rounds, u64::from(round_budget(64)));
     }
@@ -164,7 +168,11 @@ mod tests {
         assert!(!reports.is_empty());
         for r in &reports {
             match *r {
-                NodeMessage::ViolationReport { node, value, direction } => {
+                NodeMessage::ViolationReport {
+                    node,
+                    value,
+                    direction,
+                } => {
                     if node == NodeId(0) {
                         assert_eq!(value, 10);
                         assert_eq!(direction, Violation::FromAbove);

@@ -131,16 +131,20 @@ impl HalfEpsMonitor {
         self.part = vec![Part::V3; n];
         net.broadcast_group(NodeGroup::V3);
         let mut upper: Option<(Value, NodeId)> = None;
-        loop {
-            let Some((node, value)) = crate::maximum::find_max_below(net, upper) else {
-                break;
-            };
+        while let Some((node, value)) = crate::maximum::find_max_below(net, upper) {
             if value < self.l0 {
                 break;
             }
             let i = node.index();
             self.part[i] = if value > self.u0 { Part::V1 } else { Part::V2 };
-            net.assign_group(node, if value > self.u0 { NodeGroup::V1 } else { NodeGroup::V2_PLAIN });
+            net.assign_group(
+                node,
+                if value > self.u0 {
+                    NodeGroup::V1
+                } else {
+                    NodeGroup::V2_PLAIN
+                },
+            );
             upper = Some((value, node));
         }
         net.broadcast_params(FilterParams::Dense {

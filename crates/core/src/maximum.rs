@@ -115,7 +115,11 @@ mod tests {
         net.advance_time(&[7, 9, 9, 9, 2]);
         let (node, value) = find_max(&mut net).unwrap();
         assert_eq!(value, 9);
-        assert_eq!(node, NodeId(1), "smallest id among ties has the highest rank");
+        assert_eq!(
+            node,
+            NodeId(1),
+            "smallest id among ties has the highest rank"
+        );
     }
 
     #[test]

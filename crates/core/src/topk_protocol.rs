@@ -275,12 +275,7 @@ mod tests {
     use topk_gen::{GapWorkload, RandomWalkWorkload, Workload};
     use topk_net::DeterministicEngine;
 
-    fn drive(
-        rows: Vec<Vec<Value>>,
-        k: usize,
-        eps: Epsilon,
-        seed: u64,
-    ) -> (RunReport, TopKMonitor) {
+    fn drive(rows: Vec<Vec<Value>>, k: usize, eps: Epsilon, seed: u64) -> (RunReport, TopKMonitor) {
         let n = rows[0].len();
         let mut net = DeterministicEngine::new(n, seed);
         let mut monitor = TopKMonitor::new(k, eps);

@@ -176,7 +176,7 @@ mod tests {
     fn drops_target_nodes_with_binding_filters() {
         let eps = Epsilon::HALF;
         let mut adv = LowerBoundAdversary::new(8, 2, 6, 1000, eps);
-        let mut row = adv.next_step_adaptive(&vec![Filter::FULL; 8]);
+        let mut row = adv.next_step_adaptive(&[Filter::FULL; 8]);
         let mut drops = 0;
         for _ in 0..(6 - 2) {
             let filters = filters_for(&row, 2, 1000);
@@ -213,7 +213,7 @@ mod tests {
         let mut adv = LowerBoundAdversary::new(6, 1, 4, 1000, eps);
         let initial_bound = adv.offline_cost_bound();
         assert_eq!(initial_bound, 2); // (0 completed + 1) * (k+1)
-        // Run two full phases.
+                                      // Run two full phases.
         let steps = 1 + 2 * (adv.drops_per_phase() + 1);
         for _ in 0..steps {
             let filters = vec![Filter::at_least(adv.y0()); 6];

@@ -135,7 +135,10 @@ mod tests {
             w.next_step();
         }
         let later = w.next_step()[0];
-        assert!(later > first, "drift must push values up ({first} -> {later})");
+        assert!(
+            later > first,
+            "drift must push values up ({first} -> {later})"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
             }
             // The low nodes are clearly smaller.
             for i in 15..30 {
-                assert!(view.clearly_smaller(NodeId(i)), "node {i} not clearly smaller");
+                assert!(
+                    view.clearly_smaller(NodeId(i)),
+                    "node {i} not clearly smaller"
+                );
             }
         }
     }
@@ -148,7 +151,10 @@ mod tests {
                 TopKView::new(&row, k, eps).unique_output()
             })
             .count();
-        assert_eq!(unique_steps, 0, "dense workload must not produce unique outputs");
+        assert_eq!(
+            unique_steps, 0,
+            "dense workload must not produce unique outputs"
+        );
     }
 
     #[test]

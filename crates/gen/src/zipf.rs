@@ -54,7 +54,10 @@ impl ZipfLoadWorkload {
     ) -> Self {
         assert!(n > 0, "need at least one node");
         assert!(peak_load > 0, "peak load must be positive");
-        assert!((0.0..=1.0).contains(&burst_prob), "burst_prob must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&burst_prob),
+            "burst_prob must be a probability"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut ranks: Vec<usize> = (0..n).collect();
         ranks.shuffle(&mut rng);
@@ -105,7 +108,11 @@ impl Workload for ZipfLoadWorkload {
             } else if self.rng.gen_bool(self.burst_prob) {
                 self.burst_remaining[i] = self.rng.gen_range(5..=20);
             }
-            let burst = if self.burst_remaining[i] > 0 { 4.0 } else { 1.0 };
+            let burst = if self.burst_remaining[i] > 0 {
+                4.0
+            } else {
+                1.0
+            };
             let noise = self.rng.gen_range(0.9..1.1);
             let load = self.base[i] * self.scale * season * burst * noise;
             out.push(load.max(1.0) as Value);
@@ -143,7 +150,10 @@ mod tests {
         let b = bursty.next_step();
         let q_total: u64 = q.iter().sum();
         let b_total: u64 = b.iter().sum();
-        assert!(b_total > 2 * q_total, "bursts should raise total load substantially");
+        assert!(
+            b_total > 2 * q_total,
+            "bursts should raise total load substantially"
+        );
     }
 
     #[test]

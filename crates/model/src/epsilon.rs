@@ -50,7 +50,10 @@ impl Epsilon {
     ///
     /// Panics if `j == 0` or `j > 31`.
     pub fn pow2_inverse(j: u32) -> Self {
-        assert!(j >= 1 && j <= 31, "2^-j only supported for 1 <= j <= 31");
+        assert!(
+            (1..=31).contains(&j),
+            "2^-j only supported for 1 <= j <= 31"
+        );
         Epsilon {
             num: 1,
             den: 1u32 << j,

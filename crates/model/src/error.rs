@@ -118,13 +118,7 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(ModelError, &str)> = vec![
             (ModelError::InvalidEpsilon { num: 3, den: 2 }, "3/2"),
-            (
-                ModelError::EmptyFilter {
-                    lo: 5,
-                    hi: Some(3),
-                },
-                "[5, 3]",
-            ),
+            (ModelError::EmptyFilter { lo: 5, hi: Some(3) }, "[5, 3]"),
             (ModelError::InvalidK { k: 0, n: 4 }, "k = 0"),
             (ModelError::EmptyTrace, "no nodes"),
             (

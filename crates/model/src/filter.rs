@@ -68,7 +68,10 @@ impl Filter {
 
     /// Creates the filter `[0, hi]`.
     pub fn at_most(hi: Value) -> Filter {
-        Filter { lo: 0, hi: Some(hi) }
+        Filter {
+            lo: 0,
+            hi: Some(hi),
+        }
     }
 
     /// Lower bound `ℓ`.
@@ -354,8 +357,8 @@ mod tests {
     fn display_formats() {
         assert_eq!(Filter::bounded(1, 2).unwrap().to_string(), "[1, 2]");
         assert_eq!(Filter::at_least(3).to_string(), "[3, ∞)");
-        assert_eq!(Violation::FromBelow.to_string().contains("below"), true);
-        assert_eq!(Violation::FromAbove.to_string().contains("above"), true);
+        assert!(Violation::FromBelow.to_string().contains("below"));
+        assert!(Violation::FromAbove.to_string().contains("above"));
     }
 
     #[test]

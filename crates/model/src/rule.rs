@@ -58,7 +58,15 @@ impl NodeGroup {
     /// constraint `|F(t)| = k`; this helper only answers for the unambiguous
     /// groups and treats `V2` as "eligible".
     pub fn output_eligible(&self) -> bool {
-        !matches!(self, NodeGroup::Lower | NodeGroup::V3 | NodeGroup::V2 { s2: true, s1: false })
+        !matches!(
+            self,
+            NodeGroup::Lower
+                | NodeGroup::V3
+                | NodeGroup::V2 {
+                    s2: true,
+                    s1: false
+                }
+        )
     }
 }
 
@@ -135,7 +143,15 @@ pub fn filter_for(group: NodeGroup, params: &FilterParams) -> Filter {
 
         (FilterParams::Dense { l_r, .. }, NodeGroup::V1) => Filter::at_least(l_r),
         (FilterParams::Dense { u_r, .. }, NodeGroup::V3) => Filter::at_most(u_r),
-        (FilterParams::Dense { l_r, u_r, z_lo, z_hi }, NodeGroup::V2 { s1, s2 }) => {
+        (
+            FilterParams::Dense {
+                l_r,
+                u_r,
+                z_lo,
+                z_hi,
+            },
+            NodeGroup::V2 { s1, s2 },
+        ) => {
             match (s1, s2) {
                 // V2 ∩ S1 (only): [ℓ_r, z/(1−ε)]
                 (true, false) => bounded_or_singleton(l_r, z_hi),
@@ -150,12 +166,8 @@ pub fn filter_for(group: NodeGroup, params: &FilterParams) -> Filter {
                 (true, true) => bounded_or_singleton(z_lo, z_hi),
             }
         }
-        (FilterParams::Dense { l_r, u_r, .. }, NodeGroup::Upper) => {
-            bounded_or_singleton(l_r, u_r)
-        }
-        (FilterParams::Dense { l_r, u_r, .. }, NodeGroup::Lower) => {
-            bounded_or_singleton(l_r, u_r)
-        }
+        (FilterParams::Dense { l_r, u_r, .. }, NodeGroup::Upper) => bounded_or_singleton(l_r, u_r),
+        (FilterParams::Dense { l_r, u_r, .. }, NodeGroup::Lower) => bounded_or_singleton(l_r, u_r),
 
         (FilterParams::SubDense { l_r, .. }, NodeGroup::V1) => Filter::at_least(l_r),
         (FilterParams::SubDense { u_rp, .. }, NodeGroup::V3) => Filter::at_most(u_rp),
@@ -236,7 +248,13 @@ mod tests {
         assert_eq!(filter_for(NodeGroup::V1, &p), Filter::at_least(80));
         assert_eq!(filter_for(NodeGroup::V3, &p), Filter::at_most(160));
         assert_eq!(
-            filter_for(NodeGroup::V2 { s1: true, s2: false }, &p),
+            filter_for(
+                NodeGroup::V2 {
+                    s1: true,
+                    s2: false
+                },
+                &p
+            ),
             Filter::bounded(80, 200).unwrap()
         );
         assert_eq!(
@@ -244,7 +262,13 @@ mod tests {
             Filter::bounded(80, 160).unwrap()
         );
         assert_eq!(
-            filter_for(NodeGroup::V2 { s1: false, s2: true }, &p),
+            filter_for(
+                NodeGroup::V2 {
+                    s1: false,
+                    s2: true
+                },
+                &p
+            ),
             Filter::bounded(50, 160).unwrap()
         );
         assert_eq!(
@@ -267,7 +291,13 @@ mod tests {
         assert_eq!(filter_for(NodeGroup::V1, &p), Filter::at_least(80));
         assert_eq!(filter_for(NodeGroup::V3, &p), Filter::at_most(120));
         assert_eq!(
-            filter_for(NodeGroup::V2 { s1: true, s2: false }, &p),
+            filter_for(
+                NodeGroup::V2 {
+                    s1: true,
+                    s2: false
+                },
+                &p
+            ),
             Filter::bounded(80, 200).unwrap()
         );
         assert_eq!(
@@ -279,7 +309,13 @@ mod tests {
             Filter::bounded(80, 120).unwrap()
         );
         assert_eq!(
-            filter_for(NodeGroup::V2 { s1: false, s2: true }, &p),
+            filter_for(
+                NodeGroup::V2 {
+                    s1: false,
+                    s2: true
+                },
+                &p
+            ),
             Filter::bounded(50, 120).unwrap()
         );
     }
@@ -298,7 +334,13 @@ mod tests {
             Filter::bounded(5, 5).unwrap()
         );
         assert_eq!(
-            filter_for(NodeGroup::V2 { s1: true, s2: false }, &p),
+            filter_for(
+                NodeGroup::V2 {
+                    s1: true,
+                    s2: false
+                },
+                &p
+            ),
             Filter::bounded(3, 3).unwrap()
         );
     }
@@ -310,8 +352,16 @@ mod tests {
         assert!(NodeGroup::V1.output_eligible());
         assert!(!NodeGroup::V3.output_eligible());
         assert!(NodeGroup::V2_PLAIN.output_eligible());
-        assert!(NodeGroup::V2 { s1: true, s2: false }.output_eligible());
-        assert!(!NodeGroup::V2 { s1: false, s2: true }.output_eligible());
+        assert!(NodeGroup::V2 {
+            s1: true,
+            s2: false
+        }
+        .output_eligible());
+        assert!(!NodeGroup::V2 {
+            s1: false,
+            s2: true
+        }
+        .output_eligible());
         assert!(NodeGroup::V2 { s1: true, s2: true }.output_eligible());
     }
 }

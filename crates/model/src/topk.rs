@@ -77,9 +77,7 @@ impl TopKView {
             values.len()
         );
         let mut order: Vec<NodeId> = NodeId::all(values.len()).collect();
-        order.sort_by(|&a, &b| {
-            value_order((values[b.index()], b), (values[a.index()], a))
-        });
+        order.sort_by(|&a, &b| value_order((values[b.index()], b), (values[a.index()], a)));
         TopKView {
             values: values.to_vec(),
             order,

@@ -22,7 +22,9 @@ impl DeterministicEngine {
     /// Creates an engine with `n` nodes whose RNGs are derived from `master_seed`.
     pub fn new(n: usize, master_seed: u64) -> DeterministicEngine {
         DeterministicEngine {
-            nodes: NodeId::all(n).map(|id| SimNode::new(id, master_seed)).collect(),
+            nodes: NodeId::all(n)
+                .map(|id| SimNode::new(id, master_seed))
+                .collect(),
             meter: CostMeter::new(),
         }
     }

@@ -177,14 +177,18 @@ mod tests {
         n.handle(&ServerMessage::AssignFilter(Filter::at_least(200)));
         assert_eq!(n.pending_violation(), Some(Violation::FromAbove));
         // A containing filter clears the pending violation.
-        n.handle(&ServerMessage::AssignFilter(Filter::bounded(50, 150).unwrap()));
+        n.handle(&ServerMessage::AssignFilter(
+            Filter::bounded(50, 150).unwrap(),
+        ));
         assert_eq!(n.pending_violation(), None);
     }
 
     #[test]
     fn observation_after_filter_triggers_violation() {
         let mut n = node();
-        n.handle(&ServerMessage::AssignFilter(Filter::bounded(10, 20).unwrap()));
+        n.handle(&ServerMessage::AssignFilter(
+            Filter::bounded(10, 20).unwrap(),
+        ));
         n.observe(15);
         assert_eq!(n.pending_violation(), None);
         n.observe(25);
@@ -247,14 +251,19 @@ mod tests {
         });
         assert!(matches!(
             reply,
-            Some(NodeMessage::ExistenceResponse { node: NodeId(0), value: 10 })
+            Some(NodeMessage::ExistenceResponse {
+                node: NodeId(0),
+                value: 10
+            })
         ));
     }
 
     #[test]
     fn existence_round_reports_violation_direction() {
         let mut n = node();
-        n.handle(&ServerMessage::AssignFilter(Filter::bounded(10, 20).unwrap()));
+        n.handle(&ServerMessage::AssignFilter(
+            Filter::bounded(10, 20).unwrap(),
+        ));
         n.observe(30);
         let reply = n.handle(&ServerMessage::ExistenceRound {
             round: 10,

@@ -1,8 +1,8 @@
 //! Channel-based, multi-threaded simulation engine.
 //!
 //! [`ThreadedEngine`] spawns one OS thread per node. Every interaction crosses a
-//! `crossbeam` channel: the server pushes [`ServerMessage`]s (wrapped in
-//! [`NodeCommand`]) into per-node command channels, and nodes answer over a
+//! `crossbeam` channel: the server pushes [`ServerMessage`]s (wrapped in the
+//! private `NodeCommand` envelope) into per-node command channels, and nodes answer over a
 //! shared reply channel. Each command is acknowledged with exactly one reply
 //! (possibly carrying no payload), which is how the engine realises the
 //! synchronous rounds of the model on top of asynchronous channels. The
@@ -70,7 +70,13 @@ impl ThreadedEngine {
                     match rx.recv() {
                         Ok(NodeCommand::Observe(v)) => {
                             node.observe(v);
-                            if reply_tx.send(Ack { node: id, reply: None }).is_err() {
+                            if reply_tx
+                                .send(Ack {
+                                    node: id,
+                                    reply: None,
+                                })
+                                .is_err()
+                            {
                                 break;
                             }
                         }
@@ -170,7 +176,8 @@ impl Network for ThreadedEngine {
         if let Some(p) = self.mirror_params {
             self.mirror_filters[node.index()] = filter_for(group, &p);
         }
-        let reply = self.unicast_command(node, NodeCommand::Server(ServerMessage::AssignGroup(group)));
+        let reply =
+            self.unicast_command(node, NodeCommand::Server(ServerMessage::AssignGroup(group)));
         debug_assert!(reply.is_none());
     }
 
@@ -190,8 +197,10 @@ impl Network for ThreadedEngine {
     fn assign_filter(&mut self, node: NodeId, filter: Filter) {
         self.meter.record(MessageKind::DownstreamUnicast);
         self.mirror_filters[node.index()] = filter;
-        let reply =
-            self.unicast_command(node, NodeCommand::Server(ServerMessage::AssignFilter(filter)));
+        let reply = self.unicast_command(
+            node,
+            NodeCommand::Server(ServerMessage::AssignFilter(filter)),
+        );
         debug_assert!(reply.is_none());
     }
 

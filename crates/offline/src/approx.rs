@@ -106,6 +106,8 @@ mod tests {
     #[test]
     fn invalid_k_propagates() {
         let trace = Trace::from_fn(2, 3, |_, i| i as Value);
-        assert!(ApproxOfflineOpt::new(0, Epsilon::HALF).cost(&trace).is_err());
+        assert!(ApproxOfflineOpt::new(0, Epsilon::HALF)
+            .cost(&trace)
+            .is_err());
     }
 }

@@ -19,9 +19,9 @@
 //! decomposition — these are the two bounds [`crate::OfflineCost`] reports.
 
 use serde::{Deserialize, Serialize};
+use topk_gen::Trace;
 use topk_model::prelude::*;
 use topk_model::ModelError;
-use topk_gen::Trace;
 
 /// One silent interval of the offline algorithm together with a witness output.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -246,12 +246,7 @@ mod tests {
     fn swap_forces_new_phase_in_exact_problem() {
         // Two nodes swapping leadership force the exact offline algorithm to
         // communicate, but the approximate one (large ε) can keep one output.
-        let rows = vec![
-            vec![100, 90],
-            vec![90, 100],
-            vec![100, 90],
-            vec![90, 100],
-        ];
+        let rows = vec![vec![100, 90], vec![90, 100], vec![100, 90], vec![90, 100]];
         let trace = Trace::new(rows).unwrap();
         let exact = decompose(&trace, 1, None).unwrap();
         assert_eq!(exact.len(), 4);
@@ -265,7 +260,12 @@ mod tests {
         let rows = vec![vec![110, 100], vec![90, 110], vec![110, 95], vec![88, 110]];
         let trace = Trace::new(rows).unwrap();
         assert_eq!(decompose(&trace, 1, Some(Epsilon::HALF)).unwrap().len(), 1);
-        assert!(decompose(&trace, 1, Some(Epsilon::new(1, 20).unwrap())).unwrap().len() > 1);
+        assert!(
+            decompose(&trace, 1, Some(Epsilon::new(1, 20).unwrap()))
+                .unwrap()
+                .len()
+                > 1
+        );
     }
 
     #[test]
@@ -282,8 +282,14 @@ mod tests {
     #[test]
     fn invalid_k_is_rejected() {
         let trace = Trace::from_fn(3, 3, |_, i| i as Value);
-        assert!(matches!(decompose(&trace, 0, None), Err(ModelError::InvalidK { .. })));
-        assert!(matches!(decompose(&trace, 3, None), Err(ModelError::InvalidK { .. })));
+        assert!(matches!(
+            decompose(&trace, 0, None),
+            Err(ModelError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            decompose(&trace, 3, None),
+            Err(ModelError::InvalidK { .. })
+        ));
     }
 
     #[test]

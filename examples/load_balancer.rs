@@ -49,7 +49,10 @@ fn main() {
         .expect("valid parameters");
 
     println!("Web cluster: {n} servers, top-{k} loads, {steps} steps, ε = {eps}");
-    println!("  σ (max servers within ε of the k-th load): {}", trace.sigma(k, eps));
+    println!(
+        "  σ (max servers within ε of the k-th load): {}",
+        trace.sigma(k, eps)
+    );
     println!();
     println!("  strategy              messages   msgs/step   vs naive");
     let line = |name: &str, msgs: u64| {

@@ -44,7 +44,11 @@ fn main() {
     let regimes: Vec<(&str, Vec<Vec<u64>>)> = vec![
         (
             "clear gap (unique output)",
-            GapWorkload::standard(n, k, 1 << 20, 3).generate(steps).iter().map(|(_, r)| r.to_vec()).collect(),
+            GapWorkload::standard(n, k, 1 << 20, 3)
+                .generate(steps)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect(),
         ),
         (
             "dense ε-neighbourhood",
@@ -64,12 +68,28 @@ fn main() {
         ),
     ];
 
-    let monitors: Vec<(&str, Box<dyn Fn() -> Box<dyn Monitor>>)> = vec![
-        ("exact-top-k", Box::new(move || Box::new(ExactTopKMonitor::new(k)))),
-        ("topk-protocol", Box::new(move || Box::new(TopKMonitor::new(k, eps)))),
-        ("dense-protocol", Box::new(move || Box::new(DenseMonitor::new(k, eps)))),
-        ("combined", Box::new(move || Box::new(CombinedMonitor::new(k, eps)))),
-        ("half-eps", Box::new(move || Box::new(HalfEpsMonitor::new(k, eps)))),
+    type MonitorFactory = Box<dyn Fn() -> Box<dyn Monitor>>;
+    let monitors: Vec<(&str, MonitorFactory)> = vec![
+        (
+            "exact-top-k",
+            Box::new(move || Box::new(ExactTopKMonitor::new(k))),
+        ),
+        (
+            "topk-protocol",
+            Box::new(move || Box::new(TopKMonitor::new(k, eps))),
+        ),
+        (
+            "dense-protocol",
+            Box::new(move || Box::new(DenseMonitor::new(k, eps))),
+        ),
+        (
+            "combined",
+            Box::new(move || Box::new(CombinedMonitor::new(k, eps))),
+        ),
+        (
+            "half-eps",
+            Box::new(move || Box::new(HalfEpsMonitor::new(k, eps))),
+        ),
     ];
 
     for (regime, rows) in &regimes {
@@ -81,7 +101,10 @@ fn main() {
             "  OPT lower bounds: exact ≥ {}, ε-approximate ≥ {}",
             exact_opt.lower_bound, approx_opt.lower_bound
         );
-        println!("  {:<16} {:>10} {:>12} {:>10}", "monitor", "messages", "msgs/step", "valid");
+        println!(
+            "  {:<16} {:>10} {:>12} {:>10}",
+            "monitor", "messages", "msgs/step", "valid"
+        );
         for (name, make) in &monitors {
             let det = run_with(make, rows, eps, false);
             let thr = run_with(make, rows, eps, true);

@@ -39,7 +39,10 @@ fn main() {
 
     println!("ε-Top-{k} monitoring of {n} streams over {steps} steps (ε = {eps})");
     println!("  online messages          : {}", report.messages());
-    println!("  messages per time step   : {:.3}", report.stats.messages_per_step());
+    println!(
+        "  messages per time step   : {:.3}",
+        report.stats.messages_per_step()
+    );
     println!("  offline (OPT) lower bound: {}", opt.lower_bound);
     println!(
         "  measured competitiveness : {:.2}",
@@ -51,5 +54,8 @@ fn main() {
         report.steps
     );
     println!("  current top-{k} nodes     : {:?}", monitor.output());
-    assert_eq!(report.invalid_steps, 0, "every output must be a valid ε-top-k set");
+    assert_eq!(
+        report.invalid_steps, 0,
+        "every output must be a valid ε-top-k set"
+    );
 }

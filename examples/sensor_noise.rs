@@ -43,16 +43,23 @@ fn main() {
     let approx_opt = ApproxOfflineOpt::new(k, eps).cost(&trace).unwrap();
 
     println!("Sensor field: {n} sensors, top-{k}, {steps} readings, ε = {eps}");
-    println!("  σ (sensors inside the noise band): {}", trace.sigma(k, eps));
+    println!(
+        "  σ (sensors inside the noise band): {}",
+        trace.sigma(k, eps)
+    );
     println!();
-    println!("  exact monitoring : {:>7} messages ({:.2}/step), OPT(exact) ≥ {}",
+    println!(
+        "  exact monitoring : {:>7} messages ({:.2}/step), OPT(exact) ≥ {}",
         exact_report.messages(),
         exact_report.stats.messages_per_step(),
-        exact_opt.lower_bound);
-    println!("  ε-approx (dense) : {:>7} messages ({:.2}/step), OPT(ε) ≥ {}",
+        exact_opt.lower_bound
+    );
+    println!(
+        "  ε-approx (dense) : {:>7} messages ({:.2}/step), OPT(ε) ≥ {}",
         dense_report.messages(),
         dense_report.stats.messages_per_step(),
-        approx_opt.lower_bound);
+        approx_opt.lower_bound
+    );
     println!();
     println!(
         "  tolerating the noise band saves a factor of {:.1} in communication",

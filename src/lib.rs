@@ -15,6 +15,7 @@
 //! * [`core`] — the paper's online protocols.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use topk_core as core;
 pub use topk_gen as gen;

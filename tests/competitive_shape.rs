@@ -3,7 +3,9 @@
 
 use topk_core::monitor::{run_adaptive, run_on_rows};
 use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, TopKMonitor};
-use topk_gen::{AdaptiveWorkload, GapWorkload, LowerBoundAdversary, NoiseOscillationWorkload, Trace, Workload};
+use topk_gen::{
+    AdaptiveWorkload, GapWorkload, LowerBoundAdversary, NoiseOscillationWorkload, Trace, Workload,
+};
 use topk_model::Epsilon;
 use topk_net::DeterministicEngine;
 use topk_offline::{ApproxOfflineOpt, ExactOfflineOpt};
@@ -113,6 +115,8 @@ fn offline_baseline_sanity_across_crates() {
     let exact = ExactOfflineOpt::new(3).cost(&trace).unwrap();
     assert_eq!(exact.phases, 1);
     assert_eq!(exact.upper_bound, 4);
-    let approx = ApproxOfflineOpt::new(3, Epsilon::HALF).cost(&trace).unwrap();
+    let approx = ApproxOfflineOpt::new(3, Epsilon::HALF)
+        .cost(&trace)
+        .unwrap();
     assert_eq!(approx.phases, 1);
 }

@@ -14,11 +14,21 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
 
     let mut det_monitor = make_monitor();
     let mut det_net = DeterministicEngine::new(n, seed);
-    let det = run_on_rows(det_monitor.as_mut(), &mut det_net, rows.iter().cloned(), eps);
+    let det = run_on_rows(
+        det_monitor.as_mut(),
+        &mut det_net,
+        rows.iter().cloned(),
+        eps,
+    );
 
     let mut thr_monitor = make_monitor();
     let mut thr_net = ThreadedEngine::new(n, seed);
-    let thr = run_on_rows(thr_monitor.as_mut(), &mut thr_net, rows.iter().cloned(), eps);
+    let thr = run_on_rows(
+        thr_monitor.as_mut(),
+        &mut thr_net,
+        rows.iter().cloned(),
+        eps,
+    );
 
     assert_eq!(
         det.messages(),

@@ -1,0 +1,39 @@
+//! Offline stand-in for `crossbeam-channel`, backed by [`std::sync::mpsc`].
+//!
+//! Only the surface this workspace uses is provided: [`unbounded`] channels
+//! with cloneable senders, blocking [`Sender::send`] and [`Receiver::recv`].
+//! `std`'s MPSC channel has exactly these semantics (FIFO per sender,
+//! disconnection errors on hang-up), so the stand-in is a thin re-export.
+
+#![warn(missing_docs)]
+
+pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_in_from_clones() {
+        let (tx, rx) = unbounded::<u32>();
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+}

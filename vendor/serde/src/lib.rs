@@ -1,0 +1,396 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` is a data-model-agnostic framework; this workspace only
+//! ever serialises to and from JSON, so the stand-in collapses the framework to
+//! two traits over a concrete JSON value tree ([`Json`]). The derive macros
+//! re-exported from [`serde_derive`] generate the externally-tagged encoding
+//! the real `serde`+`serde_json` pair would produce for the plain (attribute-
+//! free) structs and enums this workspace defines, so swapping the real crates
+//! back in is a manifest-only change.
+//!
+//! Only the API surface this workspace uses is provided:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs and enums,
+//! * the [`Serialize`] / [`Deserialize`] traits with impls for the primitive
+//!   types, `String`, `Option<T>`, `Vec<T>` and small tuples,
+//! * the [`Json`] tree and [`JsonError`] that `serde_json` (the sibling
+//!   stand-in) prints and parses.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON value tree — the single data model of the serde stand-in.
+///
+/// Integers keep their full 64-bit precision (`u64` values up to `2^64 - 1`
+/// round-trip exactly; they are never squeezed through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Borrows the object key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Error produced when a [`Json`] tree does not match the shape a
+/// [`Deserialize`] impl expects, or when `serde_json` fails to parse text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "wrong JSON shape for type `ty`" error.
+    pub fn type_error(ty: &str) -> JsonError {
+        JsonError::new(format!("JSON value does not match type `{ty}`"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A type that can be converted into a [`Json`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// A type that can be reconstructed from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the tree does not have the expected shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Looks up `key` in the field list of a struct object and deserialises it.
+/// Used by the derive-generated code.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the key is missing or its value has the wrong
+/// shape.
+pub fn field<T: Deserialize>(
+    pairs: &[(String, Json)],
+    key: &str,
+    ty: &str,
+) -> Result<T, JsonError> {
+    match pairs.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_json(v),
+        None => Err(JsonError::new(format!("missing field `{key}` in `{ty}`"))),
+    }
+}
+
+macro_rules! impl_json_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                match *v {
+                    Json::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| JsonError::type_error(stringify!($t))),
+                    _ => Err(JsonError::type_error(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_json_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let i = *self as i64;
+                if i >= 0 {
+                    Json::UInt(i as u64)
+                } else {
+                    Json::Int(i)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let wide: i128 = match *v {
+                    Json::UInt(u) => u as i128,
+                    Json::Int(i) => i as i128,
+                    _ => return Err(JsonError::type_error(stringify!($t))),
+                };
+                <$t>::try_from(wide).map_err(|_| JsonError::type_error(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_json_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match *v {
+            Json::Float(x) => Ok(x),
+            Json::UInt(u) => Ok(u as f64),
+            Json::Int(i) => Ok(i as f64),
+            _ => Err(JsonError::type_error("f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        f64::from_json(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match *v {
+            Json::Bool(b) => Ok(b),
+            _ => Err(JsonError::type_error("bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(JsonError::type_error("String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(JsonError::type_error("char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::type_error("Vec"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v.as_array().ok_or_else(|| JsonError::type_error("tuple"))?;
+                if items.len() != ARITY {
+                    return Err(JsonError::type_error("tuple"));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_json_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        // Keys in this workspace are not strings, so the map is encoded as an
+        // array of `[key, value]` pairs rather than a JSON object.
+        Json::Array(
+            self.iter()
+                .map(|(k, v)| Json::Array(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::type_error("BTreeMap"))?
+            .iter()
+            .map(<(K, V)>::from_json)
+            .collect()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json(&42u64.to_json()), Ok(42));
+        assert_eq!(i32::from_json(&(-7i32).to_json()), Ok(-7));
+        assert_eq!(bool::from_json(&true.to_json()), Ok(true));
+        assert_eq!(
+            String::from_json(&String::from("hi").to_json()),
+            Ok(String::from("hi"))
+        );
+        assert_eq!(Option::<u64>::from_json(&Json::Null), Ok(None));
+        assert_eq!(<(u64, u32)>::from_json(&(3u64, 4u32).to_json()), Ok((3, 4)));
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_json(&v.to_json()), Ok(v));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u64::from_json(&Json::Str("no".into())).is_err());
+        assert!(<(u64, u64)>::from_json(&Json::Array(vec![Json::UInt(1)])).is_err());
+        assert!(field::<u64>(&[], "missing", "T").is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! attribute-free, non-generic structs and enums this workspace defines,
+//! generating the same externally-tagged JSON encoding the real
+//! `serde`+`serde_json` pair uses:
+//!
+//! * named struct → object keyed by field names,
+//! * newtype struct → the inner value,
+//! * tuple struct → array,
+//! * unit enum variant → the variant name as a string,
+//! * newtype/tuple/struct enum variant → single-key object
+//!   `{"Variant": payload}`.
+//!
+//! Unsupported shapes (generics, `#[serde(...)]` attributes) produce a
+//! `compile_error!` instead of silently wrong code. The macro is written
+//! against the raw [`proc_macro`] API because the container image has no
+//! `syn`/`quote`; the parser below only needs to recover field *names* and
+//! arities — field types are never spelled out in the generated code, which
+//! relies on type inference through `Deserialize::from_json` instead.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The shape of the fields of a struct or of one enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; the payload is the arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => gen_struct_ser(name, fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => gen_struct_de(name, fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` outer attributes (including doc comments, which reach the
+    /// macro as `#[doc = "..."]`). Rejects `#[serde(...)]`, which the stand-in
+    /// does not implement.
+    fn skip_attributes(&mut self) -> Result<(), String> {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        return Err(
+                            "the serde stand-in does not support #[serde(...)] attributes".into(),
+                        );
+                    }
+                }
+                _ => return Err("malformed attribute".into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in path)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Consumes tokens of a type (or a discriminant expression) until a
+    /// top-level `,`, tracking `<`/`>` nesting. The `,` itself is not consumed.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes()?;
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("item name")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the serde stand-in cannot derive for generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    c.next();
+                    Fields::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    c.next();
+                    Fields::Tuple(count_tuple_fields(g)?)
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes()?;
+        if c.at_end() {
+            return Ok(fields);
+        }
+        c.skip_visibility();
+        fields.push(c.expect_ident("field name")?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        c.skip_until_top_level_comma();
+        c.next(); // consume the `,` (no-op at end of stream)
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(stream);
+    let mut arity = 0;
+    loop {
+        c.skip_attributes()?;
+        if c.at_end() {
+            return Ok(arity);
+        }
+        c.skip_visibility();
+        arity += 1;
+        c.skip_until_top_level_comma();
+        c.next();
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes()?;
+        if c.at_end() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident("variant name")?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.next();
+                Fields::Tuple(count_tuple_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, if any.
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                c.next();
+                c.skip_until_top_level_comma();
+            }
+        }
+        c.next(); // consume the `,`
+        variants.push((name, fields));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Code generation
+// --------------------------------------------------------------------------
+
+/// `(name0, to_json(&expr_prefix name0)), (name1, ...)` pairs for an object.
+fn object_pairs(fields: &[String], expr_prefix: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_json(&{expr_prefix}{f}))"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Json::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Json::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            format!(
+                "::serde::Json::Object(::std::vec![{}])",
+                object_pairs(fields, "self.")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!(
+            "match v {{\n\
+                 ::serde::Json::Null => ::std::result::Result::Ok({name}),\n\
+                 _ => ::std::result::Result::Err(::serde::JsonError::type_error({name:?})),\n\
+             }}"
+        ),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Fields::Tuple(n) => format!(
+            "{{\n\
+                 let items = v.as_array().ok_or_else(|| ::serde::JsonError::type_error({name:?}))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::JsonError::type_error({name:?}));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({fields}))\n\
+             }}",
+            fields = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+        Fields::Named(fields) => format!(
+            "{{\n\
+                 let pairs = v.as_object().ok_or_else(|| ::serde::JsonError::type_error({name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}",
+            fields = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(pairs, {f:?}, {name:?})?"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(variant, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{variant} => ::serde::Json::Str(::std::string::String::from({variant:?}))"
+            ),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_json(f0)".to_string()
+                } else {
+                    format!(
+                        "::serde::Json::Array(::std::vec![{}])",
+                        binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                format!(
+                    "{name}::{variant}({binders}) => ::serde::Json::Object(::std::vec![\
+                         (::std::string::String::from({variant:?}), {payload})])",
+                    binders = binders.join(", ")
+                )
+            }
+            Fields::Named(field_names) => format!(
+                "{name}::{variant} {{ {binders} }} => ::serde::Json::Object(::std::vec![\
+                     (::std::string::String::from({variant:?}), \
+                      ::serde::Json::Object(::std::vec![{pairs}]))])",
+                binders = field_names.join(", "),
+                pairs = object_pairs(field_names, ""),
+            ),
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}",
+        arms = arms.join(",\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(variant, _)| format!("{variant:?} => ::std::result::Result::Ok({name}::{variant})"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(variant, fields)| {
+            let build = match fields {
+                Fields::Unit => return None,
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{variant}(::serde::Deserialize::from_json(inner)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "{{\n\
+                         let items = inner.as_array().ok_or_else(|| ::serde::JsonError::type_error({name:?}))?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::JsonError::type_error({name:?}));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{variant}({fields}))\n\
+                     }}",
+                    fields = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+                Fields::Named(field_names) => format!(
+                    "{{\n\
+                         let pairs = inner.as_object().ok_or_else(|| ::serde::JsonError::type_error({name:?}))?;\n\
+                         ::std::result::Result::Ok({name}::{variant} {{ {fields} }})\n\
+                     }}",
+                    fields = field_names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(pairs, {f:?}, {name:?})?"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            };
+            Some(format!("{variant:?} => {build}"))
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                 match v {{\n\
+                     ::serde::Json::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         _ => ::std::result::Result::Err(::serde::JsonError::type_error({name:?})),\n\
+                     }},\n\
+                     ::serde::Json::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             _ => ::std::result::Result::Err(::serde::JsonError::type_error({name:?})),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::JsonError::type_error({name:?})),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(",\n"))
+        },
+        tagged_arms = if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", tagged_arms.join(",\n"))
+        },
+    )
+}
