@@ -5,24 +5,68 @@
 //! cargo run -p topk-bench --bin experiments --release -- e1 e5   # a subset
 //! cargo run -p topk-bench --bin experiments --release -- --small # quick smoke run
 //! cargo run -p topk-bench --bin experiments --release -- --json results/
+//! cargo run -p topk-bench --bin experiments --release -- --throughput          # engine bench
+//! cargo run -p topk-bench --bin experiments --release -- --throughput --quick  # CI smoke
 //! ```
 //!
 //! Prints one aligned table per experiment (the tables quoted in
 //! EXPERIMENTS.md) and optionally writes each as JSON into a directory.
+//!
+//! `--throughput` runs the engine throughput benchmark instead (baseline vs.
+//! indexed engine, see `topk_bench::throughput`), writes
+//! `BENCH_throughput.json` (path overridable with `--out FILE`) and exits
+//! non-zero if the indexed engine regresses below the CI floors.
 
 use std::path::PathBuf;
 use topk_bench::experiments::{self, Scale};
-use topk_bench::ExperimentTable;
+use topk_bench::{throughput, ExperimentTable};
+
+fn run_throughput_bench(quick: bool, out: PathBuf) -> ! {
+    let report = throughput::run_throughput(quick, |line| eprintln!("{line}"));
+    std::fs::write(&out, throughput::to_json(&report)).expect("write throughput json");
+    eprintln!("wrote {}", out.display());
+    for s in &report.speedups_dense {
+        println!(
+            "speedup {:>12} n={:>7}: {:>8.1}x (indexed vs baseline, dense delivery)",
+            s.generator, s.n, s.speedup
+        );
+    }
+    let failures = throughput::check_floors(&report);
+    if failures.is_empty() {
+        println!(
+            "floors ok: indexed >= {}x baseline and >= {} steps/s at n=1e5 (noise, dense)",
+            throughput::SPEEDUP_FLOOR,
+            throughput::ABSOLUTE_FLOOR
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("FLOOR REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut json_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut throughput_mode = false;
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--small" => scale = Scale::Small,
+            "--throughput" => throughput_mode = true,
+            "--quick" => quick = true,
+            "--out" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--out requires a file argument");
+                    std::process::exit(2);
+                };
+                out = Some(PathBuf::from(path));
+            }
             "--json" => {
                 json_dir = iter.next().map(PathBuf::from);
                 if json_dir.is_none() {
@@ -31,11 +75,27 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--small] [--json DIR] [e1 e2 ... e8]");
+                println!(
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--out FILE]"
+                );
                 return;
             }
             other => wanted.push(other.to_lowercase()),
         }
+    }
+    if throughput_mode {
+        if scale == Scale::Small || json_dir.is_some() || !wanted.is_empty() {
+            eprintln!("--throughput does not combine with --small/--json/experiment ids (use --quick and --out instead)");
+            std::process::exit(2);
+        }
+        run_throughput_bench(
+            quick,
+            out.unwrap_or_else(|| PathBuf::from("BENCH_throughput.json")),
+        );
+    }
+    if quick || out.is_some() {
+        eprintln!("--quick/--out only apply to --throughput (did you mean --small/--json?)");
+        std::process::exit(2);
     }
 
     let run = |id: &str| wanted.is_empty() || wanted.iter().any(|w| w == id);

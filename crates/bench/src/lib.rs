@@ -21,12 +21,19 @@
 //! The `experiments` binary (`cargo run -p topk-bench --bin experiments --release`)
 //! prints the tables; the Criterion benches under `benches/` measure the
 //! wall-clock cost of the same code paths.
+//!
+//! [`throughput`] is the engine-throughput benchmark (`experiments
+//! --throughput`): simulated steps per second of the baseline vs. the indexed
+//! engine across workloads and population sizes, written to
+//! `BENCH_throughput.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use experiments::*;
 pub use table::ExperimentTable;
+pub use throughput::{run_throughput, ThroughputReport};

@@ -52,13 +52,23 @@ pub fn round_budget(n: usize) -> u32 {
 pub fn existence(net: &mut dyn Network, predicate: ExistencePredicate) -> ExistenceOutcome {
     net.meter().push_label(ProtocolLabel::Existence);
     let n = net.n();
+    // The `ExistenceRound` wire message carries the population as 32 bits
+    // (plenty for the model's O(log(n·Δ))-bit budget). Refuse larger populations
+    // loudly instead of silently truncating the send probability.
+    let population = u32::try_from(n).unwrap_or_else(|_| {
+        panic!("existence protocol: population n = {n} exceeds the u32::MAX supported by the ExistenceRound wire format")
+    });
     let rounds = round_budget(n);
     let mut outcome = ExistenceOutcome {
         responses: Vec::new(),
         terminated_in_round: None,
     };
+    // One scratch buffer for the whole run: silent rounds (the common case —
+    // there are ⌈log₂ n⌉ + 1 of them per violation-free time step) leave it
+    // empty and allocation-free.
+    let mut responses: Vec<NodeMessage> = Vec::new();
     for round in 0..rounds {
-        let responses = net.existence_round(round, n as u32, predicate);
+        net.existence_round_into(round, population, predicate, &mut responses);
         if !responses.is_empty() {
             net.end_existence_run();
             outcome.responses = responses;

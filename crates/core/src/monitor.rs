@@ -97,8 +97,10 @@ pub fn run_adaptive(
         delta: 0,
         sigma: 0,
     };
+    // One filter buffer for the whole run, refilled in place every step.
+    let mut filters: Vec<Filter> = Vec::new();
     loop {
-        let filters = net.peek_filters();
+        net.peek_filters_into(&mut filters);
         let Some(row) = next_row(&filters) else {
             break;
         };

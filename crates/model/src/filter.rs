@@ -108,9 +108,19 @@ impl Filter {
     /// Checks `v` against the filter and reports the violation direction, if any.
     #[inline]
     pub fn check(&self, v: Value) -> Option<Violation> {
-        if v < self.lo {
+        Filter::check_parts(self.lo, self.hi, v)
+    }
+
+    /// [`Filter::check`] on a decomposed `(lo, hi)` pair (`None` = `∞`).
+    ///
+    /// The single definition of the violation semantics: callers that store
+    /// filters column-wise (see [`crate::soa::NodeStateSoA`]) check against the
+    /// raw columns without reassembling a `Filter`, and cannot diverge from it.
+    #[inline]
+    pub fn check_parts(lo: Value, hi: Option<Value>, v: Value) -> Option<Violation> {
+        if v < lo {
             Some(Violation::FromAbove)
-        } else if matches!(self.hi, Some(hi) if v > hi) {
+        } else if matches!(hi, Some(hi) if v > hi) {
             Some(Violation::FromBelow)
         } else {
             None

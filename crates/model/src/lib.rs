@@ -43,6 +43,7 @@ pub mod error;
 pub mod filter;
 pub mod message;
 pub mod rule;
+pub mod soa;
 pub mod topk;
 pub mod types;
 
@@ -52,6 +53,7 @@ pub use error::ModelError;
 pub use filter::{Filter, FilterSet, Violation};
 pub use message::{NodeMessage, ServerMessage};
 pub use rule::{filter_for, FilterParams, NodeGroup};
+pub use soa::NodeStateSoA;
 pub use topk::{OutputValidity, TopKView};
 pub use types::{NodeId, TimeStep, Value, INFINITY_VALUE};
 

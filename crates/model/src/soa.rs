@@ -1,0 +1,200 @@
+//! Struct-of-arrays node-state layout.
+//!
+//! The baseline simulation engine stores one `SimNode` struct per node — an
+//! array-of-structs layout that is convenient but cache-hostile: a silent time
+//! step touches every node's value, filter, group, RNG and violation flag even
+//! though it only needs the value/filter columns. [`NodeStateSoA`] stores each
+//! logical field in its own contiguous array so that the hot paths (value
+//! updates, violation checks, threshold scans) stream over exactly the columns
+//! they need.
+//!
+//! The type lives in `topk-model` because it is pure data layout — the single
+//! source of truth for "what state a node carries" that engines in `topk-net`
+//! build indexes on top of. It has no randomness and no protocol logic; the
+//! violation semantics are delegated to [`Filter::check_parts`] — the same
+//! single definition behind [`Filter::check`], so the flags are identical to
+//! what a `SimNode` computes by construction.
+
+use crate::filter::{Filter, Violation};
+use crate::rule::NodeGroup;
+use crate::types::{NodeId, Value};
+
+/// Per-node simulation state in struct-of-arrays layout.
+///
+/// Columns, all of length `n`:
+///
+/// * `values` — the value each node observed most recently,
+/// * `filter_lo` / `filter_hi` — the filter interval (the upper bound is
+///   `None` for `∞`, mirroring [`Filter`]'s structural infinity),
+/// * `groups` — the group the server last assigned,
+/// * `pending` — the violation the node is waiting to report, if any.
+///
+/// Invariant: `pending[i]` always equals `filter(i).check(value(i))`; every
+/// mutator that touches a node's value or filter re-establishes it and returns
+/// the new flag so callers can maintain derived indexes incrementally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStateSoA {
+    values: Vec<Value>,
+    filter_lo: Vec<Value>,
+    filter_hi: Vec<Option<Value>>,
+    groups: Vec<NodeGroup>,
+    pending: Vec<Option<Violation>>,
+}
+
+impl NodeStateSoA {
+    /// Creates the state of `n` fresh nodes: value 0, the all-embracing filter
+    /// `[0, ∞)`, group `Lower`, no pending violation — exactly the initial state
+    /// of a `SimNode`.
+    pub fn new(n: usize) -> NodeStateSoA {
+        NodeStateSoA {
+            values: vec![0; n],
+            filter_lo: vec![Filter::FULL.lo(); n],
+            filter_hi: vec![Filter::FULL.hi(); n],
+            groups: vec![NodeGroup::Lower; n],
+            pending: vec![None; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state holds zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value column as a slice (index = node id).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value node `i` observed most recently.
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        self.values[i]
+    }
+
+    /// The filter of node `i`, reassembled from the `lo`/`hi` columns.
+    #[inline]
+    pub fn filter(&self, i: usize) -> Filter {
+        match self.filter_hi[i] {
+            Some(hi) => Filter::bounded(self.filter_lo[i], hi)
+                .expect("stored filters are valid by construction"),
+            None => Filter::at_least(self.filter_lo[i]),
+        }
+    }
+
+    /// The group of node `i`.
+    #[inline]
+    pub fn group(&self, i: usize) -> NodeGroup {
+        self.groups[i]
+    }
+
+    /// The violation node `i` is waiting to report, if any.
+    #[inline]
+    pub fn pending(&self, i: usize) -> Option<Violation> {
+        self.pending[i]
+    }
+
+    /// Records a new observation for node `i` and returns the updated pending
+    /// flag (the [`Filter::check`] of the new value against the current filter).
+    #[inline]
+    pub fn set_value(&mut self, i: usize, v: Value) -> Option<Violation> {
+        self.values[i] = v;
+        self.refresh_pending(i)
+    }
+
+    /// Replaces the filter of node `i` and returns the updated pending flag.
+    #[inline]
+    pub fn set_filter(&mut self, i: usize, filter: Filter) -> Option<Violation> {
+        self.filter_lo[i] = filter.lo();
+        self.filter_hi[i] = filter.hi();
+        self.refresh_pending(i)
+    }
+
+    /// Replaces the group of node `i`. The caller decides whether a new filter
+    /// follows (groups alone never change violation status).
+    #[inline]
+    pub fn set_group(&mut self, i: usize, group: NodeGroup) {
+        self.groups[i] = group;
+    }
+
+    /// Re-evaluates the pending-violation flag of node `i` from its current
+    /// value and filter, stores it and returns it.
+    #[inline]
+    pub fn refresh_pending(&mut self, i: usize) -> Option<Violation> {
+        let flag = Filter::check_parts(self.filter_lo[i], self.filter_hi[i], self.values[i]);
+        self.pending[i] = flag;
+        flag
+    }
+
+    /// Iterates over `(node, filter)` pairs (for bulk inspection APIs).
+    pub fn filters(&self) -> impl Iterator<Item = (NodeId, Filter)> + '_ {
+        (0..self.len()).map(|i| (NodeId(i), self.filter(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_matches_sim_node_defaults() {
+        let s = NodeStateSoA::new(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        for i in 0..3 {
+            assert_eq!(s.value(i), 0);
+            assert_eq!(s.filter(i), Filter::FULL);
+            assert_eq!(s.group(i), NodeGroup::Lower);
+            assert_eq!(s.pending(i), None);
+        }
+        assert!(NodeStateSoA::new(0).is_empty());
+    }
+
+    #[test]
+    fn pending_invariant_maintained_by_mutators() {
+        let mut s = NodeStateSoA::new(2);
+        assert_eq!(s.set_value(0, 50), None); // FULL filter: no violation
+        assert_eq!(
+            s.set_filter(0, Filter::bounded(10, 40).unwrap()),
+            Some(Violation::FromBelow)
+        );
+        assert_eq!(s.pending(0), Some(Violation::FromBelow));
+        assert_eq!(s.set_value(0, 5), Some(Violation::FromAbove));
+        assert_eq!(s.set_value(0, 20), None);
+        // The flag always equals filter.check(value).
+        for v in [0, 10, 25, 40, 41] {
+            assert_eq!(s.set_value(0, v), s.filter(0).check(v));
+        }
+    }
+
+    #[test]
+    fn filter_roundtrips_through_columns() {
+        let mut s = NodeStateSoA::new(1);
+        for f in [
+            Filter::FULL,
+            Filter::at_least(7),
+            Filter::at_most(9),
+            Filter::bounded(3, 3).unwrap(),
+            Filter::bounded(0, Value::MAX).unwrap(),
+        ] {
+            s.set_filter(0, f);
+            assert_eq!(s.filter(0), f);
+        }
+    }
+
+    #[test]
+    fn bulk_accessors() {
+        let mut s = NodeStateSoA::new(3);
+        s.set_value(1, 42);
+        s.set_group(2, NodeGroup::Upper);
+        assert_eq!(s.values(), &[0, 42, 0]);
+        let filters: Vec<_> = s.filters().collect();
+        assert_eq!(filters.len(), 3);
+        assert_eq!(filters[0], (NodeId(0), Filter::FULL));
+        assert_eq!(s.group(2), NodeGroup::Upper);
+    }
+}

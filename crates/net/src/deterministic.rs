@@ -56,6 +56,16 @@ impl Network for DeterministicEngine {
         self.meter.record_time_step();
     }
 
+    fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
+        // Unchanged nodes re-observing their previous value is a no-op (same
+        // value, same filter, same pending flag), so only the changed nodes need
+        // a call.
+        for &(node, v) in changes {
+            self.nodes[node.index()].observe(v);
+        }
+        self.meter.record_time_step();
+    }
+
     fn broadcast_params(&mut self, params: FilterParams) {
         self.meter.record(MessageKind::Broadcast);
         let msg = ServerMessage::BroadcastParams(params);
@@ -91,26 +101,26 @@ impl Network for DeterministicEngine {
         }
     }
 
-    fn existence_round(
+    fn existence_round_into(
         &mut self,
         round: u32,
         population: u32,
         predicate: ExistencePredicate,
-    ) -> Vec<NodeMessage> {
+        replies: &mut Vec<NodeMessage>,
+    ) {
         self.meter.record_round();
         let msg = ServerMessage::ExistenceRound {
             round,
             population,
             predicate,
         };
-        let mut replies = Vec::new();
+        replies.clear();
         for node in &mut self.nodes {
             if let Some(reply) = node.handle(&msg) {
                 self.meter.record(MessageKind::Upstream);
                 replies.push(reply);
             }
         }
-        replies
     }
 
     fn end_existence_run(&mut self) {
@@ -140,6 +150,16 @@ impl Network for DeterministicEngine {
 
     fn peek_group(&self, node: NodeId) -> NodeGroup {
         self.nodes[node.index()].group()
+    }
+
+    fn peek_filters_into(&self, out: &mut Vec<Filter>) {
+        out.clear();
+        out.extend(self.nodes.iter().map(SimNode::filter));
+    }
+
+    fn peek_values_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.nodes.iter().map(SimNode::value));
     }
 }
 

@@ -1,0 +1,488 @@
+//! Indexed deterministic engine: O(active)-time simulation.
+//!
+//! [`IndexedEngine`] produces *bit-identical* behaviour to
+//! [`DeterministicEngine`](crate::DeterministicEngine) — the same replies, the
+//! same message counts, the same filters — while doing work proportional to
+//! the nodes that actually participate instead of sweeping all `n` nodes on
+//! every round of every existence run.
+//!
+//! ## Why the baseline is Θ(n · log n) per time step
+//!
+//! The protocols check for filter violations after every observation by running
+//! the Lemma 3.1 existence protocol, which uses up to `⌈log₂ n⌉ + 1` rounds.
+//! The baseline engine delivers each round to all `n` nodes, so even a
+//! perfectly *silent* step — the overwhelmingly common case on quiet streams,
+//! and the case the paper's communication bounds are built around — costs
+//! `Θ(n log n)` node invocations although zero messages flow.
+//!
+//! ## How the indexed engine gets to O(active)
+//!
+//! Node state lives in a struct-of-arrays layout ([`NodeStateSoA`]) and the
+//! engine maintains two indexes over it:
+//!
+//! * a **pending-violation set** (ordered ids), updated whenever an observation
+//!   or a filter change flips a node's violation status — so a
+//!   `PendingViolation` round touches exactly the violating nodes;
+//! * a **value-sorted index** (ids sorted by the paper's `(value, id)` total
+//!   order), rebuilt lazily: observations merely mark it dirty, and the first
+//!   threshold/rank round of a protocol run sorts it once — so the common
+//!   silent step never pays for it.
+//!
+//! A round visits only the nodes its predicate selects: `O(log n)` index lookup
+//! plus `O(active)` coin flips, instead of `O(n)` deliveries.
+//!
+//! ## Why skipping inactive nodes is exact, not approximate
+//!
+//! A `SimNode` draws from its RNG in exactly one place: the
+//! `node::existence_coin` flip, and only *after* its predicate evaluated to
+//! true. A node whose predicate is false returns without touching its RNG, so
+//! not visiting it at all leaves its random stream — and therefore every
+//! future decision — bit-for-bit unchanged. The indexed engine flips the
+//! identical coin (same function, same per-node RNG seeded by
+//! `node::node_seed`) for the identical set of nodes, which is why
+//! `tests/indexed_differential.rs` can assert full `CommStats` equality
+//! against the baseline over randomized schedules.
+
+use crate::network::Network;
+use crate::node::{existence_coin, node_seed};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_model::rule::filter_for;
+use topk_model::soa::NodeStateSoA;
+use topk_model::types::value_order;
+
+/// Indexed single-threaded engine (see module documentation).
+#[derive(Debug, Clone)]
+pub struct IndexedEngine {
+    state: NodeStateSoA,
+    /// Last broadcast parameters. `SimNode` stores these per node, but they are
+    /// only ever set by a broadcast, so one shared copy is exactly equivalent.
+    params: Option<FilterParams>,
+    rngs: Vec<ChaCha8Rng>,
+    /// Ids of nodes with a pending violation, in ascending id order (the reply
+    /// order of the baseline engine).
+    pending_ids: BTreeSet<usize>,
+    /// `(value, id)` pairs sorted ascending by [`value_order`]; valid only when
+    /// `by_value_dirty` is false.
+    by_value: Vec<(Value, usize)>,
+    by_value_dirty: bool,
+    /// Scratch for the ids active in the current round (reused, never shrunk).
+    scratch_ids: Vec<usize>,
+    meter: CostMeter,
+}
+
+impl IndexedEngine {
+    /// Creates an engine with `n` nodes whose RNGs are derived from
+    /// `master_seed` exactly like the other engines'.
+    pub fn new(n: usize, master_seed: u64) -> IndexedEngine {
+        IndexedEngine {
+            state: NodeStateSoA::new(n),
+            params: None,
+            rngs: NodeId::all(n)
+                .map(|id| ChaCha8Rng::seed_from_u64(node_seed(master_seed, id)))
+                .collect(),
+            pending_ids: BTreeSet::new(),
+            by_value: Vec::new(),
+            by_value_dirty: true,
+            scratch_ids: Vec::new(),
+            meter: CostMeter::new(),
+        }
+    }
+
+    /// Number of nodes whose value currently violates their filter (free
+    /// inspection, useful for harnesses and tests).
+    pub fn pending_count(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// Updates the pending-violation index entry of node `i` after a mutation
+    /// whose before/after flags are known. The set is only touched on a
+    /// transition — the hot path (a value churns but stays inside its filter)
+    /// costs two array reads, no tree operation.
+    #[inline]
+    fn note_pending(&mut self, i: usize, was: bool, now: bool) {
+        if was != now {
+            if now {
+                self.pending_ids.insert(i);
+            } else {
+                self.pending_ids.remove(&i);
+            }
+        }
+    }
+
+    /// Records a new observation for node `i` and maintains the pending index.
+    #[inline]
+    fn apply_value(&mut self, i: usize, v: Value) {
+        let was = self.state.pending(i).is_some();
+        let now = self.state.set_value(i, v).is_some();
+        self.note_pending(i, was, now);
+    }
+
+    /// Applies a filter to node `i` and maintains the pending index.
+    fn apply_filter(&mut self, i: usize, filter: Filter) {
+        let was = self.state.pending(i).is_some();
+        let now = self.state.set_filter(i, filter).is_some();
+        self.note_pending(i, was, now);
+    }
+
+    /// Derives and applies the filter of node `i` from its group and the last
+    /// broadcast parameters (the `SimNode` group/params rule). Without params
+    /// the filter — and therefore the violation status — is unchanged.
+    fn rederive_filter(&mut self, i: usize) {
+        if let Some(p) = self.params {
+            let f = filter_for(self.state.group(i), &p);
+            self.apply_filter(i, f);
+        }
+    }
+
+    /// Sorts the value index if observations invalidated it. Called only by
+    /// threshold/rank predicates, so silent steps never pay the sort.
+    fn rebuild_by_value(&mut self) {
+        if !self.by_value_dirty {
+            return;
+        }
+        self.by_value.clear();
+        self.by_value
+            .extend(self.state.values().iter().copied().zip(0..));
+        self.by_value.sort_unstable_by(|&(va, ia), &(vb, ib)| {
+            value_order((va, NodeId(ia)), (vb, NodeId(ib)))
+        });
+        self.by_value_dirty = false;
+    }
+
+    /// Fills `scratch_ids` with the ids of all nodes satisfying `predicate`.
+    ///
+    /// `PendingViolation` ids come out in ascending id order; threshold/rank ids
+    /// come out in value order (callers sort the replies by sender afterwards).
+    fn collect_active(&mut self, predicate: ExistencePredicate) {
+        self.scratch_ids.clear();
+        match predicate {
+            ExistencePredicate::PendingViolation => {
+                self.scratch_ids.extend(self.pending_ids.iter().copied());
+            }
+            ExistencePredicate::GreaterThan(t) => {
+                self.rebuild_by_value();
+                let start = self.by_value.partition_point(|&(v, _)| v <= t);
+                self.scratch_ids
+                    .extend(self.by_value[start..].iter().map(|&(_, i)| i));
+            }
+            ExistencePredicate::AtLeast(t) => {
+                self.rebuild_by_value();
+                let start = self.by_value.partition_point(|&(v, _)| v < t);
+                self.scratch_ids
+                    .extend(self.by_value[start..].iter().map(|&(_, i)| i));
+            }
+            ExistencePredicate::LessThan(t) => {
+                self.rebuild_by_value();
+                let end = self.by_value.partition_point(|&(v, _)| v < t);
+                self.scratch_ids
+                    .extend(self.by_value[..end].iter().map(|&(_, i)| i));
+            }
+            ExistencePredicate::RankWindow { above, below } => {
+                self.rebuild_by_value();
+                let start = match above {
+                    Some(bound) => self.by_value.partition_point(|&(v, i)| {
+                        value_order((v, NodeId(i)), bound) != std::cmp::Ordering::Greater
+                    }),
+                    None => 0,
+                };
+                let end = match below {
+                    Some(bound) => self.by_value.partition_point(|&(v, i)| {
+                        value_order((v, NodeId(i)), bound) == std::cmp::Ordering::Less
+                    }),
+                    None => self.by_value.len(),
+                };
+                if start < end {
+                    self.scratch_ids
+                        .extend(self.by_value[start..end].iter().map(|&(_, i)| i));
+                }
+            }
+        }
+    }
+}
+
+impl Network for IndexedEngine {
+    fn n(&self) -> usize {
+        self.state.len()
+    }
+
+    fn advance_time(&mut self, values: &[Value]) {
+        assert_eq!(
+            values.len(),
+            self.state.len(),
+            "one observation per node required"
+        );
+        for (i, &v) in values.iter().enumerate() {
+            if self.state.value(i) != v {
+                self.apply_value(i, v);
+                self.by_value_dirty = true;
+            }
+        }
+        self.meter.record_time_step();
+    }
+
+    fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
+        for &(node, v) in changes {
+            let i = node.index();
+            if self.state.value(i) != v {
+                self.apply_value(i, v);
+                self.by_value_dirty = true;
+            }
+        }
+        self.meter.record_time_step();
+    }
+
+    fn broadcast_params(&mut self, params: FilterParams) {
+        self.meter.record(MessageKind::Broadcast);
+        self.params = Some(params);
+        for i in 0..self.state.len() {
+            let f = filter_for(self.state.group(i), &params);
+            self.apply_filter(i, f);
+        }
+    }
+
+    fn assign_group(&mut self, node: NodeId, group: NodeGroup) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        self.state.set_group(node.index(), group);
+        self.rederive_filter(node.index());
+    }
+
+    fn broadcast_group(&mut self, group: NodeGroup) {
+        self.meter.record(MessageKind::Broadcast);
+        for i in 0..self.state.len() {
+            self.state.set_group(i, group);
+            self.rederive_filter(i);
+        }
+    }
+
+    fn assign_filter(&mut self, node: NodeId, filter: Filter) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        self.apply_filter(node.index(), filter);
+    }
+
+    fn probe(&mut self, node: NodeId) -> Value {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        self.meter.record(MessageKind::Upstream);
+        self.state.value(node.index())
+    }
+
+    fn existence_round_into(
+        &mut self,
+        round: u32,
+        population: u32,
+        predicate: ExistencePredicate,
+        replies: &mut Vec<NodeMessage>,
+    ) {
+        self.meter.record_round();
+        self.collect_active(predicate);
+        replies.clear();
+        for idx in 0..self.scratch_ids.len() {
+            let i = self.scratch_ids[idx];
+            if !existence_coin(&mut self.rngs[i], round, population) {
+                continue;
+            }
+            let node = NodeId(i);
+            let value = self.state.value(i);
+            replies.push(match (predicate, self.state.pending(i)) {
+                (ExistencePredicate::PendingViolation, Some(direction)) => {
+                    NodeMessage::ViolationReport {
+                        node,
+                        value,
+                        direction,
+                    }
+                }
+                _ => NodeMessage::ExistenceResponse { node, value },
+            });
+        }
+        // Threshold/rank actives were visited in value order; the baseline
+        // replies in node-id order. (Per-node RNG streams are independent, so
+        // the flip order does not matter — only the reply order does.)
+        if !matches!(predicate, ExistencePredicate::PendingViolation) {
+            replies.sort_unstable_by_key(NodeMessage::sender);
+        }
+        self.meter
+            .record_many(MessageKind::Upstream, replies.len() as u64);
+    }
+
+    fn end_existence_run(&mut self) {
+        // Nodes hold no per-run state (the round schedule is predetermined), so
+        // only the broadcast is charged — same as the baseline, where every
+        // node's handler is a no-op for this message.
+        self.meter.record(MessageKind::Broadcast);
+    }
+
+    fn meter(&mut self) -> &mut CostMeter {
+        &mut self.meter
+    }
+
+    fn stats(&self) -> CommStats {
+        self.meter.snapshot()
+    }
+
+    fn peek_value(&self, node: NodeId) -> Value {
+        self.state.value(node.index())
+    }
+
+    fn peek_filter(&self, node: NodeId) -> Filter {
+        self.state.filter(node.index())
+    }
+
+    fn peek_group(&self, node: NodeId) -> NodeGroup {
+        self.state.group(node.index())
+    }
+
+    fn peek_filters_into(&self, out: &mut Vec<Filter>) {
+        out.clear();
+        out.extend(self.state.filters().map(|(_, f)| f));
+    }
+
+    fn peek_values_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend_from_slice(self.state.values());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicEngine;
+
+    #[test]
+    fn basic_flow_matches_baseline_semantics() {
+        let mut net = IndexedEngine::new(5, 1);
+        net.advance_time(&[10, 20, 30, 40, 50]);
+        net.broadcast_params(FilterParams::Separator { lo: 25, hi: 25 });
+        net.assign_filter(NodeId(0), Filter::at_least(40));
+        net.assign_group(NodeId(1), NodeGroup::Upper);
+        assert_eq!(net.probe(NodeId(4)), 50);
+        let stats = net.stats();
+        assert_eq!(stats.messages_of_kind(MessageKind::Broadcast), 1);
+        assert_eq!(stats.messages_of_kind(MessageKind::DownstreamUnicast), 3);
+        assert_eq!(stats.messages_of_kind(MessageKind::Upstream), 1);
+        assert_eq!(stats.time_steps, 1);
+        // Node 1 became Upper under the separator rule: filter [25, ∞).
+        assert_eq!(net.peek_filter(NodeId(1)), Filter::at_least(25));
+        assert_eq!(net.peek_filter(NodeId(2)), Filter::at_most(25));
+    }
+
+    #[test]
+    fn pending_index_tracks_violations() {
+        let mut net = IndexedEngine::new(4, 9);
+        net.advance_time(&[10, 20, 30, 40]);
+        assert_eq!(net.pending_count(), 0);
+        net.assign_filter(NodeId(3), Filter::at_most(35));
+        net.assign_filter(NodeId(0), Filter::at_least(15));
+        assert_eq!(net.pending_count(), 2);
+        let replies = net.existence_round(10, 4, ExistencePredicate::PendingViolation);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].sender(), NodeId(0)); // id order
+        assert_eq!(replies[1].sender(), NodeId(3));
+        net.assign_filter(NodeId(0), Filter::FULL);
+        net.advance_time(&[10, 20, 30, 20]);
+        assert_eq!(net.pending_count(), 0);
+        assert!(net
+            .existence_round(10, 4, ExistencePredicate::PendingViolation)
+            .is_empty());
+    }
+
+    #[test]
+    fn threshold_predicates_use_the_value_index() {
+        let mut net = IndexedEngine::new(6, 3);
+        net.advance_time(&[5, 40, 40, 10, 99, 40]);
+        let ids = |replies: Vec<NodeMessage>| -> Vec<usize> {
+            replies.iter().map(|r| r.sender().index()).collect()
+        };
+        // Probability-1 rounds (2^round >= population).
+        let r = net.existence_round(10, 6, ExistencePredicate::GreaterThan(40));
+        assert_eq!(ids(r), vec![4]);
+        let r = net.existence_round(10, 6, ExistencePredicate::AtLeast(40));
+        assert_eq!(ids(r), vec![1, 2, 4, 5]);
+        let r = net.existence_round(10, 6, ExistencePredicate::LessThan(10));
+        assert_eq!(ids(r), vec![0]);
+        // Rank window strictly between (10, #3) and (40, #1): nodes holding 40
+        // with id > 1 (smaller id = higher rank, so #2 and #5 rank below #1).
+        let r = net.existence_round(
+            10,
+            6,
+            ExistencePredicate::RankWindow {
+                above: Some((10, NodeId(3))),
+                below: Some((40, NodeId(1))),
+            },
+        );
+        assert_eq!(ids(r), vec![2, 5]);
+        // Inverted window selects nothing (and must not panic).
+        let r = net.existence_round(
+            10,
+            6,
+            ExistencePredicate::RankWindow {
+                above: Some((99, NodeId(4))),
+                below: Some((5, NodeId(0))),
+            },
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn value_index_is_rebuilt_after_observations() {
+        let mut net = IndexedEngine::new(3, 3);
+        net.advance_time(&[1, 2, 3]);
+        assert_eq!(
+            net.existence_round(10, 3, ExistencePredicate::GreaterThan(2))
+                .len(),
+            1
+        );
+        net.advance_time(&[4, 5, 0]);
+        let r = net.existence_round(10, 3, ExistencePredicate::GreaterThan(2));
+        let mut ids: Vec<usize> = r.iter().map(|m| m.sender().index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn sparse_advance_equals_dense_advance() {
+        let mut dense = IndexedEngine::new(4, 7);
+        let mut sparse = IndexedEngine::new(4, 7);
+        dense.advance_time(&[1, 2, 3, 4]);
+        sparse.advance_time(&[1, 2, 3, 4]);
+        dense.advance_time(&[1, 9, 3, 0]);
+        sparse.advance_time_sparse(&[(NodeId(1), 9), (NodeId(3), 0)]);
+        assert_eq!(dense.peek_values(), sparse.peek_values());
+        assert_eq!(dense.stats(), sparse.stats());
+        let a = dense.existence_round(10, 4, ExistencePredicate::GreaterThan(2));
+        let b = sparse.existence_round(10, 4, ExistencePredicate::GreaterThan(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_baseline_on_a_scripted_run() {
+        let script = |net: &mut dyn Network| {
+            net.advance_time(&[3, 1, 4, 1, 5, 9, 2, 6]);
+            net.assign_group(NodeId(5), NodeGroup::Upper);
+            net.broadcast_params(FilterParams::Separator { lo: 5, hi: 5 });
+            let mut found = Vec::new();
+            for round in 0..=3 {
+                let r = net.existence_round(round, 8, ExistencePredicate::PendingViolation);
+                if !r.is_empty() {
+                    found = r;
+                    net.end_existence_run();
+                    break;
+                }
+            }
+            net.advance_time(&[3, 1, 4, 1, 5, 9, 2, 4]);
+            let max = net.existence_round(10, 8, ExistencePredicate::AtLeast(9));
+            (found, max, net.stats())
+        };
+        let mut base = DeterministicEngine::new(8, 1234);
+        let mut indexed = IndexedEngine::new(8, 1234);
+        let (f_base, m_base, s_base) = script(&mut base);
+        let (f_idx, m_idx, s_idx) = script(&mut indexed);
+        assert_eq!(f_base, f_idx);
+        assert_eq!(m_base, m_idx);
+        assert_eq!(s_base, s_idx);
+        assert_eq!(base.peek_filters(), indexed.peek_filters());
+        assert_eq!(base.peek_values(), indexed.peek_values());
+    }
+}

@@ -4,15 +4,22 @@
 //! the paper *On Competitive Algorithms for Approximations of Top-k-Position
 //! Monitoring of Distributed Streams*.
 //!
-//! The crate provides two interchangeable engines behind the [`Network`] trait:
+//! The crate provides three interchangeable engines behind the [`Network`] trait:
 //!
 //! * [`DeterministicEngine`] — executes all node logic in-process and in a fixed
 //!   order. Message counts are exactly reproducible for a given seed, which is
-//!   what the competitive-ratio experiments need.
+//!   what the competitive-ratio experiments need. Reference semantics, Θ(n)
+//!   work per existence round.
+//! * [`IndexedEngine`] — same bit-identical behaviour as the deterministic
+//!   engine (same replies, same counts, same RNG streams), but stores node
+//!   state as struct-of-arrays and maintains incremental active-set indexes so
+//!   an existence round costs O(active) instead of Θ(n). This is the engine to
+//!   use for large `n`; see `crates/net/src/indexed.rs` for the argument why
+//!   skipping inactive nodes is exact.
 //! * [`ThreadedEngine`] — spawns one OS thread per node and moves every server →
 //!   node and node → server interaction over `crossbeam` channels, exercising the
 //!   same node logic ([`SimNode`]) as the deterministic engine. Because the node
-//!   logic and the per-node RNG seeding are shared, both engines produce
+//!   logic and the per-node RNG seeding are shared, all engines produce
 //!   *identical* message counts; the threaded engine exists to demonstrate that
 //!   the protocols are genuinely message-passing algorithms and to measure
 //!   wall-clock behaviour under real concurrency.
@@ -42,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod deterministic;
+pub mod indexed;
 pub mod network;
 pub mod node;
 pub mod threaded;
 
 pub use deterministic::DeterministicEngine;
+pub use indexed::IndexedEngine;
 pub use network::Network;
 pub use node::SimNode;
 pub use threaded::ThreadedEngine;

@@ -29,6 +29,25 @@ pub trait Network {
     /// Panics if `values.len() != self.n()`.
     fn advance_time(&mut self, values: &[Value]);
 
+    /// Delivers observations to a *subset* of nodes; every node not listed in
+    /// `changes` keeps (and conceptually re-observes) its previous value.
+    ///
+    /// Semantically identical to [`Network::advance_time`] with a full row in
+    /// which the unlisted entries repeat the previous step — including the one
+    /// recorded time step — but engines may implement it in `O(|changes|)`
+    /// instead of `O(n)`. If a node appears more than once, the last entry wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a changed node id is out of range.
+    fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
+        let mut values = self.peek_values();
+        for &(node, v) in changes {
+            values[node.index()] = v;
+        }
+        self.advance_time(&values);
+    }
+
     /// Broadcasts new filter parameters to all nodes (cost: 1 broadcast).
     fn broadcast_params(&mut self, params: FilterParams);
 
@@ -53,12 +72,35 @@ pub trait Network {
     /// Cost: 1 upstream message per responding node; the round itself is
     /// accounted as one protocol round but carries no broadcast cost because the
     /// round schedule is predetermined (see the crate-level documentation).
+    ///
+    /// Convenience wrapper around [`Network::existence_round_into`] that
+    /// allocates a fresh reply vector. Hot loops (one violation check per time
+    /// step, `⌈log₂ n⌉ + 1` rounds each) should call the `_into` variant with a
+    /// reused scratch buffer instead.
     fn existence_round(
         &mut self,
         round: u32,
         population: u32,
         predicate: ExistencePredicate,
-    ) -> Vec<NodeMessage>;
+    ) -> Vec<NodeMessage> {
+        let mut replies = Vec::new();
+        self.existence_round_into(round, population, predicate, &mut replies);
+        replies
+    }
+
+    /// Allocation-free variant of [`Network::existence_round`]: clears `replies`
+    /// and fills it with the responses of this round, in node-id order.
+    ///
+    /// Silent rounds leave `replies` empty and perform no allocation, which is
+    /// what makes a violation-free time step cheap — the engine runs
+    /// `⌈log₂ n⌉ + 1` such rounds per step.
+    fn existence_round_into(
+        &mut self,
+        round: u32,
+        population: u32,
+        predicate: ExistencePredicate,
+        replies: &mut Vec<NodeMessage>,
+    );
 
     /// Announces the end of an existence run that produced at least one response
     /// (cost: 1 broadcast). Runs that stay silent need no announcement.
@@ -82,12 +124,31 @@ pub trait Network {
 
     /// Inspection: all filters, indexed by node id (free).
     fn peek_filters(&self) -> Vec<Filter> {
-        (0..self.n()).map(|i| self.peek_filter(NodeId(i))).collect()
+        let mut out = Vec::new();
+        self.peek_filters_into(&mut out);
+        out
     }
 
     /// Inspection: all current values, indexed by node id (free).
     fn peek_values(&self) -> Vec<Value> {
-        (0..self.n()).map(|i| self.peek_value(NodeId(i))).collect()
+        let mut out = Vec::new();
+        self.peek_values_into(&mut out);
+        out
+    }
+
+    /// Borrowed-buffer variant of [`Network::peek_filters`]: clears `out` and
+    /// fills it with all filters, indexed by node id. Drivers that peek every
+    /// time step reuse one buffer instead of allocating per step.
+    fn peek_filters_into(&self, out: &mut Vec<Filter>) {
+        out.clear();
+        out.extend((0..self.n()).map(|i| self.peek_filter(NodeId(i))));
+    }
+
+    /// Borrowed-buffer variant of [`Network::peek_values`]: clears `out` and
+    /// fills it with all current values, indexed by node id.
+    fn peek_values_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend((0..self.n()).map(|i| self.peek_value(NodeId(i))));
     }
 }
 
@@ -112,6 +173,29 @@ impl<T: Network + ?Sized> NetworkExt for T {}
 mod tests {
     use super::*;
     use crate::DeterministicEngine;
+
+    #[test]
+    fn sparse_advance_and_buffered_peeks() {
+        let mut net = DeterministicEngine::new(3, 5);
+        net.advance_time(&[10, 20, 30]);
+        net.advance_time_sparse(&[(NodeId(2), 99)]);
+        assert_eq!(net.peek_values(), vec![10, 20, 99]);
+        assert_eq!(net.stats().time_steps, 2);
+        let mut values = vec![0; 17]; // stale contents must be replaced
+        net.peek_values_into(&mut values);
+        assert_eq!(values, vec![10, 20, 99]);
+        let mut filters = Vec::new();
+        net.peek_filters_into(&mut filters);
+        assert_eq!(filters, vec![Filter::FULL; 3]);
+        // The allocating existence_round wrapper delegates to the _into form.
+        let replies = net.existence_round(
+            10,
+            3,
+            topk_model::message::ExistencePredicate::GreaterThan(50),
+        );
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].sender(), NodeId(2));
+    }
 
     #[test]
     fn network_ext_helpers() {

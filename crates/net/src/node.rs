@@ -32,9 +32,7 @@ impl SimNode {
     /// Creates a node with the all-embracing filter `[0, ∞)`, value 0 and a
     /// deterministic RNG derived from `(master_seed, id)`.
     pub fn new(id: NodeId, master_seed: u64) -> SimNode {
-        let seed = master_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(id.index() as u64 + 1);
+        let seed = node_seed(master_seed, id);
         SimNode {
             id,
             value: 0,
@@ -127,9 +125,7 @@ impl SimNode {
         if !predicate.evaluate(self.id, self.value, self.pending_violation) {
             return None;
         }
-        let population = population.max(1);
-        let numerator = 1u32.checked_shl(round).unwrap_or(u32::MAX).min(population);
-        if !self.rng.gen_ratio(numerator, population) {
+        if !existence_coin(&mut self.rng, round, population) {
             return None;
         }
         Some(match (predicate, self.pending_violation) {
@@ -148,12 +144,43 @@ impl SimNode {
     }
 }
 
+/// Seed of the per-node RNG: a fixed mix of the engine's master seed and the
+/// node id, shared by every engine so their random streams agree node for node.
+pub(crate) fn node_seed(master_seed: u64, id: NodeId) -> u64 {
+    master_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(id.index() as u64 + 1)
+}
+
+/// The Lemma 3.1 coin: whether a node whose predicate holds sends a message in
+/// round `round` of an existence run over `population` nodes — probability
+/// `min(1, 2^round / population)`.
+///
+/// Every engine flips this exact coin on the node's own RNG, and *only* for
+/// nodes whose predicate holds, so an engine that skips inactive nodes entirely
+/// (like `IndexedEngine`) consumes each node's random stream bit-for-bit
+/// identically to one that visits all nodes.
+pub(crate) fn existence_coin(rng: &mut ChaCha8Rng, round: u32, population: u32) -> bool {
+    let population = population.max(1);
+    let numerator = 1u32.checked_shl(round).unwrap_or(u32::MAX).min(population);
+    rng.gen_ratio(numerator, population)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn node() -> SimNode {
         SimNode::new(NodeId(0), 42)
+    }
+
+    #[test]
+    fn coin_is_certain_once_two_to_round_reaches_population() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert!(existence_coin(&mut rng, 10, 1024));
+            assert!(existence_coin(&mut rng, 40, 7)); // 2^40 overflows the shl
+        }
     }
 
     #[test]

@@ -107,10 +107,22 @@ impl ThreadedEngine {
 
     /// Sends a command to every node and waits for all acknowledgements.
     fn broadcast_command(&mut self, make: impl Fn(NodeId) -> NodeCommand) -> Vec<NodeMessage> {
+        let mut replies = Vec::new();
+        self.broadcast_command_into(make, &mut replies);
+        replies
+    }
+
+    /// Sends a command to every node, waits for all acknowledgements and
+    /// collects the replies into a caller-provided buffer (cleared first).
+    fn broadcast_command_into(
+        &mut self,
+        make: impl Fn(NodeId) -> NodeCommand,
+        replies: &mut Vec<NodeMessage>,
+    ) {
         for (i, tx) in self.senders.iter().enumerate() {
             tx.send(make(NodeId(i))).expect("node thread hung up");
         }
-        let mut replies = Vec::new();
+        replies.clear();
         for _ in 0..self.senders.len() {
             let ack = self.reply_rx.recv().expect("node thread hung up");
             if let Some(reply) = ack.reply {
@@ -121,7 +133,6 @@ impl ThreadedEngine {
         // the same order (channels deliver acknowledgements in arrival order,
         // which depends on the scheduler).
         replies.sort_by_key(|r| r.sender());
-        replies
     }
 
     /// Sends a command to a single node and waits for its acknowledgement.
@@ -156,6 +167,22 @@ impl Network for ThreadedEngine {
         let values = values.to_vec();
         let replies = self.broadcast_command(|id| NodeCommand::Observe(values[id.index()]));
         debug_assert!(replies.is_empty());
+        self.meter.record_time_step();
+    }
+
+    fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
+        // Only the changed nodes need an Observe command: re-observing the
+        // previous value would leave node state untouched anyway.
+        for &(node, v) in changes {
+            self.mirror_values[node.index()] = v;
+            self.senders[node.index()]
+                .send(NodeCommand::Observe(v))
+                .expect("node thread hung up");
+        }
+        for _ in 0..changes.len() {
+            let ack = self.reply_rx.recv().expect("node thread hung up");
+            debug_assert!(ack.reply.is_none());
+        }
         self.meter.record_time_step();
     }
 
@@ -214,23 +241,26 @@ impl Network for ThreadedEngine {
         }
     }
 
-    fn existence_round(
+    fn existence_round_into(
         &mut self,
         round: u32,
         population: u32,
         predicate: ExistencePredicate,
-    ) -> Vec<NodeMessage> {
+        replies: &mut Vec<NodeMessage>,
+    ) {
         self.meter.record_round();
-        let replies = self.broadcast_command(|_| {
-            NodeCommand::Server(ServerMessage::ExistenceRound {
-                round,
-                population,
-                predicate,
-            })
-        });
+        self.broadcast_command_into(
+            |_| {
+                NodeCommand::Server(ServerMessage::ExistenceRound {
+                    round,
+                    population,
+                    predicate,
+                })
+            },
+            replies,
+        );
         self.meter
             .record_many(MessageKind::Upstream, replies.len() as u64);
-        replies
     }
 
     fn end_existence_run(&mut self) {
@@ -258,6 +288,16 @@ impl Network for ThreadedEngine {
 
     fn peek_group(&self, node: NodeId) -> NodeGroup {
         self.mirror_groups[node.index()]
+    }
+
+    fn peek_filters_into(&self, out: &mut Vec<Filter>) {
+        out.clear();
+        out.extend_from_slice(&self.mirror_filters);
+    }
+
+    fn peek_values_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend_from_slice(&self.mirror_values);
     }
 }
 

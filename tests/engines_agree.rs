@@ -1,12 +1,13 @@
-//! The deterministic engine and the threaded (crossbeam-channel) engine must
-//! produce identical message counts and identical outputs for the same seed —
-//! the protocols cannot tell which transport they run on.
+//! The deterministic engine, the indexed engine and the threaded
+//! (crossbeam-channel) engine must produce identical message counts and
+//! identical outputs for the same seed — the protocols cannot tell which
+//! transport they run on.
 
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
 use topk_gen::{NoiseOscillationWorkload, RandomWalkWorkload, Workload};
 use topk_model::Epsilon;
-use topk_net::{DeterministicEngine, Network, ThreadedEngine};
+use topk_net::{DeterministicEngine, IndexedEngine, Network, ThreadedEngine};
 
 fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>], eps: Epsilon) {
     let n = rows[0].len();
@@ -17,6 +18,15 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
     let det = run_on_rows(
         det_monitor.as_mut(),
         &mut det_net,
+        rows.iter().cloned(),
+        eps,
+    );
+
+    let mut idx_monitor = make_monitor();
+    let mut idx_net = IndexedEngine::new(n, seed);
+    let idx = run_on_rows(
+        idx_monitor.as_mut(),
+        &mut idx_net,
         rows.iter().cloned(),
         eps,
     );
@@ -33,14 +43,22 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
     assert_eq!(
         det.messages(),
         thr.messages(),
-        "{}: message counts differ between engines",
+        "{}: message counts differ between deterministic and threaded engines",
+        det_monitor.name()
+    );
+    assert_eq!(
+        det,
+        idx,
+        "{}: run reports differ between deterministic and indexed engines",
         det_monitor.name()
     );
     assert_eq!(det.stats.rounds, thr.stats.rounds);
     assert_eq!(det.invalid_steps, thr.invalid_steps);
     assert_eq!(det_monitor.output(), thr_monitor.output());
+    assert_eq!(det_monitor.output(), idx_monitor.output());
     // The filters visible at the end must agree as well.
     assert_eq!(det_net.peek_filters(), thr_net.peek_filters());
+    assert_eq!(det_net.peek_filters(), idx_net.peek_filters());
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Differential test: the indexed engine is bit-identical to the baseline.
+//!
+//! `IndexedEngine` skips nodes whose predicate does not hold; the baseline
+//! `DeterministicEngine` visits every node. Because a node only consumes
+//! randomness *after* its predicate evaluated to true, the two must agree on
+//! every reply, every message count (full `CommStats` equality, per label and
+//! kind) and every piece of node state, for *any* schedule of operations.
+//!
+//! The schedules here are adversarially random: interleaved dense and sparse
+//! observations, explicit filters, group unicasts and broadcasts, parameter
+//! broadcasts of all three rule families, probes and existence runs with every
+//! predicate shape. 256 randomized schedules are checked, plus full monitor
+//! runs on random traces.
+
+use proptest::prelude::*;
+use topk_core::existence::existence;
+use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_net::{DeterministicEngine, IndexedEngine, Network};
+
+const N: usize = 8;
+
+/// One encoded schedule entry: `(kind, node-ish, x, y)` decoded by [`apply`].
+type Op = (u8, usize, u64, u64);
+
+/// Applies one decoded operation and returns whatever upstream traffic it
+/// produced (so the caller can compare engine outputs op by op).
+fn apply(net: &mut dyn Network, op: Op) -> Vec<NodeMessage> {
+    let (kind, a, x, y) = op;
+    let node = NodeId(a % N);
+    match kind % 8 {
+        0 => {
+            // Dense observation row, derived deterministically from the seeds.
+            let row: Vec<Value> = (0..N as u64).map(|i| (x + i * y) % 997).collect();
+            net.advance_time(&row);
+            Vec::new()
+        }
+        1 => {
+            net.advance_time_sparse(&[(node, x % 997), (NodeId((a + 3) % N), y % 997)]);
+            Vec::new()
+        }
+        2 => {
+            let filter = match y % 3 {
+                0 => Filter::at_least(x % 997),
+                1 => Filter::at_most(x % 997),
+                _ => {
+                    let (lo, hi) = ((x % 997).min(y % 997), (x % 997).max(y % 997));
+                    Filter::bounded(lo, hi).unwrap()
+                }
+            };
+            net.assign_filter(node, filter);
+            Vec::new()
+        }
+        3 => {
+            net.assign_group(node, group_from(x));
+            Vec::new()
+        }
+        4 => {
+            net.broadcast_group(group_from(x));
+            Vec::new()
+        }
+        5 => {
+            net.broadcast_params(params_from(x, y));
+            Vec::new()
+        }
+        6 => vec![NodeMessage::ValueReport {
+            node,
+            value: net.probe(node),
+        }],
+        _ => {
+            let predicate = match y % 5 {
+                0 => ExistencePredicate::PendingViolation,
+                1 => ExistencePredicate::GreaterThan(x % 997),
+                2 => ExistencePredicate::AtLeast(x % 997),
+                3 => ExistencePredicate::LessThan(x % 997),
+                _ => ExistencePredicate::RankWindow {
+                    above: (x % 2 == 0).then_some((x % 997, node)),
+                    below: (y % 3 == 0).then_some((y % 997, NodeId((a + 1) % N))),
+                },
+            };
+            existence(net, predicate).responses
+        }
+    }
+}
+
+fn group_from(x: u64) -> NodeGroup {
+    match x % 6 {
+        0 => NodeGroup::Upper,
+        1 => NodeGroup::Lower,
+        2 => NodeGroup::V1,
+        3 => NodeGroup::V3,
+        4 => NodeGroup::V2_PLAIN,
+        _ => NodeGroup::V2 {
+            s1: x % 2 == 0,
+            s2: x % 3 == 0,
+        },
+    }
+}
+
+fn params_from(x: u64, y: u64) -> FilterParams {
+    let (lo, hi) = ((x % 997).min(y % 997), (x % 997).max(y % 997));
+    match (x ^ y) % 3 {
+        0 => FilterParams::Separator { lo, hi },
+        1 => FilterParams::Dense {
+            l_r: lo,
+            u_r: hi,
+            z_lo: lo / 2,
+            z_hi: hi.saturating_mul(2),
+        },
+        _ => FilterParams::SubDense {
+            l_r: lo,
+            l_rp: lo + (hi - lo) / 3,
+            u_rp: hi,
+            z_lo: lo / 2,
+            z_hi: hi.saturating_mul(2),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Identical replies, identical `CommStats`, identical node state over
+    /// random schedules of every transport operation.
+    #[test]
+    fn indexed_engine_matches_baseline_on_random_schedules(
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..N, 0u64..2000, 0u64..2000),
+            1..40,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let mut base = DeterministicEngine::new(N, seed);
+        let mut indexed = IndexedEngine::new(N, seed);
+        for &op in &ops {
+            let replies_base = apply(&mut base, op);
+            let replies_indexed = apply(&mut indexed, op);
+            prop_assert_eq!(replies_base, replies_indexed, "replies diverge on {:?}", op);
+        }
+        prop_assert_eq!(base.stats(), indexed.stats());
+        prop_assert_eq!(base.peek_filters(), indexed.peek_filters());
+        prop_assert_eq!(base.peek_values(), indexed.peek_values());
+        for i in 0..N {
+            prop_assert_eq!(base.peek_group(NodeId(i)), indexed.peek_group(NodeId(i)));
+        }
+    }
+
+    /// Full monitor runs — protocol stack on top of the engines — agree on the
+    /// output set, the validity record and the complete message accounting.
+    #[test]
+    fn monitors_agree_between_baseline_and_indexed(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1u64..50_000, N),
+            3..25,
+        ),
+        k_seed in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let k = k_seed.clamp(1, N - 1);
+        let eps = Epsilon::new(1, 8).unwrap();
+        for which in 0..3 {
+            let make = || -> Box<dyn Monitor> {
+                match which {
+                    0 => Box::new(ExactTopKMonitor::new(k)),
+                    1 => Box::new(TopKMonitor::new(k, eps)),
+                    _ => Box::new(CombinedMonitor::new(k, eps)),
+                }
+            };
+            let mut m_base = make();
+            let mut base = DeterministicEngine::new(N, seed);
+            let r_base = run_on_rows(m_base.as_mut(), &mut base, rows.iter().cloned(), eps);
+            let mut m_idx = make();
+            let mut indexed = IndexedEngine::new(N, seed);
+            let r_idx = run_on_rows(m_idx.as_mut(), &mut indexed, rows.iter().cloned(), eps);
+            prop_assert_eq!(&r_base, &r_idx, "run reports diverge for monitor {}", m_base.name());
+            prop_assert_eq!(m_base.output(), m_idx.output());
+            prop_assert_eq!(base.peek_filters(), indexed.peek_filters());
+        }
+    }
+}
