@@ -5,38 +5,37 @@
 //! cargo run -p topk-bench --bin experiments --release -- e1 e5   # a subset
 //! cargo run -p topk-bench --bin experiments --release -- --small # quick smoke run
 //! cargo run -p topk-bench --bin experiments --release -- --json results/
-//! cargo run -p topk-bench --bin experiments --release -- --throughput          # engine bench
-//! cargo run -p topk-bench --bin experiments --release -- --throughput --quick  # CI smoke
+//! cargo run -p topk-bench --bin experiments --release -- --throughput               # engine bench
+//! cargo run -p topk-bench --bin experiments --release -- --throughput --quick       # CI smoke
+//! cargo run -p topk-bench --bin experiments --release -- --throughput --sharded 8   # 8 workers
+//! cargo run -p topk-bench --bin experiments --release -- --check-floors FILE.json   # validate only
 //! ```
 //!
 //! Prints one aligned table per experiment (the tables quoted in
 //! EXPERIMENTS.md) and optionally writes each as JSON into a directory.
 //!
 //! `--throughput` runs the engine throughput benchmark instead (baseline vs.
-//! indexed engine, see `topk_bench::throughput`), writes
+//! indexed vs. sharded engine, see `topk_bench::throughput`), writes
 //! `BENCH_throughput.json` (path overridable with `--out FILE`) and exits
-//! non-zero if the indexed engine regresses below the CI floors.
+//! non-zero if an engine regresses below the CI floors. `--sharded <threads>`
+//! sets the sharded engine's worker count (default 4). `--check-floors FILE`
+//! re-validates an existing report — CI uses it to hold the *committed*
+//! full-scale `BENCH_throughput.json` to the `n = 10⁶` floors without
+//! re-measuring on shared runners.
 
 use std::path::PathBuf;
 use topk_bench::experiments::{self, Scale};
 use topk_bench::{throughput, ExperimentTable};
 
-fn run_throughput_bench(quick: bool, out: PathBuf) -> ! {
-    let report = throughput::run_throughput(quick, |line| eprintln!("{line}"));
-    std::fs::write(&out, throughput::to_json(&report)).expect("write throughput json");
-    eprintln!("wrote {}", out.display());
-    for s in &report.speedups_dense {
-        println!(
-            "speedup {:>12} n={:>7}: {:>8.1}x (indexed vs baseline, dense delivery)",
-            s.generator, s.n, s.speedup
-        );
-    }
-    let failures = throughput::check_floors(&report);
+fn report_floors(report: &throughput::ThroughputReport) -> ! {
+    let failures = throughput::check_floors(report);
     if failures.is_empty() {
         println!(
-            "floors ok: indexed >= {}x baseline and >= {} steps/s at n=1e5 (noise, dense)",
+            "floors ok: indexed >= {}x baseline (and >= {} steps/s) at n=1e5, sharded >= {}x indexed at n=1e6 (or >= {}x at n=1e5 for quick runs), noise/dense",
             throughput::SPEEDUP_FLOOR,
-            throughput::ABSOLUTE_FLOOR
+            throughput::ABSOLUTE_FLOOR,
+            throughput::SHARDED_SPEEDUP_FLOOR,
+            throughput::SHARDED_SPEEDUP_FLOOR_QUICK,
         );
         std::process::exit(0);
     }
@@ -44,6 +43,49 @@ fn run_throughput_bench(quick: bool, out: PathBuf) -> ! {
         eprintln!("FLOOR REGRESSION: {f}");
     }
     std::process::exit(1);
+}
+
+fn run_throughput_bench(quick: bool, sharded_workers: usize, out: PathBuf) -> ! {
+    let report = throughput::run_throughput(quick, sharded_workers, |line| eprintln!("{line}"));
+    std::fs::write(&out, throughput::to_json(&report)).expect("write throughput json");
+    eprintln!("wrote {}", out.display());
+    for s in &report.speedups_dense {
+        println!(
+            "speedup {:>12} n={:>8}: {:>8.1}x (indexed vs baseline, dense delivery)",
+            s.generator, s.n, s.speedup
+        );
+    }
+    for s in &report.speedups_sharded {
+        println!(
+            "speedup {:>12} n={:>8}: {:>8.1}x (sharded vs indexed, dense delivery)",
+            s.generator, s.n, s.speedup
+        );
+    }
+    report_floors(&report)
+}
+
+fn check_floors_only(path: PathBuf) -> ! {
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report: throughput::ThroughputReport = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    eprintln!(
+        "checking floors of {} ({} scale, {} rows)",
+        path.display(),
+        report.scale,
+        report.rows.len()
+    );
+    // The committed report this mode guards must be a full-scale run — a
+    // quick-scale file would only ever be held to the loose smoke floors.
+    if report.scale != "full" {
+        eprintln!(
+            "FLOOR REGRESSION: {} is a '{}'-scale report; the committed benchmark must be full-scale",
+            path.display(),
+            report.scale
+        );
+        std::process::exit(1);
+    }
+    report_floors(&report)
 }
 
 fn main() {
@@ -54,12 +96,31 @@ fn main() {
     let mut throughput_mode = false;
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
+    let mut sharded_workers = 4usize;
+    let mut sharded_set = false;
+    let mut check_floors_path: Option<PathBuf> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--small" => scale = Scale::Small,
             "--throughput" => throughput_mode = true,
             "--quick" => quick = true,
+            "--sharded" => {
+                let parsed = iter.next().and_then(|w| w.parse::<usize>().ok());
+                let Some(workers) = parsed.filter(|&w| w >= 1) else {
+                    eprintln!("--sharded requires a worker count >= 1");
+                    std::process::exit(2);
+                };
+                sharded_workers = workers;
+                sharded_set = true;
+            }
+            "--check-floors" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--check-floors requires a json file argument");
+                    std::process::exit(2);
+                };
+                check_floors_path = Some(PathBuf::from(path));
+            }
             "--out" => {
                 let Some(path) = iter.next() else {
                     eprintln!("--out requires a file argument");
@@ -76,12 +137,26 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--out FILE]"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--out FILE]\n       experiments --check-floors FILE.json"
                 );
                 return;
             }
             other => wanted.push(other.to_lowercase()),
         }
+    }
+    if let Some(path) = check_floors_path {
+        if throughput_mode
+            || scale == Scale::Small
+            || json_dir.is_some()
+            || !wanted.is_empty()
+            || quick
+            || out.is_some()
+            || sharded_set
+        {
+            eprintln!("--check-floors does not combine with other modes or flags");
+            std::process::exit(2);
+        }
+        check_floors_only(path);
     }
     if throughput_mode {
         if scale == Scale::Small || json_dir.is_some() || !wanted.is_empty() {
@@ -90,6 +165,7 @@ fn main() {
         }
         run_throughput_bench(
             quick,
+            sharded_workers,
             out.unwrap_or_else(|| PathBuf::from("BENCH_throughput.json")),
         );
     }

@@ -23,9 +23,9 @@
 //! wall-clock cost of the same code paths.
 //!
 //! [`throughput`] is the engine-throughput benchmark (`experiments
-//! --throughput`): simulated steps per second of the baseline vs. the indexed
-//! engine across workloads and population sizes, written to
-//! `BENCH_throughput.json`.
+//! --throughput [--sharded <threads>]`): simulated steps per second of the
+//! baseline vs. the indexed vs. the sharded engine across workloads and
+//! population sizes (up to 10⁷ nodes), written to `BENCH_throughput.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

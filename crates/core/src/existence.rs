@@ -50,6 +50,28 @@ pub fn round_budget(n: usize) -> u32 {
 /// announces the end of the run with one broadcast (silent runs need no
 /// announcement, so a time step without filter violations is free).
 pub fn existence(net: &mut dyn Network, predicate: ExistencePredicate) -> ExistenceOutcome {
+    let mut responses = Vec::new();
+    let terminated_in_round = existence_into(net, predicate, &mut responses);
+    ExistenceOutcome {
+        responses,
+        terminated_in_round,
+    }
+}
+
+/// Buffer-reusing variant of [`existence`]: clears `responses` and fills it
+/// with the responses of the terminating round (leaving it empty for a silent
+/// run), returning the round that terminated the run, if any.
+///
+/// This is the engine-agnostic hot path: every [`Network`] implementation's
+/// `existence_round_into` keeps silent rounds allocation-free, and a caller
+/// that runs many existence runs (one violation check per time step, or the
+/// record-breaking search of the maximum protocol) reuses one buffer across
+/// all of them instead of allocating per responding run.
+pub fn existence_into(
+    net: &mut dyn Network,
+    predicate: ExistencePredicate,
+    responses: &mut Vec<NodeMessage>,
+) -> Option<u32> {
     net.meter().push_label(ProtocolLabel::Existence);
     let n = net.n();
     // The `ExistenceRound` wire message carries the population as 32 bits
@@ -59,25 +81,18 @@ pub fn existence(net: &mut dyn Network, predicate: ExistencePredicate) -> Existe
         panic!("existence protocol: population n = {n} exceeds the u32::MAX supported by the ExistenceRound wire format")
     });
     let rounds = round_budget(n);
-    let mut outcome = ExistenceOutcome {
-        responses: Vec::new(),
-        terminated_in_round: None,
-    };
-    // One scratch buffer for the whole run: silent rounds (the common case —
-    // there are ⌈log₂ n⌉ + 1 of them per violation-free time step) leave it
-    // empty and allocation-free.
-    let mut responses: Vec<NodeMessage> = Vec::new();
+    let mut terminated_in_round = None;
+    responses.clear();
     for round in 0..rounds {
-        net.existence_round_into(round, population, predicate, &mut responses);
+        net.existence_round_into(round, population, predicate, responses);
         if !responses.is_empty() {
             net.end_existence_run();
-            outcome.responses = responses;
-            outcome.terminated_in_round = Some(round);
+            terminated_in_round = Some(round);
             break;
         }
     }
     net.meter().pop_label();
-    outcome
+    terminated_in_round
 }
 
 /// Detects filter violations at the current time step (Corollary 3.2).
@@ -87,6 +102,14 @@ pub fn existence(net: &mut dyn Network, predicate: ExistencePredicate) -> Existe
 /// caller can react without further probes.
 pub fn detect_violations(net: &mut dyn Network) -> Vec<NodeMessage> {
     existence(net, ExistencePredicate::PendingViolation).responses
+}
+
+/// Buffer-reusing variant of [`detect_violations`]: clears `reports` and
+/// fills it with the violation reports of the current time step. Drivers that
+/// check for violations every step (the monitors, the throughput harness)
+/// reuse one buffer for the whole run.
+pub fn detect_violations_into(net: &mut dyn Network, reports: &mut Vec<NodeMessage>) {
+    existence_into(net, ExistencePredicate::PendingViolation, reports);
 }
 
 /// Convenience wrapper: "is any value strictly above `threshold`?".
@@ -163,6 +186,34 @@ mod tests {
             "mean upstream messages {mean} exceeds the Lemma 3.1 bound"
         );
         assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn existence_into_reuses_the_buffer_and_matches_the_allocating_form() {
+        let mut a = DeterministicEngine::new(16, 21);
+        let mut b = DeterministicEngine::new(16, 21);
+        let values: Vec<Value> = (0..16).map(|i| i * 5).collect();
+        a.advance_time(&values);
+        b.advance_time(&values);
+        let mut buf = vec![NodeMessage::ExistenceResponse {
+            node: NodeId(0),
+            value: 0,
+        }]; // stale contents must be replaced
+        for threshold in [0, 30, 70, 100] {
+            let round =
+                existence_into(&mut a, ExistencePredicate::GreaterThan(threshold), &mut buf);
+            let outcome = existence(&mut b, ExistencePredicate::GreaterThan(threshold));
+            assert_eq!(buf, outcome.responses);
+            assert_eq!(round, outcome.terminated_in_round);
+        }
+        assert_eq!(a.stats(), b.stats());
+        // The violation wrapper clears the buffer on silent steps too.
+        buf.push(NodeMessage::ExistenceResponse {
+            node: NodeId(1),
+            value: 1,
+        });
+        detect_violations_into(&mut a, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

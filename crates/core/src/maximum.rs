@@ -28,7 +28,7 @@ use topk_model::prelude::*;
 use topk_model::types::value_order;
 use topk_net::Network;
 
-use crate::existence::existence;
+use crate::existence::existence_into;
 
 /// Finds the node with the maximum `(value, id)` rank strictly below `upper`
 /// (`None` means "no upper bound", i.e. the global maximum).
@@ -40,19 +40,22 @@ pub fn find_max_below(
 ) -> Option<(NodeId, Value)> {
     net.meter().push_label(ProtocolLabel::Maximum);
     let mut best: Option<(Value, NodeId)> = None;
+    // One response buffer for the whole record-breaking search (O(log n)
+    // existence runs in expectation).
+    let mut responses: Vec<NodeMessage> = Vec::new();
     loop {
-        let outcome = existence(
+        existence_into(
             net,
             ExistencePredicate::RankWindow {
                 above: best,
                 below: upper,
             },
+            &mut responses,
         );
-        if !outcome.exists() {
+        if responses.is_empty() {
             break;
         }
-        let round_best = outcome
-            .responses
+        let round_best = responses
             .iter()
             .map(|r| (r.value(), r.sender()))
             .max_by(|a, b| value_order(*a, *b))

@@ -32,27 +32,147 @@ use crate::types::{NodeId, Value};
 /// Invariant: `pending[i]` always equals `filter(i).check(value(i))`; every
 /// mutator that touches a node's value or filter re-establishes it and returns
 /// the new flag so callers can maintain derived indexes incrementally.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the *logical* node state (values, filters, groups,
+/// pending flags); the derived zone-map caches are excluded because their
+/// exact contents depend on which mutation path produced the state.
+#[derive(Debug, Clone)]
 pub struct NodeStateSoA {
     values: Vec<Value>,
     filter_lo: Vec<Value>,
     filter_hi: Vec<Option<Value>>,
+    /// Derived column: `filter_hi` with `∞` collapsed to [`Value::MAX`].
+    ///
+    /// `Filter::check_parts(lo, Some(Value::MAX), v)` and
+    /// `Filter::check_parts(lo, None, v)` are indistinguishable (no value
+    /// exceeds `Value::MAX`), so the violation check can run on this flat
+    /// `u64` column — one branchless compare per node instead of `Option`
+    /// unpacking — without ever diverging from the `Filter` semantics. The
+    /// exact bound (including the `bounded(x, Value::MAX)` vs `at_least(x)`
+    /// distinction) stays in `filter_hi`; this column is only read by
+    /// [`NodeStateSoA::advance_row`].
+    check_hi: Vec<Value>,
     groups: Vec<NodeGroup>,
-    pending: Vec<Option<Violation>>,
+    /// Pending violations as flat codes (see [`encode`]/[`decode`]): `u8`
+    /// arithmetic lets the bulk passes accumulate "any flag changed in this
+    /// chunk?" with a branch-free XOR instead of matching on an `Option` per
+    /// node. The public API speaks `Option<Violation>` throughout.
+    pending: Vec<u8>,
+    /// Per-chunk zone map over the filter columns (one entry per [`CHUNK`]
+    /// nodes): the largest lower bound in the chunk. Together with
+    /// `chunk_hi_min` it gives the dense path a conservative per-chunk test —
+    /// if every new value of a chunk lies in
+    /// `[chunk_lo_max, chunk_hi_min] ⊆ [lo_i, hi_i] ∀i` and no flag is
+    /// currently set (`chunk_pending`), the chunk cannot transition and the
+    /// filter/pending columns need not be read at all. On workloads in the
+    /// paper's target regime (values inside calibrated bands) this cuts the
+    /// per-step traffic to the row and value columns.
+    chunk_lo_max: Vec<Value>,
+    /// Zone map: the smallest (∞-collapsed) upper bound in the chunk.
+    chunk_hi_min: Vec<Value>,
+    /// Number of non-`None` pending flags per chunk (maintained on every code
+    /// transition).
+    chunk_pending: Vec<u32>,
+    /// Chunks whose zone-map entries are stale (a filter changed); recomputed
+    /// lazily by the next bulk pass that wants the fast path.
+    chunk_dirty: Vec<bool>,
 }
+
+impl PartialEq for NodeStateSoA {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+            && self.filter_lo == other.filter_lo
+            && self.filter_hi == other.filter_hi
+            && self.groups == other.groups
+            && self.pending == other.pending
+    }
+}
+
+impl Eq for NodeStateSoA {}
+
+/// Flat encoding of `Option<Violation>` for the pending column.
+#[inline]
+fn encode(flag: Option<Violation>) -> u8 {
+    match flag {
+        None => 0,
+        Some(Violation::FromBelow) => 1,
+        Some(Violation::FromAbove) => 2,
+    }
+}
+
+/// Inverse of [`encode`].
+#[inline]
+fn decode(code: u8) -> Option<Violation> {
+    match code {
+        0 => None,
+        1 => Some(Violation::FromBelow),
+        _ => Some(Violation::FromAbove),
+    }
+}
+
+/// The violation code of value `v` under `[lo, hi]` (`hi` with `∞` already
+/// collapsed to `Value::MAX`): branch-free, and equal to
+/// `encode(Filter::check_parts(lo, …, v))` — a unit test pins the agreement.
+#[inline]
+fn code_of(lo: Value, hi: Value, v: Value) -> u8 {
+    ((v > hi) as u8) | (((v < lo) as u8) << 1)
+}
+
+/// Chunk width of the bulk passes: wide enough that the branch-free inner
+/// loop vectorises, narrow enough that a dirty chunk's scalar fixup stays
+/// cheap.
+const CHUNK: usize = 64;
 
 impl NodeStateSoA {
     /// Creates the state of `n` fresh nodes: value 0, the all-embracing filter
     /// `[0, ∞)`, group `Lower`, no pending violation — exactly the initial state
     /// of a `SimNode`.
     pub fn new(n: usize) -> NodeStateSoA {
+        let chunks = n.div_ceil(CHUNK);
         NodeStateSoA {
             values: vec![0; n],
             filter_lo: vec![Filter::FULL.lo(); n],
             filter_hi: vec![Filter::FULL.hi(); n],
+            check_hi: vec![Value::MAX; n],
             groups: vec![NodeGroup::Lower; n],
-            pending: vec![None; n],
+            pending: vec![0; n],
+            chunk_lo_max: vec![0; chunks],
+            chunk_hi_min: vec![Value::MAX; chunks],
+            chunk_pending: vec![0; chunks],
+            chunk_dirty: vec![false; chunks],
         }
+    }
+
+    /// Writes pending code `code` for node `i`, maintaining the per-chunk
+    /// count of set flags. Every code mutation funnels through here.
+    #[inline]
+    fn store_code(&mut self, i: usize, code: u8) {
+        let old = self.pending[i];
+        if old == code {
+            return;
+        }
+        let c = i / CHUNK;
+        if old == 0 {
+            self.chunk_pending[c] += 1;
+        } else if code == 0 {
+            self.chunk_pending[c] -= 1;
+        }
+        self.pending[i] = code;
+    }
+
+    /// Recomputes the zone-map entry of chunk `c` from the filter columns.
+    fn rebuild_chunk(&mut self, c: usize) {
+        let base = c * CHUNK;
+        let end = (base + CHUNK).min(self.len());
+        let mut lo_max = 0;
+        let mut hi_min = Value::MAX;
+        for i in base..end {
+            lo_max = lo_max.max(self.filter_lo[i]);
+            hi_min = hi_min.min(self.check_hi[i]);
+        }
+        self.chunk_lo_max[c] = lo_max;
+        self.chunk_hi_min[c] = hi_min;
+        self.chunk_dirty[c] = false;
     }
 
     /// Number of nodes.
@@ -95,7 +215,7 @@ impl NodeStateSoA {
     /// The violation node `i` is waiting to report, if any.
     #[inline]
     pub fn pending(&self, i: usize) -> Option<Violation> {
-        self.pending[i]
+        decode(self.pending[i])
     }
 
     /// Records a new observation for node `i` and returns the updated pending
@@ -111,6 +231,8 @@ impl NodeStateSoA {
     pub fn set_filter(&mut self, i: usize, filter: Filter) -> Option<Violation> {
         self.filter_lo[i] = filter.lo();
         self.filter_hi[i] = filter.hi();
+        self.check_hi[i] = filter.hi_or_max();
+        self.chunk_dirty[i / CHUNK] = true;
         self.refresh_pending(i)
     }
 
@@ -126,13 +248,182 @@ impl NodeStateSoA {
     #[inline]
     pub fn refresh_pending(&mut self, i: usize) -> Option<Violation> {
         let flag = Filter::check_parts(self.filter_lo[i], self.filter_hi[i], self.values[i]);
-        self.pending[i] = flag;
+        self.store_code(i, encode(flag));
         flag
     }
 
     /// Iterates over `(node, filter)` pairs (for bulk inspection APIs).
     pub fn filters(&self) -> impl Iterator<Item = (NodeId, Filter)> + '_ {
         (0..self.len()).map(|i| (NodeId(i), self.filter(i)))
+    }
+
+    /// Bulk observation delivery: replaces the whole value column with `row`,
+    /// re-establishes the pending invariant for every node, records the indices
+    /// whose pending flag *changed* into `transitions` (cleared first) and
+    /// returns the number of nodes whose value changed.
+    ///
+    /// Semantically identical to calling [`NodeStateSoA::set_value`] per node —
+    /// re-evaluating an unchanged node's pending flag is a no-op because the
+    /// invariant already held — but implemented as one zipped pass over the
+    /// `values`/`filter_lo`/`check_hi`/`pending` columns so the compiler can
+    /// elide bounds checks and keep the comparisons branch-free. This is the
+    /// per-step hot loop of the sharded engine.
+    ///
+    /// `expect_dense` selects between two loop bodies with identical results
+    /// but opposite branch economics, because no single loop wins on every
+    /// change pattern:
+    ///
+    /// * `true` — *dense-biased*: unconditionally store the value and
+    ///   re-derive the flag (branch-free selects). Best when most nodes change
+    ///   (a skip branch would be unpredictable or always taken).
+    /// * `false` — *quiet-biased*: skip unchanged nodes with an early
+    ///   `continue`. Best on quiet streams — the paper's target regime — where
+    ///   the branch predicts never-taken and the filter/pending columns are
+    ///   never touched.
+    ///
+    /// Callers that deliver a row per step feed the previous step's change
+    /// count back into the hint (see the sharded engine); the change count is
+    /// returned for exactly that purpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.len()` or the state holds more than
+    /// `u32::MAX` nodes (transitions are recorded as `u32` indices).
+    pub fn advance_row(
+        &mut self,
+        row: &[Value],
+        transitions: &mut Vec<u32>,
+        expect_dense: bool,
+    ) -> usize {
+        assert_eq!(row.len(), self.len(), "one observation per node required");
+        assert!(
+            self.len() <= u32::MAX as usize,
+            "node count exceeds u32 index range"
+        );
+        transitions.clear();
+        let mut changed = 0usize;
+        if expect_dense {
+            // Chunked pass. Phase 1 scans only the chunk's slice of the *row*
+            // for its min/max (512 bytes — the slice stays L1-resident for
+            // whatever runs next). If the zone map proves the chunk cannot
+            // transition (no flag set, every new value inside the chunk-wide
+            // band), phase 2 is a bare copy-and-count over row and values —
+            // the filter and pending columns are never touched. Otherwise
+            // phase 2 is one full pass re-deriving each code, with a
+            // rarely-taken store branch (the invariant already held for
+            // unchanged nodes). Either way each chunk pays one pass over the
+            // cold columns, so the zone map can only help.
+            let n = self.values.len();
+            let mut base = 0;
+            while base < n {
+                let c = base / CHUNK;
+                let end = (base + CHUNK).min(n);
+                if self.chunk_dirty[c] {
+                    self.rebuild_chunk(c);
+                }
+                let mut mn = Value::MAX;
+                let mut mx = 0;
+                for &new in &row[base..end] {
+                    mn = mn.min(new);
+                    mx = mx.max(new);
+                }
+                let cannot_transition = self.chunk_pending[c] == 0
+                    && mn >= self.chunk_lo_max[c]
+                    && mx <= self.chunk_hi_min[c];
+                let mut chunk_changed = 0u64;
+                if cannot_transition {
+                    for (v, &new) in self.values[base..end].iter_mut().zip(&row[base..end]) {
+                        chunk_changed += (*v != new) as u64;
+                        *v = new;
+                    }
+                } else {
+                    for (off, &new) in row[base..end].iter().enumerate() {
+                        let i = base + off;
+                        chunk_changed += (self.values[i] != new) as u64;
+                        self.values[i] = new;
+                        let code = code_of(self.filter_lo[i], self.check_hi[i], new);
+                        if code != self.pending[i] {
+                            self.store_code(i, code);
+                            transitions.push(i as u32);
+                        }
+                    }
+                }
+                changed += chunk_changed as usize;
+                base = end;
+            }
+        } else {
+            for (i, &new) in row.iter().enumerate() {
+                if self.values[i] == new {
+                    continue;
+                }
+                changed += 1;
+                self.values[i] = new;
+                let code = code_of(self.filter_lo[i], self.check_hi[i], new);
+                if code != self.pending[i] {
+                    self.store_code(i, code);
+                    transitions.push(i as u32);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Value-only write that *defers* the pending-invariant update: the caller
+    /// must call [`NodeStateSoA::refresh_pending_bulk`] before anything reads
+    /// a pending flag. Exists for bulk sparse application, where re-checking
+    /// per write would touch the filter columns once per change instead of
+    /// once per node.
+    #[inline]
+    pub fn set_value_deferred(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+    }
+
+    /// Re-establishes the pending invariant for *every* node in one zipped
+    /// pass over the `values`/`filter_lo`/`check_hi`/`pending` columns,
+    /// recording the indices whose flag changed into `transitions` (cleared
+    /// first). Companion of [`NodeStateSoA::set_value_deferred`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state holds more than `u32::MAX` nodes.
+    pub fn refresh_pending_bulk(&mut self, transitions: &mut Vec<u32>) {
+        assert!(
+            self.len() <= u32::MAX as usize,
+            "node count exceeds u32 index range"
+        );
+        transitions.clear();
+        let n = self.values.len();
+        let mut base = 0;
+        while base < n {
+            let c = base / CHUNK;
+            let end = (base + CHUNK).min(n);
+            if self.chunk_dirty[c] {
+                self.rebuild_chunk(c);
+            }
+            // Same zone-map fast path as the dense advance: a chunk with no
+            // flag set whose values all sit inside the chunk-wide band cannot
+            // have transitioned, and only the value column is read.
+            if self.chunk_pending[c] == 0 {
+                let mut mn = Value::MAX;
+                let mut mx = 0;
+                for &v in &self.values[base..end] {
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                if mn >= self.chunk_lo_max[c] && mx <= self.chunk_hi_min[c] {
+                    base = end;
+                    continue;
+                }
+            }
+            for i in base..end {
+                let code = code_of(self.filter_lo[i], self.check_hi[i], self.values[i]);
+                if code != self.pending[i] {
+                    self.store_code(i, code);
+                    transitions.push(i as u32);
+                }
+            }
+            base = end;
+        }
     }
 }
 
@@ -184,6 +475,121 @@ mod tests {
             s.set_filter(0, f);
             assert_eq!(s.filter(0), f);
         }
+    }
+
+    #[test]
+    fn advance_row_matches_per_node_set_value() {
+        let filters = [
+            Filter::FULL,
+            Filter::bounded(10, 40).unwrap(),
+            Filter::at_least(25),
+            Filter::at_most(30),
+            Filter::bounded(0, Value::MAX).unwrap(),
+        ];
+        let rows: [&[Value]; 4] = [
+            &[0, 50, 20, 31, 7],
+            &[0, 50, 30, 31, 7], // only one change
+            &[99, 9, 24, 0, Value::MAX],
+            &[99, 9, 24, 0, Value::MAX], // no change at all
+        ];
+        // Both loop variants must be indistinguishable from per-node writes.
+        for expect_dense in [false, true] {
+            let mut bulk = NodeStateSoA::new(5);
+            let mut scalar = NodeStateSoA::new(5);
+            for (i, f) in filters.iter().enumerate() {
+                bulk.set_filter(i, *f);
+                scalar.set_filter(i, *f);
+            }
+            let mut transitions = Vec::new();
+            for row in rows {
+                let before: Vec<_> = (0..5).map(|i| scalar.pending(i)).collect();
+                let changed_scalar = (0..5).filter(|&i| scalar.value(i) != row[i]).count();
+                for (i, &v) in row.iter().enumerate() {
+                    scalar.set_value(i, v);
+                }
+                let changed_bulk = bulk.advance_row(row, &mut transitions, expect_dense);
+                assert_eq!(bulk, scalar);
+                assert_eq!(changed_bulk, changed_scalar);
+                let expected: Vec<u32> = (0..5u32)
+                    .filter(|&i| before[i as usize] != scalar.pending(i as usize))
+                    .collect();
+                assert_eq!(transitions, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn code_of_agrees_with_check_parts() {
+        for lo in [0u64, 5, 10] {
+            for hi in [10u64, 50, Value::MAX] {
+                for v in [0u64, 4, 5, 9, 10, 11, 49, 50, 51, Value::MAX] {
+                    let via_filter = Filter::check_parts(lo, Some(hi), v);
+                    assert_eq!(
+                        decode(code_of(lo, hi, v)),
+                        via_filter,
+                        "lo={lo} hi={hi} v={v}"
+                    );
+                    assert_eq!(encode(via_filter), code_of(lo, hi, v));
+                }
+                // hi = MAX must behave like the unbounded filter.
+                assert_eq!(
+                    decode(code_of(lo, Value::MAX, Value::MAX)),
+                    Filter::check_parts(lo, None, Value::MAX)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_row_treats_bounded_max_like_infinity() {
+        // The check_hi column collapses ∞ to Value::MAX; the violation
+        // semantics must be identical, while the exact filter is preserved.
+        let mut s = NodeStateSoA::new(2);
+        s.set_filter(0, Filter::at_least(10));
+        s.set_filter(1, Filter::bounded(10, Value::MAX).unwrap());
+        let mut transitions = Vec::new();
+        s.advance_row(&[Value::MAX, Value::MAX], &mut transitions, true);
+        assert_eq!(s.pending(0), None);
+        assert_eq!(s.pending(1), None);
+        s.advance_row(&[9, 9], &mut transitions, false);
+        assert_eq!(s.pending(0), Some(Violation::FromAbove));
+        assert_eq!(s.pending(1), Some(Violation::FromAbove));
+        assert_eq!(transitions, vec![0, 1]);
+        assert_eq!(s.filter(0), Filter::at_least(10));
+        assert_eq!(s.filter(1), Filter::bounded(10, Value::MAX).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per node")]
+    fn advance_row_rejects_wrong_length() {
+        let mut s = NodeStateSoA::new(3);
+        s.advance_row(&[1, 2], &mut Vec::new(), true);
+    }
+
+    #[test]
+    fn deferred_values_plus_bulk_refresh_equals_per_node_application() {
+        let mut bulk = NodeStateSoA::new(4);
+        let mut scalar = NodeStateSoA::new(4);
+        for s in [&mut bulk, &mut scalar] {
+            s.set_filter(0, Filter::bounded(10, 40).unwrap());
+            s.set_filter(1, Filter::at_least(5));
+            s.set_value(2, 7);
+        }
+        // Node 0 transitions twice in the change list; the bulk path nets it out.
+        let changes = [(0usize, 99u64), (0, 20), (1, 3), (3, 1)];
+        for &(i, v) in &changes {
+            bulk.set_value_deferred(i, v);
+            scalar.set_value(i, v);
+        }
+        let mut transitions = Vec::new();
+        bulk.refresh_pending_bulk(&mut transitions);
+        assert_eq!(bulk, scalar);
+        // Both 0 and 1 started pending (value 0 under lower bounds ≥ 5). Node
+        // 0 ends in-range — one net transition despite changing flags twice in
+        // the list; node 1 stays pending; node 3 stays clear (FULL filter).
+        assert_eq!(transitions, vec![0]);
+        assert_eq!(bulk.pending(0), None);
+        assert_eq!(bulk.pending(1), Some(Violation::FromAbove));
     }
 
     #[test]

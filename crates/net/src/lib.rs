@@ -4,7 +4,7 @@
 //! the paper *On Competitive Algorithms for Approximations of Top-k-Position
 //! Monitoring of Distributed Streams*.
 //!
-//! The crate provides three interchangeable engines behind the [`Network`] trait:
+//! The crate provides four interchangeable engines behind the [`Network`] trait:
 //!
 //! * [`DeterministicEngine`] — executes all node logic in-process and in a fixed
 //!   order. Message counts are exactly reproducible for a given seed, which is
@@ -13,16 +13,21 @@
 //! * [`IndexedEngine`] — same bit-identical behaviour as the deterministic
 //!   engine (same replies, same counts, same RNG streams), but stores node
 //!   state as struct-of-arrays and maintains incremental active-set indexes so
-//!   an existence round costs O(active) instead of Θ(n). This is the engine to
-//!   use for large `n`; see `crates/net/src/indexed.rs` for the argument why
-//!   skipping inactive nodes is exact.
-//! * [`ThreadedEngine`] — spawns one OS thread per node and moves every server →
-//!   node and node → server interaction over `crossbeam` channels, exercising the
-//!   same node logic ([`SimNode`]) as the deterministic engine. Because the node
-//!   logic and the per-node RNG seeding are shared, all engines produce
-//!   *identical* message counts; the threaded engine exists to demonstrate that
-//!   the protocols are genuinely message-passing algorithms and to measure
-//!   wall-clock behaviour under real concurrency.
+//!   an existence round costs O(active) instead of Θ(n). This is the
+//!   single-threaded reference for large `n`; see `crates/net/src/indexed.rs`
+//!   for the argument why skipping inactive nodes is exact.
+//! * [`ShardedEngine`] — the indexed engine's algorithm partitioned into
+//!   contiguous node-range shards on a fixed worker pool, with per-shard reply
+//!   buffers merged in node-id order. Bit-identical to the baseline for any
+//!   shard count (the differential suite asserts it), with a tuned bulk
+//!   observation path; this is the engine for production-scale populations.
+//! * [`ThreadedEngine`] — hosts the same node state machine ([`SimNode`]) on a
+//!   fixed pool of shard threads (contiguous node ranges per thread) and moves
+//!   every server → node and node → server interaction over `crossbeam`
+//!   channels. Because the node logic and the per-node RNG seeding are shared,
+//!   all engines produce *identical* message counts; the threaded engine
+//!   exists to demonstrate that the protocols are genuinely message-passing
+//!   algorithms and to measure wall-clock behaviour under real concurrency.
 //!
 //! ## Cost accounting
 //!
@@ -52,10 +57,13 @@ pub mod deterministic;
 pub mod indexed;
 pub mod network;
 pub mod node;
+mod partition;
+pub mod sharded;
 pub mod threaded;
 
 pub use deterministic::DeterministicEngine;
 pub use indexed::IndexedEngine;
 pub use network::Network;
 pub use node::SimNode;
+pub use sharded::{Dispatch, ShardedEngine};
 pub use threaded::ThreadedEngine;

@@ -1,49 +1,74 @@
 //! Channel-based, multi-threaded simulation engine.
 //!
-//! [`ThreadedEngine`] spawns one OS thread per node. Every interaction crosses a
-//! `crossbeam` channel: the server pushes [`ServerMessage`]s (wrapped in the
-//! private `NodeCommand` envelope) into per-node command channels, and nodes answer over a
-//! shared reply channel. Each command is acknowledged with exactly one reply
-//! (possibly carrying no payload), which is how the engine realises the
-//! synchronous rounds of the model on top of asynchronous channels. The
-//! acknowledgement itself is *not* a model message and is never charged.
+//! [`ThreadedEngine`] hosts the node population on a fixed pool of *shard
+//! threads*: each thread owns a contiguous range of [`SimNode`]s (the same
+//! node state machine the deterministic engine drives) and processes commands
+//! for its whole range. Every interaction crosses a `crossbeam` channel: the
+//! server pushes [`ServerMessage`]s (wrapped in the private `ShardCommand`
+//! envelope) into per-shard command channels, and shards answer over a shared
+//! reply channel. Each command is acknowledged with exactly one `Ack` per
+//! involved shard (possibly carrying no replies), which is how the engine
+//! realises the synchronous rounds of the model on top of asynchronous
+//! channels. The acknowledgement itself is *not* a model message and is never
+//! charged.
 //!
-//! The node logic is the same [`SimNode`] used by the deterministic engine and
-//! the per-node RNG seeding is identical, so message counts agree between the
-//! two engines run for run; an integration test asserts this.
+//! Each shard iterates its nodes in ascending id order, so an `Ack`'s reply
+//! buffer is id-sorted; the server slots acknowledgements by their shard index
+//! and concatenates the buffers in shard order, which — shards being
+//! contiguous ascending id ranges — reproduces the global node-id reply order
+//! of the deterministic engine without a sort. (The engine's previous design
+//! spawned one OS thread per node and re-sorted the ack stream; hosting nodes
+//! on shards is what lets it scale past a few thousand nodes.)
+//!
+//! The node logic and the per-node RNG seeding are identical to the other
+//! engines', so message counts agree run for run; integration tests assert
+//! this.
 
 use crate::network::Network;
 use crate::node::SimNode;
+use crate::partition;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
 use topk_model::rule::filter_for;
 
-/// Command sent from the engine to a node thread.
+/// Command sent from the engine to a shard thread.
 #[derive(Debug, Clone)]
-enum NodeCommand {
-    /// Deliver the next observation (free of communication cost).
-    Observe(Value),
-    /// Deliver a server message (charged by the caller).
+enum ShardCommand {
+    /// Deliver the next observation row; the shard reads its own id range
+    /// (free of communication cost).
+    Observe(Arc<Vec<Value>>),
+    /// Deliver observations to the listed nodes of this shard only
+    /// (`(local index, value)` pairs, already routed by the server).
+    ObserveSparse(Vec<(usize, Value)>),
+    /// Deliver a server message to every node of the shard (charged by the
+    /// caller as one broadcast).
     Server(ServerMessage),
-    /// Terminate the node thread.
+    /// Deliver a server message to a single node (`local index`).
+    ServerOne(usize, ServerMessage),
+    /// Terminate the shard thread.
     Shutdown,
 }
 
-/// Acknowledgement sent from a node thread back to the engine.
+/// Acknowledgement sent from a shard thread back to the engine: the shard's
+/// index (used to merge replies in shard = node-id order) and the replies its
+/// nodes produced, in ascending node-id order.
 #[derive(Debug)]
 struct Ack {
-    #[allow(dead_code)]
-    node: NodeId,
-    reply: Option<NodeMessage>,
+    shard: usize,
+    replies: Vec<NodeMessage>,
 }
 
 /// Multi-threaded engine (see module documentation).
 pub struct ThreadedEngine {
-    senders: Vec<Sender<NodeCommand>>,
+    senders: Vec<Sender<ShardCommand>>,
     reply_rx: Receiver<Ack>,
     handles: Vec<JoinHandle<()>>,
+    /// Shard boundaries: shard `s` hosts node ids `bounds[s]..bounds[s + 1]`.
+    bounds: Vec<usize>,
+    n: usize,
     meter: CostMeter,
     // Server-side mirrors used only by the free inspection API. They are updated
     // from the very messages the server sends, so they can never disagree with
@@ -52,44 +77,64 @@ pub struct ThreadedEngine {
     mirror_groups: Vec<NodeGroup>,
     mirror_filters: Vec<Filter>,
     mirror_params: Option<FilterParams>,
+    /// Scratch: per-shard reply slots for merging acknowledgements.
+    slots: Vec<Vec<NodeMessage>>,
 }
 
 impl ThreadedEngine {
-    /// Spawns `n` node threads whose RNGs are derived from `master_seed`.
+    /// Spawns the default shard-thread pool — `min(n, available CPUs)`
+    /// threads — hosting `n` nodes whose RNGs are derived from `master_seed`.
     pub fn new(n: usize, master_seed: u64) -> ThreadedEngine {
+        let default_workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ThreadedEngine::with_workers(n, master_seed, default_workers)
+    }
+
+    /// [`ThreadedEngine::new`] with an explicit shard-thread count (clamped to
+    /// `1..=n` so no thread is idle by construction).
+    pub fn with_workers(n: usize, master_seed: u64, workers: usize) -> ThreadedEngine {
+        let workers = workers.clamp(1, n.max(1));
+        let bounds = partition::shard_bounds(n, workers);
         let (reply_tx, reply_rx) = unbounded::<Ack>();
-        let mut senders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for id in NodeId::all(n) {
-            let (tx, rx) = unbounded::<NodeCommand>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for s in 0..workers {
+            let (tx, rx) = unbounded::<ShardCommand>();
             let reply_tx = reply_tx.clone();
-            let mut node = SimNode::new(id, master_seed);
+            let offset = bounds[s];
+            let mut nodes: Vec<SimNode> = (offset..bounds[s + 1])
+                .map(|id| SimNode::new(NodeId(id), master_seed))
+                .collect();
             let handle = std::thread::Builder::new()
-                .name(format!("topk-node-{}", id.index()))
+                .name(format!("topk-nodes-{s}"))
                 .spawn(move || loop {
+                    let mut replies = Vec::new();
                     match rx.recv() {
-                        Ok(NodeCommand::Observe(v)) => {
-                            node.observe(v);
-                            if reply_tx
-                                .send(Ack {
-                                    node: id,
-                                    reply: None,
-                                })
-                                .is_err()
-                            {
-                                break;
+                        Ok(ShardCommand::Observe(row)) => {
+                            for (i, node) in nodes.iter_mut().enumerate() {
+                                node.observe(row[offset + i]);
                             }
                         }
-                        Ok(NodeCommand::Server(msg)) => {
-                            let reply = node.handle(&msg);
-                            if reply_tx.send(Ack { node: id, reply }).is_err() {
-                                break;
+                        Ok(ShardCommand::ObserveSparse(changes)) => {
+                            for (i, v) in changes {
+                                nodes[i].observe(v);
                             }
                         }
-                        Ok(NodeCommand::Shutdown) | Err(_) => break,
+                        Ok(ShardCommand::Server(msg)) => {
+                            // Ascending id order keeps the ack buffer sorted.
+                            replies.extend(nodes.iter_mut().filter_map(|n| n.handle(&msg)));
+                        }
+                        Ok(ShardCommand::ServerOne(i, msg)) => {
+                            replies.extend(nodes[i].handle(&msg));
+                        }
+                        Ok(ShardCommand::Shutdown) | Err(_) => break,
+                    }
+                    if reply_tx.send(Ack { shard: s, replies }).is_err() {
+                        break;
                     }
                 })
-                .expect("failed to spawn node thread");
+                .expect("failed to spawn shard thread");
             senders.push(tx);
             handles.push(handle);
         }
@@ -97,58 +142,75 @@ impl ThreadedEngine {
             senders,
             reply_rx,
             handles,
+            bounds,
+            n,
             meter: CostMeter::new(),
             mirror_values: vec![0; n],
             mirror_groups: vec![NodeGroup::Lower; n],
             mirror_filters: vec![Filter::FULL; n],
             mirror_params: None,
+            slots: (0..workers).map(|_| Vec::new()).collect(),
         }
     }
 
-    /// Sends a command to every node and waits for all acknowledgements.
-    fn broadcast_command(&mut self, make: impl Fn(NodeId) -> NodeCommand) -> Vec<NodeMessage> {
+    /// Number of shard threads hosting the nodes.
+    pub fn worker_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard hosting global node id `node` (O(1) — see
+    /// [`crate::partition::shard_of`]).
+    fn shard_of(&self, node: usize) -> usize {
+        assert!(
+            node < self.n,
+            "node id {node} out of range (n = {})",
+            self.n
+        );
+        partition::shard_of(self.n, self.senders.len(), node)
+    }
+
+    /// Sends a command to every shard and waits for all acknowledgements,
+    /// merging the per-shard reply buffers in shard (= node-id) order into a
+    /// caller-provided buffer (cleared first).
+    fn broadcast_command_into(&mut self, cmd: ShardCommand, replies: &mut Vec<NodeMessage>) {
+        for tx in &self.senders {
+            tx.send(cmd.clone()).expect("shard thread hung up");
+        }
+        for _ in 0..self.senders.len() {
+            let ack = self.reply_rx.recv().expect("shard thread hung up");
+            self.slots[ack.shard] = ack.replies;
+        }
+        replies.clear();
+        for slot in &mut self.slots {
+            replies.append(slot);
+        }
+    }
+
+    /// [`ThreadedEngine::broadcast_command_into`] with a fresh reply vector.
+    fn broadcast_command(&mut self, cmd: ShardCommand) -> Vec<NodeMessage> {
         let mut replies = Vec::new();
-        self.broadcast_command_into(make, &mut replies);
+        self.broadcast_command_into(cmd, &mut replies);
         replies
     }
 
-    /// Sends a command to every node, waits for all acknowledgements and
-    /// collects the replies into a caller-provided buffer (cleared first).
-    fn broadcast_command_into(
-        &mut self,
-        make: impl Fn(NodeId) -> NodeCommand,
-        replies: &mut Vec<NodeMessage>,
-    ) {
-        for (i, tx) in self.senders.iter().enumerate() {
-            tx.send(make(NodeId(i))).expect("node thread hung up");
-        }
-        replies.clear();
-        for _ in 0..self.senders.len() {
-            let ack = self.reply_rx.recv().expect("node thread hung up");
-            if let Some(reply) = ack.reply {
-                replies.push(reply);
-            }
-        }
-        // Keep replies in node-id order so both engines process violations in
-        // the same order (channels deliver acknowledgements in arrival order,
-        // which depends on the scheduler).
-        replies.sort_by_key(|r| r.sender());
-    }
-
-    /// Sends a command to a single node and waits for its acknowledgement.
-    fn unicast_command(&mut self, node: NodeId, cmd: NodeCommand) -> Option<NodeMessage> {
-        self.senders[node.index()]
-            .send(cmd)
-            .expect("node thread hung up");
-        let ack = self.reply_rx.recv().expect("node thread hung up");
-        ack.reply
+    /// Sends a command to a single node's shard and waits for its
+    /// acknowledgement.
+    fn unicast_command(&mut self, node: NodeId, msg: ServerMessage) -> Option<NodeMessage> {
+        let s = self.shard_of(node.index());
+        let local = node.index() - self.bounds[s];
+        self.senders[s]
+            .send(ShardCommand::ServerOne(local, msg))
+            .expect("shard thread hung up");
+        let ack = self.reply_rx.recv().expect("shard thread hung up");
+        debug_assert_eq!(ack.shard, s);
+        ack.replies.into_iter().next()
     }
 }
 
 impl Drop for ThreadedEngine {
     fn drop(&mut self) {
         for tx in &self.senders {
-            let _ = tx.send(NodeCommand::Shutdown);
+            let _ = tx.send(ShardCommand::Shutdown);
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -158,30 +220,39 @@ impl Drop for ThreadedEngine {
 
 impl Network for ThreadedEngine {
     fn n(&self) -> usize {
-        self.senders.len()
+        self.n
     }
 
     fn advance_time(&mut self, values: &[Value]) {
         assert_eq!(values.len(), self.n(), "one observation per node required");
         self.mirror_values.copy_from_slice(values);
-        let values = values.to_vec();
-        let replies = self.broadcast_command(|id| NodeCommand::Observe(values[id.index()]));
+        let row = Arc::new(values.to_vec());
+        let replies = self.broadcast_command(ShardCommand::Observe(row));
         debug_assert!(replies.is_empty());
         self.meter.record_time_step();
     }
 
     fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
-        // Only the changed nodes need an Observe command: re-observing the
-        // previous value would leave node state untouched anyway.
+        // Only the shards hosting changed nodes get a command: re-observing
+        // the previous value would leave node state untouched anyway.
+        let mut routed: Vec<Vec<(usize, Value)>> = vec![Vec::new(); self.senders.len()];
         for &(node, v) in changes {
+            let s = self.shard_of(node.index());
             self.mirror_values[node.index()] = v;
-            self.senders[node.index()]
-                .send(NodeCommand::Observe(v))
-                .expect("node thread hung up");
+            routed[s].push((node.index() - self.bounds[s], v));
         }
-        for _ in 0..changes.len() {
-            let ack = self.reply_rx.recv().expect("node thread hung up");
-            debug_assert!(ack.reply.is_none());
+        let mut involved = 0;
+        for (s, shard_changes) in routed.into_iter().enumerate() {
+            if !shard_changes.is_empty() {
+                self.senders[s]
+                    .send(ShardCommand::ObserveSparse(shard_changes))
+                    .expect("shard thread hung up");
+                involved += 1;
+            }
+        }
+        for _ in 0..involved {
+            let ack = self.reply_rx.recv().expect("shard thread hung up");
+            debug_assert!(ack.replies.is_empty());
         }
         self.meter.record_time_step();
     }
@@ -193,7 +264,7 @@ impl Network for ThreadedEngine {
             self.mirror_filters[i] = filter_for(self.mirror_groups[i], &params);
         }
         let replies =
-            self.broadcast_command(|_| NodeCommand::Server(ServerMessage::BroadcastParams(params)));
+            self.broadcast_command(ShardCommand::Server(ServerMessage::BroadcastParams(params)));
         debug_assert!(replies.is_empty());
     }
 
@@ -203,8 +274,7 @@ impl Network for ThreadedEngine {
         if let Some(p) = self.mirror_params {
             self.mirror_filters[node.index()] = filter_for(group, &p);
         }
-        let reply =
-            self.unicast_command(node, NodeCommand::Server(ServerMessage::AssignGroup(group)));
+        let reply = self.unicast_command(node, ServerMessage::AssignGroup(group));
         debug_assert!(reply.is_none());
     }
 
@@ -217,23 +287,20 @@ impl Network for ThreadedEngine {
             }
         }
         let replies =
-            self.broadcast_command(|_| NodeCommand::Server(ServerMessage::BroadcastGroup(group)));
+            self.broadcast_command(ShardCommand::Server(ServerMessage::BroadcastGroup(group)));
         debug_assert!(replies.is_empty());
     }
 
     fn assign_filter(&mut self, node: NodeId, filter: Filter) {
         self.meter.record(MessageKind::DownstreamUnicast);
         self.mirror_filters[node.index()] = filter;
-        let reply = self.unicast_command(
-            node,
-            NodeCommand::Server(ServerMessage::AssignFilter(filter)),
-        );
+        let reply = self.unicast_command(node, ServerMessage::AssignFilter(filter));
         debug_assert!(reply.is_none());
     }
 
     fn probe(&mut self, node: NodeId) -> Value {
         self.meter.record(MessageKind::DownstreamUnicast);
-        let reply = self.unicast_command(node, NodeCommand::Server(ServerMessage::Probe));
+        let reply = self.unicast_command(node, ServerMessage::Probe);
         self.meter.record(MessageKind::Upstream);
         match reply {
             Some(NodeMessage::ValueReport { value, .. }) => value,
@@ -250,13 +317,11 @@ impl Network for ThreadedEngine {
     ) {
         self.meter.record_round();
         self.broadcast_command_into(
-            |_| {
-                NodeCommand::Server(ServerMessage::ExistenceRound {
-                    round,
-                    population,
-                    predicate,
-                })
-            },
+            ShardCommand::Server(ServerMessage::ExistenceRound {
+                round,
+                population,
+                predicate,
+            }),
             replies,
         );
         self.meter
@@ -265,8 +330,7 @@ impl Network for ThreadedEngine {
 
     fn end_existence_run(&mut self) {
         self.meter.record(MessageKind::Broadcast);
-        let replies =
-            self.broadcast_command(|_| NodeCommand::Server(ServerMessage::EndExistenceRun));
+        let replies = self.broadcast_command(ShardCommand::Server(ServerMessage::EndExistenceRun));
         debug_assert!(replies.is_empty());
     }
 
@@ -353,16 +417,31 @@ mod tests {
             (found, net.stats())
         };
         let mut det = DeterministicEngine::new(8, 1234);
-        let mut thr = ThreadedEngine::new(8, 1234);
         let (found_det, stats_det) = script(&mut det);
-        let (found_thr, stats_thr) = script(&mut thr);
-        assert_eq!(found_det, found_thr);
-        assert_eq!(stats_det.total_messages(), stats_thr.total_messages());
-        assert_eq!(stats_det.rounds, stats_thr.rounds);
+        // Shard counts around the population size must all agree.
+        for workers in [1, 2, 3, 8, 12] {
+            let mut thr = ThreadedEngine::with_workers(8, 1234, workers);
+            assert!(thr.worker_count() <= 8);
+            let (found_thr, stats_thr) = script(&mut thr);
+            assert_eq!(found_det, found_thr, "replies diverge at {workers} workers");
+            assert_eq!(stats_det.total_messages(), stats_thr.total_messages());
+            assert_eq!(stats_det.rounds, stats_thr.rounds);
+        }
     }
 
     #[test]
-    fn drop_joins_node_threads() {
+    fn sparse_advance_only_wakes_involved_shards() {
+        let mut net = ThreadedEngine::with_workers(8, 3, 4);
+        net.advance_time(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        net.advance_time_sparse(&[(NodeId(0), 10), (NodeId(7), 80), (NodeId(7), 90)]);
+        assert_eq!(net.peek_value(NodeId(0)), 10);
+        assert_eq!(net.peek_value(NodeId(7)), 90);
+        assert_eq!(net.probe(NodeId(7)), 90); // node-side state agrees
+        assert_eq!(net.stats().time_steps, 2);
+    }
+
+    #[test]
+    fn drop_joins_shard_threads() {
         let net = ThreadedEngine::new(16, 3);
         drop(net); // must not hang or panic
     }

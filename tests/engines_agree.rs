@@ -1,13 +1,15 @@
-//! The deterministic engine, the indexed engine and the threaded
-//! (crossbeam-channel) engine must produce identical message counts and
-//! identical outputs for the same seed — the protocols cannot tell which
+//! The deterministic engine, the indexed engine, the sharded engine and the
+//! threaded (crossbeam-channel) engine must produce identical message counts
+//! and identical outputs for the same seed — the protocols cannot tell which
 //! transport they run on.
 
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
 use topk_gen::{NoiseOscillationWorkload, RandomWalkWorkload, Workload};
 use topk_model::Epsilon;
-use topk_net::{DeterministicEngine, IndexedEngine, Network, ThreadedEngine};
+use topk_net::{
+    DeterministicEngine, Dispatch, IndexedEngine, Network, ShardedEngine, ThreadedEngine,
+};
 
 fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>], eps: Epsilon) {
     let n = rows[0].len();
@@ -27,6 +29,15 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
     let idx = run_on_rows(
         idx_monitor.as_mut(),
         &mut idx_net,
+        rows.iter().cloned(),
+        eps,
+    );
+
+    let mut shard_monitor = make_monitor();
+    let mut shard_net = ShardedEngine::with_dispatch(n, seed, 4, Dispatch::Parallel);
+    let shard = run_on_rows(
+        shard_monitor.as_mut(),
+        &mut shard_net,
         rows.iter().cloned(),
         eps,
     );
@@ -52,13 +63,21 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
         "{}: run reports differ between deterministic and indexed engines",
         det_monitor.name()
     );
+    assert_eq!(
+        det,
+        shard,
+        "{}: run reports differ between deterministic and sharded engines",
+        det_monitor.name()
+    );
     assert_eq!(det.stats.rounds, thr.stats.rounds);
     assert_eq!(det.invalid_steps, thr.invalid_steps);
     assert_eq!(det_monitor.output(), thr_monitor.output());
     assert_eq!(det_monitor.output(), idx_monitor.output());
+    assert_eq!(det_monitor.output(), shard_monitor.output());
     // The filters visible at the end must agree as well.
     assert_eq!(det_net.peek_filters(), thr_net.peek_filters());
     assert_eq!(det_net.peek_filters(), idx_net.peek_filters());
+    assert_eq!(det_net.peek_filters(), shard_net.peek_filters());
 }
 
 #[test]

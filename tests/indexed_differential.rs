@@ -1,16 +1,20 @@
-//! Differential test: the indexed engine is bit-identical to the baseline.
+//! Differential test: the indexed and sharded engines are bit-identical to
+//! the baseline.
 //!
-//! `IndexedEngine` skips nodes whose predicate does not hold; the baseline
-//! `DeterministicEngine` visits every node. Because a node only consumes
-//! randomness *after* its predicate evaluated to true, the two must agree on
-//! every reply, every message count (full `CommStats` equality, per label and
-//! kind) and every piece of node state, for *any* schedule of operations.
+//! `IndexedEngine` skips nodes whose predicate does not hold; `ShardedEngine`
+//! additionally partitions the population into per-worker shards and merges
+//! per-shard replies; the baseline `DeterministicEngine` visits every node.
+//! Because a node only consumes randomness *after* its predicate evaluated to
+//! true — and RNG streams are per node, so the visiting thread cannot matter —
+//! all engines must agree on every reply, every message count (full
+//! `CommStats` equality, per label and kind) and every piece of node state,
+//! for *any* schedule of operations and *any* shard count.
 //!
 //! The schedules here are adversarially random: interleaved dense and sparse
 //! observations, explicit filters, group unicasts and broadcasts, parameter
 //! broadcasts of all three rule families, probes and existence runs with every
-//! predicate shape. 256 randomized schedules are checked, plus full monitor
-//! runs on random traces.
+//! predicate shape. 256 randomized schedules are checked per battery, plus
+//! full monitor runs on random traces.
 
 use proptest::prelude::*;
 use topk_core::existence::existence;
@@ -18,7 +22,7 @@ use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
 use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
-use topk_net::{DeterministicEngine, IndexedEngine, Network};
+use topk_net::{DeterministicEngine, Dispatch, IndexedEngine, Network, ShardedEngine};
 
 const N: usize = 8;
 
@@ -119,6 +123,24 @@ fn params_from(x: u64, y: u64) -> FilterParams {
     }
 }
 
+/// The shard counts the sharded battery runs at, paired with the dispatch
+/// placement used for each: the channel path (`Parallel`) is forced for most
+/// multi-shard counts even on single-CPU machines, `Inline` and `Auto` cover
+/// the other placements, and `num_cpus` ties the battery to whatever the
+/// current machine would actually use.
+fn sharded_configs() -> Vec<(usize, Dispatch)> {
+    let num_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    vec![
+        (1, Dispatch::Auto),
+        (2, Dispatch::Inline),
+        (3, Dispatch::Parallel),
+        (7, Dispatch::Parallel),
+        (num_cpus, Dispatch::Auto),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -144,6 +166,44 @@ proptest! {
         prop_assert_eq!(base.peek_values(), indexed.peek_values());
         for i in 0..N {
             prop_assert_eq!(base.peek_group(NodeId(i)), indexed.peek_group(NodeId(i)));
+        }
+    }
+
+    /// The sharded engine replays the same schedules bit-identically at every
+    /// shard count — replies, full `CommStats`, filters, values, groups.
+    #[test]
+    fn sharded_engine_matches_baseline_on_random_schedules(
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..N, 0u64..2000, 0u64..2000),
+            1..40,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let mut base = DeterministicEngine::new(N, seed);
+        let mut engines: Vec<ShardedEngine> = sharded_configs()
+            .into_iter()
+            .map(|(workers, dispatch)| ShardedEngine::with_dispatch(N, seed, workers, dispatch))
+            .collect();
+        for &op in &ops {
+            let replies_base = apply(&mut base, op);
+            for sharded in &mut engines {
+                let replies_sharded = apply(sharded, op);
+                prop_assert_eq!(
+                    &replies_base,
+                    &replies_sharded,
+                    "replies diverge on {:?} at {} shards",
+                    op,
+                    sharded.shard_count()
+                );
+            }
+        }
+        for sharded in &engines {
+            prop_assert_eq!(base.stats(), sharded.stats(), "stats diverge at {} shards", sharded.shard_count());
+            prop_assert_eq!(base.peek_filters(), sharded.peek_filters());
+            prop_assert_eq!(base.peek_values(), sharded.peek_values());
+            for i in 0..N {
+                prop_assert_eq!(base.peek_group(NodeId(i)), sharded.peek_group(NodeId(i)));
+            }
         }
     }
 
@@ -177,6 +237,13 @@ proptest! {
             prop_assert_eq!(&r_base, &r_idx, "run reports diverge for monitor {}", m_base.name());
             prop_assert_eq!(m_base.output(), m_idx.output());
             prop_assert_eq!(base.peek_filters(), indexed.peek_filters());
+
+            let mut m_shard = make();
+            let mut sharded = ShardedEngine::with_dispatch(N, seed, 3, Dispatch::Parallel);
+            let r_shard = run_on_rows(m_shard.as_mut(), &mut sharded, rows.iter().cloned(), eps);
+            prop_assert_eq!(&r_base, &r_shard, "sharded run reports diverge for monitor {}", m_base.name());
+            prop_assert_eq!(m_base.output(), m_shard.output());
+            prop_assert_eq!(base.peek_filters(), sharded.peek_filters());
         }
     }
 }
