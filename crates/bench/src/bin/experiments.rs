@@ -18,10 +18,14 @@
 //! indexed vs. sharded engine, see `topk_bench::throughput`), writes
 //! `BENCH_throughput.json` (path overridable with `--out FILE`) and exits
 //! non-zero if an engine regresses below the CI floors. `--sharded <threads>`
-//! sets the sharded engine's worker count (default 4). `--check-floors FILE`
-//! re-validates an existing report — CI uses it to hold the *committed*
-//! full-scale `BENCH_throughput.json` to the `n = 10⁶` floors without
-//! re-measuring on shared runners.
+//! sets the sharded engine's worker count (default 4). `--remote <conns>`
+//! measures the TCP-loopback `RemoteEngine` on `<conns>` shard connections —
+//! steps/sec plus the wire-level frames/sec and bytes per model message —
+//! and writes `BENCH_remote.json`; on its own it runs just that axis,
+//! combined with `--throughput` it runs after the in-process matrix.
+//! `--check-floors FILE` re-validates an existing report — CI uses it to
+//! hold the *committed* full-scale `BENCH_throughput.json` to the `n = 10⁶`
+//! floors without re-measuring on shared runners.
 
 use std::path::PathBuf;
 use topk_bench::experiments::{self, Scale};
@@ -45,10 +49,25 @@ fn report_floors(report: &throughput::ThroughputReport) -> ! {
     std::process::exit(1);
 }
 
-fn run_throughput_bench(quick: bool, sharded_workers: usize, out: PathBuf) -> ! {
+fn run_remote_bench(quick: bool, conns: usize) {
+    let remote = throughput::run_remote(quick, conns, |line| eprintln!("{line}"));
+    let remote_out = PathBuf::from("BENCH_remote.json");
+    std::fs::write(&remote_out, throughput::remote_to_json(&remote)).expect("write remote json");
+    eprintln!("wrote {}", remote_out.display());
+}
+
+fn run_throughput_bench(
+    quick: bool,
+    sharded_workers: usize,
+    remote_conns: Option<usize>,
+    out: PathBuf,
+) -> ! {
     let report = throughput::run_throughput(quick, sharded_workers, |line| eprintln!("{line}"));
     std::fs::write(&out, throughput::to_json(&report)).expect("write throughput json");
     eprintln!("wrote {}", out.display());
+    if let Some(conns) = remote_conns {
+        run_remote_bench(quick, conns);
+    }
     for s in &report.speedups_dense {
         println!(
             "speedup {:>12} n={:>8}: {:>8.1}x (indexed vs baseline, dense delivery)",
@@ -98,6 +117,7 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut sharded_workers = 4usize;
     let mut sharded_set = false;
+    let mut remote_conns: Option<usize> = None;
     let mut check_floors_path: Option<PathBuf> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -113,6 +133,14 @@ fn main() {
                 };
                 sharded_workers = workers;
                 sharded_set = true;
+            }
+            "--remote" => {
+                let parsed = iter.next().and_then(|w| w.parse::<usize>().ok());
+                let Some(conns) = parsed.filter(|&w| w >= 1) else {
+                    eprintln!("--remote requires a connection count >= 1");
+                    std::process::exit(2);
+                };
+                remote_conns = Some(conns);
             }
             "--check-floors" => {
                 let Some(path) = iter.next() else {
@@ -137,7 +165,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--out FILE]\n       experiments --check-floors FILE.json"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --check-floors FILE.json"
                 );
                 return;
             }
@@ -152,6 +180,7 @@ fn main() {
             || quick
             || out.is_some()
             || sharded_set
+            || remote_conns.is_some()
         {
             eprintln!("--check-floors does not combine with other modes or flags");
             std::process::exit(2);
@@ -166,11 +195,30 @@ fn main() {
         run_throughput_bench(
             quick,
             sharded_workers,
+            remote_conns,
             out.unwrap_or_else(|| PathBuf::from("BENCH_throughput.json")),
         );
     }
+    if let Some(conns) = remote_conns {
+        // `--remote` on its own: just the transport axis, no in-process matrix.
+        if scale == Scale::Small
+            || json_dir.is_some()
+            || !wanted.is_empty()
+            || out.is_some()
+            || sharded_set
+        {
+            eprintln!(
+                "--remote on its own does not combine with --small/--json/--out/--sharded/experiment ids"
+            );
+            std::process::exit(2);
+        }
+        run_remote_bench(quick, conns);
+        return;
+    }
     if quick || out.is_some() {
-        eprintln!("--quick/--out only apply to --throughput (did you mean --small/--json?)");
+        eprintln!(
+            "--quick/--out only apply to --throughput/--remote (did you mean --small/--json?)"
+        );
         std::process::exit(2);
     }
 

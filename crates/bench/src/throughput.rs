@@ -36,7 +36,9 @@ use topk_gen::{
     ZipfLoadWorkload,
 };
 use topk_model::prelude::*;
-use topk_net::{DeterministicEngine, IndexedEngine, Network, ShardedEngine};
+use topk_net::{
+    DeterministicEngine, IndexedEngine, Network, RemoteEngine, ShardedEngine, TransportStats,
+};
 
 /// The workload generators exercised by the throughput benchmark.
 pub const GENERATORS: [&str; 4] = ["zipf", "noise", "random-walk", "adversarial"];
@@ -167,17 +169,6 @@ fn make_workload(name: &str, n: usize, seed: u64) -> Box<dyn AdaptiveWorkload> {
     }
 }
 
-fn make_engine(kind: EngineKind, n: usize, seed: u64) -> Box<dyn Network> {
-    match kind {
-        EngineKind::Baseline => Box::new(DeterministicEngine::new(n, seed)),
-        EngineKind::Indexed => Box::new(IndexedEngine::new(n, seed)),
-        // `Dispatch::Auto`: the engine uses its worker pool when the machine
-        // has usable parallelism and falls back to inline shard execution
-        // otherwise — the measurement reflects what a deployment would get.
-        EngineKind::Sharded(workers) => Box::new(ShardedEngine::new(n, seed, workers)),
-    }
-}
-
 /// The harness's filter policy, mirroring how the paper's protocols treat
 /// nodes: calibrate a per-node band from a few observed steps (a deployment
 /// sizes filters to the signal's variability). Steady nodes — top-k candidates
@@ -242,18 +233,27 @@ const BASELINE_MAX_N: usize = 1_000_000;
 const CALIBRATION_STEPS: u64 = 16;
 const WARMUP_STEPS: u64 = 8;
 
-/// Runs one configuration and returns its measurement row.
-pub fn measure(
-    generator: &str,
+/// Outcome of the shared measurement loop, engine-agnostic.
+struct LoopOutcome {
+    elapsed_s: f64,
+    messages: u64,
+    mean_changed_per_step: f64,
+}
+
+/// The monitoring loop every measurement drives: calibrate filters, warm up,
+/// then time observation delivery plus the per-step violation check and
+/// repairs. Generic over the engine so callers with engine-specific counters
+/// (the remote transport axis) can snapshot them when the warm-up ends via
+/// `at_warmup_end`.
+fn drive<N: Network>(
+    net: &mut N,
+    workload: &mut dyn AdaptiveWorkload,
     n: usize,
-    kind: EngineKind,
     mode: DeliveryMode,
     steps: u64,
-    seed: u64,
-) -> ThroughputRow {
-    let mut workload = make_workload(generator, n, seed);
-    let mut net = make_engine(kind, n, seed);
-
+    phase_log_context: &str,
+    mut at_warmup_end: impl FnMut(&N),
+) -> LoopOutcome {
     // Setup (untimed): observe a few calibration steps under the all-embracing
     // default filters (no violations possible), then assign every node a band
     // sized to the range it actually exhibited.
@@ -292,6 +292,7 @@ pub fn measure(
             elapsed = Duration::ZERO;
             total_changed = 0;
             messages_at_warmup_end = net.stats().total_messages();
+            at_warmup_end(net);
         }
         // Workload generation and row diffing are the source's job, not the
         // engine's — kept off the clock.
@@ -316,7 +317,7 @@ pub fn measure(
         // because the final round of a run reports with probability 1 and every
         // reported node is repaired. One report buffer serves the whole run.
         loop {
-            detect_violations_into(net.as_mut(), &mut reports);
+            detect_violations_into(net, &mut reports);
             if reports.is_empty() {
                 break;
             }
@@ -336,16 +337,72 @@ pub fn measure(
     }
     if std::env::var_os("THROUGHPUT_PHASES").is_some() {
         eprintln!(
-            "phases: {generator} n={n} {}/{}: advance {:.1}us/step, detect+repair {:.1}us/step, {} violations",
-            kind.label(),
-            mode.label(),
+            "phases: {phase_log_context}: advance {:.1}us/step, detect+repair {:.1}us/step, {} violations",
             phase_advance.as_secs_f64() * 1e6 / (WARMUP_STEPS + steps) as f64,
             phase_detect.as_secs_f64() * 1e6 / (WARMUP_STEPS + steps) as f64,
             violations,
         );
     }
 
-    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    LoopOutcome {
+        elapsed_s: elapsed.as_secs_f64().max(1e-9),
+        messages: net.stats().total_messages() - messages_at_warmup_end,
+        mean_changed_per_step: total_changed as f64 / steps as f64,
+    }
+}
+
+/// Runs one configuration and returns its measurement row.
+pub fn measure(
+    generator: &str,
+    n: usize,
+    kind: EngineKind,
+    mode: DeliveryMode,
+    steps: u64,
+    seed: u64,
+) -> ThroughputRow {
+    let mut workload = make_workload(generator, n, seed);
+    let context = format!("{generator} n={n} {}/{}", kind.label(), mode.label());
+    let out = match kind {
+        EngineKind::Baseline => {
+            let mut net = DeterministicEngine::new(n, seed);
+            drive(
+                &mut net,
+                workload.as_mut(),
+                n,
+                mode,
+                steps,
+                &context,
+                |_| {},
+            )
+        }
+        EngineKind::Indexed => {
+            let mut net = IndexedEngine::new(n, seed);
+            drive(
+                &mut net,
+                workload.as_mut(),
+                n,
+                mode,
+                steps,
+                &context,
+                |_| {},
+            )
+        }
+        // `Dispatch::Auto`: the engine uses its worker pool when the machine
+        // has usable parallelism and falls back to inline shard execution
+        // otherwise — the measurement reflects what a deployment would get.
+        EngineKind::Sharded(workers) => {
+            let mut net = ShardedEngine::new(n, seed, workers);
+            drive(
+                &mut net,
+                workload.as_mut(),
+                n,
+                mode,
+                steps,
+                &context,
+                |_| {},
+            )
+        }
+    };
     ThroughputRow {
         generator: generator.to_string(),
         n: n as u64,
@@ -353,12 +410,154 @@ pub fn measure(
         workers: kind.workers(),
         mode: mode.label().to_string(),
         steps,
-        elapsed_s,
-        steps_per_sec: steps as f64 / elapsed_s,
-        us_per_step: elapsed_s * 1e6 / steps as f64,
-        messages: net.stats().total_messages() - messages_at_warmup_end,
-        mean_changed_per_step: total_changed as f64 / steps as f64,
+        elapsed_s: out.elapsed_s,
+        steps_per_sec: steps as f64 / out.elapsed_s,
+        us_per_step: out.elapsed_s * 1e6 / steps as f64,
+        messages: out.messages,
+        mean_changed_per_step: out.mean_changed_per_step,
     }
+}
+
+/// One measured remote-transport configuration (the `--remote` axis).
+///
+/// Extends the in-process metrics with *wire-level* quantities: frames and
+/// bytes actually moved over the loopback TCP connections, and the ratio of
+/// wire bytes to *model* messages — the quantity that shows how far the
+/// paper's unit-cost accounting is from physical transport cost on each
+/// workload regime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RemoteRow {
+    /// Workload generator name (one of [`GENERATORS`]).
+    pub generator: String,
+    /// Number of nodes.
+    pub n: u64,
+    /// Number of shard connections (client processes).
+    pub shards: u64,
+    /// `"dense"` or `"sparse"` observation delivery.
+    pub mode: String,
+    /// Measured steps (after warm-up).
+    pub steps: u64,
+    /// Wall-clock seconds of engine + transport work over the measured steps.
+    pub elapsed_s: f64,
+    /// Simulated observation steps per second.
+    pub steps_per_sec: f64,
+    /// Microseconds per step.
+    pub us_per_step: f64,
+    /// Model messages sent during the measured steps.
+    pub messages: u64,
+    /// Wire frames moved (both directions) during the measured steps.
+    pub frames: u64,
+    /// Wire bytes moved (both directions) during the measured steps.
+    pub bytes: u64,
+    /// Frames per second of wall-clock time.
+    pub frames_per_sec: f64,
+    /// Wire bytes per *model* message (`bytes / max(messages, 1)`): the
+    /// physical cost of one unit of the paper's accounting, including the
+    /// framing overhead of the silent-round schedule.
+    pub bytes_per_message: f64,
+}
+
+/// The `--remote` benchmark output, serialised to `BENCH_remote.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RemoteReport {
+    /// Schema/benchmark identifier (`"remote-transport"`).
+    pub bench: String,
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// All measured configurations.
+    pub rows: Vec<RemoteRow>,
+}
+
+/// Runs one remote-transport configuration.
+pub fn measure_remote(
+    generator: &str,
+    n: usize,
+    shards: usize,
+    mode: DeliveryMode,
+    steps: u64,
+    seed: u64,
+) -> RemoteRow {
+    let mut workload = make_workload(generator, n, seed);
+    let mut net = RemoteEngine::with_shards(n, seed, shards);
+    let context = format!("{generator} n={n} remote({shards})/{}", mode.label());
+    let mut transport_at_warmup_end = TransportStats::default();
+    let out = drive(
+        &mut net,
+        workload.as_mut(),
+        n,
+        mode,
+        steps,
+        &context,
+        |net| transport_at_warmup_end = net.transport_stats(),
+    );
+    let transport = net.transport_stats();
+    let frames = transport.frames() - transport_at_warmup_end.frames();
+    let bytes = transport.bytes() - transport_at_warmup_end.bytes();
+    RemoteRow {
+        generator: generator.to_string(),
+        n: n as u64,
+        shards: shards as u64,
+        mode: mode.label().to_string(),
+        steps,
+        elapsed_s: out.elapsed_s,
+        steps_per_sec: steps as f64 / out.elapsed_s,
+        us_per_step: out.elapsed_s * 1e6 / steps as f64,
+        messages: out.messages,
+        frames,
+        bytes,
+        frames_per_sec: frames as f64 / out.elapsed_s,
+        bytes_per_message: bytes as f64 / out.messages.max(1) as f64,
+    }
+}
+
+/// Populations the remote axis measures: every operation pays socket
+/// round-trips, so the matrix stays below the in-process sizes.
+fn remote_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    }
+}
+
+/// Measured steps for the remote engine at population `n`.
+fn remote_steps(n: usize, quick: bool) -> u64 {
+    if quick {
+        30
+    } else if n <= 10_000 {
+        100
+    } else {
+        40
+    }
+}
+
+/// Runs the remote-transport benchmark matrix (the `--remote` axis).
+pub fn run_remote(quick: bool, shards: usize, log: impl Fn(&str)) -> RemoteReport {
+    let seed = 0xBE7C;
+    let mut rows = Vec::new();
+    for &n in remote_sizes(quick) {
+        for generator in GENERATORS {
+            let steps = remote_steps(n, quick);
+            for mode in [DeliveryMode::Dense, DeliveryMode::Sparse] {
+                let row = measure_remote(generator, n, shards, mode, steps, seed);
+                log(&format!(
+                    "remote: {generator:>12} n={n:>8} {shards} conns/{:<6} {:>10.1} steps/s {:>10.1} frames/s {:>8.1} B/msg",
+                    row.mode, row.steps_per_sec, row.frames_per_sec, row.bytes_per_message
+                ));
+                rows.push(row);
+            }
+        }
+    }
+    RemoteReport {
+        bench: "remote-transport".to_string(),
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        rows,
+    }
+}
+
+/// Serialises a remote report as pretty JSON.
+pub fn remote_to_json(report: &RemoteReport) -> String {
+    serde_json::to_string_pretty(report).expect("remote reports serialise")
 }
 
 /// Runs the whole benchmark matrix.
@@ -681,6 +880,52 @@ mod tests {
         let parsed: ThroughputReport = serde_json::from_str(&json).expect("reports deserialise");
         assert_eq!(parsed.rows.len(), 1);
         assert_eq!(parsed.rows[0].workers, 2);
+    }
+
+    #[test]
+    fn remote_measure_produces_sane_numbers_and_identical_messages() {
+        let base = measure(
+            "noise",
+            128,
+            EngineKind::Baseline,
+            DeliveryMode::Dense,
+            10,
+            5,
+        );
+        for mode in [DeliveryMode::Dense, DeliveryMode::Sparse] {
+            let row = measure_remote("noise", 128, 2, mode, 10, 5);
+            assert_eq!(row.steps, 10);
+            assert_eq!(row.shards, 2);
+            assert!(row.steps_per_sec > 0.0);
+            assert!(row.frames > 0, "steps must move frames over the wire");
+            assert!(row.bytes > 0);
+            assert!(row.frames_per_sec > 0.0);
+            assert_eq!(
+                base.messages, row.messages,
+                "the TCP transport changed model message counts in {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_report_serialises_and_roundtrips() {
+        let report = RemoteReport {
+            bench: "remote-transport".into(),
+            scale: "quick".into(),
+            rows: vec![measure_remote(
+                "random-walk",
+                64,
+                2,
+                DeliveryMode::Sparse,
+                5,
+                1,
+            )],
+        };
+        let json = remote_to_json(&report);
+        assert!(json.contains("bytes_per_message"));
+        let parsed: RemoteReport = serde_json::from_str(&json).expect("remote reports deserialise");
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].shards, 2);
     }
 
     #[test]

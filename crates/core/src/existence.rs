@@ -49,6 +49,25 @@ pub fn round_budget(n: usize) -> u32 {
 /// upstream messages is O(1); if at least one response arrives the server
 /// announces the end of the run with one broadcast (silent runs need no
 /// announcement, so a time step without filter violations is free).
+///
+/// ```
+/// use topk_core::existence::existence;
+/// use topk_model::message::ExistencePredicate;
+/// use topk_model::NodeId;
+/// use topk_net::{DeterministicEngine, Network};
+///
+/// let mut net = DeterministicEngine::new(8, 42);
+/// net.advance_time(&[1, 2, 3, 4, 5, 6, 7, 100]);
+/// // Distributed OR: "does any node hold a value above 50?" — always
+/// // correct, O(1) expected messages (Lemma 3.1).
+/// let out = existence(&mut net, ExistencePredicate::GreaterThan(50));
+/// assert!(out.exists());
+/// assert!(out.responses.iter().all(|r| r.sender() == NodeId(7)));
+/// // No node above 100: a silent run, free of model messages.
+/// let out = existence(&mut net, ExistencePredicate::GreaterThan(100));
+/// assert!(!out.exists());
+/// assert_eq!(out.terminated_in_round, None);
+/// ```
 pub fn existence(net: &mut dyn Network, predicate: ExistencePredicate) -> ExistenceOutcome {
     let mut responses = Vec::new();
     let terminated_in_round = existence_into(net, predicate, &mut responses);

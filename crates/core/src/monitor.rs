@@ -82,6 +82,26 @@ pub fn run_on_rows(
 /// Drives `monitor` with an adaptive source: `next_row` sees the filters
 /// currently assigned to the nodes (what the adversary of Theorem 5.1 needs) and
 /// returns `None` to end the run.
+///
+/// ```
+/// use topk_core::monitor::run_adaptive;
+/// use topk_core::TopKMonitor;
+/// use topk_model::Epsilon;
+/// use topk_net::DeterministicEngine;
+///
+/// let mut net = DeterministicEngine::new(3, 7);
+/// let mut monitor = TopKMonitor::new(1, Epsilon::HALF);
+/// let mut step = 0u64;
+/// let report = run_adaptive(&mut monitor, &mut net, Epsilon::HALF, |filters| {
+///     // The source sees the current filters — an adaptive adversary would
+///     // aim its next row exactly at their boundaries.
+///     assert_eq!(filters.len(), 3);
+///     step += 1;
+///     (step <= 4).then(|| vec![100 + step, 50, 10])
+/// });
+/// assert_eq!(report.steps, 4);
+/// assert_eq!(report.invalid_steps, 0, "the ε-top-1 must be valid at every step");
+/// ```
 pub fn run_adaptive(
     monitor: &mut dyn Monitor,
     net: &mut dyn Network,

@@ -106,6 +106,19 @@ impl Filter {
     }
 
     /// Checks `v` against the filter and reports the violation direction, if any.
+    ///
+    /// This is the Definition 2.1 trigger: a node stays silent while its
+    /// observed value satisfies `check(v) == None` and must report otherwise.
+    ///
+    /// ```
+    /// use topk_model::{Filter, Violation};
+    ///
+    /// let f = Filter::bounded(10, 20).unwrap();
+    /// assert_eq!(f.check(15), None); // inside: the node stays silent
+    /// assert_eq!(f.check(25), Some(Violation::FromBelow)); // crossed the upper bound
+    /// assert_eq!(f.check(5), Some(Violation::FromAbove)); // dropped under the lower bound
+    /// assert_eq!(Filter::at_least(7).check(u64::MAX), None); // unbounded above
+    /// ```
     #[inline]
     pub fn check(&self, v: Value) -> Option<Violation> {
         Filter::check_parts(self.lo, self.hi, v)

@@ -35,7 +35,7 @@
 //! it, where "clearly" is controlled by `ε`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod epsilon;

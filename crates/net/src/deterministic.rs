@@ -20,6 +20,16 @@ pub struct DeterministicEngine {
 
 impl DeterministicEngine {
     /// Creates an engine with `n` nodes whose RNGs are derived from `master_seed`.
+    ///
+    /// ```
+    /// use topk_net::{DeterministicEngine, Network};
+    /// use topk_model::NodeId;
+    ///
+    /// let mut net = DeterministicEngine::new(3, 42);
+    /// net.advance_time(&[10, 20, 30]);
+    /// assert_eq!(net.probe(NodeId(2)), 30);
+    /// assert_eq!(net.stats().total_messages(), 2); // 1 probe + 1 reply
+    /// ```
     pub fn new(n: usize, master_seed: u64) -> DeterministicEngine {
         DeterministicEngine {
             nodes: NodeId::all(n)

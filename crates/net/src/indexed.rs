@@ -77,6 +77,18 @@ pub struct IndexedEngine {
 impl IndexedEngine {
     /// Creates an engine with `n` nodes whose RNGs are derived from
     /// `master_seed` exactly like the other engines'.
+    ///
+    /// ```
+    /// use topk_net::{DeterministicEngine, IndexedEngine, Network};
+    ///
+    /// // Same seed ⇒ bit-identical behaviour, O(active) instead of Θ(n).
+    /// let mut fast = IndexedEngine::new(64, 7);
+    /// let mut reference = DeterministicEngine::new(64, 7);
+    /// let row: Vec<u64> = (0..64).collect();
+    /// fast.advance_time(&row);
+    /// reference.advance_time(&row);
+    /// assert_eq!(fast.stats(), reference.stats());
+    /// ```
     pub fn new(n: usize, master_seed: u64) -> IndexedEngine {
         IndexedEngine {
             state: NodeStateSoA::new(n),

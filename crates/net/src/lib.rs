@@ -4,7 +4,8 @@
 //! the paper *On Competitive Algorithms for Approximations of Top-k-Position
 //! Monitoring of Distributed Streams*.
 //!
-//! The crate provides four interchangeable engines behind the [`Network`] trait:
+//! The crate provides five interchangeable engines behind the [`Network`] trait
+//! (`docs/ARCHITECTURE.md` has a which-engine-when decision guide):
 //!
 //! * [`DeterministicEngine`] — executes all node logic in-process and in a fixed
 //!   order. Message counts are exactly reproducible for a given seed, which is
@@ -28,6 +29,13 @@
 //!   all engines produce *identical* message counts; the threaded engine
 //!   exists to demonstrate that the protocols are genuinely message-passing
 //!   algorithms and to measure wall-clock behaviour under real concurrency.
+//! * [`RemoteEngine`] — the server coordinator in this process, the node
+//!   population as shard *client connections* over loopback TCP, every
+//!   interaction encoded in the `topk-wire` binary format (`docs/WIRE.md`).
+//!   Still bit-identical to the baseline — replies, `CommStats` and node
+//!   state — while the messages genuinely cross a socket; exposes wire-level
+//!   [`TransportStats`] (frames/bytes) for the throughput harness's
+//!   `--remote` axis.
 //!
 //! ## Cost accounting
 //!
@@ -58,6 +66,7 @@ pub mod indexed;
 pub mod network;
 pub mod node;
 mod partition;
+pub mod remote;
 pub mod sharded;
 pub mod threaded;
 
@@ -65,5 +74,6 @@ pub use deterministic::DeterministicEngine;
 pub use indexed::IndexedEngine;
 pub use network::Network;
 pub use node::SimNode;
+pub use remote::{RemoteEngine, TransportStats};
 pub use sharded::{Dispatch, ShardedEngine};
 pub use threaded::ThreadedEngine;

@@ -1,0 +1,689 @@
+//! TCP-loopback engine: the protocols over a real socket.
+//!
+//! [`RemoteEngine`] hosts the server coordinator in the current process and
+//! the node population as *client connections*: construction binds a TCP
+//! listener on `127.0.0.1`, spawns one client per shard (a contiguous node
+//! range, the same `partition.rs` arithmetic the sharded and threaded
+//! engines use), and waits for each client to connect and identify itself
+//! with a `Join` frame. Every [`Network`] operation is then encoded with
+//! `topk-wire`, framed, and moved through the sockets — the messages the
+//! paper charges for genuinely cross a transport instead of a function call.
+//!
+//! ## Frame discipline
+//!
+//! Each `Network` call produces at most one [`Frame::Batch`] per involved
+//! shard connection. Pure commands (observations, filter/group updates,
+//! parameter broadcasts, end-of-run announcements) are *fire-and-forget*:
+//! TCP's per-connection ordering guarantees a shard applies them before any
+//! later frame, so the server never blocks on them. Operations that the
+//! model answers upstream — probes and existence rounds — set the batch's
+//! `wants_reply` flag, and the server then reads exactly one
+//! [`Frame::Replies`] per queried shard, *in shard order*. Shards are
+//! contiguous ascending id ranges and every shard replies in ascending node
+//! id order, so the concatenation is the global id order — the reply order
+//! of [`DeterministicEngine`](crate::DeterministicEngine).
+//!
+//! ## Why the engine is bit-identical to the in-process baseline
+//!
+//! The clients drive the very same [`SimNode`] state machine on the very
+//! same per-node `(master seed, node id)` RNG streams, and the wire format
+//! round-trips every message losslessly (`topk-wire`'s proptests). A node's
+//! RNG advances only inside its own coin flip, so neither the sharding nor
+//! the transport can perturb any random stream; the id-ordered reply merge
+//! restores the baseline's reply sequence; and the server charges the
+//! [`CostMeter`] with exactly the baseline's accounting rules. Hence
+//! replies, `CommStats` and all node state match the baseline bit for bit —
+//! `tests/indexed_differential.rs` proves it over randomized schedules, and
+//! `topk-core`'s monitors run unchanged over loopback.
+//!
+//! ## Server-side state mirror
+//!
+//! The free `peek_*` inspection API must not generate traffic (peeks are
+//! not part of the model). The server therefore mirrors the deterministic
+//! part of node state — values it delivered, filters/groups/params it sent —
+//! in a [`NodeStateSoA`] and answers peeks locally. The mirror cannot drift:
+//! filters derive through the same pure [`filter_for`] both sides evaluate,
+//! and the differential battery asserts mirror state equals the baseline's
+//! node state after every schedule.
+
+use crate::network::Network;
+use crate::node::SimNode;
+use crate::partition::{shard_bounds, shard_of};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use topk_model::message::ExistencePredicate;
+use topk_model::prelude::*;
+use topk_model::rule::filter_for;
+use topk_model::soa::NodeStateSoA;
+use topk_wire::{read_frame, write_frame, Frame, ServerOp, WireError};
+
+/// Transport-level counters of a [`RemoteEngine`] (all connections summed).
+///
+/// These measure *wire* activity — frames and bytes — as opposed to the
+/// `CommStats` *model* accounting (one unit per protocol message). The
+/// throughput harness's `--remote` axis reports both and their ratio
+/// (bytes per model message).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames the server wrote to shard connections.
+    pub frames_sent: u64,
+    /// Frames the server read from shard connections.
+    pub frames_received: u64,
+    /// Bytes written, including length prefixes and frame headers.
+    pub bytes_sent: u64,
+    /// Bytes read, including length prefixes and frame headers.
+    pub bytes_received: u64,
+}
+
+impl TransportStats {
+    /// Total frames moved in either direction.
+    pub fn frames(&self) -> u64 {
+        self.frames_sent + self.frames_received
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// One framed server-side connection to a shard client.
+struct Conn {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    stats: TransportStats,
+}
+
+impl Conn {
+    fn send(&mut self, frame: &Frame) {
+        let bytes = write_frame(&mut self.writer, frame)
+            .unwrap_or_else(|e| panic!("remote transport: failed to send frame: {e}"));
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+    }
+
+    fn recv_replies(&mut self) -> Vec<NodeMessage> {
+        let (frame, bytes) = read_frame(&mut self.reader)
+            .unwrap_or_else(|e| panic!("remote transport: failed to read reply frame: {e}"));
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += bytes as u64;
+        match frame {
+            Frame::Replies(replies) => replies,
+            other => panic!("remote transport: expected a reply frame, got {other:?}"),
+        }
+    }
+}
+
+/// TCP-loopback engine (see the module documentation).
+pub struct RemoteEngine {
+    /// Server-side mirror of node values/filters/groups, for free peeks.
+    mirror: NodeStateSoA,
+    /// Last broadcast parameters (for the mirror's filter re-derivation).
+    params: Option<FilterParams>,
+    /// One connection per shard, indexed by shard; `bounds[s]..bounds[s+1]`
+    /// is the node range of shard `s`.
+    conns: Vec<Conn>,
+    bounds: Vec<usize>,
+    handles: Vec<JoinHandle<()>>,
+    meter: CostMeter,
+}
+
+impl std::fmt::Debug for RemoteEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteEngine")
+            .field("n", &self.mirror.len())
+            .field("shards", &self.conns.len())
+            .field("transport", &self.transport_stats())
+            .finish()
+    }
+}
+
+impl RemoteEngine {
+    /// Creates an engine with `n` nodes on as many shard connections as the
+    /// machine has usable parallelism (at least one, at most `n`), with
+    /// per-node RNGs derived from `master_seed` exactly like every other
+    /// engine's.
+    ///
+    /// ```
+    /// use topk_net::{Network, RemoteEngine};
+    ///
+    /// let mut net = RemoteEngine::new(4, 7);
+    /// net.advance_time(&[10, 20, 30, 40]);
+    /// assert_eq!(net.probe(topk_model::NodeId(2)), 30);
+    /// ```
+    pub fn new(n: usize, master_seed: u64) -> RemoteEngine {
+        let parallelism = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        RemoteEngine::with_shards(n, master_seed, parallelism.clamp(1, n.max(1)))
+    }
+
+    /// Creates an engine with an explicit shard (connection) count.
+    ///
+    /// Shard `s` hosts the contiguous node range `⌊s·n/W⌋ .. ⌊(s+1)·n/W⌋`;
+    /// shard counts above `n` leave the surplus connections empty but
+    /// functional.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, or if binding the loopback listener or
+    /// completing the join handshake fails.
+    pub fn with_shards(n: usize, master_seed: u64, shards: usize) -> RemoteEngine {
+        assert!(shards > 0, "at least one shard connection is required");
+        let listener =
+            TcpListener::bind(("127.0.0.1", 0)).expect("remote transport: cannot bind loopback");
+        let addr = listener
+            .local_addr()
+            .expect("remote transport: listener has no local address");
+        let bounds = shard_bounds(n, shards);
+        let handles: Vec<JoinHandle<()>> = (0..shards)
+            .map(|s| {
+                let (lo, hi) = (bounds[s], bounds[s + 1]);
+                std::thread::Builder::new()
+                    .name(format!("topk-shard-{s}"))
+                    .spawn(move || run_shard_client(addr, s as u32, lo, hi, master_seed))
+                    .expect("remote transport: cannot spawn shard client")
+            })
+            .collect();
+        // Accept every client and slot it by the shard index in its Join
+        // frame — accept order is scheduler-dependent, the handshake is not.
+        let mut slots: Vec<Option<Conn>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            let (stream, _) = listener
+                .accept()
+                .expect("remote transport: accept failed during handshake");
+            stream
+                .set_nodelay(true)
+                .expect("remote transport: cannot set TCP_NODELAY");
+            let mut conn = Conn {
+                reader: BufReader::new(
+                    stream
+                        .try_clone()
+                        .expect("remote transport: cannot clone stream"),
+                ),
+                writer: BufWriter::new(stream),
+                stats: TransportStats::default(),
+            };
+            let (frame, bytes) = read_frame(&mut conn.reader)
+                .unwrap_or_else(|e| panic!("remote transport: bad join frame: {e}"));
+            conn.stats.frames_received += 1;
+            conn.stats.bytes_received += bytes as u64;
+            let Frame::Join { shard } = frame else {
+                panic!("remote transport: expected a join frame, got {frame:?}");
+            };
+            let slot = &mut slots[shard as usize];
+            assert!(slot.is_none(), "shard {shard} joined twice");
+            *slot = Some(conn);
+        }
+        RemoteEngine {
+            mirror: NodeStateSoA::new(n),
+            params: None,
+            conns: slots
+                .into_iter()
+                .map(|c| c.expect("all shards joined"))
+                .collect(),
+            bounds,
+            handles,
+            meter: CostMeter::new(),
+        }
+    }
+
+    /// Number of shard connections (client processes in a real deployment).
+    pub fn shard_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Aggregated wire-level counters over all shard connections.
+    pub fn transport_stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for conn in &self.conns {
+            total.frames_sent += conn.stats.frames_sent;
+            total.frames_received += conn.stats.frames_received;
+            total.bytes_sent += conn.stats.bytes_sent;
+            total.bytes_received += conn.stats.bytes_received;
+        }
+        total
+    }
+
+    /// The node range of shard `s`.
+    fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Sends a fire-and-forget single-op batch to one shard.
+    fn command(&mut self, shard: usize, op: ServerOp) {
+        self.conns[shard].send(&Frame::Batch {
+            wants_reply: false,
+            ops: vec![op],
+        });
+    }
+
+    /// Delivers a server message to every node via per-shard broadcasts.
+    fn broadcast_command(&mut self, msg: ServerMessage) {
+        for s in 0..self.conns.len() {
+            if self.range(s).is_empty() {
+                continue;
+            }
+            self.command(s, ServerOp::Broadcast { msg });
+        }
+    }
+
+    /// Mirror bookkeeping for a group change (the `SimNode` rule: the filter
+    /// re-derives only once parameters were broadcast).
+    fn mirror_group(&mut self, i: usize, group: NodeGroup) {
+        self.mirror.set_group(i, group);
+        if let Some(p) = self.params {
+            self.mirror.set_filter(i, filter_for(group, &p));
+        }
+    }
+
+    /// The shard owning node `node`.
+    fn owner(&self, node: NodeId) -> usize {
+        assert!(
+            node.index() < self.mirror.len(),
+            "node {node} out of range (n = {})",
+            self.mirror.len()
+        );
+        shard_of(self.mirror.len(), self.conns.len(), node.index())
+    }
+}
+
+impl Network for RemoteEngine {
+    fn n(&self) -> usize {
+        self.mirror.len()
+    }
+
+    fn advance_time(&mut self, values: &[Value]) {
+        assert_eq!(
+            values.len(),
+            self.mirror.len(),
+            "one observation per node required"
+        );
+        for s in 0..self.conns.len() {
+            let range = self.range(s);
+            if range.is_empty() {
+                continue;
+            }
+            let op = ServerOp::ObserveRow {
+                start: NodeId(range.start),
+                values: values[range].to_vec(),
+            };
+            self.command(s, op);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if self.mirror.value(i) != v {
+                self.mirror.set_value(i, v);
+            }
+        }
+        self.meter.record_time_step();
+    }
+
+    fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
+        // Route each change to its owning shard; one frame per shard that
+        // has any. Per-shard order preserves the caller's order, so
+        // duplicate entries still resolve last-wins like the baseline.
+        let mut routed: Vec<Vec<(NodeId, Value)>> = vec![Vec::new(); self.conns.len()];
+        for &(node, v) in changes {
+            routed[self.owner(node)].push((node, v));
+            self.mirror.set_value(node.index(), v);
+        }
+        for (s, changes) in routed.into_iter().enumerate() {
+            if !changes.is_empty() {
+                self.command(s, ServerOp::ObserveSparse { changes });
+            }
+        }
+        self.meter.record_time_step();
+    }
+
+    fn broadcast_params(&mut self, params: FilterParams) {
+        self.meter.record(MessageKind::Broadcast);
+        self.broadcast_command(ServerMessage::BroadcastParams(params));
+        self.params = Some(params);
+        for i in 0..self.mirror.len() {
+            let f = filter_for(self.mirror.group(i), &params);
+            self.mirror.set_filter(i, f);
+        }
+    }
+
+    fn assign_group(&mut self, node: NodeId, group: NodeGroup) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        let owner = self.owner(node);
+        self.command(
+            owner,
+            ServerOp::Unicast {
+                node,
+                msg: ServerMessage::AssignGroup(group),
+            },
+        );
+        self.mirror_group(node.index(), group);
+    }
+
+    fn broadcast_group(&mut self, group: NodeGroup) {
+        self.meter.record(MessageKind::Broadcast);
+        self.broadcast_command(ServerMessage::BroadcastGroup(group));
+        for i in 0..self.mirror.len() {
+            self.mirror_group(i, group);
+        }
+    }
+
+    fn assign_filter(&mut self, node: NodeId, filter: Filter) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        let owner = self.owner(node);
+        self.command(
+            owner,
+            ServerOp::Unicast {
+                node,
+                msg: ServerMessage::AssignFilter(filter),
+            },
+        );
+        self.mirror.set_filter(node.index(), filter);
+    }
+
+    fn probe(&mut self, node: NodeId) -> Value {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        let owner = self.owner(node);
+        self.conns[owner].send(&Frame::Batch {
+            wants_reply: true,
+            ops: vec![ServerOp::Unicast {
+                node,
+                msg: ServerMessage::Probe,
+            }],
+        });
+        let replies = self.conns[owner].recv_replies();
+        self.meter.record(MessageKind::Upstream);
+        match replies.as_slice() {
+            [NodeMessage::ValueReport { value, .. }] => *value,
+            other => panic!("probe must be answered with one value report, got {other:?}"),
+        }
+    }
+
+    fn existence_round_into(
+        &mut self,
+        round: u32,
+        population: u32,
+        predicate: ExistencePredicate,
+        replies: &mut Vec<NodeMessage>,
+    ) {
+        self.meter.record_round();
+        let msg = ServerMessage::ExistenceRound {
+            round,
+            population,
+            predicate,
+        };
+        // Send the round to every occupied shard first, then collect the
+        // replies in shard order: the shards flip their coins concurrently
+        // and the ordered collection restores the global id order. Runs on
+        // every round of every violation check, so the shard walks stay
+        // allocation-free (beyond the frame encodings themselves).
+        for s in 0..self.conns.len() {
+            if self.range(s).is_empty() {
+                continue;
+            }
+            self.conns[s].send(&Frame::Batch {
+                wants_reply: true,
+                ops: vec![ServerOp::Broadcast { msg }],
+            });
+        }
+        replies.clear();
+        for s in 0..self.conns.len() {
+            if self.range(s).is_empty() {
+                continue;
+            }
+            replies.extend(self.conns[s].recv_replies());
+        }
+        self.meter
+            .record_many(MessageKind::Upstream, replies.len() as u64);
+    }
+
+    fn end_existence_run(&mut self) {
+        self.meter.record(MessageKind::Broadcast);
+        self.broadcast_command(ServerMessage::EndExistenceRun);
+    }
+
+    fn meter(&mut self) -> &mut CostMeter {
+        &mut self.meter
+    }
+
+    fn stats(&self) -> CommStats {
+        self.meter.snapshot()
+    }
+
+    fn peek_value(&self, node: NodeId) -> Value {
+        self.mirror.value(node.index())
+    }
+
+    fn peek_filter(&self, node: NodeId) -> Filter {
+        self.mirror.filter(node.index())
+    }
+
+    fn peek_group(&self, node: NodeId) -> NodeGroup {
+        self.mirror.group(node.index())
+    }
+
+    fn peek_filters_into(&self, out: &mut Vec<Filter>) {
+        out.clear();
+        out.extend(self.mirror.filters().map(|(_, f)| f));
+    }
+
+    fn peek_values_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend_from_slice(self.mirror.values());
+    }
+}
+
+impl Drop for RemoteEngine {
+    fn drop(&mut self) {
+        for conn in &mut self.conns {
+            // Best effort: a client that already died closed its socket, and
+            // the join below reaps it either way.
+            let _ = write_frame(&mut conn.writer, &Frame::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of one shard-client thread: connect, join, then serve batches until
+/// shutdown.
+///
+/// The client owns the [`SimNode`] state machines of global ids `lo..hi` and
+/// is driven *only* by decoded frames — it shares no memory with the server.
+/// Replies accumulate in ascending node-id order because every op iterates
+/// the shard's nodes in ascending order.
+fn run_shard_client(addr: SocketAddr, shard: u32, lo: usize, hi: usize, master_seed: u64) {
+    let stream = TcpStream::connect(addr).expect("shard client: cannot connect to server");
+    stream
+        .set_nodelay(true)
+        .expect("shard client: cannot set TCP_NODELAY");
+    let mut reader = BufReader::new(stream.try_clone().expect("shard client: clone stream"));
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &Frame::Join { shard }).expect("shard client: join handshake failed");
+
+    let mut nodes: Vec<SimNode> = (lo..hi)
+        .map(|i| SimNode::new(NodeId(i), master_seed))
+        .collect();
+    let mut replies: Vec<NodeMessage> = Vec::new();
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok((frame, _)) => frame,
+            // The server dropped without an orderly shutdown (e.g. a test
+            // panicked): exit quietly, the Drop impl reaps the thread.
+            Err(WireError::Io(_)) => return,
+            Err(e) => panic!("shard client {shard}: corrupt frame: {e}"),
+        };
+        match frame {
+            Frame::Batch { wants_reply, ops } => {
+                replies.clear();
+                for op in ops {
+                    apply_op(&mut nodes, lo, op, &mut replies);
+                }
+                if wants_reply {
+                    // Move the scratch buffer into the frame for the write,
+                    // then reclaim it so one allocation serves the whole
+                    // connection (replies are cleared per batch above).
+                    let frame = Frame::Replies(std::mem::take(&mut replies));
+                    write_frame(&mut writer, &frame).expect("shard client: cannot send replies");
+                    let Frame::Replies(out) = frame else {
+                        unreachable!("frame constructed as Replies above")
+                    };
+                    replies = out;
+                }
+            }
+            Frame::Shutdown => return,
+            other => panic!("shard client {shard}: unexpected frame {other:?}"),
+        }
+    }
+}
+
+/// Applies one decoded batch operation to a shard's nodes, appending any
+/// upstream messages to `replies` in ascending node-id order.
+fn apply_op(nodes: &mut [SimNode], lo: usize, op: ServerOp, replies: &mut Vec<NodeMessage>) {
+    match op {
+        ServerOp::ObserveRow { start, values } => {
+            let base = start.index() - lo;
+            for (j, v) in values.into_iter().enumerate() {
+                nodes[base + j].observe(v);
+            }
+        }
+        ServerOp::ObserveSparse { changes } => {
+            for (node, v) in changes {
+                nodes[node.index() - lo].observe(v);
+            }
+        }
+        ServerOp::Unicast { node, msg } => {
+            if let Some(reply) = nodes[node.index() - lo].handle(&msg) {
+                replies.push(reply);
+            }
+        }
+        ServerOp::Broadcast { msg } => {
+            for node in nodes.iter_mut() {
+                if let Some(reply) = node.handle(&msg) {
+                    replies.push(reply);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeterministicEngine;
+
+    #[test]
+    fn basic_flow_matches_baseline_semantics() {
+        let mut net = RemoteEngine::with_shards(5, 1, 2);
+        net.advance_time(&[10, 20, 30, 40, 50]);
+        net.broadcast_params(FilterParams::Separator { lo: 25, hi: 25 });
+        net.assign_filter(NodeId(0), Filter::at_least(40));
+        net.assign_group(NodeId(1), NodeGroup::Upper);
+        assert_eq!(net.probe(NodeId(4)), 50);
+        let stats = net.stats();
+        assert_eq!(stats.messages_of_kind(MessageKind::Broadcast), 1);
+        assert_eq!(stats.messages_of_kind(MessageKind::DownstreamUnicast), 3);
+        assert_eq!(stats.messages_of_kind(MessageKind::Upstream), 1);
+        assert_eq!(stats.time_steps, 1);
+        assert_eq!(net.peek_filter(NodeId(1)), Filter::at_least(25));
+        assert_eq!(net.peek_filter(NodeId(2)), Filter::at_most(25));
+        assert_eq!(net.peek_group(NodeId(1)), NodeGroup::Upper);
+        assert_eq!(net.peek_values(), vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn matches_baseline_on_a_scripted_run() {
+        let script = |net: &mut dyn Network| {
+            net.advance_time(&[3, 1, 4, 1, 5, 9, 2, 6]);
+            net.assign_group(NodeId(5), NodeGroup::Upper);
+            net.broadcast_params(FilterParams::Separator { lo: 5, hi: 5 });
+            let mut found = Vec::new();
+            for round in 0..=3 {
+                let r = net.existence_round(round, 8, ExistencePredicate::PendingViolation);
+                if !r.is_empty() {
+                    found = r;
+                    net.end_existence_run();
+                    break;
+                }
+            }
+            net.advance_time_sparse(&[(NodeId(7), 4), (NodeId(0), 9)]);
+            let max = net.existence_round(10, 8, ExistencePredicate::AtLeast(9));
+            (found, max, net.stats())
+        };
+        for shards in [1, 3, 8] {
+            let mut base = DeterministicEngine::new(8, 1234);
+            let mut remote = RemoteEngine::with_shards(8, 1234, shards);
+            let (f_base, m_base, s_base) = script(&mut base);
+            let (f_rem, m_rem, s_rem) = script(&mut remote);
+            assert_eq!(
+                f_base, f_rem,
+                "violation replies diverge at {shards} shards"
+            );
+            assert_eq!(
+                m_base, m_rem,
+                "threshold replies diverge at {shards} shards"
+            );
+            assert_eq!(s_base, s_rem, "stats diverge at {shards} shards");
+            assert_eq!(base.peek_filters(), remote.peek_filters());
+            assert_eq!(base.peek_values(), remote.peek_values());
+            for i in 0..8 {
+                assert_eq!(base.peek_group(NodeId(i)), remote.peek_group(NodeId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn transport_counters_track_wire_activity() {
+        let mut net = RemoteEngine::with_shards(4, 9, 2);
+        let after_handshake = net.transport_stats();
+        assert_eq!(after_handshake.frames_received, 2, "one join per shard");
+        net.advance_time(&[1, 2, 3, 4]);
+        let after_row = net.transport_stats();
+        assert_eq!(after_row.frames_sent, 2, "one observation frame per shard");
+        assert!(after_row.bytes_sent > 0);
+        // A probe costs one frame out and one reply frame back on one conn.
+        net.probe(NodeId(0));
+        let after_probe = net.transport_stats();
+        assert_eq!(after_probe.frames_sent, after_row.frames_sent + 1);
+        assert_eq!(
+            after_probe.frames_received,
+            after_handshake.frames_received + 1
+        );
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_surplus_connections_idle() {
+        let mut net = RemoteEngine::with_shards(2, 3, 5);
+        assert_eq!(net.shard_count(), 5);
+        net.advance_time(&[7, 8]);
+        let replies = net.existence_round(10, 2, ExistencePredicate::GreaterThan(0));
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].sender(), NodeId(0));
+        assert_eq!(replies[1].sender(), NodeId(1));
+    }
+
+    #[test]
+    fn silent_rounds_cost_model_nothing_but_cross_the_wire() {
+        let mut net = RemoteEngine::with_shards(8, 5, 2);
+        net.advance_time(&[10; 8]);
+        let before = net.stats().total_messages();
+        let wire_before = net.transport_stats().frames();
+        let replies = net.existence_round(10, 8, ExistencePredicate::GreaterThan(100));
+        assert!(replies.is_empty());
+        assert_eq!(
+            net.stats().total_messages(),
+            before,
+            "silent round is free in the model"
+        );
+        assert!(
+            net.transport_stats().frames() > wire_before,
+            "but the round schedule genuinely crossed the socket"
+        );
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let net = RemoteEngine::with_shards(3, 1, 3);
+        drop(net); // must not hang or panic
+    }
+}

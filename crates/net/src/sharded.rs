@@ -474,6 +474,16 @@ pub struct ShardedEngine {
 impl ShardedEngine {
     /// Creates an engine with `n` nodes split over `workers` shards, with
     /// [`Dispatch::Auto`] placement. RNG seeding matches the other engines.
+    ///
+    /// ```
+    /// use topk_net::{Network, ShardedEngine};
+    ///
+    /// // Any shard count is bit-identical to the single-threaded engines.
+    /// let mut net = ShardedEngine::new(100, 3, 4);
+    /// net.advance_time(&vec![5; 100]);
+    /// assert_eq!(net.n(), 100);
+    /// assert_eq!(net.peek_value(topk_model::NodeId(99)), 5);
+    /// ```
     pub fn new(n: usize, master_seed: u64, workers: usize) -> ShardedEngine {
         ShardedEngine::with_dispatch(n, master_seed, workers, Dispatch::Auto)
     }

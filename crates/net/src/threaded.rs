@@ -84,6 +84,15 @@ pub struct ThreadedEngine {
 impl ThreadedEngine {
     /// Spawns the default shard-thread pool — `min(n, available CPUs)`
     /// threads — hosting `n` nodes whose RNGs are derived from `master_seed`.
+    ///
+    /// ```
+    /// use topk_net::{Network, ThreadedEngine};
+    /// use topk_model::NodeId;
+    ///
+    /// let mut net = ThreadedEngine::new(4, 11);
+    /// net.advance_time(&[1, 2, 3, 4]);
+    /// assert_eq!(net.probe(NodeId(3)), 4); // a real channel round-trip
+    /// ```
     pub fn new(n: usize, master_seed: u64) -> ThreadedEngine {
         let default_workers = std::thread::available_parallelism()
             .map(|p| p.get())

@@ -1,0 +1,504 @@
+//! The transport frame: length prefix, header, batched messages.
+//!
+//! A frame is the unit one socket write/read moves:
+//!
+//! ```text
+//! ┌────────────┬──────────┬───────────┬──────────┬─────────────────┐
+//! │ len u32 LE │ magic u8 │ version u8│ kind u8  │ body …          │
+//! └────────────┴──────────┴───────────┴──────────┴─────────────────┘
+//!               └────────────── len bytes ───────────────────────┘
+//! ```
+//!
+//! `len` counts the payload (magic byte onward) and is bounded by
+//! [`MAX_FRAME_LEN`] so a corrupt prefix can never trigger an absurd
+//! allocation. The magic byte catches stream desynchronisation immediately;
+//! the version byte pins the tag tables (see the versioning rules in
+//! `docs/WIRE.md`: tags are append-only within a version, any removal or
+//! renumbering bumps [`WIRE_VERSION`], and peers refuse versions they do not
+//! speak rather than guessing).
+//!
+//! One frame batches many model messages: an observation row for a whole
+//! node range, a broadcast plus the round schedule, or all replies of an
+//! existence round travel as a single frame. The *model* cost accounting is
+//! untouched by batching — it is charged by the server per model message,
+//! exactly as the in-process engines charge it.
+//!
+//! Frame kinds (tag byte after the version):
+//!
+//! | tag | frame | direction | body |
+//! |-----|-------|-----------|------|
+//! | 0 | [`Frame::Join`] | node → server | shard index |
+//! | 1 | [`Frame::Batch`] | server → node | flags (bit 0 = reply wanted), op count, [`ServerOp`]s |
+//! | 2 | [`Frame::Replies`] | node → server | reply count, [`NodeMessage`]s |
+//! | 3 | [`Frame::Shutdown`] | server → node | empty |
+//!
+//! [`ServerOp`] tags: 0 `ObserveRow`, 1 `ObserveSparse`, 2 `Unicast`,
+//! 3 `Broadcast`.
+//!
+//! [`NodeMessage`]: topk_model::message::NodeMessage
+
+use crate::codec::{from_bytes, Reader, WireDecode, WireEncode};
+use crate::error::WireError;
+use crate::varint;
+use std::io::{Read, Write};
+use topk_model::prelude::*;
+
+/// First payload byte of every frame; catches desynchronised streams.
+pub const MAGIC: u8 = 0xC5;
+
+/// Current wire format version. Bump on any change to the frame layout or
+/// the tag tables that is not a pure append.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on the payload length of a single frame (16 MiB).
+///
+/// A dense observation row for 10⁶ nodes of near-maximal values is ~10 MB,
+/// so this accommodates every frame the engines produce while keeping the
+/// damage of a corrupt length prefix bounded.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// One batched operation inside a [`Frame::Batch`].
+///
+/// The observation variants exist because delivering a time step as `n`
+/// individual `Unicast` messages would be absurd on a real transport — the
+/// model treats observations as local and free, so the transport ships them
+/// as bulk payloads. The unicast/broadcast variants carry exactly the model
+/// messages of [`ServerMessage`], one model cost unit each (charged by the
+/// server, not by this crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerOp {
+    /// Dense observation delivery: `values[i]` is the new value of node
+    /// `start + i`. Used by `advance_time` for each shard's contiguous range.
+    ObserveRow {
+        /// First node id of the contiguous range.
+        start: NodeId,
+        /// One value per node in the range.
+        values: Vec<Value>,
+    },
+    /// Sparse observation delivery: only the listed nodes observe new values.
+    ObserveSparse {
+        /// `(node, value)` pairs, in ascending node order.
+        changes: Vec<(NodeId, Value)>,
+    },
+    /// A server → single-node model message (1 downstream-unicast cost unit).
+    Unicast {
+        /// The receiving node.
+        node: NodeId,
+        /// The message payload.
+        msg: ServerMessage,
+    },
+    /// A server → all-nodes model message (1 broadcast cost unit; existence
+    /// rounds ride this variant and are charged per the Lemma 3.1 schedule).
+    Broadcast {
+        /// The message payload, delivered to every node of the shard.
+        msg: ServerMessage,
+    },
+}
+
+impl WireEncode for ServerOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ServerOp::ObserveRow { start, values } => {
+                buf.push(0);
+                start.encode(buf);
+                varint::write_u64(buf, values.len() as u64);
+                for &v in values {
+                    varint::write_u64(buf, v);
+                }
+            }
+            ServerOp::ObserveSparse { changes } => {
+                buf.push(1);
+                varint::write_u64(buf, changes.len() as u64);
+                for &(node, v) in changes {
+                    node.encode(buf);
+                    varint::write_u64(buf, v);
+                }
+            }
+            ServerOp::Unicast { node, msg } => {
+                buf.push(2);
+                node.encode(buf);
+                msg.encode(buf);
+            }
+            ServerOp::Broadcast { msg } => {
+                buf.push(3);
+                msg.encode(buf);
+            }
+        }
+    }
+}
+
+/// Reads an element count, refusing counts that cannot possibly fit in the
+/// remaining input (each element is at least one byte) — so a corrupt count
+/// fails fast instead of driving a huge allocation.
+fn read_count(r: &mut Reader<'_>, what: &'static str) -> Result<usize, WireError> {
+    let count = r.u64()?;
+    let count = usize::try_from(count).map_err(|_| WireError::Truncated { what })?;
+    if count > r.remaining() {
+        return Err(WireError::Truncated { what });
+    }
+    Ok(count)
+}
+
+impl WireDecode for ServerOp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("ServerOp")? {
+            0 => {
+                let start = NodeId::decode(r)?;
+                let count = read_count(r, "ObserveRow values")?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(r.u64()?);
+                }
+                Ok(ServerOp::ObserveRow { start, values })
+            }
+            1 => {
+                let count = read_count(r, "ObserveSparse changes")?;
+                let mut changes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    changes.push((NodeId::decode(r)?, r.u64()?));
+                }
+                Ok(ServerOp::ObserveSparse { changes })
+            }
+            2 => Ok(ServerOp::Unicast {
+                node: NodeId::decode(r)?,
+                msg: ServerMessage::decode(r)?,
+            }),
+            3 => Ok(ServerOp::Broadcast {
+                msg: ServerMessage::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "ServerOp",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A complete transport frame (see the module docs for the layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client handshake: "I host shard `shard`". Sent once per connection,
+    /// immediately after connecting, so the server can map accepted
+    /// connections to node ranges regardless of accept order.
+    Join {
+        /// The shard index this connection hosts.
+        shard: u32,
+    },
+    /// A batch of server operations for one shard.
+    Batch {
+        /// Whether the server will block for a [`Frame::Replies`] answer.
+        /// Pure command batches (filter updates, observations) are
+        /// fire-and-forget — TCP ordering guarantees nodes process them
+        /// before any later round.
+        wants_reply: bool,
+        /// The operations, applied in order.
+        ops: Vec<ServerOp>,
+    },
+    /// The upstream answer to a `wants_reply` batch: every model message the
+    /// shard's nodes produced, in ascending node-id order. May be empty — an
+    /// empty reply frame is how a silent existence round looks on the wire.
+    Replies(
+        /// The node messages, in ascending node-id order.
+        Vec<NodeMessage>,
+    ),
+    /// Orderly connection shutdown (server → node).
+    Shutdown,
+}
+
+impl WireEncode for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Join { shard } => {
+                buf.push(0);
+                varint::write_u64(buf, u64::from(*shard));
+            }
+            Frame::Batch { wants_reply, ops } => {
+                buf.push(1);
+                buf.push(u8::from(*wants_reply));
+                varint::write_u64(buf, ops.len() as u64);
+                for op in ops {
+                    op.encode(buf);
+                }
+            }
+            Frame::Replies(replies) => {
+                buf.push(2);
+                varint::write_u64(buf, replies.len() as u64);
+                for reply in replies {
+                    reply.encode(buf);
+                }
+            }
+            Frame::Shutdown => buf.push(3),
+        }
+    }
+}
+
+impl WireDecode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("Frame")? {
+            0 => {
+                let shard = r.u64()?;
+                u32::try_from(shard)
+                    .map(|shard| Frame::Join { shard })
+                    .map_err(|_| WireError::BadTag {
+                        what: "Frame::Join shard (exceeds u32)",
+                        tag: 0,
+                    })
+            }
+            1 => {
+                let flags = r.u8("Frame::Batch flags")?;
+                if flags > 1 {
+                    return Err(WireError::BadTag {
+                        what: "Frame::Batch flags",
+                        tag: flags,
+                    });
+                }
+                let count = read_count(r, "Frame::Batch ops")?;
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ops.push(ServerOp::decode(r)?);
+                }
+                Ok(Frame::Batch {
+                    wants_reply: flags == 1,
+                    ops,
+                })
+            }
+            2 => {
+                let count = read_count(r, "Frame::Replies")?;
+                let mut replies = Vec::with_capacity(count);
+                for _ in 0..count {
+                    replies.push(NodeMessage::decode(r)?);
+                }
+                Ok(Frame::Replies(replies))
+            }
+            3 => Ok(Frame::Shutdown),
+            tag => Err(WireError::BadTag { what: "Frame", tag }),
+        }
+    }
+}
+
+/// Writes one frame (length prefix + header + body) and flushes.
+///
+/// Returns the total number of bytes put on the wire, including the length
+/// prefix — the quantity the throughput harness's bytes/message metric sums.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if the encoded payload exceeds
+/// [`MAX_FRAME_LEN`] — refused at the send site, *before* any bytes hit the
+/// wire, so an oversized batch surfaces as a typed error here rather than as
+/// a bogus corrupt-stream diagnostic on the receiving peer. Otherwise
+/// propagates transport errors from the writer.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError> {
+    let mut payload = Vec::with_capacity(16);
+    payload.push(MAGIC);
+    payload.push(WIRE_VERSION);
+    frame.encode(&mut payload);
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len() as u64,
+        });
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(4 + payload.len())
+}
+
+/// Reads one complete frame, validating length bound, magic and version.
+///
+/// Returns the frame and the total bytes consumed (including the prefix).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] for an oversized length prefix,
+/// [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] for a bad
+/// header, any decoding error for a corrupt body, and
+/// [`WireError::Io`] (typically `UnexpectedEof`) if the stream ends.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len: len as u64 });
+    }
+    if len < 3 {
+        // magic + version + frame tag are mandatory
+        return Err(WireError::Truncated {
+            what: "frame header",
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let magic = payload[0];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = payload[1];
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let frame = from_bytes::<Frame>(&payload[2..])?;
+    Ok((frame, 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use topk_model::message::ExistencePredicate;
+
+    fn roundtrip_frame(frame: &Frame) {
+        let mut wire = Vec::new();
+        let written = write_frame(&mut wire, frame).unwrap();
+        assert_eq!(written, wire.len());
+        let mut cursor = &wire[..];
+        let (back, consumed) = read_frame(&mut cursor).unwrap();
+        assert_eq!(&back, frame);
+        assert_eq!(consumed, written);
+        assert!(cursor.is_empty());
+        // Every strict prefix of the wire bytes fails (EOF or truncation).
+        for cut in 0..wire.len() {
+            let mut cursor = &wire[..cut];
+            assert!(read_frame(&mut cursor).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    fn sample_ops(x: u64, y: u64) -> Vec<ServerOp> {
+        vec![
+            ServerOp::ObserveRow {
+                start: NodeId((x % 1000) as usize),
+                values: vec![x, y, x ^ y, 0, u64::MAX],
+            },
+            ServerOp::ObserveSparse {
+                changes: vec![(NodeId(1), x), (NodeId((y % 100) as usize), y)],
+            },
+            ServerOp::Unicast {
+                node: NodeId(3),
+                msg: ServerMessage::Probe,
+            },
+            ServerOp::Broadcast {
+                msg: ServerMessage::ExistenceRound {
+                    round: (x % 33) as u32,
+                    population: (y % 1_000_000) as u32,
+                    predicate: ExistencePredicate::GreaterThan(x),
+                },
+            },
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Frames of every kind survive the write → read loop and reject all
+        /// strict byte prefixes.
+        #[test]
+        fn frames_roundtrip(x in 0u64..u64::MAX, y in 0u64..u64::MAX, shard in 0u32..4096) {
+            roundtrip_frame(&Frame::Join { shard });
+            roundtrip_frame(&Frame::Shutdown);
+            roundtrip_frame(&Frame::Batch { wants_reply: x % 2 == 0, ops: sample_ops(x, y) });
+            roundtrip_frame(&Frame::Batch { wants_reply: true, ops: Vec::new() });
+            roundtrip_frame(&Frame::Replies(vec![
+                NodeMessage::ValueReport { node: NodeId((x % 9999) as usize), value: y },
+                NodeMessage::ViolationReport {
+                    node: NodeId(0),
+                    value: x,
+                    direction: Violation::FromAbove,
+                },
+            ]));
+            roundtrip_frame(&Frame::Replies(Vec::new()));
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_at_the_send_site() {
+        // ~20 MB of maximal varints exceeds the 16 MiB payload bound; the
+        // writer must refuse with a typed error and put nothing on the wire.
+        let frame = Frame::Batch {
+            wants_reply: false,
+            ops: vec![ServerOp::ObserveRow {
+                start: NodeId(0),
+                values: vec![u64::MAX; 2_000_000],
+            }],
+        };
+        let mut wire = Vec::new();
+        assert!(matches!(
+            write_frame(&mut wire, &frame),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        assert!(wire.is_empty(), "no bytes may precede the error");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 64]);
+        let mut cursor = &wire[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_refused() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Shutdown).unwrap();
+        let mut corrupted = wire.clone();
+        corrupted[4] = 0x00; // magic byte
+        assert!(matches!(
+            read_frame(&mut &corrupted[..]),
+            Err(WireError::BadMagic { found: 0x00 })
+        ));
+        let mut corrupted = wire.clone();
+        corrupted[5] = WIRE_VERSION + 1;
+        assert!(matches!(
+            read_frame(&mut &corrupted[..]),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_inside_a_frame_is_refused() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Shutdown).unwrap();
+        // Grow the declared length by one and append a stray byte: the frame
+        // decoder must notice the unconsumed byte.
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap());
+        wire[..4].copy_from_slice(&(len + 1).to_le_bytes());
+        wire.push(0xAB);
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn undersized_frames_are_refused() {
+        // Declared length 2 cannot hold magic + version + tag.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&[MAGIC, WIRE_VERSION]);
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_counts_fail_fast() {
+        // A Replies frame claiming 2^40 replies in a 16-byte body must fail
+        // on the count check, not attempt the allocation.
+        let mut body = vec![2u8]; // Replies tag
+        varint::write_u64(&mut body, 1 << 40);
+        let mut payload = vec![MAGIC, WIRE_VERSION];
+        payload.extend_from_slice(&body);
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

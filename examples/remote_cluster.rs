@@ -1,0 +1,79 @@
+//! Server/client mode: monitor a stream population over real TCP.
+//!
+//! Spawns the server coordinator in this process and four node-shard clients
+//! as loopback TCP connections (`RemoteEngine`), then runs the Theorem 4.5
+//! `TopKMonitor` over the wire while a bursty Zipf workload (the paper's
+//! load-balancer motivation) drives the nodes. Every probe, filter update,
+//! violation report and existence round crosses a socket in the `topk-wire`
+//! binary format — and the run report is identical, message for message, to
+//! what the in-process engines produce for the same seed.
+//!
+//! ```sh
+//! cargo run --example remote_cluster
+//! ```
+
+use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::TopKMonitor;
+use topk_gen::{Workload, ZipfLoadWorkload};
+use topk_model::{Epsilon, NodeId};
+use topk_net::{DeterministicEngine, Network, RemoteEngine};
+
+fn main() {
+    let (n, k, steps, seed) = (64, 4, 200, 2024);
+    let eps = Epsilon::new(1, 10).unwrap();
+    let rows: Vec<Vec<u64>> = ZipfLoadWorkload::new(n, 1.1, 100_000, 50, 1e-3, seed)
+        .generate(steps)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+
+    // The server side: bind a loopback listener, spawn 4 shard clients, wait
+    // for them to join. In a real deployment the clients would be separate
+    // processes on other hosts speaking the same frames.
+    let mut net = RemoteEngine::with_shards(n, seed, 4);
+    println!(
+        "cluster up: {} nodes on {} TCP shard connections",
+        net.n(),
+        net.shard_count()
+    );
+
+    let mut monitor = TopKMonitor::new(k, eps);
+    let report = run_on_rows(&mut monitor, &mut net, rows.iter().cloned(), eps);
+
+    let top: Vec<String> = monitor
+        .output()
+        .iter()
+        .map(|id: &NodeId| id.to_string())
+        .collect();
+    let transport = net.transport_stats();
+    println!(
+        "after {} steps the ε-top-{k} positions are: {}",
+        report.steps,
+        top.join(", ")
+    );
+    println!(
+        "model cost: {} messages ({} rounds), {} invalid steps",
+        report.messages(),
+        report.stats.rounds,
+        report.invalid_steps
+    );
+    println!(
+        "wire cost:  {} frames, {:.1} KiB total, {:.1} bytes per model message",
+        transport.frames(),
+        transport.bytes() as f64 / 1024.0,
+        transport.bytes() as f64 / report.messages().max(1) as f64
+    );
+
+    // The punchline: the same monitor over the in-process reference engine
+    // sends *exactly* the same messages — the transport is invisible to the
+    // protocol stack.
+    let mut reference = DeterministicEngine::new(n, seed);
+    let mut ref_monitor = TopKMonitor::new(k, eps);
+    let ref_report = run_on_rows(&mut ref_monitor, &mut reference, rows.iter().cloned(), eps);
+    assert_eq!(
+        report, ref_report,
+        "TCP and in-process runs must agree bit for bit"
+    );
+    assert_eq!(monitor.output(), ref_monitor.output());
+    println!("verified: bit-identical to the in-process DeterministicEngine run");
+}

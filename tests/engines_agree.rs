@@ -1,14 +1,15 @@
-//! The deterministic engine, the indexed engine, the sharded engine and the
-//! threaded (crossbeam-channel) engine must produce identical message counts
-//! and identical outputs for the same seed — the protocols cannot tell which
-//! transport they run on.
+//! The deterministic engine, the indexed engine, the sharded engine, the
+//! threaded (crossbeam-channel) engine and the remote (TCP-loopback) engine
+//! must produce identical message counts and identical outputs for the same
+//! seed — the protocols cannot tell which transport they run on.
 
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
 use topk_gen::{NoiseOscillationWorkload, RandomWalkWorkload, Workload};
 use topk_model::Epsilon;
 use topk_net::{
-    DeterministicEngine, Dispatch, IndexedEngine, Network, ShardedEngine, ThreadedEngine,
+    DeterministicEngine, Dispatch, IndexedEngine, Network, RemoteEngine, ShardedEngine,
+    ThreadedEngine,
 };
 
 fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>], eps: Epsilon) {
@@ -51,6 +52,15 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
         eps,
     );
 
+    let mut rem_monitor = make_monitor();
+    let mut rem_net = RemoteEngine::with_shards(n, seed, 3);
+    let rem = run_on_rows(
+        rem_monitor.as_mut(),
+        &mut rem_net,
+        rows.iter().cloned(),
+        eps,
+    );
+
     assert_eq!(
         det.messages(),
         thr.messages(),
@@ -69,15 +79,23 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
         "{}: run reports differ between deterministic and sharded engines",
         det_monitor.name()
     );
+    assert_eq!(
+        det,
+        rem,
+        "{}: run reports differ between deterministic and remote (TCP) engines",
+        det_monitor.name()
+    );
     assert_eq!(det.stats.rounds, thr.stats.rounds);
     assert_eq!(det.invalid_steps, thr.invalid_steps);
     assert_eq!(det_monitor.output(), thr_monitor.output());
     assert_eq!(det_monitor.output(), idx_monitor.output());
     assert_eq!(det_monitor.output(), shard_monitor.output());
+    assert_eq!(det_monitor.output(), rem_monitor.output());
     // The filters visible at the end must agree as well.
     assert_eq!(det_net.peek_filters(), thr_net.peek_filters());
     assert_eq!(det_net.peek_filters(), idx_net.peek_filters());
     assert_eq!(det_net.peek_filters(), shard_net.peek_filters());
+    assert_eq!(det_net.peek_filters(), rem_net.peek_filters());
 }
 
 #[test]

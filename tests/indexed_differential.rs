@@ -1,20 +1,23 @@
-//! Differential test: the indexed and sharded engines are bit-identical to
-//! the baseline.
+//! Differential test: the indexed, sharded and remote engines are
+//! bit-identical to the baseline.
 //!
 //! `IndexedEngine` skips nodes whose predicate does not hold; `ShardedEngine`
 //! additionally partitions the population into per-worker shards and merges
-//! per-shard replies; the baseline `DeterministicEngine` visits every node.
-//! Because a node only consumes randomness *after* its predicate evaluated to
-//! true — and RNG streams are per node, so the visiting thread cannot matter —
-//! all engines must agree on every reply, every message count (full
+//! per-shard replies; `RemoteEngine` moves every interaction through the
+//! `topk-wire` binary format over loopback TCP connections; the baseline
+//! `DeterministicEngine` visits every node in-process. Because a node only
+//! consumes randomness *after* its predicate evaluated to true — and RNG
+//! streams are per node, so neither the visiting thread nor the transport can
+//! matter — all engines must agree on every reply, every message count (full
 //! `CommStats` equality, per label and kind) and every piece of node state,
 //! for *any* schedule of operations and *any* shard count.
 //!
 //! The schedules here are adversarially random: interleaved dense and sparse
 //! observations, explicit filters, group unicasts and broadcasts, parameter
 //! broadcasts of all three rule families, probes and existence runs with every
-//! predicate shape. 256 randomized schedules are checked per battery, plus
-//! full monitor runs on random traces.
+//! predicate shape. 256 randomized schedules are checked per in-process
+//! battery (64 for the loopback battery, which pays real socket round-trips
+//! per operation), plus full monitor runs on random traces.
 
 use proptest::prelude::*;
 use topk_core::existence::existence;
@@ -22,7 +25,9 @@ use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
 use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
-use topk_net::{DeterministicEngine, Dispatch, IndexedEngine, Network, ShardedEngine};
+use topk_net::{
+    DeterministicEngine, Dispatch, IndexedEngine, Network, RemoteEngine, ShardedEngine,
+};
 
 const N: usize = 8;
 
@@ -245,5 +250,76 @@ proptest! {
             prop_assert_eq!(m_base.output(), m_shard.output());
             prop_assert_eq!(base.peek_filters(), sharded.peek_filters());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loopback differential: `RemoteEngine` replays the same schedules over
+    /// real TCP connections through the `topk-wire` binary format — replies,
+    /// full `CommStats`, filters, values and groups must be bit-identical to
+    /// the baseline at every connection count. 64 schedules (every operation
+    /// pays genuine socket round-trips, so this battery is costlier per case
+    /// than the in-process ones above).
+    #[test]
+    fn remote_engine_matches_baseline_on_random_schedules(
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..N, 0u64..2000, 0u64..2000),
+            1..30,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let mut base = DeterministicEngine::new(N, seed);
+        let mut engines: Vec<RemoteEngine> = [1usize, 3]
+            .into_iter()
+            .map(|shards| RemoteEngine::with_shards(N, seed, shards))
+            .collect();
+        for &op in &ops {
+            let replies_base = apply(&mut base, op);
+            for remote in &mut engines {
+                let replies_remote = apply(remote, op);
+                prop_assert_eq!(
+                    &replies_base,
+                    &replies_remote,
+                    "replies diverge on {:?} at {} connections",
+                    op,
+                    remote.shard_count()
+                );
+            }
+        }
+        for remote in &engines {
+            prop_assert_eq!(base.stats(), remote.stats(), "stats diverge at {} connections", remote.shard_count());
+            prop_assert_eq!(base.peek_filters(), remote.peek_filters());
+            prop_assert_eq!(base.peek_values(), remote.peek_values());
+            for i in 0..N {
+                prop_assert_eq!(base.peek_group(NodeId(i)), remote.peek_group(NodeId(i)));
+            }
+        }
+    }
+
+    /// The protocol stack end to end over the wire: monitor runs on the
+    /// remote engine produce the same reports, outputs and filters as on the
+    /// baseline.
+    #[test]
+    fn monitors_agree_between_baseline_and_remote(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1u64..50_000, N),
+            3..15,
+        ),
+        k_seed in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let k = k_seed.clamp(1, N - 1);
+        let eps = Epsilon::new(1, 8).unwrap();
+        let mut m_base: Box<dyn Monitor> = Box::new(TopKMonitor::new(k, eps));
+        let mut base = DeterministicEngine::new(N, seed);
+        let r_base = run_on_rows(m_base.as_mut(), &mut base, rows.iter().cloned(), eps);
+        let mut m_rem: Box<dyn Monitor> = Box::new(TopKMonitor::new(k, eps));
+        let mut remote = RemoteEngine::with_shards(N, seed, 3);
+        let r_rem = run_on_rows(m_rem.as_mut(), &mut remote, rows.iter().cloned(), eps);
+        prop_assert_eq!(&r_base, &r_rem, "remote run reports diverge");
+        prop_assert_eq!(m_base.output(), m_rem.output());
+        prop_assert_eq!(base.peek_filters(), remote.peek_filters());
     }
 }
