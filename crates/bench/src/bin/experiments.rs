@@ -9,6 +9,9 @@
 //! cargo run -p topk-bench --bin experiments --release -- --throughput --quick       # CI smoke
 //! cargo run -p topk-bench --bin experiments --release -- --throughput --sharded 8   # 8 workers
 //! cargo run -p topk-bench --bin experiments --release -- --check-floors FILE.json   # validate only
+//! cargo run -p topk-bench --bin experiments --release -- --campaign                 # scenario grid
+//! cargo run -p topk-bench --bin experiments --release -- --campaign --quick         # CI smoke
+//! cargo run -p topk-bench --bin experiments --release -- --check-competitive-floors FILE.json
 //! ```
 //!
 //! Prints one aligned table per experiment (the tables quoted in
@@ -26,20 +29,32 @@
 //! `--check-floors FILE` re-validates an existing report — CI uses it to
 //! hold the *committed* full-scale `BENCH_throughput.json` to the `n = 10⁶`
 //! floors without re-measuring on shared runners.
+//!
+//! `--campaign` runs the scenario campaign (see `topk_bench::campaign`): the
+//! full generator × protocol × ε × n grid with empirical competitive ratios
+//! against OPT, written to `BENCH_competitive.json` (overridable with `--out`)
+//! and self-validated against the floor table. `--baseline COMMITTED.json`
+//! additionally holds every freshly measured cell to the ceilings of the
+//! committed report — the CI ratchet (the full grid contains the quick grid
+//! verbatim, and the cells are bit-deterministic, so a regression past the
+//! committed headroom fails the run). `--check-competitive-floors FILE`
+//! re-validates a committed campaign report without re-measuring. All
+//! numeric bars of both check modes live in `topk_bench::floors::FloorTable`.
 
 use std::path::PathBuf;
 use topk_bench::experiments::{self, Scale};
-use topk_bench::{throughput, ExperimentTable};
+use topk_bench::{campaign, throughput, ExperimentTable, FloorTable};
 
 fn report_floors(report: &throughput::ThroughputReport) -> ! {
     let failures = throughput::check_floors(report);
     if failures.is_empty() {
+        let floors = FloorTable::STANDARD.throughput;
         println!(
             "floors ok: indexed >= {}x baseline (and >= {} steps/s) at n=1e5, sharded >= {}x indexed at n=1e6 (or >= {}x at n=1e5 for quick runs), noise/dense",
-            throughput::SPEEDUP_FLOOR,
-            throughput::ABSOLUTE_FLOOR,
-            throughput::SHARDED_SPEEDUP_FLOOR,
-            throughput::SHARDED_SPEEDUP_FLOOR_QUICK,
+            floors.indexed_speedup,
+            floors.indexed_absolute_steps_per_sec,
+            floors.sharded_speedup_full,
+            floors.sharded_speedup_quick,
         );
         std::process::exit(0);
     }
@@ -47,6 +62,75 @@ fn report_floors(report: &throughput::ThroughputReport) -> ! {
         eprintln!("FLOOR REGRESSION: {f}");
     }
     std::process::exit(1);
+}
+
+fn report_competitive_floors(report: &campaign::CompetitiveReport) -> ! {
+    let failures = campaign::check_competitive_floors(report);
+    if failures.is_empty() {
+        let floors = FloorTable::STANDARD.competitive;
+        println!(
+            "competitive floors ok: {} cells, >= {} protocols x >= {} families, 0 invalid steps, every ratio within its ceiling",
+            report.cells.len(),
+            floors.min_protocols,
+            floors.min_generators,
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("COMPETITIVE FLOOR REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
+
+fn run_campaign_bench(quick: bool, out: PathBuf, baseline: Option<PathBuf>) -> ! {
+    let report = campaign::run_campaign(quick, |line| eprintln!("{line}"));
+    std::fs::write(&out, campaign::to_json(&report)).expect("write campaign json");
+    eprintln!("wrote {}", out.display());
+    if let Some(path) = baseline {
+        // The ratchet: hold the freshly measured cells to the ceilings of the
+        // committed report (the full grid contains the quick grid verbatim).
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let committed: campaign::CompetitiveReport = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {}: {e}", path.display()));
+        let failures = campaign::check_against_baseline(&report, &committed);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("COMPETITIVE FLOOR REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "baseline ok: all {} measured cells within the ceilings committed in {}",
+            report.cells.len(),
+            path.display()
+        );
+    }
+    report_competitive_floors(&report)
+}
+
+fn check_competitive_floors_only(path: PathBuf) -> ! {
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report: campaign::CompetitiveReport = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    eprintln!(
+        "checking competitive floors of {} ({} scale, {} cells)",
+        path.display(),
+        report.scale,
+        report.cells.len()
+    );
+    // The committed report this mode guards must be a full-scale run — a
+    // quick-scale file would cover a thinner grid than the acceptance bar.
+    if report.scale != "full" {
+        eprintln!(
+            "COMPETITIVE FLOOR REGRESSION: {} is a '{}'-scale report; the committed report must be full-scale",
+            path.display(),
+            report.scale
+        );
+        std::process::exit(1);
+    }
+    report_competitive_floors(&report)
 }
 
 fn run_remote_bench(quick: bool, conns: usize) {
@@ -113,17 +197,21 @@ fn main() {
     let mut json_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut throughput_mode = false;
+    let mut campaign_mode = false;
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut sharded_workers = 4usize;
     let mut sharded_set = false;
     let mut remote_conns: Option<usize> = None;
     let mut check_floors_path: Option<PathBuf> = None;
+    let mut check_competitive_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--small" => scale = Scale::Small,
             "--throughput" => throughput_mode = true,
+            "--campaign" => campaign_mode = true,
             "--quick" => quick = true,
             "--sharded" => {
                 let parsed = iter.next().and_then(|w| w.parse::<usize>().ok());
@@ -149,6 +237,20 @@ fn main() {
                 };
                 check_floors_path = Some(PathBuf::from(path));
             }
+            "--check-competitive-floors" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--check-competitive-floors requires a json file argument");
+                    std::process::exit(2);
+                };
+                check_competitive_path = Some(PathBuf::from(path));
+            }
+            "--baseline" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--baseline requires a json file argument");
+                    std::process::exit(2);
+                };
+                baseline_path = Some(PathBuf::from(path));
+            }
             "--out" => {
                 let Some(path) = iter.next() else {
                     eprintln!("--out requires a file argument");
@@ -165,7 +267,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --check-floors FILE.json"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --campaign [--quick] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
                 );
                 return;
             }
@@ -174,6 +276,7 @@ fn main() {
     }
     if let Some(path) = check_floors_path {
         if throughput_mode
+            || campaign_mode
             || scale == Scale::Small
             || json_dir.is_some()
             || !wanted.is_empty()
@@ -181,11 +284,58 @@ fn main() {
             || out.is_some()
             || sharded_set
             || remote_conns.is_some()
+            || check_competitive_path.is_some()
+            || baseline_path.is_some()
         {
             eprintln!("--check-floors does not combine with other modes or flags");
             std::process::exit(2);
         }
         check_floors_only(path);
+    }
+    if let Some(path) = check_competitive_path {
+        if throughput_mode
+            || campaign_mode
+            || scale == Scale::Small
+            || json_dir.is_some()
+            || !wanted.is_empty()
+            || quick
+            || out.is_some()
+            || sharded_set
+            || remote_conns.is_some()
+            || baseline_path.is_some()
+        {
+            eprintln!("--check-competitive-floors does not combine with other modes or flags");
+            std::process::exit(2);
+        }
+        check_competitive_floors_only(path);
+    }
+    if campaign_mode {
+        if throughput_mode
+            || scale == Scale::Small
+            || json_dir.is_some()
+            || !wanted.is_empty()
+            || sharded_set
+            || remote_conns.is_some()
+        {
+            eprintln!("--campaign does not combine with --throughput/--small/--json/--sharded/--remote/experiment ids (use --quick, --out and --baseline)");
+            std::process::exit(2);
+        }
+        // Quick runs default to their own file: a bare `--campaign --quick`
+        // must never clobber the committed full-scale report.
+        let default_out = if quick {
+            "BENCH_competitive_quick.json"
+        } else {
+            "BENCH_competitive.json"
+        };
+        run_campaign_bench(
+            quick,
+            out.unwrap_or_else(|| PathBuf::from(default_out)),
+            baseline_path,
+        );
+    }
+    if baseline_path.is_some() {
+        eprintln!("--baseline only applies to --campaign");
+        std::process::exit(2);
     }
     if throughput_mode {
         if scale == Scale::Small || json_dir.is_some() || !wanted.is_empty() {

@@ -26,14 +26,25 @@
 //! --throughput [--sharded <threads>]`): simulated steps per second of the
 //! baseline vs. the indexed vs. the sharded engine across workloads and
 //! population sizes (up to 10⁷ nodes), written to `BENCH_throughput.json`.
+//!
+//! [`campaign`] is the scenario campaign (`experiments --campaign`): a
+//! declarative grid of workload families × regime parameters × ε × n run under
+//! every protocol, with empirical competitive ratios against the
+//! `topk-offline` OPT written to `BENCH_competitive.json` and ratcheted by
+//! `--check-competitive-floors`. [`floors`] is the single serialised table of
+//! every numeric bar both check modes enforce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
+pub mod floors;
 pub mod table;
 pub mod throughput;
 
+pub use campaign::{run_campaign, CompetitiveReport};
 pub use experiments::*;
+pub use floors::FloorTable;
 pub use table::ExperimentTable;
 pub use throughput::{run_throughput, ThroughputReport};

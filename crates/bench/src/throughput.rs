@@ -637,32 +637,21 @@ fn speedups(rows: &[ThroughputRow], engine: &str, reference: &str) -> Vec<Speedu
     out
 }
 
-/// The regression floor enforced in CI: at `n = 10⁵` on the noise generator the
-/// indexed engine must beat the baseline by at least this factor (the issue's
-/// acceptance bar), and must clear an absolute steps/sec sanity floor.
-pub const SPEEDUP_FLOOR: f64 = 10.0;
-/// Absolute steps/sec sanity floor for the indexed engine at `n = 10⁵`
-/// (conservative: debug-free release builds measure orders of magnitude more).
-pub const ABSOLUTE_FLOOR: f64 = 50.0;
-/// Sharded-over-indexed floor at `n = 10⁶` on the noise generator (full-scale
-/// reports, i.e. the committed `BENCH_throughput.json`): the sharded engine
-/// must at least double the indexed engine's steps/sec.
-pub const SHARDED_SPEEDUP_FLOOR: f64 = 2.0;
-/// Worker count the full-scale sharded floor is stated for (the issue's
-/// acceptance bar names 4 workers). A committed report whose sharded rows
-/// were generated with a different `--sharded` value must not satisfy the
-/// gate.
-pub const SHARDED_FLOOR_WORKERS: u64 = 4;
-/// Sharded-over-indexed floor applied at `n = 10⁵` to quick-scale reports
-/// (the CI smoke run). Deliberately loose: at the quick scale the per-step
-/// work is small enough that pool synchronisation and measurement noise eat
-/// into the ratio, and the real bar is enforced on the committed full-scale
-/// report.
-pub const SHARDED_SPEEDUP_FLOOR_QUICK: f64 = 1.2;
-
-/// Checks the CI floors against a report; returns a list of human-readable
+/// Checks the CI floors against a report using the standard
+/// [`FloorTable`](crate::floors::FloorTable); returns a list of human-readable
 /// failures (empty = pass).
 pub fn check_floors(report: &ThroughputReport) -> Vec<String> {
+    check_floors_against(report, &crate::floors::FloorTable::STANDARD.throughput)
+}
+
+/// Checks the CI floors against a report with an explicit floor table — the
+/// single source of the numeric bars shared with the campaign checker (the
+/// values used to be duplicated between doc comments, CI comments and this
+/// function).
+pub fn check_floors_against(
+    report: &ThroughputReport,
+    floors: &crate::floors::ThroughputFloors,
+) -> Vec<String> {
     let mut failures = Vec::new();
     let at = |engine: &str, n: u64| {
         report
@@ -673,15 +662,16 @@ pub fn check_floors(report: &ThroughputReport) -> Vec<String> {
     match (at("indexed", 100_000), at("baseline", 100_000)) {
         (Some(indexed), Some(baseline)) => {
             let speedup = indexed.steps_per_sec / baseline.steps_per_sec;
-            if speedup < SPEEDUP_FLOOR {
+            if speedup < floors.indexed_speedup {
                 failures.push(format!(
-                    "indexed/baseline speedup at n=1e5 (noise, dense) is {speedup:.1}x, floor is {SPEEDUP_FLOOR}x"
+                    "indexed/baseline speedup at n=1e5 (noise, dense) is {speedup:.1}x, floor is {}x",
+                    floors.indexed_speedup
                 ));
             }
-            if indexed.steps_per_sec < ABSOLUTE_FLOOR {
+            if indexed.steps_per_sec < floors.indexed_absolute_steps_per_sec {
                 failures.push(format!(
-                    "indexed steps/sec at n=1e5 (noise, dense) is {:.1}, floor is {ABSOLUTE_FLOOR}",
-                    indexed.steps_per_sec
+                    "indexed steps/sec at n=1e5 (noise, dense) is {:.1}, floor is {}",
+                    indexed.steps_per_sec, floors.indexed_absolute_steps_per_sec
                 ));
             }
         }
@@ -691,16 +681,16 @@ pub fn check_floors(report: &ThroughputReport) -> Vec<String> {
     // happen to be present — a full-scale report with its n = 1e6 rows
     // missing must *fail*, not silently fall back to the loose quick bar.
     let (n, floor) = if report.scale == "full" {
-        (1_000_000, SHARDED_SPEEDUP_FLOOR)
+        (1_000_000, floors.sharded_speedup_full)
     } else {
-        (100_000, SHARDED_SPEEDUP_FLOOR_QUICK)
+        (100_000, floors.sharded_speedup_quick)
     };
     match (at("sharded", n), at("indexed", n)) {
         (Some(sharded), Some(indexed)) => {
-            if report.scale == "full" && sharded.workers != SHARDED_FLOOR_WORKERS {
+            if report.scale == "full" && sharded.workers != floors.sharded_floor_workers {
                 failures.push(format!(
-                    "full-scale sharded rows were measured with {} workers; the floor is stated for {SHARDED_FLOOR_WORKERS} (regenerate with --sharded {SHARDED_FLOOR_WORKERS})",
-                    sharded.workers
+                    "full-scale sharded rows were measured with {} workers; the floor is stated for {} (regenerate with --sharded {})",
+                    sharded.workers, floors.sharded_floor_workers, floors.sharded_floor_workers
                 ));
             }
             let speedup = sharded.steps_per_sec / indexed.steps_per_sec;

@@ -58,5 +58,7 @@ pub use combined::CombinedMonitor;
 pub use dense::DenseMonitor;
 pub use exact_topk::ExactTopKMonitor;
 pub use half_eps::HalfEpsMonitor;
-pub use monitor::{run_adaptive, run_on_rows, Monitor, RunReport};
+pub use monitor::{
+    run_adaptive, run_adaptive_observed, run_on_rows, Monitor, RunReport, StepObservation,
+};
 pub use topk_protocol::TopKMonitor;

@@ -106,7 +106,44 @@ pub fn run_adaptive(
     monitor: &mut dyn Monitor,
     net: &mut dyn Network,
     validation_eps: Epsilon,
+    next_row: impl FnMut(&[Filter]) -> Option<Vec<Value>>,
+) -> RunReport {
+    run_adaptive_observed(monitor, net, validation_eps, next_row, |_| {})
+}
+
+/// Everything the driver knows about one completed observation step, handed to
+/// the observer of [`run_adaptive_observed`].
+///
+/// The campaign runner uses this to attribute message cost to *workload
+/// phases* (e.g. the quiet/dense/adversarial segments of a regime-switching
+/// generator): `messages_total` is cumulative, so the delta between two
+/// consecutive observations is exactly what the step between them cost.
+#[derive(Debug, Clone, Copy)]
+pub struct StepObservation<'a> {
+    /// 0-based index of the step that just completed.
+    pub step: u64,
+    /// The observations delivered at this step.
+    pub row: &'a [Value],
+    /// The monitor's output after processing the step.
+    pub output: &'a [NodeId],
+    /// Whether the output was a valid ε-top-k set for this row.
+    pub valid: bool,
+    /// Cumulative message count over the run, *including* this step.
+    pub messages_total: u64,
+}
+
+/// [`run_adaptive`] with a per-step observer.
+///
+/// The observer runs after the monitor processed the step and the output was
+/// validated — it sees the row, the output, the validity verdict and the
+/// cumulative message count, but cannot influence the run (the adaptive
+/// adversary contract stays with `next_row`).
+pub fn run_adaptive_observed(
+    monitor: &mut dyn Monitor,
+    net: &mut dyn Network,
+    validation_eps: Epsilon,
     mut next_row: impl FnMut(&[Filter]) -> Option<Vec<Value>>,
+    mut observer: impl FnMut(StepObservation<'_>),
 ) -> RunReport {
     let k = monitor.k();
     let mut report = RunReport {
@@ -128,12 +165,23 @@ pub fn run_adaptive(
         monitor.process_step(net);
         let output = monitor.output();
         let view = TopKView::new(&row, k, validation_eps);
-        if !view.validate_output(&output).is_valid() {
+        let valid = view.validate_output(&output).is_valid();
+        if !valid {
             report.invalid_steps += 1;
         }
         if !view.validate_exact(&output) {
             report.inexact_steps += 1;
         }
+        // `CostMeter::total_messages` is an O(1) running counter, so this
+        // per-step path takes no CommStats snapshot and no map traversal.
+        let messages_total = net.meter().total_messages();
+        observer(StepObservation {
+            step: report.steps,
+            row: &row,
+            output: &output,
+            valid,
+            messages_total,
+        });
         report.steps += 1;
         report.delta = report.delta.max(row.iter().copied().max().unwrap_or(0));
         report.sigma = report.sigma.max(view.sigma());
@@ -230,6 +278,35 @@ mod tests {
         assert_eq!(report.invalid_steps, 2);
         assert_eq!(report.inexact_steps, 2);
         assert_eq!(report.messages(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_step_with_cumulative_messages() {
+        let rows = vec![vec![1, 2, 3], vec![3, 2, 1], vec![2, 3, 1]];
+        let mut net = DeterministicEngine::new(3, 1);
+        let mut monitor = ProbeAllMonitor::new(1, Epsilon::HALF);
+        let mut seen: Vec<(u64, u64, bool)> = Vec::new();
+        let mut iter = rows.into_iter();
+        let report = run_adaptive_observed(
+            &mut monitor,
+            &mut net,
+            Epsilon::HALF,
+            move |_| iter.next(),
+            |obs| {
+                assert_eq!(obs.row.len(), 3);
+                assert_eq!(obs.output.len(), 1);
+                seen.push((obs.step, obs.messages_total, obs.valid));
+                if let Some(prev) = seen.len().checked_sub(2) {
+                    assert!(
+                        seen[prev].1 <= obs.messages_total,
+                        "message counter must be cumulative"
+                    );
+                }
+            },
+        );
+        assert_eq!(report.steps, 3);
+        // Probe-all costs 6 messages per step; the observer saw the ramp.
+        assert_eq!(report.messages(), 18);
     }
 
     #[test]

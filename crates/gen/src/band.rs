@@ -1,0 +1,72 @@
+//! Shared ε-neighbourhood band arithmetic for the pivot-based generators.
+//!
+//! Three families (noise oscillation, regime switching, churn/flat-line) place
+//! node values relative to the ε-neighbourhood of a pivot `z`: an *inner* band
+//! whose members provably sit inside the neighbourhood of the k-th value
+//! whenever the k-th value itself is in the band, and *clearly-above* /
+//! *clearly-below* anchors outside it. The derivation is subtle enough (the
+//! inner band uses `ε/2` so that any two members are mutually within `ε`, cf.
+//! `1/(1−ε/2)² ≤ 1/(1−ε)`) that it must live in exactly one place — and so
+//! must the saturation discipline: `scale_up` saturates at [`Value::MAX`] for
+//! huge pivots, so every `+ 1` here is a `saturating_add` (the bands degrade
+//! gracefully instead of overflowing).
+
+use topk_model::prelude::*;
+
+/// Value bands around a pivot `z` for a neighbourhood width `eps`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Bands {
+    /// Inclusive lower end of the inner (ε/2) band.
+    pub inner_lo: Value,
+    /// Inclusive upper end of the inner band (always ≥ `inner_lo`).
+    pub inner_hi: Value,
+    /// Smallest value clearly larger than *every* value in `[0, scale_up(z)]`
+    /// — a safe anchor for leader nodes (even after mild upward jitter).
+    pub clearly_above: Value,
+    /// Largest value clearly smaller than every value in `[scale_down(z), ∞)`
+    /// — a safe anchor for background nodes (always ≥ 1).
+    pub clearly_below: Value,
+}
+
+/// Computes the bands for pivot `z` and width `eps`.
+pub(crate) fn bands(z: Value, eps: Epsilon) -> Bands {
+    let half = eps.halved();
+    let inner_lo = half.scale_down(z).saturating_add(1);
+    let inner_hi = half.scale_up(z).saturating_sub(1).max(inner_lo);
+    let clearly_above = eps.scale_up(eps.scale_up(z)).saturating_add(1);
+    let clearly_below = eps.scale_down(eps.scale_down(z)).saturating_sub(1).max(1);
+    Bands {
+        inner_lo,
+        inner_hi,
+        clearly_above,
+        clearly_below,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_bracket_the_neighbourhood() {
+        let eps = Epsilon::TENTH;
+        let b = bands(100_000, eps);
+        assert!(b.inner_lo <= b.inner_hi);
+        // Inner members are inside the ε-neighbourhood of each other.
+        assert!(eps.in_neighbourhood(b.inner_lo, b.inner_hi));
+        // The anchors sit clearly outside.
+        assert!(eps.clearly_larger(b.clearly_above, b.inner_hi));
+        assert!(eps.clearly_smaller(b.clearly_below, b.inner_lo));
+    }
+
+    #[test]
+    fn huge_pivots_saturate_instead_of_overflowing() {
+        // scale_up saturates at Value::MAX for pivots past 2^63 with ε = 1/2;
+        // the bands must degrade (collapse towards MAX), not panic.
+        let b = bands(Value::MAX / 2 + 1, Epsilon::HALF);
+        assert_eq!(b.clearly_above, Value::MAX);
+        assert!(b.inner_lo <= b.inner_hi);
+        let tiny = bands(64, Epsilon::HALF);
+        assert!(tiny.clearly_below >= 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Correlated-burst workload: flash crowds that hit whole node groups at once.
+//!
+//! The Zipf workload models *independent* per-node bursts; real load spikes are
+//! correlated — a viral object or a failed-over peer multiplies the load of a
+//! whole rack at the same instant. Correlated bursts are the worst case for
+//! per-node filters: every member of the group crosses its upper bound in the
+//! same step, so the online algorithm faces a synchronized violation burst
+//! while the offline OPT pays a single phase boundary. The competitive ratio
+//! under correlated arrivals is therefore a different quantity from the ratio
+//! under independent noise, which is why the campaign grid carries this family
+//! separately.
+//!
+//! Model: node `i` has a stable base load; with probability `burst_prob` per
+//! step a burst starts on a uniformly random *contiguous* group of `group`
+//! nodes and multiplies their load by `factor` for 5–15 steps. Bursts may
+//! overlap (the factors do not stack — a node is either bursting or not).
+
+use crate::Workload;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// Workload with correlated load bursts over contiguous node groups.
+#[derive(Debug, Clone)]
+pub struct CorrelatedBurstWorkload {
+    base: Vec<Value>,
+    factor: u64,
+    group: usize,
+    burst_prob: f64,
+    /// Active bursts as `(first node, steps remaining)`.
+    bursts: Vec<(usize, u32)>,
+    rng: ChaCha8Rng,
+}
+
+impl CorrelatedBurstWorkload {
+    /// Creates the workload.
+    ///
+    /// * `base_load` — approximate load scale; per-node bases are drawn from
+    ///   `[base_load / 2, base_load]`,
+    /// * `factor` — load multiplier while a node is inside an active burst,
+    /// * `group` — number of contiguous nodes each burst covers,
+    /// * `burst_prob` — per-step probability that a new burst starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `base_load < 16`, `factor < 2`, `group ∉ 1..=n` or
+    /// `burst_prob ∉ [0, 1]`.
+    pub fn new(
+        n: usize,
+        base_load: Value,
+        factor: u64,
+        group: usize,
+        burst_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(base_load >= 16, "base load too small for meaningful noise");
+        assert!(factor >= 2, "a burst must at least double the load");
+        assert!(group >= 1 && group <= n, "group must be in 1..=n");
+        assert!(
+            (0.0..=1.0).contains(&burst_prob),
+            "burst_prob must be a probability"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base = (0..n)
+            .map(|_| rng.gen_range(base_load / 2..=base_load))
+            .collect();
+        CorrelatedBurstWorkload {
+            base,
+            factor,
+            group,
+            burst_prob,
+            bursts: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Number of bursts currently in flight.
+    pub fn active_bursts(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Nodes each burst covers.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+}
+
+impl Workload for CorrelatedBurstWorkload {
+    fn n(&self) -> usize {
+        self.base.len()
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        let n = self.base.len();
+        for b in &mut self.bursts {
+            b.1 -= 1;
+        }
+        self.bursts.retain(|&(_, remaining)| remaining > 0);
+        if self.rng.gen_bool(self.burst_prob) {
+            let start = self.rng.gen_range(0..=n - self.group);
+            let len = self.rng.gen_range(5..=15u32);
+            self.bursts.push((start, len));
+        }
+        (0..n)
+            .map(|i| {
+                let bursting = self
+                    .bursts
+                    .iter()
+                    .any(|&(start, _)| i >= start && i < start + self.group);
+                let load = if bursting {
+                    self.base[i].saturating_mul(self.factor)
+                } else {
+                    self.base[i]
+                };
+                // ±1/16 multiplicative noise, never touching zero (saturating:
+                // a bursting load near Value::MAX must degrade, not overflow).
+                let amp = (load / 16).max(1);
+                load.saturating_add(self.rng.gen_range(0..=2 * amp))
+                    .saturating_sub(amp)
+                    .max(1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_lift_a_contiguous_group_together() {
+        // burst_prob = 1: a burst starts immediately and covers `group` nodes.
+        let mut w = CorrelatedBurstWorkload::new(32, 10_000, 8, 6, 1.0, 5);
+        let row = w.next_step();
+        assert!(w.active_bursts() >= 1);
+        let lifted: Vec<usize> = (0..32).filter(|&i| row[i] > 30_000).collect();
+        assert!(
+            lifted.len() >= 6,
+            "at least one whole group must burst: {lifted:?}"
+        );
+        // The lifted set contains a full contiguous window of 6 nodes.
+        let contiguous = lifted.windows(6).any(|w| w[5] - w[0] == 5);
+        assert!(contiguous, "burst not contiguous: {lifted:?}");
+    }
+
+    #[test]
+    fn no_bursts_means_stable_loads() {
+        let mut w = CorrelatedBurstWorkload::new(16, 1000, 4, 4, 0.0, 9);
+        for _ in 0..50 {
+            let row = w.next_step();
+            assert_eq!(w.active_bursts(), 0);
+            for (i, &v) in row.iter().enumerate() {
+                // Base ∈ [500, 1000], noise ±1/16 → always within [400, 1100].
+                assert!((400..=1100).contains(&v), "node {i} load {v} out of band");
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_expire() {
+        let mut w = CorrelatedBurstWorkload::new(8, 1000, 4, 2, 0.0, 3);
+        w.bursts.push((0, 3));
+        for _ in 0..3 {
+            w.next_step();
+        }
+        assert_eq!(w.active_bursts(), 0, "bursts must expire after their span");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = CorrelatedBurstWorkload::new(20, 50_000, 6, 5, 0.2, 11);
+        let mut b = CorrelatedBurstWorkload::new(20, 50_000, 6, 5, 0.2, 11);
+        assert_eq!(a.generate(60), b.generate(60));
+    }
+
+    #[test]
+    fn accessors() {
+        let w = CorrelatedBurstWorkload::new(10, 1000, 4, 3, 0.5, 1);
+        assert_eq!(w.n(), 10);
+        assert_eq!(w.group(), 3);
+        assert_eq!(w.active_bursts(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_group() {
+        let _ = CorrelatedBurstWorkload::new(4, 1000, 4, 5, 0.1, 0);
+    }
+}

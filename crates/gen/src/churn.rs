@@ -1,0 +1,198 @@
+//! Churn/flat-line workload: nodes collapse into the ε-neighbourhood and leave.
+//!
+//! The dense-regime analysis (Theorem 5.8) treats `σ` — the size of the
+//! ε-neighbourhood of the k-th value — as a fixed parameter. Under churn it is
+//! anything but: sensors die and flat-line at a floor value, rebooted nodes
+//! come back *inside* the neighbourhood, and the population of the dense pack
+//! breathes over time. This workload stresses exactly that axis: every pack
+//! node flips between *live* (oscillating inside the ε/2-neighbourhood of the
+//! pivot `z`) and *flat-lined* (pinned at the constant floor `1`) with
+//! probability `churn_prob` per step, so `σ(t)` performs a random walk between
+//! 1 and the pack size while the flat-lined population costs OPT nothing.
+//!
+//! A small set of `high` leader nodes stays clearly above the neighbourhood so
+//! the top of the ranking is stable; choosing `k > high` puts the k-th value
+//! inside the breathing pack.
+
+use crate::Workload;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// The constant value a flat-lined node reports.
+pub const FLATLINE_VALUE: Value = 1;
+
+/// Workload whose ε-neighbourhood population churns over time.
+#[derive(Debug, Clone)]
+pub struct ChurnFlatlineWorkload {
+    n: usize,
+    high: usize,
+    z: Value,
+    churn_prob: f64,
+    /// Liveness of the pack nodes `high..n`.
+    alive: Vec<bool>,
+    step: u64,
+    hi_base: Value,
+    inner_lo: Value,
+    inner_hi: Value,
+    rng: ChaCha8Rng,
+}
+
+impl ChurnFlatlineWorkload {
+    /// Creates the workload.
+    ///
+    /// * `high` — number of stable leader nodes clearly above the
+    ///   neighbourhood (`high < n`; the remaining `n - high` nodes churn),
+    /// * `z` — pivot of the ε-neighbourhood live pack nodes oscillate in,
+    /// * `eps` — the neighbourhood width,
+    /// * `churn_prob` — per-node, per-step probability of flipping between
+    ///   live and flat-lined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high >= n`, `z < 64` or `churn_prob ∉ [0, 1]`.
+    pub fn new(n: usize, high: usize, z: Value, eps: Epsilon, churn_prob: f64, seed: u64) -> Self {
+        assert!(high < n, "need at least one churning node");
+        assert!(z >= 64, "pivot too small for distinct value bands");
+        assert!(
+            (0.0..=1.0).contains(&churn_prob),
+            "churn_prob must be a probability"
+        );
+        let bands = crate::band::bands(z, eps);
+        let (inner_lo, inner_hi) = (bands.inner_lo, bands.inner_hi);
+        let hi_base = bands.clearly_above;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let alive = (0..n - high).map(|_| rng.gen_bool(0.5)).collect();
+        ChurnFlatlineWorkload {
+            n,
+            high,
+            z,
+            churn_prob,
+            alive,
+            step: 0,
+            hi_base,
+            inner_lo,
+            inner_hi,
+            rng,
+        }
+    }
+
+    /// Number of currently live pack nodes (the instantaneous pack size).
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The pivot value `z`.
+    pub fn pivot(&self) -> Value {
+        self.z
+    }
+}
+
+impl Workload for ChurnFlatlineWorkload {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        let pack = self.n - self.high;
+        for a in &mut self.alive {
+            if self.rng.gen_bool(self.churn_prob) {
+                *a = !*a;
+            }
+        }
+        if self.alive.iter().all(|&a| !a) {
+            // Never let the whole pack flat-line: revive one deterministically.
+            let i = (self.step as usize) % pack;
+            self.alive[i] = true;
+        }
+        self.step += 1;
+        let (lo, hi) = (self.inner_lo, self.inner_hi);
+        let mut row = Vec::with_capacity(self.n);
+        for i in 0..self.high {
+            // Leaders jitter mildly within their clearly-above band.
+            row.push(
+                self.hi_base
+                    .saturating_add(i as Value)
+                    .saturating_add(self.rng.gen_range(0..=self.hi_base / 64)),
+            );
+        }
+        for i in 0..pack {
+            row.push(if self.alive[i] {
+                self.rng.gen_range(lo..=hi)
+            } else {
+                FLATLINE_VALUE
+            });
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_nodes_sit_in_the_neighbourhood_and_dead_ones_flatline() {
+        let eps = Epsilon::TENTH;
+        let mut w = ChurnFlatlineWorkload::new(20, 3, 100_000, eps, 0.1, 5);
+        for _ in 0..80 {
+            let row = w.next_step();
+            for (i, &v) in row.iter().enumerate().skip(3) {
+                if v == FLATLINE_VALUE {
+                    assert!(eps.clearly_smaller(v, w.pivot()));
+                } else {
+                    assert!(
+                        eps.in_neighbourhood(v, w.pivot()),
+                        "live node {i} value {v} outside the neighbourhood"
+                    );
+                }
+            }
+            // Leaders stay clearly above the pivot's neighbourhood.
+            for &v in &row[..3] {
+                assert!(eps.clearly_larger(v, eps.scale_up(w.pivot())));
+            }
+        }
+    }
+
+    #[test]
+    fn pack_population_breathes() {
+        let mut w = ChurnFlatlineWorkload::new(24, 2, 4096, Epsilon::TENTH, 0.15, 9);
+        let mut sizes = Vec::new();
+        for _ in 0..100 {
+            w.next_step();
+            sizes.push(w.alive_count());
+        }
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min >= 1, "the pack must never fully flat-line");
+        assert!(
+            max - min >= 4,
+            "churn must move the pack size: {min}..{max} over 100 steps"
+        );
+    }
+
+    #[test]
+    fn zero_churn_freezes_liveness() {
+        let mut w = ChurnFlatlineWorkload::new(10, 1, 1000, Epsilon::HALF, 0.0, 2);
+        w.next_step();
+        let first = w.alive_count();
+        for _ in 0..20 {
+            w.next_step();
+            assert_eq!(w.alive_count(), first);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = ChurnFlatlineWorkload::new(15, 2, 50_000, Epsilon::TENTH, 0.2, 4);
+        let mut b = ChurnFlatlineWorkload::new(15, 2, 50_000, Epsilon::TENTH, 0.2, 4);
+        assert_eq!(a.generate(60), b.generate(60));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_all_leaders() {
+        let _ = ChurnFlatlineWorkload::new(4, 4, 1000, Epsilon::HALF, 0.1, 0);
+    }
+}

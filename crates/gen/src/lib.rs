@@ -21,6 +21,13 @@
 //! * [`LowerBoundAdversary`] — the explicit adaptive adversary from the proof of
 //!   Theorem 5.1; it inspects the currently assigned filters and always knocks
 //!   one output node below the filter boundary.
+//! * [`RegimeSwitchWorkload`] — cycles quiet → dense → adversarial segments, so
+//!   one run crosses every regime boundary the paper's theorems distinguish.
+//! * [`CorrelatedBurstWorkload`] — flash crowds hitting whole contiguous node
+//!   groups at once (synchronized filter violations, the worst case for
+//!   per-node filters).
+//! * [`ChurnFlatlineWorkload`] — nodes collapse into the ε-neighbourhood of the
+//!   pivot and flat-line out of it again, so `σ(t)` breathes over time.
 //!
 //! Non-adaptive workloads implement [`Workload`] and can be pre-materialised into
 //! a [`Trace`]; the adversary implements [`AdaptiveWorkload`] because its next
@@ -30,16 +37,23 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub(crate) mod band;
+pub mod burst;
+pub mod churn;
 pub mod gap;
 pub mod noise;
 pub mod random_walk;
+pub mod regime;
 pub mod trace;
 pub mod zipf;
 
 pub use adversarial::LowerBoundAdversary;
+pub use burst::CorrelatedBurstWorkload;
+pub use churn::ChurnFlatlineWorkload;
 pub use gap::GapWorkload;
 pub use noise::NoiseOscillationWorkload;
 pub use random_walk::RandomWalkWorkload;
+pub use regime::{Regime, RegimeSwitchWorkload};
 pub use trace::Trace;
 pub use zipf::ZipfLoadWorkload;
 

@@ -80,28 +80,23 @@ impl Workload for NoiseOscillationWorkload {
     }
 
     fn next_step(&mut self) -> Vec<Value> {
-        // The oscillating pack is drawn from the ε/2-neighbourhood of z (shrunk by
-        // one to absorb integer rounding). Any two values a, b in that slice
-        // satisfy a ≤ b/(1-ε) because 1/(1-ε/2)² ≤ 1/(1-ε), so every pack member
-        // stays inside the ε-neighbourhood of the k-th largest value whenever the
-        // k-th largest value itself belongs to the pack.
-        let half = self.eps.halved();
-        let lo = self.eps.scale_down(self.z);
-        let hi = self.eps.scale_up(self.z);
-        let inner_lo = half.scale_down(self.z) + 1;
-        let inner_hi = half.scale_up(self.z).saturating_sub(1).max(inner_lo);
-        let clearly_above = self.eps.scale_up(hi) + 1;
-        let clearly_below = (self.eps.scale_down(lo)).saturating_sub(1).max(1);
+        // The oscillating pack is drawn from the inner (ε/2) band of z: any two
+        // values in it are mutually within the ε-neighbourhood (see
+        // `crate::band`), so every pack member stays inside the neighbourhood of
+        // the k-th largest value whenever that value itself belongs to the pack.
+        let bands = crate::band::bands(self.z, self.eps);
         (0..self.n)
             .map(|i| {
                 if i < self.high {
                     // Clearly above the whole neighbourhood, with some jitter.
-                    clearly_above + self.rng.gen_range(0..=clearly_above / 10)
+                    bands
+                        .clearly_above
+                        .saturating_add(self.rng.gen_range(0..=bands.clearly_above / 10))
                 } else if i < self.high + self.sigma {
-                    self.rng.gen_range(inner_lo..=inner_hi)
+                    self.rng.gen_range(bands.inner_lo..=bands.inner_hi)
                 } else {
                     // Clearly below, with jitter that keeps it clearly below.
-                    self.rng.gen_range(1..=clearly_below)
+                    self.rng.gen_range(1..=bands.clearly_below)
                 }
             })
             .collect()

@@ -1,0 +1,332 @@
+//! Regime-switching workload: quiet → dense → adversarial segments in a loop.
+//!
+//! The paper's analysis distinguishes three input regimes — mostly-silent
+//! streams where filters absorb everything (Corollary 3.3 / Theorem 4.5),
+//! streams with a dense ε-neighbourhood around the k-th value (Theorem 5.8) and
+//! adversarial leadership churn (Theorem 5.1) — but a deployed monitor never
+//! gets to pick its regime: the input drifts between them. This workload
+//! switches between the three regimes every `segment_len` steps, so a single
+//! run exercises every protocol's behaviour *across* regime boundaries (the
+//! transitions themselves are where filters must be torn down and rebuilt).
+//!
+//! Layout: nodes `0..k` are stable leaders clearly above the ε-neighbourhood of
+//! the pivot `z`; nodes `k..k+sigma` are the switching pack; the rest sit
+//! clearly below. Per regime:
+//!
+//! * **quiet** — everything parks in its home band; nodes jitter rarely and by
+//!   a tiny amount, so ratcheted filters converge to silence;
+//! * **dense** — the pack oscillates inside the ε/2-neighbourhood of `z`
+//!   (σ(t) ≈ `sigma`, the `DenseProtocol` regime);
+//! * **adversarial** — one pack node per step spikes above the leaders and
+//!   collapses back, forcing a leadership change per step like the explicit
+//!   lower-bound instance (but obliviously, so traces can be pre-materialised).
+
+use crate::Workload;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use topk_model::prelude::*;
+
+/// One of the three input regimes a [`RegimeSwitchWorkload`] cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Values park in their home bands; communication should be rare.
+    Quiet,
+    /// `sigma` nodes oscillate inside the ε-neighbourhood of the pivot.
+    Dense,
+    /// One pack node per step spikes above the leaders and collapses back.
+    Adversarial,
+}
+
+impl Regime {
+    /// All regimes in cycle order.
+    pub const CYCLE: [Regime; 3] = [Regime::Quiet, Regime::Dense, Regime::Adversarial];
+
+    /// Stable lowercase name (used as a key in campaign reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Regime::Quiet => "quiet",
+            Regime::Dense => "dense",
+            Regime::Adversarial => "adversarial",
+        }
+    }
+}
+
+impl fmt::Display for Regime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload cycling quiet → dense → adversarial segments of equal length.
+#[derive(Debug, Clone)]
+pub struct RegimeSwitchWorkload {
+    n: usize,
+    k: usize,
+    sigma: usize,
+    eps: Epsilon,
+    segment_len: u64,
+    step: u64,
+    /// Persistent values; regimes mutate only the bands they own so segment
+    /// transitions are visible as (small) bursts of filter violations.
+    current: Vec<Value>,
+    /// Pack member spiked in the previous adversarial step (to collapse back).
+    spiked: Option<usize>,
+    hi_base: Value,
+    inner_lo: Value,
+    inner_hi: Value,
+    low_hi: Value,
+    rng: ChaCha8Rng,
+}
+
+impl RegimeSwitchWorkload {
+    /// Creates the workload.
+    ///
+    /// * `k` — number of stable leader nodes (use the same `k` you monitor),
+    /// * `sigma` — size of the switching pack (`k + sigma ≤ n`),
+    /// * `z` — pivot value of the dense ε-neighbourhood,
+    /// * `eps` — the neighbourhood width,
+    /// * `segment_len` — steps per regime segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group sizes are inconsistent, `segment_len == 0` or `z`
+    /// is too small for the bands to be distinct (`z < 64`).
+    pub fn new(
+        n: usize,
+        k: usize,
+        sigma: usize,
+        z: Value,
+        eps: Epsilon,
+        segment_len: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(k >= 1, "need at least one leader");
+        assert!(sigma >= 1, "need at least one pack node");
+        assert!(k + sigma <= n, "k + sigma must not exceed n");
+        assert!(segment_len >= 1, "segments must be non-empty");
+        assert!(z >= 64, "pivot too small for distinct value bands");
+        let bands = crate::band::bands(z, eps);
+        let (inner_lo, inner_hi) = (bands.inner_lo, bands.inner_hi);
+        // Clearly above every value the pack can take, even after upward jitter.
+        let hi_base = bands.clearly_above;
+        // Clearly below the whole neighbourhood.
+        let low_hi = bands.clearly_below;
+        let mut w = RegimeSwitchWorkload {
+            n,
+            k,
+            sigma,
+            eps,
+            segment_len,
+            step: 0,
+            current: vec![0; n],
+            spiked: None,
+            hi_base,
+            inner_lo,
+            inner_hi,
+            low_hi,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        };
+        for i in 0..n {
+            w.current[i] = w.home_value(i);
+        }
+        w
+    }
+
+    /// The regime active at (0-based) step `step`.
+    pub fn regime_of_step(&self, step: u64) -> Regime {
+        Regime::CYCLE[((step / self.segment_len) % 3) as usize]
+    }
+
+    /// The regime the *next* call to `next_step` will draw from.
+    pub fn current_regime(&self) -> Regime {
+        self.regime_of_step(self.step)
+    }
+
+    /// Steps per regime segment.
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Size of the switching pack.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The neighbourhood width the dense segments oscillate within.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The parked (out-of-regime) value of node `i`.
+    fn home_value(&self, i: usize) -> Value {
+        if i < self.k {
+            // Leaders are spread out so their relative order is stable.
+            self.hi_base.saturating_add((self.k - i) as Value)
+        } else if i < self.k + self.sigma {
+            // The pack parks just below the neighbourhood (it "left").
+            self.low_hi
+        } else {
+            1 + (i as Value) % self.low_hi
+        }
+    }
+
+    /// Rare, tiny in-band jitter applied to every node in quiet segments.
+    fn quiet_jitter(&mut self, i: usize) {
+        if !self.rng.gen_bool(0.05) {
+            return;
+        }
+        let home = self.home_value(i);
+        let amp = (home / 128).max(1);
+        let offset = self.rng.gen_range(0..=2 * amp);
+        self.current[i] = home.saturating_add(offset).saturating_sub(amp).max(1);
+    }
+}
+
+impl Workload for RegimeSwitchWorkload {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_step(&mut self) -> Vec<Value> {
+        let regime = self.current_regime();
+        let t = self.step;
+        self.step += 1;
+        // A spike never outlives its step, whatever regime follows.
+        if let Some(i) = self.spiked.take() {
+            self.current[i] = self.home_value(i);
+        }
+        match regime {
+            Regime::Quiet => {
+                for i in 0..self.n {
+                    if self.current[i] != self.home_value(i) {
+                        // First quiet step after another regime: park the node.
+                        self.current[i] = self.home_value(i);
+                    } else {
+                        self.quiet_jitter(i);
+                    }
+                }
+            }
+            Regime::Dense => {
+                let (lo, hi) = (self.inner_lo, self.inner_hi);
+                for i in self.k..self.k + self.sigma {
+                    self.current[i] = self.rng.gen_range(lo..=hi);
+                }
+            }
+            Regime::Adversarial => {
+                for i in 0..self.n {
+                    if self.current[i] != self.home_value(i) {
+                        self.current[i] = self.home_value(i);
+                    }
+                }
+                let victim = self.k + (t % self.sigma as u64) as usize;
+                self.current[victim] = self.hi_base.saturating_mul(4);
+                self.spiked = Some(victim);
+            }
+        }
+        self.current.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> RegimeSwitchWorkload {
+        RegimeSwitchWorkload::new(16, 2, 6, 100_000, Epsilon::TENTH, 10, 7)
+    }
+
+    #[test]
+    fn regimes_cycle_with_segment_len() {
+        let w = workload();
+        assert_eq!(w.segment_len(), 10);
+        assert_eq!(w.regime_of_step(0), Regime::Quiet);
+        assert_eq!(w.regime_of_step(9), Regime::Quiet);
+        assert_eq!(w.regime_of_step(10), Regime::Dense);
+        assert_eq!(w.regime_of_step(20), Regime::Adversarial);
+        assert_eq!(w.regime_of_step(30), Regime::Quiet);
+        assert_eq!(format!("{}", Regime::Dense), "dense");
+    }
+
+    #[test]
+    fn dense_segments_have_a_dense_neighbourhood() {
+        let mut w = workload();
+        let eps = Epsilon::TENTH;
+        for t in 0..60u64 {
+            let row = w.next_step();
+            if w.regime_of_step(t) == Regime::Dense {
+                // k = 3 lands on the pack (2 leaders + pack), and the whole
+                // pack sits inside the ε-neighbourhood of the k-th value.
+                let view = TopKView::new(&row, 3, eps);
+                assert!(
+                    view.sigma() >= 6,
+                    "dense step {t} has sigma {} < pack size",
+                    view.sigma()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_segments_change_the_leader_every_step() {
+        let mut w = workload();
+        let mut rows = Vec::new();
+        for _ in 0..30 {
+            rows.push(w.next_step());
+        }
+        // Steps 20..30 are adversarial: the argmax rotates through the pack.
+        let argmax = |row: &[Value]| {
+            row.iter()
+                .enumerate()
+                .max_by_key(|&(i, v)| (*v, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let leaders: Vec<usize> = rows[20..30].iter().map(|r| argmax(r)).collect();
+        for pair in leaders.windows(2) {
+            assert_ne!(pair[0], pair[1], "spike must move every step: {leaders:?}");
+        }
+        // And the spiking node is a pack member, clearly above the leaders.
+        for (i, row) in rows[20..30].iter().enumerate() {
+            let m = argmax(row);
+            assert!((2..8).contains(&m), "step {i}: spike outside pack: {m}");
+            assert!(Epsilon::TENTH.clearly_larger(row[m], row[0]));
+        }
+    }
+
+    #[test]
+    fn quiet_segments_rarely_change() {
+        let mut w = workload();
+        let mut prev = w.next_step();
+        let mut changes = 0usize;
+        for _ in 1..10 {
+            let next = w.next_step();
+            changes += prev.iter().zip(&next).filter(|(a, b)| a != b).count();
+            prev = next;
+        }
+        // 16 nodes × 9 steps with 5 % jitter probability: far below half.
+        assert!(changes < 40, "quiet segment too noisy: {changes} changes");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = RegimeSwitchWorkload::new(12, 2, 5, 4096, Epsilon::HALF, 7, 3);
+        let mut b = RegimeSwitchWorkload::new(12, 2, 5, 4096, Epsilon::HALF, 7, 3);
+        assert_eq!(a.generate(50), b.generate(50));
+    }
+
+    #[test]
+    fn values_stay_positive() {
+        let mut w = RegimeSwitchWorkload::new(9, 1, 4, 64, Epsilon::HALF, 3, 1);
+        for _ in 0..40 {
+            assert!(w.next_step().iter().all(|&v| v >= 1));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inconsistent_sizes() {
+        let _ = RegimeSwitchWorkload::new(5, 3, 3, 1000, Epsilon::HALF, 5, 0);
+    }
+}

@@ -9,8 +9,9 @@
 //! trial" of the experiments into the same instance).
 
 use topk_gen::{
-    AdaptiveWorkload, GapWorkload, LowerBoundAdversary, NoiseOscillationWorkload,
-    RandomWalkWorkload, Trace, Workload, ZipfLoadWorkload,
+    AdaptiveWorkload, ChurnFlatlineWorkload, CorrelatedBurstWorkload, GapWorkload,
+    LowerBoundAdversary, NoiseOscillationWorkload, RandomWalkWorkload, RegimeSwitchWorkload, Trace,
+    Workload, ZipfLoadWorkload,
 };
 use topk_model::prelude::*;
 
@@ -70,6 +71,36 @@ fn random_walk_is_seed_deterministic() {
 fn gap_is_seed_deterministic() {
     assert_seed_determinism("gap", |seed| {
         stream(GapWorkload::new(N, 3, 1 << 20, 16, 40, 5, seed), STEPS)
+    });
+}
+
+#[test]
+fn regime_switch_is_seed_deterministic() {
+    assert_seed_determinism("regime-switch", |seed| {
+        stream(
+            RegimeSwitchWorkload::new(N, 2, 5, 100_000, Epsilon::TENTH, 8, seed),
+            STEPS,
+        )
+    });
+}
+
+#[test]
+fn correlated_burst_is_seed_deterministic() {
+    assert_seed_determinism("correlated-burst", |seed| {
+        stream(
+            CorrelatedBurstWorkload::new(N, 10_000, 6, 4, 0.3, seed),
+            STEPS,
+        )
+    });
+}
+
+#[test]
+fn churn_is_seed_deterministic() {
+    assert_seed_determinism("churn", |seed| {
+        stream(
+            ChurnFlatlineWorkload::new(N, 2, 50_000, Epsilon::TENTH, 0.2, seed),
+            STEPS,
+        )
     });
 }
 

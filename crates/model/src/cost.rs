@@ -184,6 +184,10 @@ impl fmt::Display for CommStats {
 pub struct CostMeter {
     stats: CommStats,
     label_stack: Vec<ProtocolLabel>,
+    /// Running message total, kept alongside the map so
+    /// [`CostMeter::total_messages`] is O(1) — it sits on per-step paths
+    /// (driver observers) that must not traverse the label map.
+    total: u64,
 }
 
 impl CostMeter {
@@ -212,6 +216,7 @@ impl CostMeter {
     pub fn record(&mut self, kind: MessageKind) {
         let label = self.current_label();
         *self.stats.by_label_kind.entry((label, kind)).or_insert(0) += 1;
+        self.total += 1;
     }
 
     /// Records `count` messages of the given kind under the current label.
@@ -221,6 +226,7 @@ impl CostMeter {
         }
         let label = self.current_label();
         *self.stats.by_label_kind.entry((label, kind)).or_insert(0) += count;
+        self.total += count;
     }
 
     /// Records one interactive protocol round.
@@ -238,14 +244,16 @@ impl CostMeter {
         self.stats.clone()
     }
 
-    /// Total messages so far.
+    /// Total messages so far (O(1): a running counter, not a map traversal).
     pub fn total_messages(&self) -> u64 {
-        self.stats.total_messages()
+        debug_assert_eq!(self.total, self.stats.total_messages());
+        self.total
     }
 
     /// Resets all counters (labels stay).
     pub fn reset(&mut self) {
         self.stats = CommStats::default();
+        self.total = 0;
     }
 }
 

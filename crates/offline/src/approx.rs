@@ -7,7 +7,7 @@
 //! error with `ε' = ε/2` gives the weaker adversary of Corollary 5.9.
 
 use crate::cost::OfflineCost;
-use crate::phase::{decompose, PhaseDecomposition};
+use crate::phase::{decompose, PhaseDecomposition, PhaseSolver};
 use topk_gen::Trace;
 use topk_model::prelude::*;
 use topk_model::ModelError;
@@ -60,6 +60,25 @@ impl ApproxOfflineOpt {
     /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
     pub fn cost(&self, trace: &Trace) -> Result<OfflineCost, ModelError> {
         Ok(OfflineCost::from_decomposition(&self.decompose(trace)?))
+    }
+
+    /// Like [`ApproxOfflineOpt::cost`], but reuses the buffers of an existing
+    /// [`PhaseSolver`] — the entry point for batch evaluations (the campaign
+    /// grid runs thousands of OPT computations per report).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
+    pub fn cost_with(
+        &self,
+        solver: &mut PhaseSolver,
+        trace: &Trace,
+    ) -> Result<OfflineCost, ModelError> {
+        Ok(OfflineCost::from_decomposition(&solver.decompose(
+            trace,
+            self.k,
+            Some(self.eps),
+        )?))
     }
 }
 

@@ -6,7 +6,7 @@
 //! decomposition with `ε = 0` (see [`crate::phase`]).
 
 use crate::cost::OfflineCost;
-use crate::phase::{decompose, PhaseDecomposition};
+use crate::phase::{decompose, PhaseDecomposition, PhaseSolver};
 use topk_gen::Trace;
 use topk_model::prelude::*;
 use topk_model::ModelError;
@@ -44,6 +44,23 @@ impl ExactOfflineOpt {
     /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
     pub fn cost(&self, trace: &Trace) -> Result<OfflineCost, ModelError> {
         Ok(OfflineCost::from_decomposition(&self.decompose(trace)?))
+    }
+
+    /// Like [`ExactOfflineOpt::cost`], but reuses the buffers of an existing
+    /// [`PhaseSolver`] — the entry point for batch evaluations (the campaign
+    /// grid runs thousands of OPT computations per report).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k ∉ 1..n`.
+    pub fn cost_with(
+        &self,
+        solver: &mut PhaseSolver,
+        trace: &Trace,
+    ) -> Result<OfflineCost, ModelError> {
+        Ok(OfflineCost::from_decomposition(
+            &solver.decompose(trace, self.k, None)?,
+        ))
     }
 
     /// Convenience: the exact top-k set (the unique valid exact output) at one

@@ -43,4 +43,4 @@ pub mod phase;
 pub use approx::ApproxOfflineOpt;
 pub use cost::OfflineCost;
 pub use exact::ExactOfflineOpt;
-pub use phase::{Phase, PhaseDecomposition};
+pub use phase::{Phase, PhaseDecomposition, PhaseSolver};

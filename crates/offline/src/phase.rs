@@ -17,6 +17,21 @@
 //! filter updates *any* filter-based offline algorithm needs, and `k + 1` messages
 //! per phase (k unicast upper filters plus one broadcast) suffice to realise the
 //! decomposition — these are the two bounds [`crate::OfflineCost`] reports.
+//!
+//! ## Solver cost
+//!
+//! [`PhaseSolver`] owns every buffer the greedy extension needs (interval
+//! min/max columns, the two node orderings, the membership scratch), so a
+//! full campaign grid — thousands of OPT evaluations, populations up to 10⁵ —
+//! allocates a handful of vectors once per population size instead of
+//! `O(k · steps)` fresh vectors per trace. The orderings are kept *sorted
+//! between extensions*: interval minima and maxima change monotonically, so the
+//! re-sort after an extension runs on an almost-sorted sequence where the
+//! stable (run-adaptive) sort is close to linear, and the witness search per
+//! candidate complement position inspects only `O(k)` order entries instead of
+//! sorting an `O(n)` suffix. The result is `O(n)`-ish per extension instead of
+//! the naive `O(k · n log n)` — the difference between minutes and seconds on
+//! the campaign's `n = 10⁵` cells.
 
 use serde::{Deserialize, Serialize};
 use topk_gen::Trace;
@@ -87,8 +102,230 @@ impl PhaseDecomposition {
     }
 }
 
+/// Reusable greedy-decomposition solver.
+///
+/// Create one and feed it any number of traces (of any population size — the
+/// buffers grow to the largest `n` seen and stay allocated). One solver serves
+/// one thread; the campaign runner keeps a single instance for its whole grid.
+#[derive(Debug, Default)]
+pub struct PhaseSolver {
+    /// Per-node interval minima over the current candidate phase.
+    mins: Vec<Value>,
+    /// Per-node interval maxima over the current candidate phase.
+    maxs: Vec<Value>,
+    /// Snapshot of `mins` before the speculative extension.
+    saved_mins: Vec<Value>,
+    /// Snapshot of `maxs` before the speculative extension.
+    saved_maxs: Vec<Value>,
+    /// Node indices ordered by (interval max desc, id asc).
+    by_max: Vec<usize>,
+    /// Node indices ordered by (interval min desc, id asc).
+    by_min: Vec<usize>,
+    /// `pos_in_by_max[i]` = position of node `i` in `by_max`.
+    pos_in_by_max: Vec<usize>,
+    /// Witness membership scratch.
+    member: Vec<bool>,
+}
+
+impl PhaseSolver {
+    /// Creates a solver with empty buffers.
+    pub fn new() -> PhaseSolver {
+        PhaseSolver::default()
+    }
+
+    /// Greedy phase decomposition of `trace` for parameter `k` and offline
+    /// error `eps` (`None` for the exact problem), reusing this solver's
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidK`] if `k` is not in `1..n`.
+    pub fn decompose(
+        &mut self,
+        trace: &Trace,
+        k: usize,
+        eps: Option<Epsilon>,
+    ) -> Result<PhaseDecomposition, ModelError> {
+        let n = trace.n();
+        if k == 0 || k >= n {
+            return Err(ModelError::InvalidK { k, n });
+        }
+        let mut phases = Vec::new();
+        let mut start = 0usize;
+        while start < trace.steps() {
+            let row = trace.row(TimeStep(start as u64));
+            self.reset_interval(row);
+            let mut witness = self
+                .feasible_witness(k, eps)
+                .expect("a single time step always admits its exact top-k as witness");
+            let mut end = start;
+            while end + 1 < trace.steps() {
+                let next = trace.row(TimeStep((end + 1) as u64));
+                self.saved_mins.clear();
+                self.saved_mins.extend_from_slice(&self.mins);
+                self.saved_maxs.clear();
+                self.saved_maxs.extend_from_slice(&self.maxs);
+                self.extend_interval(next);
+                match self.feasible_witness(k, eps) {
+                    Some(w) => {
+                        witness = w;
+                        end += 1;
+                    }
+                    None => {
+                        // Roll the interval columns back; the orderings are
+                        // rebuilt from scratch at the next phase start anyway.
+                        self.mins.copy_from_slice(&self.saved_mins);
+                        self.maxs.copy_from_slice(&self.saved_maxs);
+                        break;
+                    }
+                }
+            }
+            let lower_filter = witness
+                .iter()
+                .map(|id| self.mins[id.index()])
+                .min()
+                .unwrap_or(0);
+            let upper_filter = (0..n)
+                .filter(|&i| !self.member[i])
+                .map(|i| self.maxs[i])
+                .max()
+                .unwrap_or(Value::MAX);
+            phases.push(Phase {
+                start: TimeStep(start as u64),
+                end: TimeStep(end as u64),
+                output: witness,
+                lower_filter,
+                upper_filter,
+            });
+            start = end + 1;
+        }
+        Ok(PhaseDecomposition { phases, k, eps })
+    }
+
+    /// Starts a fresh candidate interval at one row and (re)builds both
+    /// orderings with a full sort.
+    fn reset_interval(&mut self, row: &[Value]) {
+        let n = row.len();
+        self.mins.clear();
+        self.mins.extend_from_slice(row);
+        self.maxs.clear();
+        self.maxs.extend_from_slice(row);
+        self.member.clear();
+        self.member.resize(n, false);
+        self.pos_in_by_max.clear();
+        self.pos_in_by_max.resize(n, 0);
+        self.by_max.clear();
+        self.by_max.extend(0..n);
+        self.by_min.clear();
+        self.by_min.extend(0..n);
+        self.resort();
+    }
+
+    /// Folds one more row into the interval columns and repairs the orderings.
+    fn extend_interval(&mut self, row: &[Value]) {
+        for (i, &v) in row.iter().enumerate() {
+            if v < self.mins[i] {
+                self.mins[i] = v;
+            }
+            if v > self.maxs[i] {
+                self.maxs[i] = v;
+            }
+        }
+        self.resort();
+    }
+
+    /// Re-establishes both orderings. The sequences are almost sorted after an
+    /// extension (only changed nodes moved), so the run-adaptive stable sort is
+    /// near-linear; the full (key, id) comparator keeps the result independent
+    /// of the previous order.
+    fn resort(&mut self) {
+        let maxs = &self.maxs;
+        self.by_max
+            .sort_by(|&a, &b| maxs[b].cmp(&maxs[a]).then(a.cmp(&b)));
+        let mins = &self.mins;
+        self.by_min
+            .sort_by(|&a, &b| mins[b].cmp(&mins[a]).then(a.cmp(&b)));
+        for (pos, &i) in self.by_max.iter().enumerate() {
+            self.pos_in_by_max[i] = pos;
+        }
+    }
+
+    /// Searches for a witness set `F*` with
+    /// `MIN_{F*} ≥ (1 − ε) · MAX_{complement}` for the current interval columns.
+    /// Returns the witness as an id-sorted node list (and leaves its membership
+    /// in `self.member`), or `None` if no k-subset satisfies the condition.
+    ///
+    /// Enumeration: walk the by-max order. If the complement's largest maximum
+    /// is attained by the node at position `p` (0-based) of this order, then
+    /// every node before `p` must be in `F*`, and the remaining `k − p` slots
+    /// are best filled with the largest interval minima among the rest — i.e.
+    /// the first `k − p` entries of the by-min order whose by-max position is
+    /// past `p`. Trying every `p ∈ 0..=k` covers all candidate complement
+    /// maxima; each try inspects at most `2k + 1` order entries.
+    fn feasible_witness(&mut self, k: usize, eps: Option<Epsilon>) -> Option<Vec<NodeId>> {
+        let n = self.mins.len();
+        debug_assert!(k < n);
+        let ge_threshold = |a: Value, b: Value| match eps {
+            Some(e) => e.ge_one_minus_eps_times(a, b),
+            None => a >= b,
+        };
+        // Minimum over the interval minima of by_max[..p], accumulated as `p`
+        // grows.
+        let mut forced_min = Value::MAX;
+        for p in 0..=k {
+            let threshold = self.maxs[self.by_max[p]];
+            let need = k - p;
+            // The `need` largest interval minima among nodes past position `p`
+            // of the by-max order. At most `p + 1 ≤ k + 1` entries are skipped,
+            // so the scan stops after at most `need + k + 1` entries.
+            let mut chosen_min = Value::MAX;
+            let mut found = 0usize;
+            if need > 0 {
+                for &i in &self.by_min {
+                    if self.pos_in_by_max[i] <= p {
+                        continue;
+                    }
+                    found += 1;
+                    if found == need {
+                        // by_min is descending, so the last taken is the min.
+                        chosen_min = self.mins[i];
+                        break;
+                    }
+                }
+                if found < need {
+                    forced_min = forced_min.min(self.mins[self.by_max[p]]);
+                    continue;
+                }
+            }
+            if ge_threshold(forced_min.min(chosen_min), threshold) {
+                self.member.iter_mut().for_each(|m| *m = false);
+                for &i in &self.by_max[..p] {
+                    self.member[i] = true;
+                }
+                let mut taken = 0usize;
+                for &i in &self.by_min {
+                    if taken == need {
+                        break;
+                    }
+                    if self.pos_in_by_max[i] <= p {
+                        continue;
+                    }
+                    self.member[i] = true;
+                    taken += 1;
+                }
+                let member = &self.member;
+                return Some((0..n).filter(|&i| member[i]).map(NodeId).collect());
+            }
+            forced_min = forced_min.min(self.mins[self.by_max[p]]);
+        }
+        None
+    }
+}
+
 /// Greedy phase decomposition of `trace` for parameter `k` and offline error
-/// `eps` (`None` for the exact problem).
+/// `eps` (`None` for the exact problem), using a throwaway [`PhaseSolver`].
+/// Callers evaluating many traces should hold a solver and call
+/// [`PhaseSolver::decompose`] to reuse its buffers.
 ///
 /// # Errors
 ///
@@ -98,125 +335,7 @@ pub fn decompose(
     k: usize,
     eps: Option<Epsilon>,
 ) -> Result<PhaseDecomposition, ModelError> {
-    let n = trace.n();
-    if k == 0 || k >= n {
-        return Err(ModelError::InvalidK { k, n });
-    }
-    let mut phases = Vec::new();
-    let mut start = 0usize;
-    while start < trace.steps() {
-        // Interval minima / maxima per node, over [start, current].
-        let row = trace.row(TimeStep(start as u64));
-        let mut mins: Vec<Value> = row.to_vec();
-        let mut maxs: Vec<Value> = row.to_vec();
-        let mut witness = feasible_witness(&mins, &maxs, k, eps)
-            .expect("a single time step always admits its exact top-k as witness");
-        let mut end = start;
-        while end + 1 < trace.steps() {
-            let next = trace.row(TimeStep((end + 1) as u64));
-            let saved_mins = mins.clone();
-            let saved_maxs = maxs.clone();
-            for i in 0..n {
-                mins[i] = mins[i].min(next[i]);
-                maxs[i] = maxs[i].max(next[i]);
-            }
-            match feasible_witness(&mins, &maxs, k, eps) {
-                Some(w) => {
-                    witness = w;
-                    end += 1;
-                }
-                None => {
-                    mins = saved_mins;
-                    maxs = saved_maxs;
-                    break;
-                }
-            }
-        }
-        let lower_filter = witness
-            .set
-            .iter()
-            .map(|id| mins[id.index()])
-            .min()
-            .unwrap_or(0);
-        let upper_filter = (0..n)
-            .filter(|i| !witness.member[*i])
-            .map(|i| maxs[i])
-            .max()
-            .unwrap_or(Value::MAX);
-        phases.push(Phase {
-            start: TimeStep(start as u64),
-            end: TimeStep(end as u64),
-            output: witness.set,
-            lower_filter,
-            upper_filter,
-        });
-        start = end + 1;
-    }
-    Ok(PhaseDecomposition { phases, k, eps })
-}
-
-struct Witness {
-    set: Vec<NodeId>,
-    member: Vec<bool>,
-}
-
-/// Searches for a witness set `F*` with
-/// `MIN_{F*} ≥ (1 − ε) · MAX_{complement}` given per-node interval minima and
-/// maxima. Returns `None` if no k-subset satisfies the condition.
-///
-/// Enumeration: sort nodes by interval maximum (descending). If the complement's
-/// largest maximum is attained by the node at position `p` (0-based) of this
-/// order, then every node before `p` must be in `F*`, and the remaining slots are
-/// best filled with the nodes of largest interval minimum among the rest. Trying
-/// every `p ∈ 0..=k` covers all candidate complement maxima.
-fn feasible_witness(
-    mins: &[Value],
-    maxs: &[Value],
-    k: usize,
-    eps: Option<Epsilon>,
-) -> Option<Witness> {
-    let n = mins.len();
-    debug_assert!(k < n);
-    let ge_threshold = |a: Value, b: Value| match eps {
-        Some(e) => e.ge_one_minus_eps_times(a, b),
-        None => a >= b,
-    };
-    // Node indices sorted by interval maximum, descending (ties: smaller id first
-    // to mirror the tie-breaking used everywhere else).
-    let mut by_max: Vec<usize> = (0..n).collect();
-    by_max.sort_by(|&a, &b| maxs[b].cmp(&maxs[a]).then(a.cmp(&b)));
-
-    for p in 0..=k {
-        // Nodes by_max[0..p] are forced into F*; by_max[p] is the first excluded
-        // node and determines the complement's maximum.
-        let threshold = maxs[by_max[p]];
-        let mut forced_min = Value::MAX;
-        for &i in &by_max[..p] {
-            forced_min = forced_min.min(mins[i]);
-        }
-        // Fill the remaining k - p slots with the largest interval minima among
-        // the nodes after position p.
-        let mut rest: Vec<usize> = by_max[p + 1..].to_vec();
-        rest.sort_by(|&a, &b| mins[b].cmp(&mins[a]).then(a.cmp(&b)));
-        if rest.len() < k - p {
-            continue;
-        }
-        let chosen = &rest[..k - p];
-        let chosen_min = chosen.iter().map(|&i| mins[i]).min().unwrap_or(Value::MAX);
-        let overall_min = forced_min.min(chosen_min);
-        if ge_threshold(overall_min, threshold) {
-            let mut member = vec![false; n];
-            for &i in &by_max[..p] {
-                member[i] = true;
-            }
-            for &i in chosen {
-                member[i] = true;
-            }
-            let set = (0..n).filter(|&i| member[i]).map(NodeId).collect();
-            return Some(Witness { set, member });
-        }
-    }
-    None
+    PhaseSolver::new().decompose(trace, k, eps)
 }
 
 #[cfg(test)]
@@ -226,6 +345,113 @@ mod tests {
     use rand::Rng;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    /// The pre-solver implementation, kept verbatim as the reference the
+    /// buffer-reusing [`PhaseSolver`] is checked against (identical phases,
+    /// witnesses and filter boundaries — not just identical counts).
+    fn decompose_reference(
+        trace: &Trace,
+        k: usize,
+        eps: Option<Epsilon>,
+    ) -> Result<PhaseDecomposition, ModelError> {
+        struct Witness {
+            set: Vec<NodeId>,
+            member: Vec<bool>,
+        }
+        fn feasible_witness(
+            mins: &[Value],
+            maxs: &[Value],
+            k: usize,
+            eps: Option<Epsilon>,
+        ) -> Option<Witness> {
+            let n = mins.len();
+            let ge_threshold = |a: Value, b: Value| match eps {
+                Some(e) => e.ge_one_minus_eps_times(a, b),
+                None => a >= b,
+            };
+            let mut by_max: Vec<usize> = (0..n).collect();
+            by_max.sort_by(|&a, &b| maxs[b].cmp(&maxs[a]).then(a.cmp(&b)));
+            for p in 0..=k {
+                let threshold = maxs[by_max[p]];
+                let mut forced_min = Value::MAX;
+                for &i in &by_max[..p] {
+                    forced_min = forced_min.min(mins[i]);
+                }
+                let mut rest: Vec<usize> = by_max[p + 1..].to_vec();
+                rest.sort_by(|&a, &b| mins[b].cmp(&mins[a]).then(a.cmp(&b)));
+                if rest.len() < k - p {
+                    continue;
+                }
+                let chosen = &rest[..k - p];
+                let chosen_min = chosen.iter().map(|&i| mins[i]).min().unwrap_or(Value::MAX);
+                if ge_threshold(forced_min.min(chosen_min), threshold) {
+                    let mut member = vec![false; n];
+                    for &i in &by_max[..p] {
+                        member[i] = true;
+                    }
+                    for &i in chosen {
+                        member[i] = true;
+                    }
+                    let set = (0..n).filter(|&i| member[i]).map(NodeId).collect();
+                    return Some(Witness { set, member });
+                }
+            }
+            None
+        }
+        let n = trace.n();
+        if k == 0 || k >= n {
+            return Err(ModelError::InvalidK { k, n });
+        }
+        let mut phases = Vec::new();
+        let mut start = 0usize;
+        while start < trace.steps() {
+            let row = trace.row(TimeStep(start as u64));
+            let mut mins: Vec<Value> = row.to_vec();
+            let mut maxs: Vec<Value> = row.to_vec();
+            let mut witness = feasible_witness(&mins, &maxs, k, eps).unwrap();
+            let mut end = start;
+            while end + 1 < trace.steps() {
+                let next = trace.row(TimeStep((end + 1) as u64));
+                let saved_mins = mins.clone();
+                let saved_maxs = maxs.clone();
+                for i in 0..n {
+                    mins[i] = mins[i].min(next[i]);
+                    maxs[i] = maxs[i].max(next[i]);
+                }
+                match feasible_witness(&mins, &maxs, k, eps) {
+                    Some(w) => {
+                        witness = w;
+                        end += 1;
+                    }
+                    None => {
+                        mins = saved_mins;
+                        maxs = saved_maxs;
+                        break;
+                    }
+                }
+            }
+            let lower_filter = witness
+                .set
+                .iter()
+                .map(|id| mins[id.index()])
+                .min()
+                .unwrap_or(0);
+            let upper_filter = (0..n)
+                .filter(|i| !witness.member[*i])
+                .map(|i| maxs[i])
+                .max()
+                .unwrap_or(Value::MAX);
+            phases.push(Phase {
+                start: TimeStep(start as u64),
+                end: TimeStep(end as u64),
+                output: witness.set,
+                lower_filter,
+                upper_filter,
+            });
+            start = end + 1;
+        }
+        Ok(PhaseDecomposition { phases, k, eps })
+    }
 
     fn ids(v: &[usize]) -> Vec<NodeId> {
         v.iter().map(|&i| NodeId(i)).collect()
@@ -333,6 +559,19 @@ mod tests {
         assert!(d.len() <= trace.steps());
     }
 
+    #[test]
+    fn solver_reuse_across_traces_and_populations() {
+        // One solver fed traces of different n and k must match throwaway runs.
+        let mut solver = PhaseSolver::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for (n, k, steps) in [(6, 2, 30), (3, 1, 12), (10, 4, 25), (6, 5, 18)] {
+            let trace = Trace::from_fn(steps, n, |_, _| rng.gen_range(1..300));
+            let reused = solver.decompose(&trace, k, Some(Epsilon::TENTH)).unwrap();
+            let fresh = decompose(&trace, k, Some(Epsilon::TENTH)).unwrap();
+            assert_eq!(reused, fresh, "n={n} k={k}: buffer reuse changed output");
+        }
+    }
+
     proptest! {
         /// The exact decomposition never has fewer phases than the approximate one
         /// for the same trace (an exact adversary is weaker, cf. Sect. 5).
@@ -369,6 +608,28 @@ mod tests {
                 let view = TopKView::new(trace.row(phase.start), 3, eps);
                 prop_assert!(view.validate_output(&phase.output).is_valid());
             }
+        }
+
+        /// The buffer-reusing solver reproduces the reference implementation
+        /// bit-for-bit: same phase boundaries, same witness sets, same filter
+        /// boundaries — for exact and approximate adversaries alike. Values are
+        /// drawn from a narrow range so ties (the delicate part of the ordering
+        /// maintenance) are frequent.
+        #[test]
+        fn solver_matches_reference(
+            seed in 0u64..300, n in 2usize..9, steps in 1usize..24, tie_range in 2u64..40
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let trace = Trace::from_fn(steps, n, |_, _| rng.gen_range(1..tie_range));
+            let k = 1 + (seed as usize) % (n - 1);
+            let eps = match seed % 3 {
+                0 => None,
+                1 => Some(Epsilon::HALF),
+                _ => Some(Epsilon::TENTH),
+            };
+            let fast = PhaseSolver::new().decompose(&trace, k, eps).unwrap();
+            let reference = decompose_reference(&trace, k, eps).unwrap();
+            prop_assert_eq!(fast, reference);
         }
     }
 }

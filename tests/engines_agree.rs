@@ -3,9 +3,13 @@
 //! must produce identical message counts and identical outputs for the same
 //! seed — the protocols cannot tell which transport they run on.
 
+use proptest::prelude::*;
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
-use topk_gen::{NoiseOscillationWorkload, RandomWalkWorkload, Workload};
+use topk_gen::{
+    ChurnFlatlineWorkload, CorrelatedBurstWorkload, NoiseOscillationWorkload, RandomWalkWorkload,
+    RegimeSwitchWorkload, Workload,
+};
 use topk_model::Epsilon;
 use topk_net::{
     DeterministicEngine, Dispatch, IndexedEngine, Network, RemoteEngine, ShardedEngine,
@@ -132,4 +136,70 @@ fn engines_agree_for_combined_monitor_on_dense_input() {
         .map(|(_, r)| r.to_vec())
         .collect();
     compare(|| Box::new(CombinedMonitor::new(4, eps)), &rows, eps);
+}
+
+#[test]
+fn engines_agree_on_regime_switch_traces() {
+    // One full quiet → dense → adversarial cycle: the engines must stay
+    // bit-identical across regime boundaries (where filter churn peaks).
+    let eps = Epsilon::TENTH;
+    let rows: Vec<Vec<u64>> = RegimeSwitchWorkload::new(14, 2, 6, 1 << 17, eps, 12, 23)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    compare(|| Box::new(CombinedMonitor::new(3, eps)), &rows, eps);
+}
+
+#[test]
+fn engines_agree_on_correlated_burst_traces() {
+    let eps = Epsilon::TENTH;
+    let rows: Vec<Vec<u64>> = CorrelatedBurstWorkload::new(14, 20_000, 8, 4, 0.15, 29)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    compare(|| Box::new(TopKMonitor::new(3, eps)), &rows, eps);
+}
+
+#[test]
+fn engines_agree_on_churn_traces() {
+    let eps = Epsilon::TENTH;
+    let rows: Vec<Vec<u64>> = ChurnFlatlineWorkload::new(14, 2, 1 << 16, eps, 0.15, 31)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    compare(|| Box::new(CombinedMonitor::new(4, eps)), &rows, eps);
+}
+
+proptest! {
+    // The five-way comparison spawns a worker pool, node threads and TCP
+    // shards per case, so the case count stays deliberately small — the
+    // parameter space (pack size, pivot, segment length, seed) is where the
+    // value is, not in volume.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any regime-switching trace is a valid input to all five engines: the
+    /// run reports, outputs and final filters agree bit-for-bit whatever the
+    /// segment geometry — including segments shorter than a protocol phase
+    /// and packs as small as a single node.
+    #[test]
+    fn engines_agree_on_any_regime_switch_trace(
+        seed in 0u64..1000,
+        n in 8usize..16,
+        sigma in 1usize..6,
+        segment_len in 1u64..9,
+    ) {
+        let eps = Epsilon::TENTH;
+        let steps = (3 * segment_len + 4) as usize; // cross every boundary
+        let rows: Vec<Vec<u64>> =
+            RegimeSwitchWorkload::new(n, 2, sigma, 1 << 16, eps, segment_len, seed)
+                .generate(steps)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect();
+        prop_assert!(rows.iter().all(|r| r.len() == n && r.iter().all(|&v| v >= 1)));
+        compare(|| Box::new(CombinedMonitor::new(2, eps)), &rows, eps);
+    }
 }
