@@ -11,6 +11,7 @@
 //! cargo run -p topk-bench --bin experiments --release -- --check-floors FILE.json   # validate only
 //! cargo run -p topk-bench --bin experiments --release -- --campaign                 # scenario grid
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick         # CI smoke
+//! cargo run -p topk-bench --bin experiments --release -- --campaign --quick --faults-only
 //! cargo run -p topk-bench --bin experiments --release -- --check-competitive-floors FILE.json
 //! ```
 //!
@@ -37,9 +38,13 @@
 //! additionally holds every freshly measured cell to the ceilings of the
 //! committed report — the CI ratchet (the full grid contains the quick grid
 //! verbatim, and the cells are bit-deterministic, so a regression past the
-//! committed headroom fails the run). `--check-competitive-floors FILE`
-//! re-validates a committed campaign report without re-measuring. All
-//! numeric bars of both check modes live in `topk_bench::floors::FloorTable`.
+//! committed headroom fails the run). `--faults-only` re-measures just the
+//! fault axis (`topk_bench::campaign::run_faults_report`) — the cheap smoke
+//! CI runs on every push, written to `BENCH_faults_quick.json` by default and
+//! ratcheted against the committed full report's fault cells via
+//! `--baseline`. `--check-competitive-floors FILE` re-validates a committed
+//! campaign report without re-measuring. All numeric bars of both check
+//! modes live in `topk_bench::floors::FloorTable`.
 
 use std::path::PathBuf;
 use topk_bench::experiments::{self, Scale};
@@ -78,6 +83,47 @@ fn report_competitive_floors(report: &campaign::CompetitiveReport) -> ! {
     }
     for f in &failures {
         eprintln!("COMPETITIVE FLOOR REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
+
+fn run_faults_bench(quick: bool, out: PathBuf, baseline: Option<PathBuf>) -> ! {
+    let report = campaign::run_faults_report(quick, |line| eprintln!("{line}"));
+    std::fs::write(&out, campaign::to_json(&report)).expect("write fault campaign json");
+    eprintln!("wrote {}", out.display());
+    if let Some(path) = baseline {
+        // The fault ratchet: hold the freshly measured fault cells to the
+        // ratio and degradation ceilings committed in the full report.
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let committed: campaign::CompetitiveReport = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {}: {e}", path.display()));
+        let failures = campaign::check_against_baseline(&report, &committed);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAULT FLOOR REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "baseline ok: all {} fault cells within the ceilings committed in {}",
+            report.fault_cells.len(),
+            path.display()
+        );
+    }
+    let floors = FloorTable::STANDARD.competitive;
+    let failures = campaign::check_fault_cells(&report.fault_cells, &floors, &report.scale);
+    if failures.is_empty() {
+        println!(
+            "fault floors ok: {} fault cells across >= {} families, every ratio/degradation within its ceiling, damage within {}‰ of steps",
+            report.fault_cells.len(),
+            floors.min_fault_families,
+            floors.fault_invalid_fraction_permille,
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("FAULT FLOOR REGRESSION: {f}");
     }
     std::process::exit(1);
 }
@@ -198,6 +244,7 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut throughput_mode = false;
     let mut campaign_mode = false;
+    let mut faults_only = false;
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut sharded_workers = 4usize;
@@ -212,6 +259,7 @@ fn main() {
             "--small" => scale = Scale::Small,
             "--throughput" => throughput_mode = true,
             "--campaign" => campaign_mode = true,
+            "--faults-only" => faults_only = true,
             "--quick" => quick = true,
             "--sharded" => {
                 let parsed = iter.next().and_then(|w| w.parse::<usize>().ok());
@@ -267,7 +315,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --campaign [--quick] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --campaign [--quick] [--faults-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
                 );
                 return;
             }
@@ -286,6 +334,7 @@ fn main() {
             || remote_conns.is_some()
             || check_competitive_path.is_some()
             || baseline_path.is_some()
+            || faults_only
         {
             eprintln!("--check-floors does not combine with other modes or flags");
             std::process::exit(2);
@@ -303,6 +352,7 @@ fn main() {
             || sharded_set
             || remote_conns.is_some()
             || baseline_path.is_some()
+            || faults_only
         {
             eprintln!("--check-competitive-floors does not combine with other modes or flags");
             std::process::exit(2);
@@ -322,16 +372,26 @@ fn main() {
         }
         // Quick runs default to their own file: a bare `--campaign --quick`
         // must never clobber the committed full-scale report.
-        let default_out = if quick {
+        let default_out = if faults_only {
+            if quick {
+                "BENCH_faults_quick.json"
+            } else {
+                "BENCH_faults.json"
+            }
+        } else if quick {
             "BENCH_competitive_quick.json"
         } else {
             "BENCH_competitive.json"
         };
-        run_campaign_bench(
-            quick,
-            out.unwrap_or_else(|| PathBuf::from(default_out)),
-            baseline_path,
-        );
+        let out = out.unwrap_or_else(|| PathBuf::from(default_out));
+        if faults_only {
+            run_faults_bench(quick, out, baseline_path);
+        }
+        run_campaign_bench(quick, out, baseline_path);
+    }
+    if faults_only {
+        eprintln!("--faults-only only applies to --campaign");
+        std::process::exit(2);
     }
     if baseline_path.is_some() {
         eprintln!("--baseline only applies to --campaign");

@@ -71,6 +71,22 @@ pub struct CompetitiveFloors {
     /// the 8 %-churn cell slightly exceeds 2× — polling cost; the paper
     /// promises them nothing there.)
     pub max_poll_factor: f64,
+    /// Minimum number of distinct fault families the report's fault axis must
+    /// cover (the degradation study needs latency, drop and crash at least).
+    pub min_fault_families: usize,
+    /// Maximum tolerated invalid output steps in a *fault* cell, in permille
+    /// of the cell's steps. Unlike the fault-free bar (`max_invalid_steps`,
+    /// which stays 0), faults legitimately break the ε-top-k guarantee — a
+    /// crashed node cannot report, a dropped report is information the server
+    /// never had. The bar documents how much breakage the injected fault
+    /// magnitudes are *allowed* to cause; more indicates the recovery
+    /// machinery regressed.
+    pub fault_invalid_fraction_permille: u64,
+    /// `max_poll_factor` analogue for fault cells: recovery traffic (rejoin
+    /// replays) and fault-driven violation churn may cost more than the
+    /// fault-free protocols, but staying within a constant factor of naive
+    /// polling is still the point of the filter approach.
+    pub fault_poll_factor: f64,
 }
 
 impl CompetitiveFloors {
@@ -108,6 +124,9 @@ impl FloorTable {
             ceiling_headroom_permille: 300,
             ceiling_slack_permille: 500,
             max_poll_factor: 3.0,
+            min_fault_families: 3,
+            fault_invalid_fraction_permille: 250,
+            fault_poll_factor: 4.0,
         },
     };
 }
@@ -140,5 +159,10 @@ mod tests {
         assert!(t.competitive.min_protocols >= 5);
         assert!(t.competitive.min_generators >= 7);
         assert_eq!(t.competitive.max_invalid_steps, 0);
+        // Faults relax the *fault-axis* bars only; the fault-free bars above
+        // must never loosen to accommodate them.
+        assert!(t.competitive.min_fault_families >= 3);
+        assert!(t.competitive.fault_invalid_fraction_permille < 1000);
+        assert!(t.competitive.fault_poll_factor >= t.competitive.max_poll_factor);
     }
 }

@@ -74,6 +74,9 @@ pub enum ProtocolLabel {
     Sub,
     /// The ε/2-gap algorithm of Corollary 5.9.
     HalfEps,
+    /// Fault-recovery traffic: rejoin state replay and transport-level poll
+    /// retries (see `docs/FAULTS.md`). Never appears in a fault-free run.
+    Recovery,
     /// Offline baseline (OPT) filter updates.
     Offline,
     /// Anything else (drivers, glue, tests).
@@ -94,6 +97,7 @@ impl fmt::Display for ProtocolLabel {
             ProtocolLabel::Dense => "dense",
             ProtocolLabel::Sub => "sub",
             ProtocolLabel::HalfEps => "half-eps",
+            ProtocolLabel::Recovery => "recovery",
             ProtocolLabel::Offline => "offline",
             ProtocolLabel::Other => "other",
         };
@@ -229,6 +233,42 @@ impl CostMeter {
         self.total += count;
     }
 
+    /// Removes `count` messages of `kind` previously recorded under the
+    /// current label.
+    ///
+    /// This exists for exactly one caller: the fault-injection transport.
+    /// A crashed node sends nothing, but the wrapped engine has already
+    /// charged the node's existence replies by the time the wrapper can strip
+    /// them — so the wrapper retracts the charge for messages that, under the
+    /// fault plan, were never sent at all. (Messages that *were* sent and
+    /// then lost in transit stay charged; see `docs/FAULTS.md`.) Protocol
+    /// code must never call this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` messages of `kind` were recorded under
+    /// the current label — retracting what was never charged is a bug.
+    pub fn retract(&mut self, kind: MessageKind, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let label = self.current_label();
+        let entry = self
+            .stats
+            .by_label_kind
+            .get_mut(&(label, kind))
+            .unwrap_or_else(|| panic!("retract: nothing recorded under {label}/{kind}"));
+        assert!(
+            *entry >= count,
+            "retract: only {entry} messages recorded under {label}/{kind}, cannot remove {count}"
+        );
+        *entry -= count;
+        if *entry == 0 {
+            self.stats.by_label_kind.remove(&(label, kind));
+        }
+        self.total -= count;
+    }
+
     /// Records one interactive protocol round.
     pub fn record_round(&mut self) {
         self.stats.rounds += 1;
@@ -320,6 +360,28 @@ mod tests {
         assert_eq!(m.total_messages(), 5);
         m.reset();
         assert_eq!(m.total_messages(), 0);
+    }
+
+    #[test]
+    fn retract_removes_charges_under_the_current_label() {
+        let mut m = CostMeter::new();
+        m.push_label(ProtocolLabel::Existence);
+        m.record_many(MessageKind::Upstream, 5);
+        m.retract(MessageKind::Upstream, 2);
+        assert_eq!(m.total_messages(), 3);
+        m.retract(MessageKind::Upstream, 3);
+        assert_eq!(m.total_messages(), 0);
+        // Fully retracted entries vanish, so the snapshot equals a fresh one.
+        assert_eq!(m.snapshot(), CommStats::default());
+        m.retract(MessageKind::Upstream, 0); // no-op, never panics
+    }
+
+    #[test]
+    #[should_panic(expected = "retract")]
+    fn retract_of_uncharged_messages_panics() {
+        let mut m = CostMeter::new();
+        m.record(MessageKind::Broadcast);
+        m.retract(MessageKind::Upstream, 1);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Fault plans: the declarative description of an unreliable execution.
+//!
+//! The paper proves its competitive bounds under reliable synchronous
+//! channels and a fixed node population. [`FaultSpec`] describes how to break
+//! those assumptions *deterministically*: every probabilistic decision (drop
+//! a message? delay it by how many rounds? crash this node?) is driven by a
+//! dedicated ChaCha8 stream seeded from [`FaultSpec::seed`], entirely
+//! separate from the per-node protocol RNG streams. Two runs with the same
+//! spec, the same engine seed and the same input therefore produce identical
+//! replies, identical `CommStats` and identical [`FaultStats`] — faults are
+//! reproducible experiments, not flaky noise (`docs/FAULTS.md` spells out the
+//! full contract).
+//!
+//! The spec itself is pure data (this crate stays runtime-free); the
+//! machinery that executes a plan is `topk_net::FaultyTransport` for the
+//! in-process engines and `RemoteEngine`'s poll/retry path for loopback TCP.
+//!
+//! ## Fault model in one paragraph
+//!
+//! The broadcast channel is reliable — it models a radio the server controls,
+//! and a rejoining node replays missed broadcasts before resuming, so
+//! broadcast state (filter parameters, group-wide assignments) is never
+//! stale. Unreliability lives on the per-node links and in the node processes
+//! themselves: server → node unicasts can be lost, node → server existence
+//! replies can be lost, delayed by whole protocol rounds, or reordered within
+//! a round, and a node can crash (observing nothing, sending nothing,
+//! receiving no unicasts) and later rejoin, at which point the server replays
+//! its current group and filter before the node's next observation is
+//! admitted. Lost messages still cost one unit — "sent but lost" is exactly
+//! the degradation the fault campaign measures.
+
+use crate::cost::MessageKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Latency injected into upstream existence replies, measured in protocol
+/// rounds (the only time unit finer than an observation step the model has).
+///
+/// A reply delayed by `d` rounds surfaces in round `r + d` of the *same*
+/// existence run; replies still queued when the run ends are discarded as
+/// stale (and counted in [`FaultStats::stale_replies`]). Delays never leak
+/// across runs, so a delayed reply always answers the predicate the server is
+/// currently asking about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencySpec {
+    /// No injected latency: replies surface in the round they were sent.
+    Immediate,
+    /// Every affected reply is delayed by exactly this many rounds.
+    Fixed(
+        /// The delay in rounds (0 behaves like `Immediate`).
+        u32,
+    ),
+    /// Each reply is delayed by a uniform draw from `lo..=hi` rounds.
+    Uniform {
+        /// Smallest possible delay in rounds.
+        lo: u32,
+        /// Largest possible delay in rounds (inclusive).
+        hi: u32,
+    },
+}
+
+impl LatencySpec {
+    /// Whether this spec can never delay anything.
+    pub fn is_immediate(&self) -> bool {
+        match self {
+            LatencySpec::Immediate => true,
+            LatencySpec::Fixed(d) => *d == 0,
+            LatencySpec::Uniform { lo, hi } => *lo == 0 && *hi == 0,
+        }
+    }
+}
+
+/// Crash/rejoin plan: nodes fail independently and come back after a fixed
+/// outage.
+///
+/// At the start of every observation step, each currently-up node crashes
+/// with probability `crash_permille / 1000` (subject to the `max_down`
+/// concurrency cap, applied in ascending node-id order). A crashed node stays
+/// down for `down_steps` observation steps: it observes nothing (its last
+/// delivered value freezes), sends nothing, and receives no unicasts — which
+/// is precisely how its filter can go stale. On rejoin the transport replays
+/// the server's current group and filter to the node (charged as
+/// `ProtocolLabel::Recovery` downstream unicasts) *before* the step's
+/// observation is delivered, so a rejoined node can never report a violation
+/// against a stale filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Per-node, per-step crash probability in permille (0..=1000).
+    pub crash_permille: u32,
+    /// How many observation steps a crashed node stays down (min 1).
+    pub down_steps: u64,
+    /// Upper bound on simultaneously-down nodes; crash coins that would
+    /// exceed it are ignored (the coin is still flipped, keeping the fault
+    /// stream deterministic).
+    pub max_down: usize,
+}
+
+/// A complete, deterministic fault plan.
+///
+/// [`FaultSpec::none`] is the identity plan: the transport wrapper forwards
+/// every operation verbatim and consumes no randomness whatsoever, so a
+/// zero-fault wrapped engine stays bit-identical to the unwrapped engine —
+/// the differential battery in `tests/indexed_differential.rs` holds the
+/// fault layer to exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the fault-plan RNG stream (independent of all node streams).
+    pub seed: u64,
+    /// Probability, in permille, that an upstream existence reply is lost in
+    /// transit. The sender already paid for it — lost messages are charged.
+    pub drop_upstream_permille: u32,
+    /// Probability, in permille, that a server → node unicast (filter/group
+    /// assignment, probe request) is lost in transit. The server does not
+    /// retry fire-and-forget unicasts; probes retry and then fall back to the
+    /// last known value. Lost unicasts are charged.
+    pub drop_downstream_permille: u32,
+    /// Probability, in permille, that the replies of one existence round are
+    /// shuffled out of node-id order before delivery.
+    pub reorder_permille: u32,
+    /// Latency distribution applied to upstream existence replies.
+    pub latency: LatencySpec,
+    /// Node crash/rejoin plan, if any.
+    pub crash: Option<CrashSpec>,
+}
+
+impl FaultSpec {
+    /// The identity plan: no faults, no randomness consumed, bit-identical
+    /// pass-through.
+    pub const fn none() -> FaultSpec {
+        FaultSpec {
+            seed: 0,
+            drop_upstream_permille: 0,
+            drop_downstream_permille: 0,
+            reorder_permille: 0,
+            latency: LatencySpec::Immediate,
+            crash: None,
+        }
+    }
+
+    /// A pure latency plan: every existence reply is delayed by a uniform
+    /// draw from `lo..=hi` rounds.
+    pub const fn latency_rounds(seed: u64, lo: u32, hi: u32) -> FaultSpec {
+        FaultSpec {
+            seed,
+            latency: LatencySpec::Uniform { lo, hi },
+            ..FaultSpec::none()
+        }
+    }
+
+    /// A pure upstream-loss plan: each existence reply or probe answer is
+    /// dropped with probability `permille / 1000`.
+    pub const fn drop_upstream(seed: u64, permille: u32) -> FaultSpec {
+        FaultSpec {
+            seed,
+            drop_upstream_permille: permille,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// A pure churn plan: nodes crash and rejoin per `CrashSpec`.
+    pub const fn crash_rejoin(
+        seed: u64,
+        crash_permille: u32,
+        down_steps: u64,
+        max_down: usize,
+    ) -> FaultSpec {
+        FaultSpec {
+            seed,
+            crash: Some(CrashSpec {
+                crash_permille,
+                down_steps,
+                max_down,
+            }),
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Whether this is the identity plan (no fault machinery engages).
+    pub fn is_none(&self) -> bool {
+        self.drop_upstream_permille == 0
+            && self.drop_downstream_permille == 0
+            && self.reorder_permille == 0
+            && self.latency.is_immediate()
+            && self.crash.is_none()
+    }
+
+    /// The fault family this plan belongs to, used as the campaign axis key:
+    /// `"latency"`, `"drop"`, `"crash"`, `"none"`, or `"mixed"` when several
+    /// mechanisms are active at once.
+    pub fn family(&self) -> &'static str {
+        let latency = !self.latency.is_immediate();
+        let drop = self.drop_upstream_permille > 0
+            || self.drop_downstream_permille > 0
+            || self.reorder_permille > 0;
+        let crash = self.crash.is_some();
+        match (latency, drop, crash) {
+            (false, false, false) => "none",
+            (true, false, false) => "latency",
+            (false, true, false) => "drop",
+            (false, false, true) => "crash",
+            _ => "mixed",
+        }
+    }
+
+    /// Panics if any probability field is outside 0..=1000 or the crash plan
+    /// is degenerate — a fault plan must be executable as written.
+    pub fn validate(&self) {
+        assert!(
+            self.drop_upstream_permille <= 1000
+                && self.drop_downstream_permille <= 1000
+                && self.reorder_permille <= 1000,
+            "fault probabilities are permille values (0..=1000): {self:?}"
+        );
+        if let LatencySpec::Uniform { lo, hi } = self.latency {
+            assert!(lo <= hi, "empty latency range {lo}..={hi}");
+        }
+        if let Some(c) = self.crash {
+            assert!(c.crash_permille <= 1000, "crash_permille > 1000: {c:?}");
+            assert!(c.down_steps >= 1, "a crash must last at least one step");
+            assert!(c.max_down >= 1, "max_down of 0 disables crashes; use None");
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "none");
+        }
+        write!(f, "{}[", self.family())?;
+        let mut sep = "";
+        if self.drop_upstream_permille > 0 {
+            write!(f, "{sep}up-drop {}‰", self.drop_upstream_permille)?;
+            sep = " ";
+        }
+        if self.drop_downstream_permille > 0 {
+            write!(f, "{sep}down-drop {}‰", self.drop_downstream_permille)?;
+            sep = " ";
+        }
+        if self.reorder_permille > 0 {
+            write!(f, "{sep}reorder {}‰", self.reorder_permille)?;
+            sep = " ";
+        }
+        match self.latency {
+            LatencySpec::Immediate => {}
+            LatencySpec::Fixed(d) => {
+                write!(f, "{sep}delay {d}r")?;
+                sep = " ";
+            }
+            LatencySpec::Uniform { lo, hi } => {
+                write!(f, "{sep}delay {lo}-{hi}r")?;
+                sep = " ";
+            }
+        }
+        if let Some(c) = self.crash {
+            write!(
+                f,
+                "{sep}crash {}‰×{}s≤{}",
+                c.crash_permille, c.down_steps, c.max_down
+            )?;
+        }
+        write!(f, " seed {}]", self.seed)
+    }
+}
+
+/// Counters of what a fault plan actually did during a run.
+///
+/// Exposed by `topk_net::FaultyTransport::fault_stats` so tests and the
+/// degradation campaign can assert that faults genuinely fired (a plan whose
+/// counters are all zero degraded nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Upstream existence replies lost in transit (charged, not delivered).
+    pub dropped_upstream: u64,
+    /// Server → node unicasts lost in transit (charged, not delivered),
+    /// including every unicast addressed to a crashed node.
+    pub dropped_downstream: u64,
+    /// Replies delayed into a later round of the same run.
+    pub delayed_replies: u64,
+    /// Delayed replies discarded because their existence run ended first.
+    pub stale_replies: u64,
+    /// Existence rounds whose replies were delivered out of order.
+    pub reordered_rounds: u64,
+    /// Node crashes that took effect.
+    pub crashes: u64,
+    /// Nodes that completed the rejoin handshake.
+    pub rejoins: u64,
+    /// Downstream unicasts spent replaying group/filter state on rejoin
+    /// (attributed to `ProtocolLabel::Recovery` on the meter).
+    pub recovery_messages: u64,
+    /// Probes that exhausted their retries and fell back to the server's
+    /// last known value for the node.
+    pub probe_fallbacks: u64,
+}
+
+impl FaultStats {
+    /// Total messages the plan destroyed in transit (both directions).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_upstream + self.dropped_downstream
+    }
+}
+
+/// The message kinds a fault plan may drop — documented here so the
+/// accounting contract ("lost messages are still charged") has a single
+/// normative list: [`MessageKind::Upstream`] replies and
+/// [`MessageKind::DownstreamUnicast`]s. Broadcasts are never dropped.
+pub const DROPPABLE_KINDS: [MessageKind; 2] =
+    [MessageKind::Upstream, MessageKind::DownstreamUnicast];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none_and_everything_else_is_not() {
+        assert!(FaultSpec::none().is_none());
+        assert_eq!(FaultSpec::none().family(), "none");
+        assert!(!FaultSpec::latency_rounds(1, 0, 2).is_none());
+        assert!(!FaultSpec::drop_upstream(1, 5).is_none());
+        assert!(!FaultSpec::crash_rejoin(1, 5, 2, 4).is_none());
+        // A Fixed(0) delay is the identity.
+        let mut spec = FaultSpec::none();
+        spec.latency = LatencySpec::Fixed(0);
+        assert!(spec.is_none());
+    }
+
+    #[test]
+    fn families_are_classified() {
+        assert_eq!(FaultSpec::latency_rounds(1, 1, 2).family(), "latency");
+        assert_eq!(FaultSpec::drop_upstream(1, 100).family(), "drop");
+        assert_eq!(FaultSpec::crash_rejoin(1, 50, 3, 8).family(), "crash");
+        let mut mixed = FaultSpec::drop_upstream(1, 100);
+        mixed.latency = LatencySpec::Fixed(1);
+        assert_eq!(mixed.family(), "mixed");
+        let mut reorder = FaultSpec::none();
+        reorder.reorder_permille = 200;
+        assert_eq!(reorder.family(), "drop");
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        FaultSpec::none().validate();
+        FaultSpec::latency_rounds(7, 1, 3).validate();
+        FaultSpec::drop_upstream(7, 1000).validate();
+        FaultSpec::crash_rejoin(7, 1000, 1, 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "permille")]
+    fn validate_rejects_out_of_range_probability() {
+        FaultSpec::drop_upstream(0, 1001).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn validate_rejects_zero_length_outage() {
+        FaultSpec::crash_rejoin(0, 10, 0, 4).validate();
+    }
+
+    #[test]
+    fn display_names_the_active_mechanisms() {
+        assert_eq!(FaultSpec::none().to_string(), "none");
+        let s = FaultSpec::crash_rejoin(9, 30, 6, 16).to_string();
+        assert!(s.contains("crash"), "{s}");
+        assert!(s.contains("seed 9"), "{s}");
+        let s = FaultSpec::latency_rounds(2, 1, 2).to_string();
+        assert!(s.contains("delay 1-2r"), "{s}");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            FaultSpec::none(),
+            FaultSpec::latency_rounds(3, 1, 4),
+            FaultSpec::drop_upstream(4, 250),
+            FaultSpec::crash_rejoin(5, 40, 6, 12),
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: FaultSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

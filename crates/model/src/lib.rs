@@ -40,6 +40,7 @@
 pub mod cost;
 pub mod epsilon;
 pub mod error;
+pub mod fault;
 pub mod filter;
 pub mod message;
 pub mod rule;
@@ -50,6 +51,7 @@ pub mod types;
 pub use cost::{CommStats, CostMeter, MessageKind, ProtocolLabel};
 pub use epsilon::Epsilon;
 pub use error::ModelError;
+pub use fault::{CrashSpec, FaultSpec, FaultStats, LatencySpec};
 pub use filter::{Filter, FilterSet, Violation};
 pub use message::{NodeMessage, ServerMessage};
 pub use rule::{filter_for, FilterParams, NodeGroup};
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::cost::{CommStats, CostMeter, MessageKind, ProtocolLabel};
     pub use crate::epsilon::Epsilon;
     pub use crate::error::ModelError;
+    pub use crate::fault::{CrashSpec, FaultSpec, FaultStats, LatencySpec};
     pub use crate::filter::{Filter, FilterSet, Violation};
     pub use crate::message::{NodeMessage, ServerMessage};
     pub use crate::rule::{filter_for, FilterParams, NodeGroup};

@@ -37,6 +37,13 @@
 //!   [`TransportStats`] (frames/bytes) for the throughput harness's
 //!   `--remote` axis.
 //!
+//! Orthogonally to the engine choice, [`FaultyTransport`] wraps any of the
+//! five behind the same [`Network`] trait and executes a deterministic
+//! seed-driven fault plan ([`topk_model::FaultSpec`]) — message drop, latency,
+//! reply reordering and node crash/rejoin with recovery replay. With
+//! `FaultSpec::none()` the wrapper is bit-transparent; `docs/FAULTS.md` has
+//! the full semantics and determinism contract.
+//!
 //! ## Cost accounting
 //!
 //! Every transport primitive charges the [`topk_model::CostMeter`] owned by the
@@ -62,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod deterministic;
+pub mod fault;
 pub mod indexed;
 pub mod network;
 pub mod node;
@@ -71,6 +79,7 @@ pub mod sharded;
 pub mod threaded;
 
 pub use deterministic::DeterministicEngine;
+pub use fault::{FaultyTransport, PROBE_ATTEMPTS};
 pub use indexed::IndexedEngine;
 pub use network::Network;
 pub use node::SimNode;

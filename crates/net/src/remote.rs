@@ -17,11 +17,37 @@
 //! TCP's per-connection ordering guarantees a shard applies them before any
 //! later frame, so the server never blocks on them. Operations that the
 //! model answers upstream — probes and existence rounds — set the batch's
-//! `wants_reply` flag, and the server then reads exactly one
-//! [`Frame::Replies`] per queried shard, *in shard order*. Shards are
-//! contiguous ascending id ranges and every shard replies in ascending node
-//! id order, so the concatenation is the global id order — the reply order
-//! of [`DeterministicEngine`](crate::DeterministicEngine).
+//! `wants_reply` flag and a per-connection sequence number, and the server
+//! then reads exactly one matching [`Frame::Replies`] per queried shard,
+//! *in shard order*. Shards are contiguous ascending id ranges and every
+//! shard replies in ascending node id order, so the concatenation is the
+//! global id order — the reply order of
+//! [`DeterministicEngine`](crate::DeterministicEngine).
+//!
+//! ## Timeouts, polls and lossy transports
+//!
+//! [`RemoteEngine::with_fault_spec`] arms the reply path against loss: the
+//! server sets a read timeout on every connection and, when the answer to a
+//! `wants_reply` batch does not arrive within the deadline, sends a
+//! [`Frame::Poll`] for the missing sequence number instead of hanging. The
+//! client retains its last reply and answers the poll from that copy;
+//! sequence numbers let the server discard a duplicate (original and poll
+//! answer both arriving) instead of mistaking it for the next round's
+//! answer. Each poll is charged one model downstream unicast under
+//! [`ProtocolLabel::Recovery`], so recovery traffic is separable in the
+//! `CommStats`; the replies themselves are charged once, on acceptance.
+//! Mid-frame timeouts are safe because the reply path reads through a
+//! [`FrameAccumulator`] (`topk-wire`), which parks partial frames across
+//! timeouts instead of desynchronising the stream.
+//!
+//! The injected faults are *frame-granular*: the client drops whole reply
+//! frames with the spec's upstream-drop probability, seeded per shard from
+//! [`FaultSpec::seed`]. Message-granular faults (per-reply latency, crash /
+//! rejoin, reordering) live in [`FaultyTransport`](crate::FaultyTransport),
+//! which wraps in-process engines — the two layers exercise the same spec
+//! vocabulary at the granularity each transport actually has. Poll *counts*
+//! depend on real socket timing and are therefore not bit-reproducible;
+//! correctness (replies, node state, non-recovery `CommStats`) is.
 //!
 //! ## Why the engine is bit-identical to the in-process baseline
 //!
@@ -49,14 +75,23 @@
 use crate::network::Network;
 use crate::node::SimNode;
 use crate::partition::{shard_bounds, shard_of};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
 use topk_model::rule::filter_for;
 use topk_model::soa::NodeStateSoA;
-use topk_wire::{read_frame, write_frame, Frame, ServerOp, WireError};
+use topk_wire::{read_frame, write_frame, Frame, FrameAccumulator, ServerOp, WireError};
+
+/// How many polls the server sends for one missing reply before declaring
+/// the peer dead. With the client always transmitting poll answers, one poll
+/// per genuinely lost frame suffices; the headroom absorbs slow-scheduler
+/// timing where several deadlines elapse while an answer is in flight.
+const MAX_POLLS: u32 = 32;
 
 /// Transport-level counters of a [`RemoteEngine`] (all connections summed).
 ///
@@ -91,7 +126,16 @@ impl TransportStats {
 /// One framed server-side connection to a shard client.
 struct Conn {
     writer: BufWriter<TcpStream>,
-    reader: BufReader<TcpStream>,
+    /// Raw stream + resumable accumulator instead of a blocking buffered
+    /// reader: a read timeout may strike mid-frame, and the accumulator
+    /// parks the partial frame instead of desynchronising the stream.
+    reader: TcpStream,
+    acc: FrameAccumulator,
+    /// Next sequence number for a `wants_reply` batch (0 is reserved for
+    /// fire-and-forget batches).
+    next_seq: u64,
+    /// Cumulative [`Frame::Poll`]s sent on this connection.
+    polls_sent: u64,
     stats: TransportStats,
 }
 
@@ -103,14 +147,60 @@ impl Conn {
         self.stats.bytes_sent += bytes as u64;
     }
 
-    fn recv_replies(&mut self) -> Vec<NodeMessage> {
-        let (frame, bytes) = read_frame(&mut self.reader)
-            .unwrap_or_else(|e| panic!("remote transport: failed to read reply frame: {e}"));
-        self.stats.frames_received += 1;
-        self.stats.bytes_received += bytes as u64;
-        match frame {
-            Frame::Replies(replies) => replies,
-            other => panic!("remote transport: expected a reply frame, got {other:?}"),
+    /// Sends a `wants_reply` batch, stamping it with the next sequence
+    /// number, and returns that number for the matching receive.
+    fn send_query(&mut self, ops: Vec<ServerOp>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send(&Frame::Batch {
+            wants_reply: true,
+            seq,
+            ops,
+        });
+        seq
+    }
+
+    /// Receives the reply for `seq`, degrading a missed deadline to a
+    /// [`Frame::Poll`] (charged as a recovery downstream unicast on `meter`)
+    /// and discarding duplicate answers to earlier polls.
+    ///
+    /// Without a configured read timeout this never observes a deadline and
+    /// behaves exactly like the blocking v1 reader.
+    fn recv_replies(&mut self, seq: u64, meter: &mut CostMeter) -> Vec<NodeMessage> {
+        let mut polls_this_wait = 0u32;
+        loop {
+            match self.acc.read_frame(&mut self.reader) {
+                Ok(Some((frame, bytes))) => {
+                    self.stats.frames_received += 1;
+                    self.stats.bytes_received += bytes as u64;
+                    match frame {
+                        Frame::Replies { seq: got, replies } if got == seq => return replies,
+                        Frame::Replies { seq: got, .. } if got < seq => {
+                            // A duplicate answer to an earlier poll (both the
+                            // original and the poll answer arrived): discard.
+                        }
+                        Frame::Replies { seq: got, .. } => {
+                            panic!("remote transport: reply {got} from the future (awaiting {seq})")
+                        }
+                        other => panic!("remote transport: expected a reply frame, got {other:?}"),
+                    }
+                }
+                Ok(None) => {
+                    // Deadline missed: the reply (or the batch's effect) may
+                    // be lost. Degrade to a poll instead of hanging.
+                    polls_this_wait += 1;
+                    assert!(
+                        polls_this_wait <= MAX_POLLS,
+                        "remote transport: no reply for seq {seq} within {MAX_POLLS} deadlines — peer unresponsive"
+                    );
+                    meter.push_label(ProtocolLabel::Recovery);
+                    meter.record(MessageKind::DownstreamUnicast);
+                    meter.pop_label();
+                    self.polls_sent += 1;
+                    self.send(&Frame::Poll { seq });
+                }
+                Err(e) => panic!("remote transport: failed to read reply frame: {e}"),
+            }
         }
     }
 }
@@ -170,6 +260,50 @@ impl RemoteEngine {
     /// Panics if `shards == 0`, or if binding the loopback listener or
     /// completing the join handshake fails.
     pub fn with_shards(n: usize, master_seed: u64, shards: usize) -> RemoteEngine {
+        RemoteEngine::build(n, master_seed, shards, None, None)
+    }
+
+    /// Creates an engine on a lossy transport: shard clients drop whole
+    /// reply frames with the spec's upstream-drop probability (seeded per
+    /// shard from [`FaultSpec::seed`]), and the server arms every connection
+    /// with `timeout` so a missing reply degrades to a [`Frame::Poll`]
+    /// within the deadline instead of hanging (see the module docs).
+    ///
+    /// Only `seed` and `drop_upstream_permille` of the spec apply here —
+    /// the wire transport injects faults at frame granularity; the
+    /// message-granular fault families live in
+    /// [`FaultyTransport`](crate::FaultyTransport).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is malformed, if `shards == 0`, if `timeout` is
+    /// zero (a zero read timeout is not a valid socket deadline), or if the
+    /// handshake fails.
+    pub fn with_fault_spec(
+        n: usize,
+        master_seed: u64,
+        shards: usize,
+        spec: &FaultSpec,
+        timeout: Duration,
+    ) -> RemoteEngine {
+        spec.validate();
+        assert!(!timeout.is_zero(), "reply deadline must be non-zero");
+        RemoteEngine::build(
+            n,
+            master_seed,
+            shards,
+            Some((spec.seed, spec.drop_upstream_permille)),
+            Some(timeout),
+        )
+    }
+
+    fn build(
+        n: usize,
+        master_seed: u64,
+        shards: usize,
+        faults: Option<(u64, u32)>,
+        timeout: Option<Duration>,
+    ) -> RemoteEngine {
         assert!(shards > 0, "at least one shard connection is required");
         let listener =
             TcpListener::bind(("127.0.0.1", 0)).expect("remote transport: cannot bind loopback");
@@ -182,7 +316,7 @@ impl RemoteEngine {
                 let (lo, hi) = (bounds[s], bounds[s + 1]);
                 std::thread::Builder::new()
                     .name(format!("topk-shard-{s}"))
-                    .spawn(move || run_shard_client(addr, s as u32, lo, hi, master_seed))
+                    .spawn(move || run_shard_client(addr, s as u32, lo, hi, master_seed, faults))
                     .expect("remote transport: cannot spawn shard client")
             })
             .collect();
@@ -197,12 +331,13 @@ impl RemoteEngine {
                 .set_nodelay(true)
                 .expect("remote transport: cannot set TCP_NODELAY");
             let mut conn = Conn {
-                reader: BufReader::new(
-                    stream
-                        .try_clone()
-                        .expect("remote transport: cannot clone stream"),
-                ),
+                reader: stream
+                    .try_clone()
+                    .expect("remote transport: cannot clone stream"),
                 writer: BufWriter::new(stream),
+                acc: FrameAccumulator::new(),
+                next_seq: 1,
+                polls_sent: 0,
                 stats: TransportStats::default(),
             };
             let (frame, bytes) = read_frame(&mut conn.reader)
@@ -216,13 +351,22 @@ impl RemoteEngine {
             assert!(slot.is_none(), "shard {shard} joined twice");
             *slot = Some(conn);
         }
+        let conns: Vec<Conn> = slots
+            .into_iter()
+            .map(|c| c.expect("all shards joined"))
+            .collect();
+        // Arm the reply deadline only after the blocking handshake is done.
+        if let Some(deadline) = timeout {
+            for conn in &conns {
+                conn.reader
+                    .set_read_timeout(Some(deadline))
+                    .expect("remote transport: cannot set read timeout");
+            }
+        }
         RemoteEngine {
             mirror: NodeStateSoA::new(n),
             params: None,
-            conns: slots
-                .into_iter()
-                .map(|c| c.expect("all shards joined"))
-                .collect(),
+            conns,
             bounds,
             handles,
             meter: CostMeter::new(),
@@ -232,6 +376,13 @@ impl RemoteEngine {
     /// Number of shard connections (client processes in a real deployment).
     pub fn shard_count(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Total [`Frame::Poll`] retries sent over all connections. Zero on a
+    /// reliable transport; timing-dependent (not bit-reproducible) on a
+    /// lossy one.
+    pub fn polls_sent(&self) -> u64 {
+        self.conns.iter().map(|c| c.polls_sent).sum()
     }
 
     /// Aggregated wire-level counters over all shard connections.
@@ -255,6 +406,7 @@ impl RemoteEngine {
     fn command(&mut self, shard: usize, op: ServerOp) {
         self.conns[shard].send(&Frame::Batch {
             wants_reply: false,
+            seq: 0,
             ops: vec![op],
         });
     }
@@ -383,14 +535,11 @@ impl Network for RemoteEngine {
     fn probe(&mut self, node: NodeId) -> Value {
         self.meter.record(MessageKind::DownstreamUnicast);
         let owner = self.owner(node);
-        self.conns[owner].send(&Frame::Batch {
-            wants_reply: true,
-            ops: vec![ServerOp::Unicast {
-                node,
-                msg: ServerMessage::Probe,
-            }],
-        });
-        let replies = self.conns[owner].recv_replies();
+        let seq = self.conns[owner].send_query(vec![ServerOp::Unicast {
+            node,
+            msg: ServerMessage::Probe,
+        }]);
+        let replies = self.conns[owner].recv_replies(seq, &mut self.meter);
         self.meter.record(MessageKind::Upstream);
         match replies.as_slice() {
             [NodeMessage::ValueReport { value, .. }] => *value,
@@ -420,17 +569,18 @@ impl Network for RemoteEngine {
             if self.range(s).is_empty() {
                 continue;
             }
-            self.conns[s].send(&Frame::Batch {
-                wants_reply: true,
-                ops: vec![ServerOp::Broadcast { msg }],
-            });
+            self.conns[s].send_query(vec![ServerOp::Broadcast { msg }]);
         }
         replies.clear();
         for s in 0..self.conns.len() {
             if self.range(s).is_empty() {
                 continue;
             }
-            replies.extend(self.conns[s].recv_replies());
+            // Nothing interleaved since the send above, so the shard's round
+            // query is the last sequence number the connection issued.
+            let seq = self.conns[s].next_seq - 1;
+            let shard_replies = self.conns[s].recv_replies(seq, &mut self.meter);
+            replies.extend(shard_replies);
         }
         self.meter
             .record_many(MessageKind::Upstream, replies.len() as u64);
@@ -492,7 +642,20 @@ impl Drop for RemoteEngine {
 /// is driven *only* by decoded frames — it shares no memory with the server.
 /// Replies accumulate in ascending node-id order because every op iterates
 /// the shard's nodes in ascending order.
-fn run_shard_client(addr: SocketAddr, shard: u32, lo: usize, hi: usize, master_seed: u64) {
+///
+/// With `faults` set to `(seed, drop_permille)`, the client simulates a
+/// lossy upstream link: each *first* transmission of a reply frame is
+/// dropped with the given probability (from a per-shard ChaCha8 stream), and
+/// the retained copy is re-sent — always, so retries converge — when the
+/// server polls for it.
+fn run_shard_client(
+    addr: SocketAddr,
+    shard: u32,
+    lo: usize,
+    hi: usize,
+    master_seed: u64,
+    faults: Option<(u64, u32)>,
+) {
     let stream = TcpStream::connect(addr).expect("shard client: cannot connect to server");
     stream
         .set_nodelay(true)
@@ -501,10 +664,20 @@ fn run_shard_client(addr: SocketAddr, shard: u32, lo: usize, hi: usize, master_s
     let mut writer = BufWriter::new(stream);
     write_frame(&mut writer, &Frame::Join { shard }).expect("shard client: join handshake failed");
 
+    let mut drop_rng = faults.map(|(seed, _)| {
+        // Golden-ratio mix so shard streams are disjoint even for small seeds.
+        ChaCha8Rng::seed_from_u64(
+            seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(shard) + 1),
+        )
+    });
+    let drop_permille = faults.map_or(0, |(_, p)| p.min(1000));
     let mut nodes: Vec<SimNode> = (lo..hi)
         .map(|i| SimNode::new(NodeId(i), master_seed))
         .collect();
     let mut replies: Vec<NodeMessage> = Vec::new();
+    // The last reply produced, kept for answering polls (the two reply
+    // buffers ping-pong so one pair of allocations serves the connection).
+    let mut last: (u64, Vec<NodeMessage>) = (0, Vec::new());
     loop {
         let frame = match read_frame(&mut reader) {
             Ok((frame, _)) => frame,
@@ -514,22 +687,49 @@ fn run_shard_client(addr: SocketAddr, shard: u32, lo: usize, hi: usize, master_s
             Err(e) => panic!("shard client {shard}: corrupt frame: {e}"),
         };
         match frame {
-            Frame::Batch { wants_reply, ops } => {
+            Frame::Batch {
+                wants_reply,
+                seq,
+                ops,
+            } => {
                 replies.clear();
                 for op in ops {
                     apply_op(&mut nodes, lo, op, &mut replies);
                 }
                 if wants_reply {
-                    // Move the scratch buffer into the frame for the write,
-                    // then reclaim it so one allocation serves the whole
-                    // connection (replies are cleared per batch above).
-                    let frame = Frame::Replies(std::mem::take(&mut replies));
-                    write_frame(&mut writer, &frame).expect("shard client: cannot send replies");
-                    let Frame::Replies(out) = frame else {
+                    // The drop coin applies to the first transmission only;
+                    // poll answers always go out, so one poll recovers any
+                    // lost frame.
+                    let lost = drop_permille > 0
+                        && drop_rng
+                            .as_mut()
+                            .is_some_and(|rng| rng.gen_ratio(drop_permille, 1000));
+                    let frame = Frame::Replies {
+                        seq,
+                        replies: std::mem::take(&mut replies),
+                    };
+                    if !lost {
+                        write_frame(&mut writer, &frame)
+                            .expect("shard client: cannot send replies");
+                    }
+                    let Frame::Replies { seq, replies: sent } = frame else {
                         unreachable!("frame constructed as Replies above")
                     };
-                    replies = out;
+                    replies = std::mem::replace(&mut last, (seq, sent)).1;
                 }
+            }
+            Frame::Poll { seq } => {
+                // TCP ordering guarantees the polled batch arrived before
+                // the poll, so the retained reply must be the one asked for.
+                assert_eq!(
+                    last.0, seq,
+                    "shard client {shard}: poll for a reply never produced"
+                );
+                let answer = Frame::Replies {
+                    seq,
+                    replies: last.1.clone(),
+                };
+                write_frame(&mut writer, &answer).expect("shard client: cannot answer poll");
             }
             Frame::Shutdown => return,
             other => panic!("shard client {shard}: unexpected frame {other:?}"),
@@ -685,5 +885,39 @@ mod tests {
     fn drop_shuts_down_cleanly() {
         let net = RemoteEngine::with_shards(3, 1, 3);
         drop(net); // must not hang or panic
+    }
+
+    #[test]
+    fn lossy_replies_degrade_to_polls_and_converge() {
+        let spec = FaultSpec::drop_upstream(0xBEEF, 800);
+        let script = |net: &mut RemoteEngine| {
+            let mut out = Vec::new();
+            net.advance_time(&[10, 20, 30, 40, 50, 60]);
+            for round in 0..4 {
+                out.push(net.existence_round(round, 6, ExistencePredicate::AtLeast(35)));
+            }
+            out.push(vec![NodeMessage::ValueReport {
+                node: NodeId(0),
+                value: net.probe(NodeId(3)),
+            }]);
+            out
+        };
+        let mut clean = RemoteEngine::with_shards(6, 77, 2);
+        let mut lossy = RemoteEngine::with_fault_spec(6, 77, 2, &spec, Duration::from_millis(20));
+        let clean_out = script(&mut clean);
+        let lossy_out = script(&mut lossy);
+        assert_eq!(clean_out, lossy_out, "polls must recover every lost reply");
+        assert!(
+            lossy.polls_sent() > 0,
+            "an 80% drop rate over 9 reply frames cannot go unnoticed"
+        );
+        // Recovery traffic is separable: strip it and the clean run remains.
+        let mut lossy_stats = lossy.stats();
+        let recovery = lossy_stats.messages_of_label(ProtocolLabel::Recovery);
+        assert_eq!(recovery, lossy.polls_sent(), "one recovery unit per poll");
+        lossy_stats
+            .by_label_kind
+            .retain(|(label, _), _| *label != ProtocolLabel::Recovery);
+        assert_eq!(lossy_stats, clean.stats());
     }
 }

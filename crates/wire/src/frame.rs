@@ -28,9 +28,18 @@
 //! | tag | frame | direction | body |
 //! |-----|-------|-----------|------|
 //! | 0 | [`Frame::Join`] | node → server | shard index |
-//! | 1 | [`Frame::Batch`] | server → node | flags (bit 0 = reply wanted), op count, [`ServerOp`]s |
-//! | 2 | [`Frame::Replies`] | node → server | reply count, [`NodeMessage`]s |
+//! | 1 | [`Frame::Batch`] | server → node | flags (bit 0 = reply wanted), seq, op count, [`ServerOp`]s |
+//! | 2 | [`Frame::Replies`] | node → server | seq, reply count, [`NodeMessage`]s |
 //! | 3 | [`Frame::Shutdown`] | server → node | empty |
+//! | 4 | [`Frame::Poll`] | server → node | seq |
+//!
+//! The `seq` number pairs each reply with the `wants_reply` batch that asked
+//! for it, which is what makes retries safe on a lossy transport: if a
+//! `Replies` frame is lost, the server re-requests it with a [`Frame::Poll`]
+//! carrying the same `seq`, and a duplicate answer (original and poll answer
+//! both arriving) is recognised by its stale `seq` and discarded instead of
+//! being mistaken for the answer to the *next* round. Version 1 had no
+//! sequence numbers; the layout change is why [`WIRE_VERSION`] is 2.
 //!
 //! [`ServerOp`] tags: 0 `ObserveRow`, 1 `ObserveSparse`, 2 `Unicast`,
 //! 3 `Broadcast`.
@@ -47,8 +56,9 @@ use topk_model::prelude::*;
 pub const MAGIC: u8 = 0xC5;
 
 /// Current wire format version. Bump on any change to the frame layout or
-/// the tag tables that is not a pure append.
-pub const WIRE_VERSION: u8 = 1;
+/// the tag tables that is not a pure append. Version 2 added reply sequence
+/// numbers and the [`Frame::Poll`] retry frame.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on the payload length of a single frame (16 MiB).
 ///
@@ -191,18 +201,34 @@ pub enum Frame {
         /// fire-and-forget — TCP ordering guarantees nodes process them
         /// before any later round.
         wants_reply: bool,
+        /// Request sequence number echoed by the matching [`Frame::Replies`].
+        /// Strictly increasing per connection for `wants_reply` batches;
+        /// fire-and-forget batches carry 0.
+        seq: u64,
         /// The operations, applied in order.
         ops: Vec<ServerOp>,
     },
     /// The upstream answer to a `wants_reply` batch: every model message the
     /// shard's nodes produced, in ascending node-id order. May be empty — an
     /// empty reply frame is how a silent existence round looks on the wire.
-    Replies(
+    Replies {
+        /// The `seq` of the [`Frame::Batch`] this answers. Lets the server
+        /// discard duplicate answers after a [`Frame::Poll`] retry.
+        seq: u64,
         /// The node messages, in ascending node-id order.
-        Vec<NodeMessage>,
-    ),
+        replies: Vec<NodeMessage>,
+    },
     /// Orderly connection shutdown (server → node).
     Shutdown,
+    /// Retry request (server → node): "re-send the [`Frame::Replies`] for
+    /// `seq`". Sent when the answer to a `wants_reply` batch did not arrive
+    /// within the server's deadline; the client answers from its retained
+    /// copy of the last reply. One model downstream-unicast cost unit,
+    /// charged by the server under the recovery label.
+    Poll {
+        /// The sequence number of the missing reply.
+        seq: u64,
+    },
 }
 
 impl WireEncode for Frame {
@@ -212,22 +238,32 @@ impl WireEncode for Frame {
                 buf.push(0);
                 varint::write_u64(buf, u64::from(*shard));
             }
-            Frame::Batch { wants_reply, ops } => {
+            Frame::Batch {
+                wants_reply,
+                seq,
+                ops,
+            } => {
                 buf.push(1);
                 buf.push(u8::from(*wants_reply));
+                varint::write_u64(buf, *seq);
                 varint::write_u64(buf, ops.len() as u64);
                 for op in ops {
                     op.encode(buf);
                 }
             }
-            Frame::Replies(replies) => {
+            Frame::Replies { seq, replies } => {
                 buf.push(2);
+                varint::write_u64(buf, *seq);
                 varint::write_u64(buf, replies.len() as u64);
                 for reply in replies {
                     reply.encode(buf);
                 }
             }
             Frame::Shutdown => buf.push(3),
+            Frame::Poll { seq } => {
+                buf.push(4);
+                varint::write_u64(buf, *seq);
+            }
         }
     }
 }
@@ -252,6 +288,7 @@ impl WireDecode for Frame {
                         tag: flags,
                     });
                 }
+                let seq = r.u64()?;
                 let count = read_count(r, "Frame::Batch ops")?;
                 let mut ops = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -259,18 +296,21 @@ impl WireDecode for Frame {
                 }
                 Ok(Frame::Batch {
                     wants_reply: flags == 1,
+                    seq,
                     ops,
                 })
             }
             2 => {
+                let seq = r.u64()?;
                 let count = read_count(r, "Frame::Replies")?;
                 let mut replies = Vec::with_capacity(count);
                 for _ in 0..count {
                     replies.push(NodeMessage::decode(r)?);
                 }
-                Ok(Frame::Replies(replies))
+                Ok(Frame::Replies { seq, replies })
             }
             3 => Ok(Frame::Shutdown),
+            4 => Ok(Frame::Poll { seq: r.u64()? }),
             tag => Err(WireError::BadTag { what: "Frame", tag }),
         }
     }
@@ -330,6 +370,27 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    let frame = decode_payload(&payload)?;
+    Ok((frame, 4 + len))
+}
+
+/// Decodes a complete frame payload (the `len` bytes after the length
+/// prefix): validates magic and version, then decodes the frame body.
+/// Shared by [`read_frame`] and the resumable
+/// [`FrameAccumulator`](crate::stream::FrameAccumulator).
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] for a bad
+/// header, [`WireError::Truncated`] for a payload too short to hold one, and
+/// any decoding error for a corrupt body.
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    if payload.len() < 3 {
+        // magic + version + frame tag are mandatory
+        return Err(WireError::Truncated {
+            what: "frame header",
+        });
+    }
     let magic = payload[0];
     if magic != MAGIC {
         return Err(WireError::BadMagic { found: magic });
@@ -338,8 +399,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     if version != WIRE_VERSION {
         return Err(WireError::UnsupportedVersion { found: version });
     }
-    let frame = from_bytes::<Frame>(&payload[2..])?;
-    Ok((frame, 4 + len))
+    from_bytes::<Frame>(&payload[2..])
 }
 
 #[cfg(test)]
@@ -396,17 +456,18 @@ mod tests {
         fn frames_roundtrip(x in 0u64..u64::MAX, y in 0u64..u64::MAX, shard in 0u32..4096) {
             roundtrip_frame(&Frame::Join { shard });
             roundtrip_frame(&Frame::Shutdown);
-            roundtrip_frame(&Frame::Batch { wants_reply: x % 2 == 0, ops: sample_ops(x, y) });
-            roundtrip_frame(&Frame::Batch { wants_reply: true, ops: Vec::new() });
-            roundtrip_frame(&Frame::Replies(vec![
+            roundtrip_frame(&Frame::Poll { seq: x });
+            roundtrip_frame(&Frame::Batch { wants_reply: x % 2 == 0, seq: y, ops: sample_ops(x, y) });
+            roundtrip_frame(&Frame::Batch { wants_reply: true, seq: 0, ops: Vec::new() });
+            roundtrip_frame(&Frame::Replies { seq: x, replies: vec![
                 NodeMessage::ValueReport { node: NodeId((x % 9999) as usize), value: y },
                 NodeMessage::ViolationReport {
                     node: NodeId(0),
                     value: x,
                     direction: Violation::FromAbove,
                 },
-            ]));
-            roundtrip_frame(&Frame::Replies(Vec::new()));
+            ]});
+            roundtrip_frame(&Frame::Replies { seq: u64::MAX, replies: Vec::new() });
         }
     }
 
@@ -416,6 +477,7 @@ mod tests {
         // writer must refuse with a typed error and put nothing on the wire.
         let frame = Frame::Batch {
             wants_reply: false,
+            seq: 0,
             ops: vec![ServerOp::ObserveRow {
                 start: NodeId(0),
                 values: vec![u64::MAX; 2_000_000],
@@ -491,6 +553,7 @@ mod tests {
         // A Replies frame claiming 2^40 replies in a 16-byte body must fail
         // on the count check, not attempt the allocation.
         let mut body = vec![2u8]; // Replies tag
+        varint::write_u64(&mut body, 7); // seq
         varint::write_u64(&mut body, 1 << 40);
         let mut payload = vec![MAGIC, WIRE_VERSION];
         payload.extend_from_slice(&body);

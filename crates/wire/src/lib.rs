@@ -23,7 +23,11 @@
 //! * [`frame`] — the transport unit: a little-endian `u32` length prefix
 //!   followed by a payload starting with magic byte, version byte and a frame
 //!   tag. A [`Frame`] batches many model messages (an observation row, the
-//!   replies of an existence round) into one socket write.
+//!   replies of an existence round) into one socket write. Reply-bearing
+//!   frames carry a sequence number so a lossy transport can re-request a
+//!   missing answer ([`Frame::Poll`]) and recognise duplicates.
+//!   [`stream::FrameAccumulator`] is the timeout-surviving reader the
+//!   retrying coordinator uses.
 //!
 //! Decoding is strict: unknown tags, truncated input, oversized frames and
 //! trailing bytes are all [`WireError`]s, never panics — a corrupt or
@@ -45,8 +49,10 @@
 pub mod codec;
 pub mod error;
 pub mod frame;
+pub mod stream;
 pub mod varint;
 
 pub use codec::{from_bytes, to_bytes, Reader, WireDecode, WireEncode};
 pub use error::WireError;
 pub use frame::{read_frame, write_frame, Frame, ServerOp, MAX_FRAME_LEN, WIRE_VERSION};
+pub use stream::FrameAccumulator;

@@ -1,14 +1,19 @@
 //! End-to-end integration tests: every monitor, on every workload regime, must
 //! produce a valid ε-top-k output at every time step while communicating far
-//! less than the naive poll-everything strategy.
+//! less than the naive poll-everything strategy — and the TCP coordinator
+//! must survive a lossy loopback transport by degrading dropped replies to
+//! recovery polls instead of hanging.
 
+use std::time::Duration;
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
 use topk_gen::{
     GapWorkload, NoiseOscillationWorkload, RandomWalkWorkload, Workload, ZipfLoadWorkload,
 };
+use topk_model::cost::ProtocolLabel;
+use topk_model::fault::FaultSpec;
 use topk_model::Epsilon;
-use topk_net::DeterministicEngine;
+use topk_net::{DeterministicEngine, Network, RemoteEngine};
 
 const N: usize = 24;
 const K: usize = 4;
@@ -123,6 +128,52 @@ fn all_monitors_beat_naive_polling() {
             );
         }
     }
+}
+
+#[test]
+fn remote_coordinator_degrades_dropped_replies_to_polls() {
+    // A lossy loopback transport drops ~30% of reply frames; the coordinator
+    // must time out, poll, and converge to exactly the clean run's monitor
+    // output and node state — never hang — with every extra message the
+    // recovery cost, attributed to `ProtocolLabel::Recovery` on the meter.
+    let eps = Epsilon::TENTH;
+    let n = 16;
+    let rows: Vec<Vec<u64>> = NoiseOscillationWorkload::new(n, 2, 8, 1 << 18, eps, 41)
+        .generate(24)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+
+    let mut clean_mon = TopKMonitor::new(4, eps);
+    let mut clean_net = RemoteEngine::with_shards(n, 77, 3);
+    let clean = run_on_rows(&mut clean_mon, &mut clean_net, rows.iter().cloned(), eps);
+
+    let spec = FaultSpec::drop_upstream(0xD0D0, 300);
+    let mut lossy_mon = TopKMonitor::new(4, eps);
+    let mut lossy_net = RemoteEngine::with_fault_spec(n, 77, 3, &spec, Duration::from_millis(20));
+    let lossy = run_on_rows(&mut lossy_mon, &mut lossy_net, rows.iter().cloned(), eps);
+
+    assert!(
+        lossy_net.polls_sent() > 0,
+        "a 300‰ drop rate over {} steps must cost at least one poll",
+        rows.len()
+    );
+    assert_eq!(clean_mon.output(), lossy_mon.output());
+    assert_eq!(clean_net.peek_filters(), lossy_net.peek_filters());
+    assert_eq!(clean_net.peek_values(), lossy_net.peek_values());
+    assert_eq!(clean.invalid_steps, lossy.invalid_steps);
+    // The polls are the entire cost of the loss: stripped of the recovery
+    // label, the lossy accounting is bit-identical to the clean run's.
+    let mut stats = lossy.stats.clone();
+    assert_eq!(
+        stats.messages_of_label(ProtocolLabel::Recovery),
+        lossy_net.polls_sent(),
+        "every poll (and nothing else) is charged to the recovery label"
+    );
+    stats
+        .by_label_kind
+        .retain(|(label, _), _| *label != ProtocolLabel::Recovery);
+    assert_eq!(stats, clean.stats);
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! The deterministic engine, the indexed engine, the sharded engine, the
-//! threaded (crossbeam-channel) engine and the remote (TCP-loopback) engine
-//! must produce identical message counts and identical outputs for the same
-//! seed — the protocols cannot tell which transport they run on.
+//! threaded (crossbeam-channel) engine, the remote (TCP-loopback) engine and
+//! a zero-fault `FaultyTransport` wrapper must produce identical message
+//! counts and identical outputs for the same seed — the protocols cannot
+//! tell which transport they run on.
 
 use proptest::prelude::*;
 use topk_core::monitor::{run_on_rows, Monitor};
@@ -10,10 +11,11 @@ use topk_gen::{
     ChurnFlatlineWorkload, CorrelatedBurstWorkload, NoiseOscillationWorkload, RandomWalkWorkload,
     RegimeSwitchWorkload, Workload,
 };
+use topk_model::fault::FaultSpec;
 use topk_model::Epsilon;
 use topk_net::{
-    DeterministicEngine, Dispatch, IndexedEngine, Network, RemoteEngine, ShardedEngine,
-    ThreadedEngine,
+    DeterministicEngine, Dispatch, FaultyTransport, IndexedEngine, Network, RemoteEngine,
+    ShardedEngine, ThreadedEngine,
 };
 
 fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>], eps: Epsilon) {
@@ -65,6 +67,17 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
         eps,
     );
 
+    // Sixth configuration: the fault layer with the identity plan wrapped
+    // around an engine must be invisible — same report, output and filters.
+    let mut fault_monitor = make_monitor();
+    let mut fault_net = FaultyTransport::new(IndexedEngine::new(n, seed), FaultSpec::none());
+    let fault = run_on_rows(
+        fault_monitor.as_mut(),
+        &mut fault_net,
+        rows.iter().cloned(),
+        eps,
+    );
+
     assert_eq!(
         det.messages(),
         thr.messages(),
@@ -89,17 +102,25 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
         "{}: run reports differ between deterministic and remote (TCP) engines",
         det_monitor.name()
     );
+    assert_eq!(
+        det,
+        fault,
+        "{}: run reports differ between deterministic and zero-fault wrapped engines",
+        det_monitor.name()
+    );
     assert_eq!(det.stats.rounds, thr.stats.rounds);
     assert_eq!(det.invalid_steps, thr.invalid_steps);
     assert_eq!(det_monitor.output(), thr_monitor.output());
     assert_eq!(det_monitor.output(), idx_monitor.output());
     assert_eq!(det_monitor.output(), shard_monitor.output());
     assert_eq!(det_monitor.output(), rem_monitor.output());
+    assert_eq!(det_monitor.output(), fault_monitor.output());
     // The filters visible at the end must agree as well.
     assert_eq!(det_net.peek_filters(), thr_net.peek_filters());
     assert_eq!(det_net.peek_filters(), idx_net.peek_filters());
     assert_eq!(det_net.peek_filters(), shard_net.peek_filters());
     assert_eq!(det_net.peek_filters(), rem_net.peek_filters());
+    assert_eq!(det_net.peek_filters(), fault_net.peek_filters());
 }
 
 #[test]
@@ -174,13 +195,13 @@ fn engines_agree_on_churn_traces() {
 }
 
 proptest! {
-    // The five-way comparison spawns a worker pool, node threads and TCP
+    // The six-way comparison spawns a worker pool, node threads and TCP
     // shards per case, so the case count stays deliberately small — the
     // parameter space (pack size, pivot, segment length, seed) is where the
     // value is, not in volume.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Any regime-switching trace is a valid input to all five engines: the
+    /// Any regime-switching trace is a valid input to all six configurations: the
     /// run reports, outputs and final filters agree bit-for-bit whatever the
     /// segment geometry — including segments shorter than a protocol phase
     /// and packs as small as a single node.

@@ -18,15 +18,23 @@
 //! predicate shape. 256 randomized schedules are checked per in-process
 //! battery (64 for the loopback battery, which pays real socket round-trips
 //! per operation), plus full monitor runs on random traces.
+//!
+//! The fault layer is held to the same standard: a `FaultyTransport` wrapping
+//! any engine with `FaultSpec::none()` must stay bit-identical to the bare
+//! baseline, and a *seeded* fault plan must replay bit-identically — same
+//! replies, same `CommStats`, same `FaultStats` — both across runs and
+//! across different inner engines.
 
 use proptest::prelude::*;
 use topk_core::existence::existence;
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
+use topk_model::fault::{FaultSpec, FaultStats, LatencySpec};
 use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
 use topk_net::{
-    DeterministicEngine, Dispatch, IndexedEngine, Network, RemoteEngine, ShardedEngine,
+    DeterministicEngine, Dispatch, FaultyTransport, IndexedEngine, Network, RemoteEngine,
+    ShardedEngine,
 };
 
 const N: usize = 8;
@@ -321,5 +329,119 @@ proptest! {
         prop_assert_eq!(&r_base, &r_rem, "remote run reports diverge");
         prop_assert_eq!(m_base.output(), m_rem.output());
         prop_assert_eq!(base.peek_filters(), remote.peek_filters());
+    }
+}
+
+/// The fault plan the seeded-replay battery sweeps: one spec per family plus
+/// a mixed plan, all with non-trivial probabilities so the fault RNG stream
+/// is genuinely consumed.
+fn fault_plan(which: usize, fault_seed: u64) -> FaultSpec {
+    match which % 4 {
+        0 => FaultSpec::latency_rounds(fault_seed, 0, 2),
+        1 => FaultSpec::drop_upstream(fault_seed, 300),
+        2 => FaultSpec::crash_rejoin(fault_seed, 100, 2, 4),
+        _ => {
+            let mut spec = FaultSpec::drop_upstream(fault_seed, 200);
+            spec.drop_downstream_permille = 150;
+            spec.reorder_permille = 400;
+            spec.latency = LatencySpec::Uniform { lo: 0, hi: 1 };
+            spec
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The zero-fault wrapper is bit-transparent: `FaultyTransport` with
+    /// `FaultSpec::none()` around any engine must reproduce the bare
+    /// baseline's replies, `CommStats` and node state on every schedule —
+    /// the fault layer may not consume a single random draw or charge a
+    /// single message of its own.
+    #[test]
+    fn zero_fault_wrapper_is_bit_identical_to_the_bare_engines(
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..N, 0u64..2000, 0u64..2000),
+            1..40,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let mut base = DeterministicEngine::new(N, seed);
+        let mut wrapped_det =
+            FaultyTransport::new(DeterministicEngine::new(N, seed), FaultSpec::none());
+        let mut wrapped_idx =
+            FaultyTransport::new(IndexedEngine::new(N, seed), FaultSpec::none());
+        for &op in &ops {
+            let replies_base = apply(&mut base, op);
+            prop_assert_eq!(
+                &replies_base,
+                &apply(&mut wrapped_det, op),
+                "wrapped baseline diverges on {:?}",
+                op
+            );
+            prop_assert_eq!(
+                &replies_base,
+                &apply(&mut wrapped_idx, op),
+                "wrapped indexed diverges on {:?}",
+                op
+            );
+        }
+        for stats in [wrapped_det.stats(), wrapped_idx.stats()] {
+            prop_assert_eq!(base.stats(), stats);
+        }
+        prop_assert_eq!(base.peek_filters(), wrapped_det.peek_filters());
+        prop_assert_eq!(base.peek_filters(), wrapped_idx.peek_filters());
+        prop_assert_eq!(base.peek_values(), wrapped_det.peek_values());
+        prop_assert_eq!(base.peek_values(), wrapped_idx.peek_values());
+        for i in 0..N {
+            prop_assert_eq!(base.peek_group(NodeId(i)), wrapped_det.peek_group(NodeId(i)));
+            prop_assert_eq!(base.peek_group(NodeId(i)), wrapped_idx.peek_group(NodeId(i)));
+        }
+        prop_assert_eq!(wrapped_det.fault_stats(), FaultStats::default());
+        prop_assert_eq!(wrapped_idx.fault_stats(), FaultStats::default());
+    }
+
+    /// A seeded fault plan is an experiment, not noise: the same spec over the
+    /// same schedule reproduces every reply, the full `CommStats` and the
+    /// `FaultStats` — and since the plan's RNG stream is independent of the
+    /// inner engine, two *different* (bit-identical) engines under the same
+    /// plan stay bit-identical to each other.
+    #[test]
+    fn seeded_fault_plans_replay_bit_identically(
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..N, 0u64..2000, 0u64..2000),
+            1..40,
+        ),
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        which in 0usize..4,
+    ) {
+        let spec = fault_plan(which, fault_seed);
+        let mut first = FaultyTransport::new(IndexedEngine::new(N, seed), spec);
+        let mut again = FaultyTransport::new(IndexedEngine::new(N, seed), spec);
+        let mut other = FaultyTransport::new(DeterministicEngine::new(N, seed), spec);
+        for &op in &ops {
+            let replies = apply(&mut first, op);
+            prop_assert_eq!(
+                &replies,
+                &apply(&mut again, op),
+                "replay diverges on {:?} under {}",
+                op,
+                spec
+            );
+            prop_assert_eq!(
+                &replies,
+                &apply(&mut other, op),
+                "engines diverge under the same plan on {:?} under {}",
+                op,
+                spec
+            );
+        }
+        prop_assert_eq!(first.stats(), again.stats());
+        prop_assert_eq!(first.stats(), other.stats());
+        prop_assert_eq!(first.fault_stats(), again.fault_stats());
+        prop_assert_eq!(first.fault_stats(), other.fault_stats());
+        prop_assert_eq!(first.peek_values(), other.peek_values());
+        prop_assert_eq!(first.peek_filters(), other.peek_filters());
     }
 }
