@@ -12,6 +12,7 @@
 //! cargo run -p topk-bench --bin experiments --release -- --campaign                 # scenario grid
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick         # CI smoke
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick --faults-only
+//! cargo run -p topk-bench --bin experiments --release -- --campaign --quick --membership-only
 //! cargo run -p topk-bench --bin experiments --release -- --check-competitive-floors FILE.json
 //! ```
 //!
@@ -42,7 +43,11 @@
 //! fault axis (`topk_bench::campaign::run_faults_report`) — the cheap smoke
 //! CI runs on every push, written to `BENCH_faults_quick.json` by default and
 //! ratcheted against the committed full report's fault cells via
-//! `--baseline`. `--check-competitive-floors FILE` re-validates a committed
+//! `--baseline`. `--membership-only` is the same smoke mode for the
+//! membership axis (`topk_bench::campaign::run_membership_report`): the
+//! churn grid re-measured and ratcheted against the committed report's
+//! membership cells, written to `BENCH_membership_quick.json` by default.
+//! `--check-competitive-floors FILE` re-validates a committed
 //! campaign report without re-measuring. All numeric bars of both check
 //! modes live in `topk_bench::floors::FloorTable`.
 
@@ -124,6 +129,48 @@ fn run_faults_bench(quick: bool, out: PathBuf, baseline: Option<PathBuf>) -> ! {
     }
     for f in &failures {
         eprintln!("FAULT FLOOR REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
+
+fn run_membership_bench(quick: bool, out: PathBuf, baseline: Option<PathBuf>) -> ! {
+    let report = campaign::run_membership_report(quick, |line| eprintln!("{line}"));
+    std::fs::write(&out, campaign::to_json(&report)).expect("write membership campaign json");
+    eprintln!("wrote {}", out.display());
+    if let Some(path) = baseline {
+        // The membership ratchet: hold the freshly measured membership cells
+        // to the ratio and degradation ceilings committed in the full report.
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let committed: campaign::CompetitiveReport = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {}: {e}", path.display()));
+        let failures = campaign::check_against_baseline(&report, &committed);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("MEMBERSHIP FLOOR REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "baseline ok: all {} membership cells within the ceilings committed in {}",
+            report.membership_cells.len(),
+            path.display()
+        );
+    }
+    let floors = FloorTable::STANDARD.competitive;
+    let failures =
+        campaign::check_membership_cells(&report.membership_cells, &floors, &report.scale);
+    if failures.is_empty() {
+        println!(
+            "membership floors ok: {} membership cells across >= {} churn plans, every ratio/degradation within its ceiling, invalid steps within {}‰",
+            report.membership_cells.len(),
+            floors.min_membership_plans,
+            floors.membership_invalid_fraction_permille,
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("MEMBERSHIP FLOOR REGRESSION: {f}");
     }
     std::process::exit(1);
 }
@@ -245,6 +292,7 @@ fn main() {
     let mut throughput_mode = false;
     let mut campaign_mode = false;
     let mut faults_only = false;
+    let mut membership_only = false;
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut sharded_workers = 4usize;
@@ -260,6 +308,7 @@ fn main() {
             "--throughput" => throughput_mode = true,
             "--campaign" => campaign_mode = true,
             "--faults-only" => faults_only = true,
+            "--membership-only" => membership_only = true,
             "--quick" => quick = true,
             "--sharded" => {
                 let parsed = iter.next().and_then(|w| w.parse::<usize>().ok());
@@ -315,7 +364,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --campaign [--quick] [--faults-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
                 );
                 return;
             }
@@ -335,6 +384,7 @@ fn main() {
             || check_competitive_path.is_some()
             || baseline_path.is_some()
             || faults_only
+            || membership_only
         {
             eprintln!("--check-floors does not combine with other modes or flags");
             std::process::exit(2);
@@ -353,6 +403,7 @@ fn main() {
             || remote_conns.is_some()
             || baseline_path.is_some()
             || faults_only
+            || membership_only
         {
             eprintln!("--check-competitive-floors does not combine with other modes or flags");
             std::process::exit(2);
@@ -370,6 +421,10 @@ fn main() {
             eprintln!("--campaign does not combine with --throughput/--small/--json/--sharded/--remote/experiment ids (use --quick, --out and --baseline)");
             std::process::exit(2);
         }
+        if faults_only && membership_only {
+            eprintln!("--faults-only and --membership-only are mutually exclusive");
+            std::process::exit(2);
+        }
         // Quick runs default to their own file: a bare `--campaign --quick`
         // must never clobber the committed full-scale report.
         let default_out = if faults_only {
@@ -377,6 +432,12 @@ fn main() {
                 "BENCH_faults_quick.json"
             } else {
                 "BENCH_faults.json"
+            }
+        } else if membership_only {
+            if quick {
+                "BENCH_membership_quick.json"
+            } else {
+                "BENCH_membership.json"
             }
         } else if quick {
             "BENCH_competitive_quick.json"
@@ -387,10 +448,17 @@ fn main() {
         if faults_only {
             run_faults_bench(quick, out, baseline_path);
         }
+        if membership_only {
+            run_membership_bench(quick, out, baseline_path);
+        }
         run_campaign_bench(quick, out, baseline_path);
     }
     if faults_only {
         eprintln!("--faults-only only applies to --campaign");
+        std::process::exit(2);
+    }
+    if membership_only {
+        eprintln!("--membership-only only applies to --campaign");
         std::process::exit(2);
     }
     if baseline_path.is_some() {

@@ -45,16 +45,33 @@
 //! permille bar instead of the fault-free `max_invalid_steps = 0` gate.
 //! Every fault plan is seed-driven and deterministic, so fault cells ratchet
 //! in CI exactly like the base cells.
+//!
+//! ## The membership axis
+//!
+//! The fault axis keeps the population fixed; the *membership axis* churns it
+//! (ROADMAP item: dynamic membership). [`standard_membership_grid`] pairs the
+//! same non-adaptive base scenarios with a [`MembershipPlanSpec`] — a seeded
+//! churn plan (`topk_gen::MembershipWorkload::churn`) under which live nodes
+//! leave and rejoin with filter reassignment — and [`run_membership_cell`]
+//! drives each protocol through `run_with_membership` on a normal engine. A
+//! [`MembershipCell`] records the absolute ratio against the OPT decomposition
+//! of the **masked** trace (dead slots pinned to 0 — the value vector the
+//! model actually holds, and the trace an offline algorithm facing the same
+//! churn would see), the degradation against the churn-free twin, the
+//! `Recovery`-labelled rejoin replay traffic, and the join/leave counts of the
+//! plan. Churn plans are pure functions of their seeds, so membership cells
+//! ratchet in CI exactly like the base and fault cells
+//! ([`check_membership_cells`], `--membership-only`).
 
 use crate::floors::{CompetitiveFloors, FloorTable};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use topk_core::monitor::{run_adaptive_observed, Monitor};
+use topk_core::monitor::{run_adaptive_observed, run_with_membership_observed, Monitor};
 use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
 use topk_gen::{
     AdaptiveWorkload, ChurnFlatlineWorkload, CorrelatedBurstWorkload, GapWorkload,
-    LowerBoundAdversary, NoiseOscillationWorkload, RandomWalkWorkload, RegimeSwitchWorkload, Trace,
-    ZipfLoadWorkload,
+    LowerBoundAdversary, MembershipWorkload, NoiseOscillationWorkload, RandomWalkWorkload,
+    RegimeSwitchWorkload, Trace, ZipfLoadWorkload,
 };
 use topk_model::prelude::*;
 use topk_net::{FaultyTransport, IndexedEngine};
@@ -403,6 +420,90 @@ pub struct FaultCell {
     pub dropped_messages: u64,
 }
 
+/// A seeded membership churn plan, as serialisable data.
+///
+/// `build` instantiates `topk_gen::MembershipWorkload::churn` for a concrete
+/// population and horizon; the spec pins everything else, so one spec plus a
+/// [`ScenarioSpec`] fully determines the schedule (and therefore the cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipPlanSpec {
+    /// Churn plan seed.
+    pub seed: u64,
+    /// Per-live-node per-step leave probability, in permille.
+    pub leave_permille: u32,
+    /// Steps a leaver stays away before rejoining.
+    pub downtime: u64,
+    /// Floor on the live population (departures below it are skipped).
+    pub min_live: usize,
+}
+
+impl MembershipPlanSpec {
+    /// Instantiates the validated per-step schedule for one scenario.
+    pub fn build(&self, n: usize, steps: u64) -> MembershipWorkload {
+        MembershipWorkload::churn(
+            n,
+            steps,
+            self.seed,
+            self.leave_permille,
+            self.downtime,
+            self.min_live,
+        )
+    }
+
+    /// Stable plan name used as the coverage key in reports.
+    pub fn name(&self) -> String {
+        format!(
+            "churn-{}permille-d{}-floor{}",
+            self.leave_permille, self.downtime, self.min_live
+        )
+    }
+}
+
+/// One membership-axis cell: a scenario run under one protocol while the
+/// population churns, with both its absolute competitive ratio (against the
+/// OPT decomposition of the masked trace) and its degradation relative to the
+/// churn-free run of the identical scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipCell {
+    /// The scenario that was run (embedded verbatim for reproducibility).
+    pub scenario: ScenarioSpec,
+    /// Protocol name (see [`ProtocolKind::name`]).
+    pub protocol: String,
+    /// The churn plan in force (embedded verbatim; fully determines the
+    /// schedule together with the scenario).
+    pub plan: MembershipPlanSpec,
+    /// The plan name ([`MembershipPlanSpec::name`]) — the coverage key.
+    pub plan_name: String,
+    /// Total messages the online protocol sent, rejoin replays included.
+    pub messages: u64,
+    /// Messages of the churn-free run of the identical scenario/protocol.
+    pub clean_messages: u64,
+    /// Messages attributed to rejoin replays (the `Recovery` label).
+    pub recovery_messages: u64,
+    /// Steps at which the output violated the ε-top-k definition **on the
+    /// masked row**. Gated as a permille fraction of `scenario.steps` by
+    /// `membership_invalid_fraction_permille` (strictly tighter than the
+    /// fault bar: churn is visible to the validator, so only the departure
+    /// re-resolution transient is excused).
+    pub invalid_steps: u64,
+    /// Leave events the plan executed within the horizon.
+    pub leaves: u64,
+    /// Join events the plan executed within the horizon.
+    pub joins: u64,
+    /// OPT lower bound on the *masked* trace (dead slots pinned to 0 — the
+    /// offline adversary faces the same churn the online protocol does).
+    pub opt_lower: u64,
+    /// Empirical competitive ratio: `messages / max(opt_lower, 1)`.
+    pub ratio: f64,
+    /// Ratcheted ratio ceiling, same formula as base cells.
+    pub ceiling: f64,
+    /// Degradation factor: `messages / max(clean_messages, 1)`.
+    pub degradation: f64,
+    /// Ratcheted degradation ceiling — a rejoin-replay regression shows up
+    /// here even when the absolute ratio stays under its own ceiling.
+    pub degradation_ceiling: f64,
+}
+
 /// The campaign output, serialised to `BENCH_competitive.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompetitiveReport {
@@ -416,6 +517,8 @@ pub struct CompetitiveReport {
     pub cells: Vec<CampaignCell>,
     /// All measured fault-axis cells (see [`FaultCell`]).
     pub fault_cells: Vec<FaultCell>,
+    /// All measured membership-axis cells (see [`MembershipCell`]).
+    pub membership_cells: Vec<MembershipCell>,
 }
 
 /// The standard scenario grid.
@@ -812,6 +915,220 @@ pub fn run_fault_campaign(
     cells
 }
 
+/// The standard membership grid: base scenarios × one churn plan per
+/// intensity.
+///
+/// The bases are the same **non-adaptive** families as
+/// [`standard_fault_grid`] (noise at the dense operating point, random
+/// walks), so the churn-free `clean_messages` twin is exactly a base-campaign
+/// run of the scenario. Two plans cover the coverage floor
+/// (`min_membership_plans`): a *mild* plan (about one departure per step
+/// somewhere in the population, brief outages) and an *aggressive* plan
+/// (several concurrent outages, the live floor doing real work). Both floors
+/// stay far above `k = 8`, so the monitored top-k is always defined. Like the
+/// other grids, the full grid contains every quick cell verbatim (the ratchet
+/// anchor) plus longer-horizon variants.
+pub fn standard_membership_grid(quick: bool) -> Vec<(ScenarioSpec, MembershipPlanSpec)> {
+    let bases = [
+        (
+            GeneratorSpec::Noise {
+                sigma: 12,
+                z: 1 << 18,
+            },
+            8usize, // the Theorem 5.8 dense operating point
+        ),
+        (
+            GeneratorSpec::RandomWalk {
+                delta: 1 << 20,
+                max_step: 1 << 10,
+                move_permille: 300,
+            },
+            4usize,
+        ),
+    ];
+    let plans = [
+        MembershipPlanSpec {
+            seed: 0xAB01,
+            leave_permille: 15,
+            downtime: 4,
+            min_live: 56,
+        },
+        MembershipPlanSpec {
+            seed: 0xAB02,
+            leave_permille: 60,
+            downtime: 8,
+            min_live: 40,
+        },
+    ];
+    let mut grid = Vec::new();
+    for (i, (generator, k)) in bases.into_iter().enumerate() {
+        let seed = 0xAB10 + i as u64;
+        for plan in plans {
+            // The quick cell — identical in both grids (the ratchet anchor).
+            grid.push((
+                ScenarioSpec {
+                    generator,
+                    n: 64,
+                    k,
+                    eps: Epsilon::TENTH,
+                    steps: 60,
+                    seed,
+                },
+                plan,
+            ));
+            if !quick {
+                grid.push((
+                    ScenarioSpec {
+                        generator,
+                        n: 64,
+                        k,
+                        eps: Epsilon::TENTH,
+                        steps: 240,
+                        seed,
+                    },
+                    plan,
+                ));
+            }
+        }
+    }
+    grid
+}
+
+/// Runs one membership cell: the scenario under `protocol` while the
+/// population churns according to `plan`.
+///
+/// The OPT decomposition runs on the **masked** trace — the rows as the model
+/// holds them, dead slots pinned to 0 — because an offline algorithm facing
+/// the same churn sees exactly those values; decomposing the raw workload
+/// output would charge OPT for phase changes among values nobody observed.
+/// `clean_messages` is the message count of the churn-free run of the same
+/// scenario/protocol (the caller measures it once per pair and reuses it
+/// across the pair's membership cells).
+pub fn run_membership_cell(
+    spec: &ScenarioSpec,
+    plan: &MembershipPlanSpec,
+    protocol: ProtocolKind,
+    floors: &CompetitiveFloors,
+    solver: &mut PhaseSolver,
+    clean_messages: u64,
+) -> MembershipCell {
+    let mut workload = spec.generator.build(spec.n, spec.k, spec.eps, spec.seed);
+    let schedule = plan.build(spec.n, spec.steps as u64);
+    let mut monitor = protocol.build_monitor(spec.k, spec.eps);
+    let mut net = IndexedEngine::new(spec.n, spec.seed);
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(spec.steps);
+    let mut emitted = 0usize;
+    let report = run_with_membership_observed(
+        monitor.as_mut(),
+        &mut net,
+        spec.eps,
+        |filters| {
+            if emitted == spec.steps {
+                return None;
+            }
+            emitted += 1;
+            Some(workload.next_step_adaptive(filters))
+        },
+        schedule.driver(),
+        // The observer sees the masked row (the driver masks before
+        // delivery) — record that as the trace OPT decomposes.
+        |obs| rows.push(obs.row.to_vec()),
+    );
+    let trace = Trace::new(rows).expect("campaign rows are rectangular and non-empty");
+    let opt: OfflineCost = match protocol.adversary() {
+        Adversary::Exact => ExactOfflineOpt::new(spec.k).cost_with(solver, &trace),
+        Adversary::Approx => ApproxOfflineOpt::new(spec.k, spec.eps).cost_with(solver, &trace),
+        Adversary::HalfEps => ApproxOfflineOpt::half_of(spec.k, spec.eps).cost_with(solver, &trace),
+    }
+    .expect("grid scenarios always satisfy 1 <= k < n");
+    let ratio = opt.competitive_ratio(report.messages());
+    let degradation = report.messages() as f64 / clean_messages.max(1) as f64;
+    let mut leaves = 0u64;
+    let mut joins = 0u64;
+    for t in 0..spec.steps as u64 {
+        for event in schedule.events_at(t) {
+            match event {
+                MembershipEvent::Leave(_) => leaves += 1,
+                MembershipEvent::Join(_) => joins += 1,
+            }
+        }
+    }
+    MembershipCell {
+        scenario: *spec,
+        protocol: protocol.name().to_string(),
+        plan: *plan,
+        plan_name: plan.name(),
+        messages: report.messages(),
+        clean_messages,
+        recovery_messages: report.stats.messages_of_label(ProtocolLabel::Recovery),
+        invalid_steps: report.invalid_steps,
+        leaves,
+        joins,
+        opt_lower: opt.lower_bound,
+        ratio,
+        ceiling: floors.ceiling(ratio),
+        degradation,
+        degradation_ceiling: floors.ceiling(degradation),
+    }
+}
+
+/// Runs the membership axis: every [`standard_membership_grid`] pair × every
+/// protocol, measuring each pair's churn-free twin once for the degradation
+/// baseline.
+pub fn run_membership_campaign(
+    quick: bool,
+    floors: &CompetitiveFloors,
+    solver: &mut PhaseSolver,
+    log: impl Fn(&str),
+) -> Vec<MembershipCell> {
+    let mut clean_cache: BTreeMap<String, u64> = BTreeMap::new();
+    let mut cells = Vec::new();
+    for (spec, plan) in standard_membership_grid(quick) {
+        for protocol in ProtocolKind::ALL {
+            let clean_key = format!("{spec:?}/{}", protocol.name());
+            let clean_messages = *clean_cache
+                .entry(clean_key)
+                .or_insert_with(|| run_cell(&spec, protocol, floors, solver).messages);
+            let cell = run_membership_cell(&spec, &plan, protocol, floors, solver, clean_messages);
+            log(&format!(
+                "campaign: {:>16} n={:>6} plan={:>24} {:>13}: {:>8} msgs (clean {:>8}) = degradation {:>6.2}, ratio {:>8.2}, {:>3} leaves, {:>2} invalid steps",
+                cell.scenario.generator.family(),
+                spec.n,
+                cell.plan_name,
+                cell.protocol,
+                cell.messages,
+                cell.clean_messages,
+                cell.degradation,
+                cell.ratio,
+                cell.leaves,
+                cell.invalid_steps,
+            ));
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// Runs only the membership axis and wraps it in a report whose other cell
+/// lists are empty — the `--campaign --membership-only` smoke mode, which CI
+/// uses to re-measure the membership grid and ratchet it against the
+/// committed full-scale report without re-running the base campaign. The
+/// bench id is `"competitive-membership"` so the partial report can never be
+/// mistaken for (or committed as) a full campaign report.
+pub fn run_membership_report(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
+    let floors = FloorTable::STANDARD.competitive;
+    let mut solver = PhaseSolver::new();
+    let membership_cells = run_membership_campaign(quick, &floors, &mut solver, log);
+    CompetitiveReport {
+        bench: "competitive-membership".to_string(),
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        floors,
+        cells: Vec::new(),
+        fault_cells: Vec::new(),
+        membership_cells,
+    }
+}
+
 /// Runs only the fault axis and wraps it in a report whose `cells` are empty
 /// — the `--campaign --faults-only` smoke mode, which CI uses to re-measure
 /// the (much cheaper) fault grid and ratchet it against the committed
@@ -828,11 +1145,13 @@ pub fn run_faults_report(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
         floors,
         cells: Vec::new(),
         fault_cells,
+        membership_cells: Vec::new(),
     }
 }
 
 /// Runs the whole campaign grid (every scenario × every protocol), plus the
-/// fault axis ([`run_fault_campaign`]).
+/// fault axis ([`run_fault_campaign`]) and the membership axis
+/// ([`run_membership_campaign`]).
 pub fn run_campaign(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
     let floors = FloorTable::STANDARD.competitive;
     let mut solver = PhaseSolver::new();
@@ -854,13 +1173,15 @@ pub fn run_campaign(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
             cells.push(cell);
         }
     }
-    let fault_cells = run_fault_campaign(quick, &floors, &mut solver, log);
+    let fault_cells = run_fault_campaign(quick, &floors, &mut solver, &log);
+    let membership_cells = run_membership_campaign(quick, &floors, &mut solver, &log);
     CompetitiveReport {
         bench: "competitive".to_string(),
         scale: if quick { "quick" } else { "full" }.to_string(),
         floors,
         cells,
         fault_cells,
+        membership_cells,
     }
 }
 
@@ -1029,6 +1350,11 @@ pub fn check_competitive_floors(report: &CompetitiveReport) -> Vec<String> {
         &floors,
         &report.scale,
     ));
+    failures.extend(check_membership_cells(
+        &report.membership_cells,
+        &floors,
+        &report.scale,
+    ));
     failures
 }
 
@@ -1164,6 +1490,147 @@ pub fn check_fault_cells(
     failures
 }
 
+/// Validates the membership axis of a report: per-cell consistency and
+/// ceilings, churn-plan coverage, and (full scale) exact grid sync. Shared
+/// between [`check_competitive_floors`] and the `--membership-only` smoke
+/// mode.
+pub fn check_membership_cells(
+    cells: &[MembershipCell],
+    floors: &CompetitiveFloors,
+    scale: &str,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut plans = BTreeSet::new();
+    for cell in cells {
+        let id = format!(
+            "{}+{}/{} (n={}, steps={})",
+            cell.scenario.generator.family(),
+            cell.plan_name,
+            cell.protocol,
+            cell.scenario.n,
+            cell.scenario.steps
+        );
+        plans.insert(cell.plan_name.clone());
+        if cell.plan_name != cell.plan.name() {
+            failures.push(format!(
+                "{id}: plan_name `{}` does not match the embedded spec's name `{}`",
+                cell.plan_name,
+                cell.plan.name()
+            ));
+        }
+        // A churn plan that never churns measures nothing — and its quiet
+        // cells would launder in as legitimate membership coverage.
+        if cell.leaves == 0 {
+            failures.push(format!(
+                "{id}: the plan executed no leave events — the membership axis is not exercised"
+            ));
+        }
+        if !cell.ratio.is_finite() || cell.ratio < 0.0 {
+            failures.push(format!("{id}: ratio {} is not a sane number", cell.ratio));
+            continue;
+        }
+        // The same anti-tamper consistency rules as fault cells, for both the
+        // ratio and the degradation factor.
+        let recomputed = cell.messages as f64 / cell.opt_lower.max(1) as f64;
+        if (cell.ratio - recomputed).abs() > 1e-9 {
+            failures.push(format!(
+                "{id}: ratio {} does not match messages/opt_lower = {recomputed} — the cell was edited or corrupted",
+                cell.ratio
+            ));
+        }
+        let redegraded = cell.messages as f64 / cell.clean_messages.max(1) as f64;
+        if (cell.degradation - redegraded).abs() > 1e-9 {
+            failures.push(format!(
+                "{id}: degradation {} does not match messages/clean_messages = {redegraded} — the cell was edited or corrupted",
+                cell.degradation
+            ));
+        }
+        if cell.ratio > cell.ceiling {
+            failures.push(format!(
+                "{id}: ratio {:.2} exceeds the committed ceiling {:.2}",
+                cell.ratio, cell.ceiling
+            ));
+        }
+        if cell.ceiling > floors.ceiling(cell.ratio) + 1e-9 {
+            failures.push(format!(
+                "{id}: ceiling {:.2} is looser than the standard formula allows ({:.2})",
+                cell.ceiling,
+                floors.ceiling(cell.ratio)
+            ));
+        }
+        if cell.degradation > cell.degradation_ceiling {
+            failures.push(format!(
+                "{id}: degradation {:.2} exceeds the committed ceiling {:.2} — rejoin replay traffic regressed",
+                cell.degradation, cell.degradation_ceiling
+            ));
+        }
+        if cell.degradation_ceiling > floors.ceiling(cell.degradation) + 1e-9 {
+            failures.push(format!(
+                "{id}: degradation ceiling {:.2} is looser than the standard formula allows ({:.2})",
+                cell.degradation_ceiling,
+                floors.ceiling(cell.degradation)
+            ));
+        }
+        // Churn is visible to the validator (masked rows), so the bar only
+        // absorbs the departure re-resolution transient — far tighter than
+        // the fault axis's.
+        let tolerated =
+            floors.membership_invalid_fraction_permille * cell.scenario.steps as u64 / 1000;
+        if cell.invalid_steps > tolerated {
+            failures.push(format!(
+                "{id}: {} of {} output steps invalid (tolerated: {} = {}‰) — membership re-resolution no longer contains the damage",
+                cell.invalid_steps,
+                cell.scenario.steps,
+                tolerated,
+                floors.membership_invalid_fraction_permille
+            ));
+        }
+        let poll_cost = cell.scenario.n as f64 * cell.scenario.steps as f64;
+        if cell.messages as f64 > floors.membership_poll_factor * poll_cost {
+            failures.push(format!(
+                "{id}: {} messages exceeds {} x the naive polling cost — even under churn, filters must beat polling",
+                cell.messages, floors.membership_poll_factor
+            ));
+        }
+    }
+    if plans.len() < floors.min_membership_plans {
+        failures.push(format!(
+            "only {} membership plans covered ({:?}), need {}",
+            plans.len(),
+            plans,
+            floors.min_membership_plans
+        ));
+    }
+    // A full-scale report must contain exactly the current membership grid.
+    if scale == "full" {
+        let expected = standard_membership_grid(false);
+        for (spec, plan) in &expected {
+            for protocol in ProtocolKind::ALL {
+                if !cells.iter().any(|c| {
+                    c.scenario == *spec && c.plan == *plan && c.protocol == protocol.name()
+                }) {
+                    failures.push(format!(
+                        "full-scale report is missing the {}+{}/{} membership cell (steps={}) the current grid defines — regenerate with --campaign",
+                        spec.generator.family(),
+                        plan.name(),
+                        protocol.name(),
+                        spec.steps
+                    ));
+                }
+            }
+        }
+        let expected_cells = expected.len() * ProtocolKind::ALL.len();
+        if cells.len() != expected_cells {
+            failures.push(format!(
+                "full-scale report has {} membership cells, the current grid defines {} — regenerate with --campaign",
+                cells.len(),
+                expected_cells
+            ));
+        }
+    }
+    failures
+}
+
 /// Cross-checks a freshly measured report against a committed baseline: every
 /// fresh cell must have a baseline cell with the identical scenario and
 /// protocol, and the fresh ratio must stay under the *committed* ceiling.
@@ -1233,6 +1700,36 @@ pub fn check_against_baseline(
         if cell.degradation > committed.degradation_ceiling {
             failures.push(format!(
                 "{id}: measured degradation {:.2} exceeds the committed ceiling {:.2} (committed degradation was {:.2}) — fault recovery regressed",
+                cell.degradation, committed.degradation_ceiling, committed.degradation
+            ));
+        }
+    }
+    for cell in &fresh.membership_cells {
+        let id = format!(
+            "{}+{}/{} (n={}, steps={})",
+            cell.scenario.generator.family(),
+            cell.plan_name,
+            cell.protocol,
+            cell.scenario.n,
+            cell.scenario.steps
+        );
+        let Some(committed) = baseline.membership_cells.iter().find(|b| {
+            b.scenario == cell.scenario && b.plan == cell.plan && b.protocol == cell.protocol
+        }) else {
+            failures.push(format!(
+                "{id}: no counterpart in the committed baseline — the membership grid changed; regenerate the committed report with --campaign"
+            ));
+            continue;
+        };
+        if cell.ratio > committed.ceiling {
+            failures.push(format!(
+                "{id}: measured ratio {:.2} exceeds the committed ceiling {:.2} (committed ratio was {:.2}) — a protocol regressed under churn",
+                cell.ratio, committed.ceiling, committed.ratio
+            ));
+        }
+        if cell.degradation > committed.degradation_ceiling {
+            failures.push(format!(
+                "{id}: measured degradation {:.2} exceeds the committed ceiling {:.2} (committed degradation was {:.2}) — rejoin recovery regressed",
                 cell.degradation, committed.degradation_ceiling, committed.degradation
             ));
         }
@@ -1372,6 +1869,10 @@ mod tests {
             report.fault_cells.len(),
             standard_fault_grid(true).len() * ProtocolKind::ALL.len()
         );
+        assert_eq!(
+            report.membership_cells.len(),
+            standard_membership_grid(true).len() * ProtocolKind::ALL.len()
+        );
         let failures = check_competitive_floors(&report);
         assert!(failures.is_empty(), "quick campaign failed: {failures:?}");
     }
@@ -1405,6 +1906,154 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_membership_grid() {
+        let floors = FloorTable::STANDARD.competitive;
+        let mut solver = PhaseSolver::new();
+        // The *full* grid, for the same reason as `calibrate_fault_grid`: the
+        // 240-step cells see far more churn cycles than the quick transient.
+        for (spec, plan) in standard_membership_grid(false) {
+            for protocol in ProtocolKind::ALL {
+                let clean = run_cell(&spec, protocol, &floors, &mut solver);
+                let cell = run_membership_cell(
+                    &spec,
+                    &plan,
+                    protocol,
+                    &floors,
+                    &mut solver,
+                    clean.messages,
+                );
+                let poll = cell.messages as f64 / (spec.n as f64 * spec.steps as f64);
+                println!(
+                    "{:?}+{}/{:?}: msgs {} (clean {}), degr {:.2}, poll x{:.2}, invalid {}/{}, leaves {} joins {} rec {}",
+                    spec.generator, cell.plan_name, protocol, cell.messages, cell.clean_messages,
+                    cell.degradation, poll, cell.invalid_steps, spec.steps, cell.leaves,
+                    cell.joins, cell.recovery_messages,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn membership_grid_covers_two_plans_and_anchors_quick_cells() {
+        let quick = standard_membership_grid(true);
+        let full = standard_membership_grid(false);
+        let plans: BTreeSet<String> = quick.iter().map(|(_, p)| p.name()).collect();
+        assert!(
+            plans.len() >= FloorTable::STANDARD.competitive.min_membership_plans,
+            "membership grid must span the plan coverage floor: {plans:?}"
+        );
+        for pair in &quick {
+            assert!(
+                full.contains(pair),
+                "quick membership cell missing from the full grid (the ratchet needs it): {pair:?}"
+            );
+        }
+        for (spec, plan) in &full {
+            // The live floor must keep the monitored top-k defined.
+            assert!(
+                plan.min_live > spec.k,
+                "live floor {} must exceed k = {}",
+                plan.min_live,
+                spec.k
+            );
+            // Plans must actually churn within the quick horizon.
+            assert!(plan.build(spec.n, 60).total_events() > 0);
+        }
+    }
+
+    #[test]
+    fn membership_cells_are_deterministic_and_attribute_recovery() {
+        let floors = FloorTable::STANDARD.competitive;
+        let mut solver = PhaseSolver::new();
+        let (spec, plan) = standard_membership_grid(true)
+            .into_iter()
+            .next()
+            .expect("membership grid is non-empty");
+        let clean = run_cell(&spec, ProtocolKind::Combined, &floors, &mut solver);
+        let a = run_membership_cell(
+            &spec,
+            &plan,
+            ProtocolKind::Combined,
+            &floors,
+            &mut solver,
+            clean.messages,
+        );
+        let b = run_membership_cell(
+            &spec,
+            &plan,
+            ProtocolKind::Combined,
+            &floors,
+            &mut solver,
+            clean.messages,
+        );
+        assert_eq!(a, b, "membership cells must be bit-deterministic");
+        assert!(a.leaves > 0, "the plan must churn within the quick horizon");
+        assert!(a.joins > 0, "4-step downtimes must rejoin within the run");
+        assert!(
+            a.recovery_messages > 0,
+            "rejoins must replay group and filter under the recovery label"
+        );
+        assert_eq!(a.clean_messages, clean.messages);
+        assert!((a.degradation - a.messages as f64 / clean.messages as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_floor_check_rejects_tampering() {
+        let floors = FloorTable::STANDARD.competitive;
+        let mut solver = PhaseSolver::new();
+        let grid = standard_membership_grid(true);
+        let mut base = Vec::new();
+        for (spec, plan) in grid.iter().take(2) {
+            let clean = run_cell(spec, ProtocolKind::Dense, &floors, &mut solver);
+            base.push(run_membership_cell(
+                spec,
+                plan,
+                ProtocolKind::Dense,
+                &floors,
+                &mut solver,
+                clean.messages,
+            ));
+        }
+        assert!(
+            check_membership_cells(&base, &floors, "quick").is_empty(),
+            "two honest cells across two plans pass the quick check"
+        );
+        // Hand-raised degradation ceiling.
+        let mut cells = base.clone();
+        cells[0].degradation_ceiling *= 10.0;
+        assert!(check_membership_cells(&cells, &floors, "quick")
+            .iter()
+            .any(|f| f.contains("looser than the standard formula")));
+        // Masking a message regression by editing degradation too.
+        let mut cells = base.clone();
+        cells[0].messages *= 10;
+        assert!(check_membership_cells(&cells, &floors, "quick")
+            .iter()
+            .any(|f| f.contains("edited or corrupted")));
+        // Invalid steps beyond the permille bar.
+        let mut cells = base.clone();
+        cells[0].invalid_steps = cells[0].scenario.steps as u64;
+        assert!(check_membership_cells(&cells, &floors, "quick")
+            .iter()
+            .any(|f| f.contains("re-resolution no longer contains the damage")));
+        // A plan that never churned is rejected.
+        let mut cells = base.clone();
+        cells[0].leaves = 0;
+        assert!(check_membership_cells(&cells, &floors, "quick")
+            .iter()
+            .any(|f| f.contains("no leave events")));
+        // One plan is below the coverage floor.
+        assert!(check_membership_cells(&base[..1], &floors, "quick")
+            .iter()
+            .any(|f| f.contains("membership plans covered")));
+        // A quick grid relabelled as full is rejected.
+        assert!(check_membership_cells(&base, &floors, "full")
+            .iter()
+            .any(|f| f.contains("regenerate with --campaign")));
     }
 
     #[test]
@@ -1617,6 +2266,13 @@ mod tests {
         assert!(check_against_baseline(&fresh, &stale)
             .iter()
             .any(|f| f.contains("no counterpart in the committed baseline")));
+        // A membership-axis regression past the committed headroom fails.
+        let mut regressed = fresh.clone();
+        regressed.membership_cells[0].degradation =
+            committed.membership_cells[0].degradation_ceiling + 0.01;
+        assert!(check_against_baseline(&regressed, &committed)
+            .iter()
+            .any(|f| f.contains("rejoin recovery regressed")));
     }
 
     #[test]
@@ -1633,18 +2289,34 @@ mod tests {
             &mut solver,
             clean.messages,
         );
+        let membership_cell = run_membership_cell(
+            &spec,
+            &MembershipPlanSpec {
+                seed: 11,
+                leave_permille: 50,
+                downtime: 3,
+                min_live: 12,
+            },
+            ProtocolKind::TopKProtocol,
+            &floors,
+            &mut solver,
+            clean.messages,
+        );
         let report = CompetitiveReport {
             bench: "competitive".into(),
             scale: "quick".into(),
             floors,
             cells: vec![clean],
             fault_cells: vec![fault_cell],
+            membership_cells: vec![membership_cell],
         };
         let json = to_json(&report);
         assert!(json.contains("\"ceiling\""));
         assert!(json.contains("Gap"));
         assert!(json.contains("\"fault_family\""));
         assert!(json.contains("\"degradation\""));
+        assert!(json.contains("\"plan_name\""));
+        assert!(json.contains("\"leaves\""));
         let back: CompetitiveReport = serde_json::from_str(&json).expect("reports deserialise");
         assert_eq!(back, report);
     }

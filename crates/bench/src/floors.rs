@@ -87,6 +87,22 @@ pub struct CompetitiveFloors {
     /// fault-free protocols, but staying within a constant factor of naive
     /// polling is still the point of the filter approach.
     pub fault_poll_factor: f64,
+    /// Minimum number of distinct membership churn plans the report's
+    /// membership axis must cover (a mild and an aggressive plan at least —
+    /// one intensity cannot show whether recovery cost scales with churn).
+    pub min_membership_plans: usize,
+    /// Maximum tolerated invalid output steps in a *membership* cell, in
+    /// permille of the cell's steps. Both driver and engines validate against
+    /// the masked row (dead slots pinned to 0), so unlike the fault axis the
+    /// churn itself never excuses an invalid output — the small bar only
+    /// absorbs the single-step re-resolution transient when a top-k member
+    /// departs and the violation machinery replaces it.
+    pub membership_invalid_fraction_permille: u64,
+    /// `max_poll_factor` analogue for membership cells: every join replays
+    /// the leaver's group and filter under the `Recovery` label and the
+    /// protocols re-resolve the vacated ranks, but the total must still stay
+    /// within a constant factor of naive polling.
+    pub membership_poll_factor: f64,
 }
 
 impl CompetitiveFloors {
@@ -127,6 +143,9 @@ impl FloorTable {
             min_fault_families: 3,
             fault_invalid_fraction_permille: 250,
             fault_poll_factor: 4.0,
+            min_membership_plans: 2,
+            membership_invalid_fraction_permille: 100,
+            membership_poll_factor: 4.0,
         },
     };
 }
@@ -164,5 +183,13 @@ mod tests {
         assert!(t.competitive.min_fault_families >= 3);
         assert!(t.competitive.fault_invalid_fraction_permille < 1000);
         assert!(t.competitive.fault_poll_factor >= t.competitive.max_poll_factor);
+        // The membership axis validates against masked rows, so its invalid
+        // bar must be strictly tighter than the fault axis's.
+        assert!(t.competitive.min_membership_plans >= 2);
+        assert!(
+            t.competitive.membership_invalid_fraction_permille
+                < t.competitive.fault_invalid_fraction_permille
+        );
+        assert!(t.competitive.membership_poll_factor >= t.competitive.max_poll_factor);
     }
 }

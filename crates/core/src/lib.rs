@@ -59,6 +59,7 @@ pub use dense::DenseMonitor;
 pub use exact_topk::ExactTopKMonitor;
 pub use half_eps::HalfEpsMonitor;
 pub use monitor::{
-    run_adaptive, run_adaptive_observed, run_on_rows, Monitor, RunReport, StepObservation,
+    run_adaptive, run_adaptive_observed, run_on_rows, run_with_membership,
+    run_with_membership_observed, Monitor, RunReport, StepObservation,
 };
 pub use topk_protocol::TopKMonitor;

@@ -142,10 +142,58 @@ pub fn run_adaptive_observed(
     monitor: &mut dyn Monitor,
     net: &mut dyn Network,
     validation_eps: Epsilon,
+    next_row: impl FnMut(&[Filter]) -> Option<Vec<Value>>,
+    observer: impl FnMut(StepObservation<'_>),
+) -> RunReport {
+    // A run without membership events: the population stays full and the
+    // masking below is a no-op, so this is exactly the historical driver.
+    run_with_membership_observed(
+        monitor,
+        net,
+        validation_eps,
+        next_row,
+        |_| Vec::new(),
+        observer,
+    )
+}
+
+/// Drives `monitor` over an adaptive source *and* a membership schedule.
+///
+/// `events_at(step)` returns the [`MembershipEvent`]s taking effect at the
+/// given 0-based step; they are applied — to the engine via
+/// [`Network::apply_membership`] and to a driver-owned [`Population`] copy —
+/// *before* the step's observation row is delivered, so a joiner observes
+/// the row of the step it joins at. Validation is against the *masked* row
+/// (dead slots pinned to `0`): that is the value vector the model actually
+/// holds, and the ε-top-k definition applies to it unchanged.
+///
+/// # Panics
+///
+/// Panics on a malformed schedule (joining a live slot, a dead slot
+/// leaving) — the same panic every engine raises, so driver and engine can
+/// never silently disagree on who is live.
+pub fn run_with_membership(
+    monitor: &mut dyn Monitor,
+    net: &mut dyn Network,
+    validation_eps: Epsilon,
+    next_row: impl FnMut(&[Filter]) -> Option<Vec<Value>>,
+    events_at: impl FnMut(u64) -> Vec<MembershipEvent>,
+) -> RunReport {
+    run_with_membership_observed(monitor, net, validation_eps, next_row, events_at, |_| {})
+}
+
+/// [`run_with_membership`] with a per-step observer (see
+/// [`run_adaptive_observed`] for the observer contract).
+pub fn run_with_membership_observed(
+    monitor: &mut dyn Monitor,
+    net: &mut dyn Network,
+    validation_eps: Epsilon,
     mut next_row: impl FnMut(&[Filter]) -> Option<Vec<Value>>,
+    mut events_at: impl FnMut(u64) -> Vec<MembershipEvent>,
     mut observer: impl FnMut(StepObservation<'_>),
 ) -> RunReport {
     let k = monitor.k();
+    let mut population = Population::new(net.n());
     let mut report = RunReport {
         steps: 0,
         invalid_steps: 0,
@@ -158,9 +206,22 @@ pub fn run_adaptive_observed(
     let mut filters: Vec<Filter> = Vec::new();
     loop {
         net.peek_filters_into(&mut filters);
-        let Some(row) = next_row(&filters) else {
+        let Some(mut row) = next_row(&filters) else {
             break;
         };
+        let events = events_at(report.steps);
+        if !events.is_empty() {
+            for &event in &events {
+                population.apply(event);
+            }
+            net.apply_membership(&events);
+        }
+        // The engines mask dead slots themselves; masking here too makes the
+        // validated/observed row the model's value vector, not the raw
+        // workload output.
+        if population.live_count() != population.n() {
+            population.mask_row(&mut row);
+        }
         net.advance_time(&row);
         monitor.process_step(net);
         let output = monitor.output();
@@ -307,6 +368,61 @@ mod tests {
         assert_eq!(report.steps, 3);
         // Probe-all costs 6 messages per step; the observer saw the ramp.
         assert_eq!(report.messages(), 18);
+    }
+
+    #[test]
+    fn membership_driver_masks_validation_and_applies_events() {
+        // Node 2 dominates, leaves at step 1, rejoins at step 3. The
+        // probe-all monitor must stay valid throughout because validation is
+        // against the masked row, and the probes must see the masked values.
+        let rows = vec![vec![1, 2, 1000]; 5];
+        let mut net = DeterministicEngine::new(3, 1);
+        let mut monitor = ProbeAllMonitor::new(1, Epsilon::HALF);
+        let mut iter = rows.into_iter();
+        let mut observed: Vec<(u64, Vec<Value>, Vec<NodeId>)> = Vec::new();
+        let report = run_with_membership_observed(
+            &mut monitor,
+            &mut net,
+            Epsilon::HALF,
+            move |_| iter.next(),
+            |step| match step {
+                1 => vec![MembershipEvent::Leave(NodeId(2))],
+                3 => vec![MembershipEvent::Join(NodeId(2))],
+                _ => Vec::new(),
+            },
+            |obs| observed.push((obs.step, obs.row.to_vec(), obs.output.to_vec())),
+        );
+        assert_eq!(report.steps, 5);
+        assert_eq!(report.invalid_steps, 0, "masked validation must hold");
+        assert_eq!(observed[0].1, vec![1, 2, 1000]);
+        assert_eq!(observed[1].1, vec![1, 2, 0], "dead slot masked");
+        assert_eq!(observed[2].1, vec![1, 2, 0]);
+        assert_eq!(observed[3].1, vec![1, 2, 1000], "joiner observes again");
+        assert_eq!(
+            observed[1].2,
+            vec![NodeId(1)],
+            "top-1 re-resolves to node 1"
+        );
+        assert_eq!(observed[3].2, vec![NodeId(2)]);
+        assert_eq!(net.peek_value(NodeId(2)), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn membership_driver_rejects_malformed_schedules() {
+        let mut net = DeterministicEngine::new(2, 1);
+        let mut monitor = ProbeAllMonitor::new(1, Epsilon::HALF);
+        let mut steps = 0;
+        run_with_membership(
+            &mut monitor,
+            &mut net,
+            Epsilon::HALF,
+            move |_| {
+                steps += 1;
+                (steps <= 2).then(|| vec![1, 2])
+            },
+            |_| vec![MembershipEvent::Join(NodeId(0))],
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   per-node filters).
 //! * [`ChurnFlatlineWorkload`] — nodes collapse into the ε-neighbourhood of the
 //!   pivot and flat-line out of it again, so `σ(t)` breathes over time.
+//! * [`MembershipWorkload`] — not a value workload but a *membership
+//!   schedule*: validated per-step join/leave events (explicit or seeded
+//!   churn plans) for `run_with_membership` drivers.
 //!
 //! Non-adaptive workloads implement [`Workload`] and can be pre-materialised into
 //! a [`Trace`]; the adversary implements [`AdaptiveWorkload`] because its next
@@ -41,6 +44,7 @@ pub(crate) mod band;
 pub mod burst;
 pub mod churn;
 pub mod gap;
+pub mod membership;
 pub mod noise;
 pub mod random_walk;
 pub mod regime;
@@ -51,6 +55,7 @@ pub use adversarial::LowerBoundAdversary;
 pub use burst::CorrelatedBurstWorkload;
 pub use churn::ChurnFlatlineWorkload;
 pub use gap::GapWorkload;
+pub use membership::MembershipWorkload;
 pub use noise::NoiseOscillationWorkload;
 pub use random_walk::RandomWalkWorkload;
 pub use regime::{Regime, RegimeSwitchWorkload};

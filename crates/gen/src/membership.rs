@@ -1,0 +1,248 @@
+//! Membership schedules: when nodes join and leave the population.
+//!
+//! The value workloads in this crate decide *what* every node observes;
+//! a [`MembershipWorkload`] decides *who is there to observe it*. It is a
+//! pre-validated per-step schedule of [`MembershipEvent`]s, designed to be
+//! plugged into `topk_core::monitor::run_with_membership` next to any value
+//! workload: the driver applies the step's events first, then delivers the
+//! step's row (masked for dead slots by the engines).
+//!
+//! Two constructors cover the two experimental needs:
+//!
+//! * [`MembershipWorkload::from_schedule`] — an explicit event list, for
+//!   hand-crafted scenarios ("the k-th node leaves at step 10");
+//! * [`MembershipWorkload::churn`] — a seeded random churn plan: live slots
+//!   leave with a per-step probability and rejoin after a fixed downtime,
+//!   with a floor on the live population so the top-k stays defined.
+//!
+//! Both validate well-formedness at construction by simulating a
+//! [`Population`], so a malformed schedule fails loudly here rather than
+//! deep inside an engine.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topk_model::prelude::*;
+
+/// A validated per-step schedule of membership events (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipWorkload {
+    n: usize,
+    /// `per_step[t]` — the events taking effect at step `t`, in application
+    /// order. Steps beyond the planned horizon have no events.
+    per_step: Vec<Vec<MembershipEvent>>,
+    total: usize,
+}
+
+impl MembershipWorkload {
+    /// Builds a schedule from explicit `(step, event)` pairs.
+    ///
+    /// Events are applied in ascending step order; events naming the same
+    /// step keep their order in `events`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is malformed: an event names a slot `>= n`, a
+    /// live slot joins, or a dead slot leaves (validated by replaying the
+    /// schedule against a [`Population`], the exact check every engine runs).
+    pub fn from_schedule(n: usize, events: &[(u64, MembershipEvent)]) -> MembershipWorkload {
+        let steps = events.iter().map(|&(t, _)| t + 1).max().unwrap_or(0) as usize;
+        let mut per_step: Vec<Vec<MembershipEvent>> = vec![Vec::new(); steps];
+        let mut sorted: Vec<(u64, usize, MembershipEvent)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, e))| (t, i, e))
+            .collect();
+        sorted.sort_by_key(|&(t, i, _)| (t, i));
+        for (t, _, event) in sorted {
+            per_step[t as usize].push(event);
+        }
+        let total = events.len();
+        let w = MembershipWorkload { n, per_step, total };
+        w.validate();
+        w
+    }
+
+    /// Builds a seeded random churn plan over `steps` steps: every live slot
+    /// leaves with probability `leave_permille`/1000 per step and rejoins
+    /// exactly `downtime` steps later (if the run is still going). At least
+    /// `min_live` slots stay live at all times — departures that would sink
+    /// the population below the floor are skipped, so the monitored top-k
+    /// can stay well-defined.
+    ///
+    /// The plan is a pure function of its arguments: the same inputs yield
+    /// the same schedule on every engine and every platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_live == 0` or `min_live > n`, if `downtime == 0`
+    /// (a zero-step absence is not an event), or if
+    /// `leave_permille > 1000`.
+    pub fn churn(
+        n: usize,
+        steps: u64,
+        seed: u64,
+        leave_permille: u32,
+        downtime: u64,
+        min_live: usize,
+    ) -> MembershipWorkload {
+        assert!(min_live >= 1, "at least one node must stay live");
+        assert!(min_live <= n, "the live floor cannot exceed the population");
+        assert!(downtime >= 1, "a leaver must stay away at least one step");
+        assert!(leave_permille <= 1000, "leave_permille is a probability");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut per_step: Vec<Vec<MembershipEvent>> = vec![Vec::new(); steps as usize];
+        let mut live = vec![true; n];
+        let mut live_count = n;
+        // `returns[t]` — slots rejoining at step t.
+        let mut returns: Vec<Vec<usize>> = vec![Vec::new(); steps as usize];
+        let mut total = 0;
+        for t in 0..steps as usize {
+            for &i in &returns[t] {
+                per_step[t].push(MembershipEvent::Join(NodeId(i)));
+                live[i] = true;
+                live_count += 1;
+                total += 1;
+            }
+            for (i, slot) in live.iter_mut().enumerate() {
+                if !*slot || live_count <= min_live || leave_permille == 0 {
+                    continue;
+                }
+                if rng.gen_ratio(leave_permille, 1000) {
+                    per_step[t].push(MembershipEvent::Leave(NodeId(i)));
+                    *slot = false;
+                    live_count -= 1;
+                    total += 1;
+                    let back = t + downtime as usize;
+                    if back < steps as usize {
+                        returns[back].push(i);
+                    }
+                }
+            }
+        }
+        let w = MembershipWorkload { n, per_step, total };
+        w.validate();
+        w
+    }
+
+    /// Total number of slots the schedule is for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of events over the whole plan.
+    pub fn total_events(&self) -> usize {
+        self.total
+    }
+
+    /// The events taking effect at `step` (empty beyond the planned horizon).
+    pub fn events_at(&self, step: u64) -> &[MembershipEvent] {
+        self.per_step
+            .get(step as usize)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// An `events_at` closure in the shape
+    /// `topk_core::monitor::run_with_membership` expects.
+    pub fn driver(&self) -> impl FnMut(u64) -> Vec<MembershipEvent> + '_ {
+        move |step| self.events_at(step).to_vec()
+    }
+
+    /// Replays the whole schedule against a fresh [`Population`] — panics on
+    /// any malformation, with the same message an engine would produce.
+    fn validate(&self) {
+        let mut population = Population::new(self.n);
+        for events in &self.per_step {
+            for &event in events {
+                assert!(
+                    event.node().index() < self.n,
+                    "membership event for slot {} out of range (n = {})",
+                    event.node().index(),
+                    self.n
+                );
+                population.apply(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_schedules_keep_step_assignment_and_order() {
+        let w = MembershipWorkload::from_schedule(
+            4,
+            &[
+                (2, MembershipEvent::Leave(NodeId(1))),
+                (0, MembershipEvent::Leave(NodeId(3))),
+                (2, MembershipEvent::Join(NodeId(3))),
+            ],
+        );
+        assert_eq!(w.n(), 4);
+        assert_eq!(w.total_events(), 3);
+        assert_eq!(w.events_at(0), &[MembershipEvent::Leave(NodeId(3))]);
+        assert_eq!(w.events_at(1), &[] as &[MembershipEvent]);
+        assert_eq!(
+            w.events_at(2),
+            &[
+                MembershipEvent::Leave(NodeId(1)),
+                MembershipEvent::Join(NodeId(3)),
+            ]
+        );
+        assert_eq!(w.events_at(99), &[] as &[MembershipEvent]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn malformed_explicit_schedules_are_rejected_at_construction() {
+        let _ = MembershipWorkload::from_schedule(2, &[(0, MembershipEvent::Join(NodeId(0)))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slots_are_rejected_at_construction() {
+        let _ = MembershipWorkload::from_schedule(2, &[(0, MembershipEvent::Leave(NodeId(5)))]);
+    }
+
+    #[test]
+    fn churn_plans_are_deterministic_and_respect_the_live_floor() {
+        let a = MembershipWorkload::churn(16, 100, 0xC0FFEE, 80, 5, 10);
+        let b = MembershipWorkload::churn(16, 100, 0xC0FFEE, 80, 5, 10);
+        assert_eq!(a, b, "same arguments must give the same plan");
+        assert!(a.total_events() > 0, "an 8% rate over 100 steps must churn");
+        // Replay and check the floor at every step.
+        let mut population = Population::new(16);
+        for t in 0..100 {
+            for &event in a.events_at(t) {
+                population.apply(event);
+            }
+            assert!(population.live_count() >= 10, "floor violated at step {t}");
+        }
+    }
+
+    #[test]
+    fn churn_leavers_return_after_the_downtime() {
+        let w = MembershipWorkload::churn(8, 200, 7, 100, 3, 2);
+        for t in 0..200u64 {
+            for &event in w.events_at(t) {
+                if let MembershipEvent::Leave(node) = event {
+                    let back = t + 3;
+                    if back < 200 {
+                        assert!(
+                            w.events_at(back).contains(&MembershipEvent::Join(node)),
+                            "slot {node} left at {t} but did not rejoin at {back}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_churn_is_empty() {
+        let w = MembershipWorkload::churn(8, 50, 1, 0, 5, 1);
+        assert_eq!(w.total_events(), 0);
+    }
+}

@@ -17,6 +17,8 @@
 //!   representation of filter assignments used by the protocols,
 //! * [`topk`] — the semantics of the (ε-approximate) top-k-position set:
 //!   `π(k,t)`, `E(t)`, `A(t)`, `K(t)`, `σ(t)` and output validation,
+//! * [`membership`] — dynamic population churn: [`MembershipEvent`] and the
+//!   live/generation map [`Population`],
 //! * [`message`] — the wire messages exchanged between server and nodes,
 //! * [`cost`] — message/round accounting used for competitive-ratio measurements.
 //!
@@ -42,6 +44,7 @@ pub mod epsilon;
 pub mod error;
 pub mod fault;
 pub mod filter;
+pub mod membership;
 pub mod message;
 pub mod rule;
 pub mod soa;
@@ -53,6 +56,7 @@ pub use epsilon::Epsilon;
 pub use error::ModelError;
 pub use fault::{CrashSpec, FaultSpec, FaultStats, LatencySpec};
 pub use filter::{Filter, FilterSet, Violation};
+pub use membership::{MembershipEvent, Population};
 pub use message::{NodeMessage, ServerMessage};
 pub use rule::{filter_for, FilterParams, NodeGroup};
 pub use soa::NodeStateSoA;
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use crate::error::ModelError;
     pub use crate::fault::{CrashSpec, FaultSpec, FaultStats, LatencySpec};
     pub use crate::filter::{Filter, FilterSet, Violation};
+    pub use crate::membership::{MembershipEvent, Population};
     pub use crate::message::{NodeMessage, ServerMessage};
     pub use crate::rule::{filter_for, FilterParams, NodeGroup};
     pub use crate::topk::{OutputValidity, TopKView};

@@ -1,0 +1,217 @@
+//! Dynamic population membership: join/leave events and the live-slot map.
+//!
+//! The paper fixes the population of `n` nodes for the whole run. This module
+//! relaxes that: a slot `i ∈ 0..n` can *leave* the population (its stream ends)
+//! and later be *joined* by a fresh node reusing the slot. The server-side view
+//! of who is currently live — and how many times each slot has been recycled —
+//! is a [`Population`].
+//!
+//! ## Semantics (normative, see `docs/FAULTS.md`)
+//!
+//! * **Leave** — the slot's stream collapses to the constant `0` and the slot
+//!   stops receiving workload observations. The slot stays *protocol-reachable*
+//!   (it participates in existence rounds and answers probes with `0`), which
+//!   is what lets every engine keep its RNG streams bit-identical. If the
+//!   leaver held a top-k position, the value drop to `0` trips its lower filter
+//!   bound and the ordinary violation machinery re-resolves the output — no
+//!   protocol changes are needed.
+//! * **Join** — the slot is resurrected with a *fresh identity*: its
+//!   generation counter increments and its node-local RNG is reseeded from
+//!   `(master seed, id, generation)`, so a joiner shares no randomness with any
+//!   previous occupant of the slot. The joiner starts from blank monitoring
+//!   state and is immediately brought up to date by the server (current group +
+//!   filter), charged under the `Recovery` cost label.
+//!
+//! Generation `0` is the original population, so a run without membership
+//! events is bit-for-bit the same as before this module existed.
+
+use crate::types::{NodeId, Value};
+use serde::{Deserialize, Serialize};
+
+/// A single change to the monitored population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MembershipEvent {
+    /// A fresh node joins, reusing slot `NodeId` (which must currently be
+    /// dead). Its generation counter increments and its RNG is reseeded.
+    Join(NodeId),
+    /// The node in slot `NodeId` (which must currently be live) leaves the
+    /// population for good; its stream collapses to the constant `0`.
+    Leave(NodeId),
+}
+
+impl MembershipEvent {
+    /// The slot this event concerns.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        match self {
+            MembershipEvent::Join(id) | MembershipEvent::Leave(id) => *id,
+        }
+    }
+}
+
+/// Live/dead state and generation counters for every slot of the population.
+///
+/// Every engine (and the server-side mirror of the remote engine) holds its own
+/// copy and applies the same [`MembershipEvent`] sequence, so all copies agree
+/// bit-for-bit — exactly like the node state itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    /// `live[i]` — whether slot `i` currently holds a live node.
+    live: Vec<bool>,
+    /// `generation[i]` — how many times slot `i` has been joined. Generation 0
+    /// is the original node, so fresh populations reseed nothing.
+    generation: Vec<u32>,
+    /// Number of `true` entries in `live`, kept incrementally.
+    live_count: usize,
+}
+
+impl Population {
+    /// A fresh population of `n` live nodes, all at generation 0.
+    pub fn new(n: usize) -> Population {
+        Population {
+            live: vec![true; n],
+            generation: vec![0; n],
+            live_count: n,
+        }
+    }
+
+    /// Total number of slots (live or dead).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of currently live nodes.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether slot `id` currently holds a live node.
+    #[inline]
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.live[id.index()]
+    }
+
+    /// The generation of the node currently (or last) occupying slot `id`.
+    #[inline]
+    pub fn generation(&self, id: NodeId) -> u32 {
+        self.generation[id.index()]
+    }
+
+    /// Identifiers of all currently live slots, in id order.
+    pub fn live_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, live)| **live)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Applies one membership event and returns the slot's generation *after*
+    /// the event (unchanged for a leave, incremented for a join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live slot is joined or a dead slot leaves — membership
+    /// schedules must be well-formed, and every engine validates identically so
+    /// a malformed schedule fails the same way everywhere.
+    pub fn apply(&mut self, event: MembershipEvent) -> u32 {
+        let i = event.node().index();
+        assert!(
+            i < self.live.len(),
+            "membership event for slot {i} out of range"
+        );
+        match event {
+            MembershipEvent::Join(_) => {
+                assert!(!self.live[i], "join of slot {i} which is already live");
+                self.live[i] = true;
+                self.live_count += 1;
+                self.generation[i] = self.generation[i]
+                    .checked_add(1)
+                    .expect("generation counter overflow");
+            }
+            MembershipEvent::Leave(_) => {
+                assert!(self.live[i], "leave of slot {i} which is already dead");
+                self.live[i] = false;
+                self.live_count -= 1;
+            }
+        }
+        self.generation[i]
+    }
+
+    /// Masks an observation row in place: dead slots observe the constant `0`
+    /// regardless of what the workload produced for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.n()`.
+    pub fn mask_row(&self, row: &mut [Value]) {
+        assert_eq!(row.len(), self.live.len(), "row length != population size");
+        for (v, live) in row.iter_mut().zip(&self.live) {
+            if !live {
+                *v = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_population_is_all_live_generation_zero() {
+        let p = Population::new(4);
+        assert_eq!(p.n(), 4);
+        assert_eq!(p.live_count(), 4);
+        for id in NodeId::all(4) {
+            assert!(p.is_live(id));
+            assert_eq!(p.generation(id), 0);
+        }
+        assert_eq!(p.live_ids().count(), 4);
+    }
+
+    #[test]
+    fn leave_then_join_bumps_generation() {
+        let mut p = Population::new(3);
+        assert_eq!(p.apply(MembershipEvent::Leave(NodeId(1))), 0);
+        assert!(!p.is_live(NodeId(1)));
+        assert_eq!(p.live_count(), 2);
+        assert_eq!(p.live_ids().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(p.apply(MembershipEvent::Join(NodeId(1))), 1);
+        assert!(p.is_live(NodeId(1)));
+        assert_eq!(p.generation(NodeId(1)), 1);
+        assert_eq!(p.live_count(), 3);
+    }
+
+    #[test]
+    fn mask_row_zeroes_dead_slots_only() {
+        let mut p = Population::new(3);
+        p.apply(MembershipEvent::Leave(NodeId(2)));
+        let mut row = vec![10, 20, 30];
+        p.mask_row(&mut row);
+        assert_eq!(row, vec![10, 20, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn double_join_panics() {
+        let mut p = Population::new(2);
+        p.apply(MembershipEvent::Join(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already dead")]
+    fn double_leave_panics() {
+        let mut p = Population::new(2);
+        p.apply(MembershipEvent::Leave(NodeId(0)));
+        p.apply(MembershipEvent::Leave(NodeId(0)));
+    }
+
+    #[test]
+    fn event_node_accessor() {
+        assert_eq!(MembershipEvent::Join(NodeId(3)).node(), NodeId(3));
+        assert_eq!(MembershipEvent::Leave(NodeId(5)).node(), NodeId(5));
+    }
+}

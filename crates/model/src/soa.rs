@@ -252,6 +252,20 @@ impl NodeStateSoA {
         flag
     }
 
+    /// Resets slot `i` to the fresh-node state of [`NodeStateSoA::new`]:
+    /// value 0, the all-embracing filter, group `Lower`, no pending violation.
+    ///
+    /// This is the state a joining node starts from after a membership
+    /// [`crate::membership::MembershipEvent::Join`] — the server then brings it
+    /// up to date through the ordinary assignment paths.
+    pub fn reset_node(&mut self, i: usize) {
+        self.values[i] = 0;
+        // `set_filter` refreshes the pending flag from the new value and marks
+        // the chunk's zone-map entry dirty.
+        self.set_filter(i, Filter::FULL);
+        self.groups[i] = NodeGroup::Lower;
+    }
+
     /// Iterates over `(node, filter)` pairs (for bulk inspection APIs).
     pub fn filters(&self) -> impl Iterator<Item = (NodeId, Filter)> + '_ {
         (0..self.len()).map(|i| (NodeId(i), self.filter(i)))
@@ -460,6 +474,22 @@ mod tests {
         for v in [0, 10, 25, 40, 41] {
             assert_eq!(s.set_value(0, v), s.filter(0).check(v));
         }
+    }
+
+    #[test]
+    fn reset_node_restores_fresh_state() {
+        let mut s = NodeStateSoA::new(2);
+        s.set_value(1, 99);
+        s.set_filter(1, Filter::bounded(10, 40).unwrap());
+        s.set_group(1, NodeGroup::Upper);
+        assert_eq!(s.pending(1), Some(Violation::FromBelow));
+        s.reset_node(1);
+        assert_eq!(s.value(1), 0);
+        assert_eq!(s.filter(1), Filter::FULL);
+        assert_eq!(s.group(1), NodeGroup::Lower);
+        assert_eq!(s.pending(1), None);
+        // The untouched slot is unaffected and the whole state equals fresh.
+        assert_eq!(s, NodeStateSoA::new(2));
     }
 
     #[test]

@@ -16,6 +16,9 @@ use topk_model::prelude::*;
 pub struct DeterministicEngine {
     nodes: Vec<SimNode>,
     meter: CostMeter,
+    /// Retained for reseeding joining nodes from `(master seed, id, generation)`.
+    master_seed: u64,
+    population: Population,
 }
 
 impl DeterministicEngine {
@@ -36,6 +39,8 @@ impl DeterministicEngine {
                 .map(|id| SimNode::new(id, master_seed))
                 .collect(),
             meter: CostMeter::new(),
+            master_seed,
+            population: Population::new(n),
         }
     }
 
@@ -60,8 +65,13 @@ impl Network for DeterministicEngine {
             self.nodes.len(),
             "one observation per node required"
         );
-        for (node, &v) in self.nodes.iter_mut().zip(values) {
-            node.observe(v);
+        for (i, (node, &v)) in self.nodes.iter_mut().zip(values).enumerate() {
+            // Dead slots stop receiving workload observations: they observe 0.
+            node.observe(if self.population.is_live(NodeId(i)) {
+                v
+            } else {
+                0
+            });
         }
         self.meter.record_time_step();
     }
@@ -71,9 +81,38 @@ impl Network for DeterministicEngine {
         // value, same filter, same pending flag), so only the changed nodes need
         // a call.
         for &(node, v) in changes {
+            let v = if self.population.is_live(node) { v } else { 0 };
             self.nodes[node.index()].observe(v);
         }
         self.meter.record_time_step();
+    }
+
+    fn apply_membership(&mut self, events: &[MembershipEvent]) {
+        for &event in events {
+            match event {
+                MembershipEvent::Leave(node) => {
+                    self.population.apply(event);
+                    // The leaver's stream ends: it observes 0, which trips its
+                    // filter if the slot held a top-k position (free — the
+                    // violation traffic that follows is charged normally).
+                    self.nodes[node.index()].observe(0);
+                }
+                MembershipEvent::Join(node) => {
+                    let generation = self.population.apply(event);
+                    let i = node.index();
+                    let group = self.nodes[i].group();
+                    let filter = self.nodes[i].filter();
+                    self.nodes[i].rejoin_generation(self.master_seed, generation);
+                    // Bring the joiner up to date: replay the slot's current
+                    // group and filter under the Recovery label (2 unicasts),
+                    // mirroring the crash-rejoin replay of FaultyTransport.
+                    self.meter.push_label(ProtocolLabel::Recovery);
+                    self.assign_group(node, group);
+                    self.assign_filter(node, filter);
+                    self.meter.pop_label();
+                }
+            }
+        }
     }
 
     fn broadcast_params(&mut self, params: FilterParams) {

@@ -342,6 +342,25 @@ impl<N: Network> Network for FaultyTransport<N> {
         self.inner.advance_time_sparse(&delivered);
     }
 
+    fn apply_membership(&mut self, events: &[MembershipEvent]) {
+        // Membership is an environment change, not transport traffic: the
+        // events are forwarded verbatim and consume no fault randomness (the
+        // zero-fault transparency contract extends to churn). The inner
+        // engine performs the join replay on its reliable recovery channel —
+        // the same channel `rejoin_node` uses — so it is never dropped.
+        //
+        // Composition bookkeeping: a leaver's intended observation is 0 from
+        // now on (a crashed node that left catches up to 0 on rejoin), and a
+        // joiner has observed nothing yet, so its intended value is 0 until
+        // the next observation is delivered.
+        if self.active {
+            for event in events {
+                self.intended[event.node().index()] = 0;
+            }
+        }
+        self.inner.apply_membership(events);
+    }
+
     fn broadcast_params(&mut self, params: FilterParams) {
         // Broadcasts are reliable (see the module docs): forward verbatim,
         // mirror the derived filters as the rejoin replay target.

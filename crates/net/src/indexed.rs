@@ -44,7 +44,7 @@
 //! against the baseline over randomized schedules.
 
 use crate::network::Network;
-use crate::node::{existence_coin, node_seed};
+use crate::node::{existence_coin, node_seed, node_seed_gen};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeSet;
@@ -72,6 +72,9 @@ pub struct IndexedEngine {
     /// Scratch for the ids active in the current round (reused, never shrunk).
     scratch_ids: Vec<usize>,
     meter: CostMeter,
+    /// Retained for reseeding joining nodes from `(master seed, id, generation)`.
+    master_seed: u64,
+    population: Population,
 }
 
 impl IndexedEngine {
@@ -101,6 +104,8 @@ impl IndexedEngine {
             by_value_dirty: true,
             scratch_ids: Vec::new(),
             meter: CostMeter::new(),
+            master_seed,
+            population: Population::new(n),
         }
     }
 
@@ -228,6 +233,13 @@ impl Network for IndexedEngine {
             "one observation per node required"
         );
         for (i, &v) in values.iter().enumerate() {
+            // Dead slots stop receiving workload observations (they hold 0, so
+            // the masked value never differs and the slot is simply skipped).
+            let v = if self.population.is_live(NodeId(i)) {
+                v
+            } else {
+                0
+            };
             if self.state.value(i) != v {
                 self.apply_value(i, v);
                 self.by_value_dirty = true;
@@ -239,12 +251,53 @@ impl Network for IndexedEngine {
     fn advance_time_sparse(&mut self, changes: &[(NodeId, Value)]) {
         for &(node, v) in changes {
             let i = node.index();
+            let v = if self.population.is_live(node) { v } else { 0 };
             if self.state.value(i) != v {
                 self.apply_value(i, v);
                 self.by_value_dirty = true;
             }
         }
         self.meter.record_time_step();
+    }
+
+    fn apply_membership(&mut self, events: &[MembershipEvent]) {
+        for &event in events {
+            match event {
+                MembershipEvent::Leave(node) => {
+                    self.population.apply(event);
+                    let i = node.index();
+                    // The leaver observes 0; skipping the write when the value
+                    // is already 0 leaves the pending invariant untouched.
+                    if self.state.value(i) != 0 {
+                        self.apply_value(i, 0);
+                        self.by_value_dirty = true;
+                    }
+                }
+                MembershipEvent::Join(node) => {
+                    let generation = self.population.apply(event);
+                    let i = node.index();
+                    let group = self.state.group(i);
+                    let filter = self.state.filter(i);
+                    let was = self.state.pending(i).is_some();
+                    if self.state.value(i) != 0 {
+                        self.by_value_dirty = true;
+                    }
+                    self.state.reset_node(i);
+                    self.note_pending(i, was, false);
+                    self.rngs[i] = ChaCha8Rng::seed_from_u64(node_seed_gen(
+                        self.master_seed,
+                        node,
+                        generation,
+                    ));
+                    // Recovery replay of the slot's current group and filter,
+                    // exactly as the baseline engine charges it.
+                    self.meter.push_label(ProtocolLabel::Recovery);
+                    self.assign_group(node, group);
+                    self.assign_filter(node, filter);
+                    self.meter.pop_label();
+                }
+            }
+        }
     }
 
     fn broadcast_params(&mut self, params: FilterParams) {

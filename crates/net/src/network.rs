@@ -48,6 +48,31 @@ pub trait Network {
         self.advance_time(&values);
     }
 
+    /// Applies a batch of membership events, in order (see
+    /// `topk_model::membership` and the normative section of `docs/FAULTS.md`).
+    ///
+    /// * [`MembershipEvent::Leave`] — the slot's value collapses to `0` (as if
+    ///   the node observed `0`) and the slot stops receiving workload
+    ///   observations; dead slots answer probes with `0` and keep flipping
+    ///   their existence coins, so RNG streams stay engine-independent. The
+    ///   event itself is free: if the leaver held a top-k position, the value
+    ///   drop trips its filter and the ordinary violation traffic (charged to
+    ///   the protocol that resolves it) re-establishes a correct output.
+    /// * [`MembershipEvent::Join`] — the slot's generation increments, its RNG
+    ///   is reseeded from `(master seed, id, generation)` and its monitoring
+    ///   state resets to fresh (last broadcast parameters retained); the
+    ///   engine then immediately replays the slot's current group and filter
+    ///   through the ordinary assignment paths under the `Recovery` label
+    ///   (exactly 2 downstream unicasts per join).
+    ///
+    /// Every engine implements this bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed schedule: joining a live slot, a dead slot
+    /// leaving, or a slot id out of range.
+    fn apply_membership(&mut self, events: &[MembershipEvent]);
+
     /// Broadcasts new filter parameters to all nodes (cost: 1 broadcast).
     fn broadcast_params(&mut self, params: FilterParams);
 

@@ -114,6 +114,25 @@ impl SimNode {
         }
     }
 
+    /// Re-creates this node as the generation-`generation` joiner of its slot:
+    /// fresh monitoring state (value 0, the all-embracing filter, group
+    /// `Lower`, no pending violation) and an RNG reseeded from
+    /// `(master_seed, id, generation)`, so the joiner shares no randomness with
+    /// any previous occupant of the slot.
+    ///
+    /// The last broadcast parameters are *retained*: the broadcast channel is
+    /// reliable in this model, and a joiner synchronises the current parameters
+    /// on arrival (the same doctrine `docs/FAULTS.md` establishes for
+    /// crash-rejoin). The server separately replays the slot's group and filter
+    /// under the `Recovery` cost label.
+    pub fn rejoin_generation(&mut self, master_seed: u64, generation: u32) {
+        self.value = 0;
+        self.filter = Filter::FULL;
+        self.group = NodeGroup::Lower;
+        self.pending_violation = None;
+        self.rng = ChaCha8Rng::seed_from_u64(node_seed_gen(master_seed, self.id, generation));
+    }
+
     /// Participates in round `round` of an existence run: if the predicate holds
     /// locally, send a message with probability `min(1, 2^round / population)`.
     fn existence_round(
@@ -150,6 +169,19 @@ pub(crate) fn node_seed(master_seed: u64, id: NodeId) -> u64 {
     master_seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(id.index() as u64 + 1)
+}
+
+/// Seed of the generation-`generation` occupant of slot `id`: the master seed
+/// is displaced by a per-generation odd constant before the [`node_seed`] mix,
+/// so generation 0 is *exactly* `node_seed(master_seed, id)` (fresh engines are
+/// bit-for-bit unchanged) while every later generation draws from an unrelated
+/// stream. Shared by every engine and by the remote shard clients, which
+/// compute it independently and must agree with the server's bookkeeping.
+pub(crate) fn node_seed_gen(master_seed: u64, id: NodeId, generation: u32) -> u64 {
+    node_seed(
+        master_seed.wrapping_add(u64::from(generation).wrapping_mul(0xA076_1D64_78BD_642F)),
+        id,
+    )
 }
 
 /// The Lemma 3.1 coin: whether a node whose predicate holds sends a message in

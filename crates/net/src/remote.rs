@@ -49,6 +49,36 @@
 //! depend on real socket timing and are therefore not bit-reproducible;
 //! correctness (replies, node state, non-recovery `CommStats`) is.
 //!
+//! ## Membership, reconnects and version negotiation
+//!
+//! [`Network::apply_membership`] churns the *model* population: leavers'
+//! streams collapse to `0`, joiners are reseeded from `(master seed, id,
+//! generation)` and brought up to date under the `Recovery` label — the
+//! normative semantics in `docs/FAULTS.md`, applied here by shipping the
+//! events to the owning shard as [`ServerOp::Membership`] so both sides of
+//! the socket make the identical state transitions.
+//!
+//! Orthogonally, [`RemoteEngine::disconnect_shard`] /
+//! [`RemoteEngine::reconnect_shard`] churn the *transport*: once every slot
+//! of a shard has left the population, its connection can be torn down
+//! through an orderly goodbye ([`Frame::Shutdown`] out, [`Frame::Leave`]
+//! back) and later re-established with a fresh client. Two defenses keep a
+//! stale reconnected shard from poisoning the stream: the `Join` handshake
+//! names the shard (a connection claiming the wrong shard is refused), and
+//! the replacement connection inherits the retired one's sequence counter,
+//! so any reply a previous incarnation left in flight is numbered below
+//! every awaited sequence and falls into the duplicate-discard path.
+//! Reconnection is free in the model — parameters are replayed as
+//! connection state transfer; the slots stay dead until membership `Join`
+//! events re-admit them (charging their recovery replay normally).
+//!
+//! The `Join` handshake also negotiates the wire version: the client frames
+//! its `Join` at [`LEGACY_WIRE_VERSION`] (readable by any server) while
+//! advertising its maximum, the server answers every subsequent frame at
+//! `min(`[`WIRE_VERSION`]`, advertised max)`, and the client mirrors the
+//! version the server's frames arrive in — version-2 peers on either side
+//! interoperate, version-3 pairs get CRC-trailed frames.
+//!
 //! ## Why the engine is bit-identical to the in-process baseline
 //!
 //! The clients drive the very same [`SimNode`] state machine on the very
@@ -85,13 +115,73 @@ use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
 use topk_model::rule::filter_for;
 use topk_model::soa::NodeStateSoA;
-use topk_wire::{read_frame, write_frame, Frame, FrameAccumulator, ServerOp, WireError};
+use topk_wire::{
+    read_frame, read_frame_versioned, write_frame_versioned, Frame, FrameAccumulator, ServerOp,
+    WireError, LEGACY_WIRE_VERSION, WIRE_VERSION,
+};
 
-/// How many polls the server sends for one missing reply before declaring
-/// the peer dead. With the client always transmitting poll answers, one poll
-/// per genuinely lost frame suffices; the headroom absorbs slow-scheduler
-/// timing where several deadlines elapse while an answer is in flight.
-const MAX_POLLS: u32 = 32;
+/// Deterministic retry schedule for the reply-wait and reconnect paths.
+///
+/// Attempt `i` (0-indexed) waits `min(base · multiplierⁱ, cap)`; after
+/// `max_attempts` misses the peer is declared dead and the engine panics.
+/// The schedule is pure data — two engines configured with the same policy
+/// arm the same sequence of deadlines, so fault experiments can state their
+/// retry behaviour exactly instead of inheriting a hardcoded constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline of the first attempt.
+    pub base: Duration,
+    /// Multiplicative backoff applied per further attempt (1 = fixed).
+    pub multiplier: u32,
+    /// Ceiling no deadline exceeds, however many attempts have passed.
+    pub cap: Duration,
+    /// Attempts before the peer is declared dead.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Creates a policy, validating every field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero (not a valid socket deadline), `multiplier`
+    /// is zero (deadlines would collapse to zero), `cap < base`, or
+    /// `max_attempts` is zero (the first miss would be fatal).
+    pub fn new(base: Duration, multiplier: u32, cap: Duration, max_attempts: u32) -> RetryPolicy {
+        assert!(!base.is_zero(), "retry base deadline must be non-zero");
+        assert!(multiplier >= 1, "retry multiplier must be at least 1");
+        assert!(cap >= base, "retry cap must be at least the base deadline");
+        assert!(max_attempts >= 1, "at least one retry attempt is required");
+        RetryPolicy {
+            base,
+            multiplier,
+            cap,
+            max_attempts,
+        }
+    }
+
+    /// Capped exponential backoff from `base`: doubling deadlines up to
+    /// `base × 8`, 32 attempts. The drop-in replacement for the former
+    /// fixed-deadline, 32-poll rule — same first deadline, same give-up
+    /// point, but patient with a peer that is slow rather than lossy.
+    pub fn backoff_from(base: Duration) -> RetryPolicy {
+        RetryPolicy::new(base, 2, base.saturating_mul(8), 32)
+    }
+
+    /// The deadline armed for 0-indexed `attempt`.
+    pub fn deadline(&self, attempt: u32) -> Duration {
+        self.base
+            .saturating_mul(self.multiplier.saturating_pow(attempt.min(32)))
+            .min(self.cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 20 ms doubling to a 160 ms cap, 32 attempts.
+    fn default() -> RetryPolicy {
+        RetryPolicy::backoff_from(Duration::from_millis(20))
+    }
+}
 
 /// Transport-level counters of a [`RemoteEngine`] (all connections summed).
 ///
@@ -109,6 +199,13 @@ pub struct TransportStats {
     pub bytes_sent: u64,
     /// Bytes read, including length prefixes and frame headers.
     pub bytes_received: u64,
+    /// Reply deadlines that elapsed and were degraded to [`Frame::Poll`]
+    /// retries ([`RetryPolicy`] attempts past the first). Zero on a reliable
+    /// transport; timing-dependent on a lossy one.
+    pub polls_sent: u64,
+    /// Times this connection was torn down and re-established through the
+    /// reconnect path.
+    pub reconnects: u64,
 }
 
 impl TransportStats {
@@ -121,6 +218,16 @@ impl TransportStats {
     pub fn bytes(&self) -> u64 {
         self.bytes_sent + self.bytes_received
     }
+
+    /// Folds `other` into `self`, field by field.
+    fn absorb(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.polls_sent += other.polls_sent;
+        self.reconnects += other.reconnects;
+    }
 }
 
 /// One framed server-side connection to a shard client.
@@ -131,17 +238,23 @@ struct Conn {
     /// parks the partial frame instead of desynchronising the stream.
     reader: TcpStream,
     acc: FrameAccumulator,
+    /// Wire version negotiated in the `Join` handshake: every frame this
+    /// connection writes is framed at `min(WIRE_VERSION, client max)`, so a
+    /// legacy (version 2) client keeps working without CRC trailers.
+    wire_version: u8,
     /// Next sequence number for a `wants_reply` batch (0 is reserved for
-    /// fire-and-forget batches).
+    /// fire-and-forget batches). Survives reconnects — a replacement
+    /// connection inherits the old one's counter, so any stale reply a
+    /// previous incarnation produced is numbered below every sequence this
+    /// one awaits and falls into the duplicate-discard path instead of
+    /// poisoning the stream.
     next_seq: u64,
-    /// Cumulative [`Frame::Poll`]s sent on this connection.
-    polls_sent: u64,
     stats: TransportStats,
 }
 
 impl Conn {
     fn send(&mut self, frame: &Frame) {
-        let bytes = write_frame(&mut self.writer, frame)
+        let bytes = write_frame_versioned(&mut self.writer, frame, self.wire_version)
             .unwrap_or_else(|e| panic!("remote transport: failed to send frame: {e}"));
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += bytes as u64;
@@ -162,22 +275,36 @@ impl Conn {
 
     /// Receives the reply for `seq`, degrading a missed deadline to a
     /// [`Frame::Poll`] (charged as a recovery downstream unicast on `meter`)
-    /// and discarding duplicate answers to earlier polls.
+    /// and discarding duplicate answers to earlier polls. Each further wait
+    /// re-arms the socket with the policy's next backoff deadline; the base
+    /// deadline is restored once the reply lands.
     ///
     /// Without a configured read timeout this never observes a deadline and
     /// behaves exactly like the blocking v1 reader.
-    fn recv_replies(&mut self, seq: u64, meter: &mut CostMeter) -> Vec<NodeMessage> {
-        let mut polls_this_wait = 0u32;
+    fn recv_replies(
+        &mut self,
+        seq: u64,
+        meter: &mut CostMeter,
+        policy: Option<&RetryPolicy>,
+    ) -> Vec<NodeMessage> {
+        let mut attempts = 0u32;
         loop {
             match self.acc.read_frame(&mut self.reader) {
                 Ok(Some((frame, bytes))) => {
                     self.stats.frames_received += 1;
                     self.stats.bytes_received += bytes as u64;
                     match frame {
-                        Frame::Replies { seq: got, replies } if got == seq => return replies,
+                        Frame::Replies { seq: got, replies } if got == seq => {
+                            if attempts > 0 {
+                                let policy = policy.expect("attempts imply a policy");
+                                self.arm_deadline(policy.deadline(0));
+                            }
+                            return replies;
+                        }
                         Frame::Replies { seq: got, .. } if got < seq => {
                             // A duplicate answer to an earlier poll (both the
-                            // original and the poll answer arrived): discard.
+                            // original and the poll answer arrived), or a
+                            // stale reply from before a reconnect: discard.
                         }
                         Frame::Replies { seq: got, .. } => {
                             panic!("remote transport: reply {got} from the future (awaiting {seq})")
@@ -187,21 +314,32 @@ impl Conn {
                 }
                 Ok(None) => {
                     // Deadline missed: the reply (or the batch's effect) may
-                    // be lost. Degrade to a poll instead of hanging.
-                    polls_this_wait += 1;
+                    // be lost. Degrade to a poll instead of hanging, and back
+                    // off so a slow-but-healthy peer is not buried in polls.
+                    let policy =
+                        policy.expect("remote transport: deadline observed without a retry policy");
+                    attempts += 1;
                     assert!(
-                        polls_this_wait <= MAX_POLLS,
-                        "remote transport: no reply for seq {seq} within {MAX_POLLS} deadlines — peer unresponsive"
+                        attempts <= policy.max_attempts,
+                        "remote transport: no reply for seq {seq} within {} deadlines — peer unresponsive",
+                        policy.max_attempts
                     );
+                    self.arm_deadline(policy.deadline(attempts));
                     meter.push_label(ProtocolLabel::Recovery);
                     meter.record(MessageKind::DownstreamUnicast);
                     meter.pop_label();
-                    self.polls_sent += 1;
+                    self.stats.polls_sent += 1;
                     self.send(&Frame::Poll { seq });
                 }
                 Err(e) => panic!("remote transport: failed to read reply frame: {e}"),
             }
         }
+    }
+
+    fn arm_deadline(&mut self, deadline: Duration) {
+        self.reader
+            .set_read_timeout(Some(deadline))
+            .expect("remote transport: cannot set read timeout");
     }
 }
 
@@ -212,11 +350,33 @@ pub struct RemoteEngine {
     /// Last broadcast parameters (for the mirror's filter re-derivation).
     params: Option<FilterParams>,
     /// One connection per shard, indexed by shard; `bounds[s]..bounds[s+1]`
-    /// is the node range of shard `s`.
-    conns: Vec<Conn>,
+    /// is the node range of shard `s`. `None` while a shard is disconnected
+    /// (between [`RemoteEngine::disconnect_shard`] and
+    /// [`RemoteEngine::reconnect_shard`]).
+    conns: Vec<Option<Conn>>,
     bounds: Vec<usize>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<Option<JoinHandle<()>>>,
     meter: CostMeter,
+    /// Retained for reseeding joining nodes and respawning shard clients.
+    master_seed: u64,
+    /// Live/generation map driving observation masking and join replay.
+    population: Population,
+    /// Scratch row for masking dead slots out of dense observations.
+    masked_row: Vec<Value>,
+    /// Kept open for the reconnect path (dropping it would close the port).
+    listener: TcpListener,
+    /// `(seed, drop_permille)` of the fault spec, if lossy — respawned shard
+    /// clients inherit it.
+    faults: Option<(u64, u32)>,
+    /// Reply-deadline/backoff schedule; `None` means blocking reads.
+    policy: Option<RetryPolicy>,
+    /// Per-shard counters of connections that were since torn down, so
+    /// transport totals never move backwards across reconnects.
+    retired: Vec<TransportStats>,
+    /// Per-shard sequence floor carried across reconnects: a replacement
+    /// connection resumes numbering here, keeping every awaited sequence
+    /// strictly above anything a previous incarnation could have produced.
+    seq_floor: Vec<u64>,
 }
 
 impl std::fmt::Debug for RemoteEngine {
@@ -286,14 +446,38 @@ impl RemoteEngine {
         spec: &FaultSpec,
         timeout: Duration,
     ) -> RemoteEngine {
-        spec.validate();
         assert!(!timeout.is_zero(), "reply deadline must be non-zero");
+        RemoteEngine::with_fault_policy(
+            n,
+            master_seed,
+            shards,
+            spec,
+            RetryPolicy::backoff_from(timeout),
+        )
+    }
+
+    /// Like [`RemoteEngine::with_fault_spec`], but with an explicit
+    /// [`RetryPolicy`] instead of the default capped-exponential schedule
+    /// derived from a single deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is malformed, if `shards == 0`, or if the
+    /// handshake fails.
+    pub fn with_fault_policy(
+        n: usize,
+        master_seed: u64,
+        shards: usize,
+        spec: &FaultSpec,
+        policy: RetryPolicy,
+    ) -> RemoteEngine {
+        spec.validate();
         RemoteEngine::build(
             n,
             master_seed,
             shards,
             Some((spec.seed, spec.drop_upstream_permille)),
-            Some(timeout),
+            Some(policy),
         )
     }
 
@@ -302,7 +486,7 @@ impl RemoteEngine {
         master_seed: u64,
         shards: usize,
         faults: Option<(u64, u32)>,
-        timeout: Option<Duration>,
+        policy: Option<RetryPolicy>,
     ) -> RemoteEngine {
         assert!(shards > 0, "at least one shard connection is required");
         let listener =
@@ -311,65 +495,45 @@ impl RemoteEngine {
             .local_addr()
             .expect("remote transport: listener has no local address");
         let bounds = shard_bounds(n, shards);
-        let handles: Vec<JoinHandle<()>> = (0..shards)
+        let handles: Vec<Option<JoinHandle<()>>> = (0..shards)
             .map(|s| {
                 let (lo, hi) = (bounds[s], bounds[s + 1]);
-                std::thread::Builder::new()
-                    .name(format!("topk-shard-{s}"))
-                    .spawn(move || run_shard_client(addr, s as u32, lo, hi, master_seed, faults))
-                    .expect("remote transport: cannot spawn shard client")
+                let gens = vec![0u32; hi - lo];
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("topk-shard-{s}"))
+                        .spawn(move || {
+                            run_shard_client(addr, s as u32, lo, hi, master_seed, faults, gens)
+                        })
+                        .expect("remote transport: cannot spawn shard client"),
+                )
             })
             .collect();
         // Accept every client and slot it by the shard index in its Join
         // frame — accept order is scheduler-dependent, the handshake is not.
         let mut slots: Vec<Option<Conn>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
-            let (stream, _) = listener
-                .accept()
-                .expect("remote transport: accept failed during handshake");
-            stream
-                .set_nodelay(true)
-                .expect("remote transport: cannot set TCP_NODELAY");
-            let mut conn = Conn {
-                reader: stream
-                    .try_clone()
-                    .expect("remote transport: cannot clone stream"),
-                writer: BufWriter::new(stream),
-                acc: FrameAccumulator::new(),
-                next_seq: 1,
-                polls_sent: 0,
-                stats: TransportStats::default(),
-            };
-            let (frame, bytes) = read_frame(&mut conn.reader)
-                .unwrap_or_else(|e| panic!("remote transport: bad join frame: {e}"));
-            conn.stats.frames_received += 1;
-            conn.stats.bytes_received += bytes as u64;
-            let Frame::Join { shard } = frame else {
-                panic!("remote transport: expected a join frame, got {frame:?}");
-            };
+            let (conn, shard) = accept_shard(&listener, policy.as_ref());
             let slot = &mut slots[shard as usize];
             assert!(slot.is_none(), "shard {shard} joined twice");
             *slot = Some(conn);
         }
-        let conns: Vec<Conn> = slots
-            .into_iter()
-            .map(|c| c.expect("all shards joined"))
-            .collect();
-        // Arm the reply deadline only after the blocking handshake is done.
-        if let Some(deadline) = timeout {
-            for conn in &conns {
-                conn.reader
-                    .set_read_timeout(Some(deadline))
-                    .expect("remote transport: cannot set read timeout");
-            }
-        }
+        debug_assert!(slots.iter().all(Option::is_some), "all shards joined");
         RemoteEngine {
             mirror: NodeStateSoA::new(n),
             params: None,
-            conns,
+            conns: slots,
             bounds,
             handles,
             meter: CostMeter::new(),
+            master_seed,
+            population: Population::new(n),
+            masked_row: Vec::new(),
+            listener,
+            faults,
+            policy,
+            retired: vec![TransportStats::default(); shards],
+            seq_floor: vec![1; shards],
         }
     }
 
@@ -378,21 +542,30 @@ impl RemoteEngine {
         self.conns.len()
     }
 
-    /// Total [`Frame::Poll`] retries sent over all connections. Zero on a
-    /// reliable transport; timing-dependent (not bit-reproducible) on a
-    /// lossy one.
+    /// Total [`Frame::Poll`] retries sent over all connections (including
+    /// retired ones). Zero on a reliable transport; timing-dependent (not
+    /// bit-reproducible) on a lossy one.
     pub fn polls_sent(&self) -> u64 {
-        self.conns.iter().map(|c| c.polls_sent).sum()
+        self.transport_stats().polls_sent
     }
 
-    /// Aggregated wire-level counters over all shard connections.
+    /// Aggregated wire-level counters over all shard connections, including
+    /// the retired incarnations of reconnected shards.
     pub fn transport_stats(&self) -> TransportStats {
         let mut total = TransportStats::default();
-        for conn in &self.conns {
-            total.frames_sent += conn.stats.frames_sent;
-            total.frames_received += conn.stats.frames_received;
-            total.bytes_sent += conn.stats.bytes_sent;
-            total.bytes_received += conn.stats.bytes_received;
+        for s in 0..self.conns.len() {
+            total.absorb(&self.shard_transport_stats(s));
+        }
+        total
+    }
+
+    /// Wire-level counters of shard `s` alone: its live connection plus any
+    /// retired incarnations. Lets experiments attribute polls and
+    /// reconnects to the shard that suffered them.
+    pub fn shard_transport_stats(&self, s: usize) -> TransportStats {
+        let mut total = self.retired[s];
+        if let Some(conn) = &self.conns[s] {
+            total.absorb(&conn.stats);
         }
         total
     }
@@ -402,9 +575,22 @@ impl RemoteEngine {
         self.bounds[s]..self.bounds[s + 1]
     }
 
+    /// The live connection of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is disconnected — every model operation requires
+    /// the full population's transport to be up; churn is expressed with
+    /// membership events, not silently skipped traffic.
+    fn conn(&mut self, s: usize) -> &mut Conn {
+        self.conns[s]
+            .as_mut()
+            .unwrap_or_else(|| panic!("remote transport: shard {s} is disconnected"))
+    }
+
     /// Sends a fire-and-forget single-op batch to one shard.
     fn command(&mut self, shard: usize, op: ServerOp) {
-        self.conns[shard].send(&Frame::Batch {
+        self.conn(shard).send(&Frame::Batch {
             wants_reply: false,
             seq: 0,
             ops: vec![op],
@@ -418,6 +604,123 @@ impl RemoteEngine {
                 continue;
             }
             self.command(s, ServerOp::Broadcast { msg });
+        }
+    }
+
+    /// Tears down shard `s`'s connection through the orderly goodbye path:
+    /// a [`Frame::Shutdown`] out, the client's [`Frame::Leave`] back, then
+    /// the thread is joined and the connection retired. The transport-level
+    /// counterpart of the slots having left the population — which is why
+    /// every slot of the shard must be dead first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot in the shard's range is still live, if the shard
+    /// is already disconnected, or on a transport error during the goodbye.
+    pub fn disconnect_shard(&mut self, s: usize) {
+        for i in self.range(s) {
+            assert!(
+                !self.population.is_live(NodeId(i)),
+                "disconnect of shard {s} requires slot {i} to have left the population"
+            );
+        }
+        let mut conn = self.conns[s]
+            .take()
+            .unwrap_or_else(|| panic!("shard {s} is already disconnected"));
+        conn.send(&Frame::Shutdown);
+        // The goodbye is read without a deadline: the client answers
+        // promptly or the connection is genuinely broken (a panic either
+        // way, not a poll).
+        conn.reader
+            .set_read_timeout(None)
+            .expect("remote transport: cannot clear read timeout");
+        loop {
+            match conn.acc.read_frame(&mut conn.reader) {
+                Ok(Some((frame, bytes))) => {
+                    conn.stats.frames_received += 1;
+                    conn.stats.bytes_received += bytes as u64;
+                    match frame {
+                        Frame::Leave { shard } => {
+                            assert_eq!(shard as usize, s, "leave frame from the wrong shard");
+                            break;
+                        }
+                        // Stale poll answers may still be in flight: drain.
+                        Frame::Replies { .. } => {}
+                        other => {
+                            panic!("remote transport: expected a leave frame, got {other:?}")
+                        }
+                    }
+                }
+                Ok(None) => unreachable!("no deadline is armed"),
+                Err(e) => panic!("remote transport: goodbye handshake failed: {e}"),
+            }
+        }
+        self.retired[s].absorb(&conn.stats);
+        // The replacement connection continues this sequence counter; see
+        // the field docs on `Conn::next_seq`.
+        self.seq_floor[s] = conn.next_seq;
+        drop(conn);
+        if let Some(handle) = self.handles[s].take() {
+            handle
+                .join()
+                .expect("remote transport: shard client panicked");
+        }
+    }
+
+    /// Re-establishes shard `s`'s connection after
+    /// [`RemoteEngine::disconnect_shard`]: spawns a fresh client (seeded
+    /// with the slots' current generations), accepts it with the retry
+    /// policy's capped backoff, re-runs the `Join` handshake (a connection
+    /// claiming a different shard is refused), and replays the current
+    /// filter parameters so later group reassignments re-derive filters
+    /// exactly like every other engine. Free in the model — the parameter
+    /// replay is connection state transfer, not protocol traffic; the
+    /// *slots* are still dead until membership `Join` events re-admit them
+    /// (and those charge their recovery replay normally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not disconnected or the client fails to
+    /// connect within the policy's attempt budget.
+    pub fn reconnect_shard(&mut self, s: usize) {
+        assert!(
+            self.conns[s].is_none(),
+            "shard {s} is still connected — disconnect it first"
+        );
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("remote transport: listener has no local address");
+        let (lo, hi) = (self.bounds[s], self.bounds[s + 1]);
+        let gens: Vec<u32> = (lo..hi)
+            .map(|i| self.population.generation(NodeId(i)))
+            .collect();
+        let master_seed = self.master_seed;
+        let faults = self.faults;
+        self.handles[s] = Some(
+            std::thread::Builder::new()
+                .name(format!("topk-shard-{s}"))
+                .spawn(move || run_shard_client(addr, s as u32, lo, hi, master_seed, faults, gens))
+                .expect("remote transport: cannot spawn shard client"),
+        );
+        let (mut conn, shard) = accept_shard(&self.listener, self.policy.as_ref());
+        assert_eq!(
+            shard as usize, s,
+            "remote transport: reconnect handshake answered by a stale shard"
+        );
+        conn.next_seq = self.seq_floor[s];
+        self.retired[s].reconnects += 1;
+        self.conns[s] = Some(conn);
+        // Connection state transfer: the fresh client's nodes never saw the
+        // parameter broadcast the population retains, so replay it
+        // (uncharged — the model's nodes never lost it).
+        if let Some(params) = self.params {
+            self.command(
+                s,
+                ServerOp::Broadcast {
+                    msg: ServerMessage::BroadcastParams(params),
+                },
+            );
         }
     }
 
@@ -452,6 +755,18 @@ impl Network for RemoteEngine {
             self.mirror.len(),
             "one observation per node required"
         );
+        // Dead slots stop receiving workload observations: mask their
+        // entries to 0 before the row crosses the wire or hits the mirror.
+        // The fast path (full population) skips the copy entirely.
+        let mut scratch = std::mem::take(&mut self.masked_row);
+        let values = if self.population.live_count() == self.population.n() {
+            values
+        } else {
+            scratch.clear();
+            scratch.extend_from_slice(values);
+            self.population.mask_row(&mut scratch);
+            scratch.as_slice()
+        };
         for s in 0..self.conns.len() {
             let range = self.range(s);
             if range.is_empty() {
@@ -468,6 +783,7 @@ impl Network for RemoteEngine {
                 self.mirror.set_value(i, v);
             }
         }
+        self.masked_row = scratch;
         self.meter.record_time_step();
     }
 
@@ -475,8 +791,11 @@ impl Network for RemoteEngine {
         // Route each change to its owning shard; one frame per shard that
         // has any. Per-shard order preserves the caller's order, so
         // duplicate entries still resolve last-wins like the baseline.
+        // Changes naming dead slots are masked to 0, not dropped, so the
+        // value path stays uniform across engines.
         let mut routed: Vec<Vec<(NodeId, Value)>> = vec![Vec::new(); self.conns.len()];
         for &(node, v) in changes {
+            let v = if self.population.is_live(node) { v } else { 0 };
             routed[self.owner(node)].push((node, v));
             self.mirror.set_value(node.index(), v);
         }
@@ -486,6 +805,52 @@ impl Network for RemoteEngine {
             }
         }
         self.meter.record_time_step();
+    }
+
+    fn apply_membership(&mut self, events: &[MembershipEvent]) {
+        for &event in events {
+            let node = event.node();
+            let owner = self.owner(node);
+            match event {
+                MembershipEvent::Leave(_) => {
+                    self.population.apply(event);
+                    // The leaver's stream ends: the client node observes 0
+                    // (possibly tripping its filter), and the mirror tracks
+                    // the delivered value. Free, like any observation.
+                    self.command(
+                        owner,
+                        ServerOp::Membership {
+                            events: vec![event],
+                        },
+                    );
+                    if self.mirror.value(node.index()) != 0 {
+                        self.mirror.set_value(node.index(), 0);
+                    }
+                }
+                MembershipEvent::Join(_) => {
+                    self.population.apply(event);
+                    let i = node.index();
+                    let group = self.mirror.group(i);
+                    let filter = self.mirror.filter(i);
+                    // The client reseeds the slot from (master seed, id,
+                    // generation) and resets it; the mirror does the same.
+                    self.command(
+                        owner,
+                        ServerOp::Membership {
+                            events: vec![event],
+                        },
+                    );
+                    self.mirror.reset_node(i);
+                    // Bring the joiner up to date: replay the slot's current
+                    // group and filter under the Recovery label (2 unicasts),
+                    // mirroring the crash-rejoin replay of FaultyTransport.
+                    self.meter.push_label(ProtocolLabel::Recovery);
+                    self.assign_group(node, group);
+                    self.assign_filter(node, filter);
+                    self.meter.pop_label();
+                }
+            }
+        }
     }
 
     fn broadcast_params(&mut self, params: FilterParams) {
@@ -535,11 +900,15 @@ impl Network for RemoteEngine {
     fn probe(&mut self, node: NodeId) -> Value {
         self.meter.record(MessageKind::DownstreamUnicast);
         let owner = self.owner(node);
-        let seq = self.conns[owner].send_query(vec![ServerOp::Unicast {
+        let policy = self.policy;
+        let conn = self.conns[owner]
+            .as_mut()
+            .unwrap_or_else(|| panic!("remote transport: shard {owner} is disconnected"));
+        let seq = conn.send_query(vec![ServerOp::Unicast {
             node,
             msg: ServerMessage::Probe,
         }]);
-        let replies = self.conns[owner].recv_replies(seq, &mut self.meter);
+        let replies = conn.recv_replies(seq, &mut self.meter, policy.as_ref());
         self.meter.record(MessageKind::Upstream);
         match replies.as_slice() {
             [NodeMessage::ValueReport { value, .. }] => *value,
@@ -569,17 +938,21 @@ impl Network for RemoteEngine {
             if self.range(s).is_empty() {
                 continue;
             }
-            self.conns[s].send_query(vec![ServerOp::Broadcast { msg }]);
+            self.conn(s).send_query(vec![ServerOp::Broadcast { msg }]);
         }
         replies.clear();
+        let policy = self.policy;
         for s in 0..self.conns.len() {
             if self.range(s).is_empty() {
                 continue;
             }
+            let conn = self.conns[s]
+                .as_mut()
+                .unwrap_or_else(|| panic!("remote transport: shard {s} is disconnected"));
             // Nothing interleaved since the send above, so the shard's round
             // query is the last sequence number the connection issued.
-            let seq = self.conns[s].next_seq - 1;
-            let shard_replies = self.conns[s].recv_replies(seq, &mut self.meter);
+            let seq = conn.next_seq - 1;
+            let shard_replies = conn.recv_replies(seq, &mut self.meter, policy.as_ref());
             replies.extend(shard_replies);
         }
         self.meter
@@ -624,15 +997,51 @@ impl Network for RemoteEngine {
 
 impl Drop for RemoteEngine {
     fn drop(&mut self) {
-        for conn in &mut self.conns {
+        for conn in self.conns.iter_mut().flatten() {
             // Best effort: a client that already died closed its socket, and
             // the join below reaps it either way.
-            let _ = write_frame(&mut conn.writer, &Frame::Shutdown);
+            let _ = write_frame_versioned(&mut conn.writer, &Frame::Shutdown, conn.wire_version);
         }
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.drain(..).flatten() {
             let _ = handle.join();
         }
     }
+}
+
+/// Accepts one client connection and completes its `Join` handshake.
+///
+/// Negotiates the connection's wire version — the minimum of the server's
+/// [`WIRE_VERSION`] and the maximum the client advertised in its `Join`
+/// frame — so a legacy (version 2) client interoperates without CRC
+/// trailers. Arms the policy's base deadline when a retry policy is set,
+/// and returns the connection together with the shard index the client
+/// claimed (the caller slots or verifies it).
+fn accept_shard(listener: &TcpListener, policy: Option<&RetryPolicy>) -> (Conn, u32) {
+    let (stream, _) = listener.accept().expect("remote transport: accept failed");
+    stream
+        .set_nodelay(true)
+        .expect("remote transport: cannot set TCP_NODELAY");
+    let mut reader = stream.try_clone().expect("remote transport: clone stream");
+    let (frame, bytes) = read_frame(&mut reader).expect("remote transport: join handshake failed");
+    let Frame::Join { shard, max_version } = frame else {
+        panic!("remote transport: expected a join frame, got {frame:?}");
+    };
+    let mut conn = Conn {
+        writer: BufWriter::new(stream),
+        reader,
+        acc: FrameAccumulator::new(),
+        wire_version: WIRE_VERSION.min(max_version),
+        next_seq: 1,
+        stats: TransportStats {
+            frames_received: 1,
+            bytes_received: bytes as u64,
+            ..TransportStats::default()
+        },
+    };
+    if let Some(policy) = policy {
+        conn.arm_deadline(policy.deadline(0));
+    }
+    (conn, shard)
 }
 
 /// Body of one shard-client thread: connect, join, then serve batches until
@@ -642,6 +1051,19 @@ impl Drop for RemoteEngine {
 /// is driven *only* by decoded frames — it shares no memory with the server.
 /// Replies accumulate in ascending node-id order because every op iterates
 /// the shard's nodes in ascending order.
+///
+/// The `Join` frame itself is framed at [`LEGACY_WIRE_VERSION`] (so any
+/// server can read it) and advertises [`WIRE_VERSION`] as the client's
+/// maximum; the client then mirrors whatever version the server's frames
+/// arrive in, completing the negotiation from its side without extra
+/// round-trips.
+///
+/// `gens` carries the membership generation of every local slot (all zeros
+/// for an initial connection; the population's current generations for a
+/// reconnect), and [`ServerOp::Membership`] events advance them: a `Join`
+/// reseeds the slot via [`SimNode::rejoin_generation`] and a `Leave`
+/// collapses its stream to a 0 observation — the same transitions every
+/// in-process engine makes, so the RNG streams stay aligned bit for bit.
 ///
 /// With `faults` set to `(seed, drop_permille)`, the client simulates a
 /// lossy upstream link: each *first* transmission of a reply frame is
@@ -655,6 +1077,7 @@ fn run_shard_client(
     hi: usize,
     master_seed: u64,
     faults: Option<(u64, u32)>,
+    mut gens: Vec<u32>,
 ) {
     let stream = TcpStream::connect(addr).expect("shard client: cannot connect to server");
     stream
@@ -662,7 +1085,18 @@ fn run_shard_client(
         .expect("shard client: cannot set TCP_NODELAY");
     let mut reader = BufReader::new(stream.try_clone().expect("shard client: clone stream"));
     let mut writer = BufWriter::new(stream);
-    write_frame(&mut writer, &Frame::Join { shard }).expect("shard client: join handshake failed");
+    write_frame_versioned(
+        &mut writer,
+        &Frame::Join {
+            shard,
+            max_version: WIRE_VERSION,
+        },
+        LEGACY_WIRE_VERSION,
+    )
+    .expect("shard client: join handshake failed");
+    // Every received frame states the server's negotiated version and the
+    // client mirrors it, so the first read settles this before any reply.
+    let mut server_version;
 
     let mut drop_rng = faults.map(|(seed, _)| {
         // Golden-ratio mix so shard streams are disjoint even for small seeds.
@@ -671,16 +1105,27 @@ fn run_shard_client(
         )
     });
     let drop_permille = faults.map_or(0, |(_, p)| p.min(1000));
+    assert_eq!(gens.len(), hi - lo, "one generation per local slot");
     let mut nodes: Vec<SimNode> = (lo..hi)
-        .map(|i| SimNode::new(NodeId(i), master_seed))
+        .map(|i| {
+            let mut node = SimNode::new(NodeId(i), master_seed);
+            let gen = gens[i - lo];
+            if gen > 0 {
+                node.rejoin_generation(master_seed, gen);
+            }
+            node
+        })
         .collect();
     let mut replies: Vec<NodeMessage> = Vec::new();
     // The last reply produced, kept for answering polls (the two reply
     // buffers ping-pong so one pair of allocations serves the connection).
     let mut last: (u64, Vec<NodeMessage>) = (0, Vec::new());
     loop {
-        let frame = match read_frame(&mut reader) {
-            Ok((frame, _)) => frame,
+        let frame = match read_frame_versioned(&mut reader) {
+            Ok((frame, _, version)) => {
+                server_version = version;
+                frame
+            }
             // The server dropped without an orderly shutdown (e.g. a test
             // panicked): exit quietly, the Drop impl reaps the thread.
             Err(WireError::Io(_)) => return,
@@ -694,7 +1139,21 @@ fn run_shard_client(
             } => {
                 replies.clear();
                 for op in ops {
-                    apply_op(&mut nodes, lo, op, &mut replies);
+                    match op {
+                        ServerOp::Membership { events } => {
+                            for event in events {
+                                let local = event.node().index() - lo;
+                                match event {
+                                    MembershipEvent::Join(_) => {
+                                        gens[local] += 1;
+                                        nodes[local].rejoin_generation(master_seed, gens[local]);
+                                    }
+                                    MembershipEvent::Leave(_) => nodes[local].observe(0),
+                                }
+                            }
+                        }
+                        op => apply_op(&mut nodes, lo, op, &mut replies),
+                    }
                 }
                 if wants_reply {
                     // The drop coin applies to the first transmission only;
@@ -709,7 +1168,7 @@ fn run_shard_client(
                         replies: std::mem::take(&mut replies),
                     };
                     if !lost {
-                        write_frame(&mut writer, &frame)
+                        write_frame_versioned(&mut writer, &frame, server_version)
                             .expect("shard client: cannot send replies");
                     }
                     let Frame::Replies { seq, replies: sent } = frame else {
@@ -729,9 +1188,16 @@ fn run_shard_client(
                     seq,
                     replies: last.1.clone(),
                 };
-                write_frame(&mut writer, &answer).expect("shard client: cannot answer poll");
+                write_frame_versioned(&mut writer, &answer, server_version)
+                    .expect("shard client: cannot answer poll");
             }
-            Frame::Shutdown => return,
+            Frame::Shutdown => {
+                // Orderly goodbye: name the shard so the disconnect path can
+                // tell this farewell from a stale connection's. Best effort —
+                // on a plain engine drop nobody is listening any more.
+                let _ = write_frame_versioned(&mut writer, &Frame::Leave { shard }, server_version);
+                return;
+            }
             other => panic!("shard client {shard}: unexpected frame {other:?}"),
         }
     }
@@ -763,6 +1229,11 @@ fn apply_op(nodes: &mut [SimNode], lo: usize, op: ServerOp, replies: &mut Vec<No
                     replies.push(reply);
                 }
             }
+        }
+        // Membership needs the generation table and is handled inline by the
+        // client loop before ops reach this function.
+        ServerOp::Membership { .. } => {
+            unreachable!("membership ops are applied by the client loop")
         }
     }
 }
@@ -885,6 +1356,170 @@ mod tests {
     fn drop_shuts_down_cleanly() {
         let net = RemoteEngine::with_shards(3, 1, 3);
         drop(net); // must not hang or panic
+    }
+
+    #[test]
+    fn membership_churn_matches_baseline_bit_for_bit() {
+        let script = |net: &mut dyn Network| {
+            net.advance_time(&[10, 20, 30, 40, 50, 60]);
+            net.broadcast_params(FilterParams::Separator { lo: 35, hi: 35 });
+            net.assign_group(NodeId(5), NodeGroup::Upper);
+            net.apply_membership(&[
+                MembershipEvent::Leave(NodeId(5)),
+                MembershipEvent::Leave(NodeId(1)),
+            ]);
+            net.advance_time(&[11, 21, 31, 41, 51, 61]); // dead slots masked to 0
+            net.apply_membership(&[MembershipEvent::Join(NodeId(5))]);
+            net.advance_time_sparse(&[(NodeId(5), 62), (NodeId(1), 99)]);
+            let mut replies = Vec::new();
+            for round in 0..4 {
+                replies.extend(net.existence_round(round, 6, ExistencePredicate::AtLeast(30)));
+            }
+            net.end_existence_run();
+            let p = net.probe(NodeId(5));
+            (replies, p, net.stats())
+        };
+        for shards in [1, 2, 3] {
+            let mut base = DeterministicEngine::new(6, 42);
+            let mut remote = RemoteEngine::with_shards(6, 42, shards);
+            let (r_base, p_base, s_base) = script(&mut base);
+            let (r_rem, p_rem, s_rem) = script(&mut remote);
+            assert_eq!(r_base, r_rem, "replies diverge at {shards} shards");
+            assert_eq!(p_base, p_rem, "probe diverges at {shards} shards");
+            assert_eq!(s_base, s_rem, "stats diverge at {shards} shards");
+            assert_eq!(base.peek_values(), remote.peek_values());
+            assert_eq!(base.peek_filters(), remote.peek_filters());
+            for i in 0..6 {
+                assert_eq!(base.peek_group(NodeId(i)), remote.peek_group(NodeId(i)));
+            }
+            // The dead slot's later traffic was masked, the joiner's was not.
+            assert_eq!(remote.peek_value(NodeId(1)), 0);
+            assert_eq!(remote.peek_value(NodeId(5)), 62);
+        }
+    }
+
+    #[test]
+    fn reconnect_lifecycle_is_transport_only_and_bit_identical() {
+        // Shard 1 of 2 owns nodes 3..6; empty it, bounce its connection,
+        // refill it, and the run must match a baseline that only saw the
+        // membership events (the transport churn is invisible to the model).
+        let pre = |net: &mut dyn Network| {
+            net.advance_time(&[5, 6, 7, 8, 9, 10]);
+            net.broadcast_params(FilterParams::Separator { lo: 7, hi: 7 });
+            net.apply_membership(&[
+                MembershipEvent::Leave(NodeId(3)),
+                MembershipEvent::Leave(NodeId(4)),
+                MembershipEvent::Leave(NodeId(5)),
+            ]);
+        };
+        let post = |net: &mut dyn Network| {
+            net.apply_membership(&[
+                MembershipEvent::Join(NodeId(3)),
+                MembershipEvent::Join(NodeId(4)),
+                MembershipEvent::Join(NodeId(5)),
+            ]);
+            net.advance_time(&[1, 2, 3, 40, 50, 60]);
+            let mut out = Vec::new();
+            for round in 0..3 {
+                out.extend(net.existence_round(round, 6, ExistencePredicate::AtLeast(10)));
+            }
+            let p = net.probe(NodeId(4));
+            (out, p, net.stats())
+        };
+        let mut base = DeterministicEngine::new(6, 7);
+        let mut remote = RemoteEngine::with_shards(6, 7, 2);
+        pre(&mut base);
+        pre(&mut remote);
+        remote.disconnect_shard(1);
+        remote.reconnect_shard(1);
+        let (o_base, p_base, s_base) = post(&mut base);
+        let (o_rem, p_rem, s_rem) = post(&mut remote);
+        assert_eq!(o_base, o_rem, "replies diverge across a reconnect");
+        assert_eq!(p_base, p_rem);
+        assert_eq!(s_base, s_rem, "a reconnect must not charge the model");
+        assert_eq!(base.peek_values(), remote.peek_values());
+        assert_eq!(base.peek_filters(), remote.peek_filters());
+        let bounced = remote.shard_transport_stats(1);
+        assert_eq!(bounced.reconnects, 1, "the bounce is visible on the wire");
+        assert_eq!(remote.shard_transport_stats(0).reconnects, 0);
+        assert_eq!(remote.transport_stats().reconnects, 1);
+        assert!(
+            bounced.frames() > 0,
+            "retired counters must survive the old connection"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires slot 3 to have left")]
+    fn disconnecting_a_live_shard_is_refused() {
+        let mut net = RemoteEngine::with_shards(6, 7, 2);
+        net.disconnect_shard(1);
+    }
+
+    #[test]
+    fn modern_peers_negotiate_the_checksummed_wire_version() {
+        let net = RemoteEngine::with_shards(2, 1, 1);
+        let conn = net.conns[0].as_ref().expect("shard 0 connected");
+        assert_eq!(conn.wire_version, WIRE_VERSION);
+    }
+
+    #[test]
+    fn legacy_v2_server_interoperates_with_the_client() {
+        use topk_wire::read_frame_versioned;
+        // This test plays a version-2 server end to end: the client's Join
+        // must arrive legacy-framed (readable before negotiation), and every
+        // client frame after our v2 answer must mirror version 2.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client =
+            std::thread::spawn(move || run_shard_client(addr, 0, 0, 2, 99, None, vec![0; 2]));
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = stream.try_clone().expect("clone");
+        let mut writer = BufWriter::new(stream);
+        let (join, _, version) = read_frame_versioned(&mut reader).expect("join");
+        assert_eq!(version, LEGACY_WIRE_VERSION, "join must be legacy-framed");
+        assert_eq!(
+            join,
+            Frame::Join {
+                shard: 0,
+                max_version: WIRE_VERSION
+            }
+        );
+        write_frame_versioned(
+            &mut writer,
+            &Frame::Batch {
+                wants_reply: true,
+                seq: 1,
+                ops: vec![
+                    ServerOp::ObserveRow {
+                        start: NodeId(0),
+                        values: vec![4, 9],
+                    },
+                    ServerOp::Unicast {
+                        node: NodeId(1),
+                        msg: ServerMessage::Probe,
+                    },
+                ],
+            },
+            LEGACY_WIRE_VERSION,
+        )
+        .expect("batch");
+        let (reply, _, version) = read_frame_versioned(&mut reader).expect("reply");
+        assert_eq!(version, LEGACY_WIRE_VERSION, "client must mirror v2");
+        assert_eq!(
+            reply,
+            Frame::Replies {
+                seq: 1,
+                replies: vec![NodeMessage::ValueReport {
+                    node: NodeId(1),
+                    value: 9
+                }]
+            }
+        );
+        write_frame_versioned(&mut writer, &Frame::Shutdown, LEGACY_WIRE_VERSION).expect("bye");
+        let (leave, _, _) = read_frame_versioned(&mut reader).expect("leave");
+        assert_eq!(leave, Frame::Leave { shard: 0 });
+        client.join().expect("client exits cleanly");
     }
 
     #[test]

@@ -61,7 +61,7 @@
 //! bulk pass of [`NodeStateSoA::advance_row`].
 
 use crate::network::Network;
-use crate::node::{existence_coin, node_seed};
+use crate::node::{existence_coin, node_seed, node_seed_gen};
 use crate::partition;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use rand::SeedableRng;
@@ -469,6 +469,12 @@ pub struct ShardedEngine {
     /// Scratch: indices of the shards involved in the current operation.
     involved: Vec<usize>,
     meter: CostMeter,
+    /// Retained for reseeding joining nodes from `(master seed, id, generation)`.
+    master_seed: u64,
+    population: Population,
+    /// Scratch row for masking dead slots out of dense observation delivery
+    /// (untouched — and unallocated — while the full population is live).
+    masked_row: Vec<Value>,
 }
 
 impl ShardedEngine {
@@ -523,6 +529,9 @@ impl ShardedEngine {
             params: None,
             involved: Vec::new(),
             meter: CostMeter::new(),
+            master_seed,
+            population: Population::new(n),
+            masked_row: Vec::new(),
         }
     }
 
@@ -591,6 +600,32 @@ impl ShardedEngine {
         }
     }
 
+    /// Dense observation delivery of an (already masked) full row: stages each
+    /// shard's slice and fans out, or lets each shard read the row inline.
+    fn deliver_row(&mut self, values: &[Value]) {
+        if self.parallel {
+            // Stage each shard's slice, then fan out.
+            for s in 0..self.shards.len() {
+                let range = self.bounds[s]..self.bounds[s + 1];
+                let shard = self.shard_mut(s);
+                shard.row.clear();
+                shard.row.extend_from_slice(&values[range]);
+            }
+            self.involve_all();
+            self.run_involved(ShardOp::AdvanceDense);
+        } else {
+            // Inline delivery needs no staging copy: each shard reads its
+            // slice of the caller's row directly.
+            for s in 0..self.shards.len() {
+                let range = self.bounds[s]..self.bounds[s + 1];
+                self.shards[s]
+                    .as_mut()
+                    .expect("shard at home")
+                    .advance_dense(&values[range]);
+            }
+        }
+    }
+
     /// Stages `self.involved = all non-empty shards`.
     fn involve_all(&mut self) {
         self.involved.clear();
@@ -619,26 +654,17 @@ impl Network for ShardedEngine {
 
     fn advance_time(&mut self, values: &[Value]) {
         assert_eq!(values.len(), self.n, "one observation per node required");
-        if self.parallel {
-            // Stage each shard's slice, then fan out.
-            for s in 0..self.shards.len() {
-                let range = self.bounds[s]..self.bounds[s + 1];
-                let shard = self.shard_mut(s);
-                shard.row.clear();
-                shard.row.extend_from_slice(&values[range]);
-            }
-            self.involve_all();
-            self.run_involved(ShardOp::AdvanceDense);
+        if self.population.live_count() != self.n {
+            // Dead slots stop receiving workload observations: mask the row
+            // into a scratch copy (only ever paid while churn is active).
+            let mut row = std::mem::take(&mut self.masked_row);
+            row.clear();
+            row.extend_from_slice(values);
+            self.population.mask_row(&mut row);
+            self.deliver_row(&row);
+            self.masked_row = row;
         } else {
-            // Inline delivery needs no staging copy: each shard reads its
-            // slice of the caller's row directly.
-            for s in 0..self.shards.len() {
-                let range = self.bounds[s]..self.bounds[s + 1];
-                self.shards[s]
-                    .as_mut()
-                    .expect("shard at home")
-                    .advance_dense(&values[range]);
-            }
+            self.deliver_row(values);
         }
         self.meter.record_time_step();
     }
@@ -652,6 +678,7 @@ impl Network for ShardedEngine {
             // zone-mapped bulk pass.
             for &(node, v) in changes {
                 let (s, local) = self.locate(node);
+                let v = if self.population.is_live(node) { v } else { 0 };
                 let shard = self.shards[s].as_mut().expect("shard at home");
                 if shard.state.value(local) != v {
                     shard.state.set_value_deferred(local, v);
@@ -671,6 +698,7 @@ impl Network for ShardedEngine {
         }
         for &(node, v) in changes {
             let (s, local) = self.locate(node);
+            let v = if self.population.is_live(node) { v } else { 0 };
             self.shard_mut(s).sparse.push((local as u32, v));
         }
         self.involved.clear();
@@ -681,6 +709,44 @@ impl Network for ShardedEngine {
         }
         self.run_involved(ShardOp::AdvanceSparse);
         self.meter.record_time_step();
+    }
+
+    fn apply_membership(&mut self, events: &[MembershipEvent]) {
+        for &event in events {
+            match event {
+                MembershipEvent::Leave(node) => {
+                    self.population.apply(event);
+                    let (s, local) = self.locate(node);
+                    let shard = self.shard_mut(s);
+                    if shard.state.value(local) != 0 {
+                        shard.apply_value(local as u32, 0);
+                        shard.by_value_dirty = true;
+                    }
+                }
+                MembershipEvent::Join(node) => {
+                    let generation = self.population.apply(event);
+                    let master_seed = self.master_seed;
+                    let (s, local) = self.locate(node);
+                    let shard = self.shard_mut(s);
+                    let group = shard.state.group(local);
+                    let filter = shard.state.filter(local);
+                    let was = shard.state.pending(local).is_some();
+                    if shard.state.value(local) != 0 {
+                        shard.by_value_dirty = true;
+                    }
+                    shard.state.reset_node(local);
+                    shard.note_pending(local as u32, was, false);
+                    shard.rngs[local] =
+                        ChaCha8Rng::seed_from_u64(node_seed_gen(master_seed, node, generation));
+                    // Recovery replay of the slot's current group and filter,
+                    // exactly as the baseline engine charges it.
+                    self.meter.push_label(ProtocolLabel::Recovery);
+                    self.assign_group(node, group);
+                    self.assign_filter(node, filter);
+                    self.meter.pop_label();
+                }
+            }
+        }
     }
 
     fn broadcast_params(&mut self, params: FilterParams) {

@@ -48,6 +48,9 @@ enum ShardCommand {
     Server(ServerMessage),
     /// Deliver a server message to a single node (`local index`).
     ServerOne(usize, ServerMessage),
+    /// Reset node `local index` as the generation-`u32` joiner of its slot
+    /// (state reset + RNG reseed; see `SimNode::rejoin_generation`).
+    Rejoin(usize, u32),
     /// Terminate the shard thread.
     Shutdown,
 }
@@ -79,6 +82,7 @@ pub struct ThreadedEngine {
     mirror_params: Option<FilterParams>,
     /// Scratch: per-shard reply slots for merging acknowledgements.
     slots: Vec<Vec<NodeMessage>>,
+    population: Population,
 }
 
 impl ThreadedEngine {
@@ -137,6 +141,9 @@ impl ThreadedEngine {
                         Ok(ShardCommand::ServerOne(i, msg)) => {
                             replies.extend(nodes[i].handle(&msg));
                         }
+                        Ok(ShardCommand::Rejoin(i, generation)) => {
+                            nodes[i].rejoin_generation(master_seed, generation);
+                        }
                         Ok(ShardCommand::Shutdown) | Err(_) => break,
                     }
                     if reply_tx.send(Ack { shard: s, replies }).is_err() {
@@ -159,6 +166,7 @@ impl ThreadedEngine {
             mirror_filters: vec![Filter::FULL; n],
             mirror_params: None,
             slots: (0..workers).map(|_| Vec::new()).collect(),
+            population: Population::new(n),
         }
     }
 
@@ -234,9 +242,12 @@ impl Network for ThreadedEngine {
 
     fn advance_time(&mut self, values: &[Value]) {
         assert_eq!(values.len(), self.n(), "one observation per node required");
-        self.mirror_values.copy_from_slice(values);
-        let row = Arc::new(values.to_vec());
-        let replies = self.broadcast_command(ShardCommand::Observe(row));
+        // Dead slots stop receiving workload observations: mask the row once,
+        // then both the mirror and the shards see the masked copy.
+        let mut row = values.to_vec();
+        self.population.mask_row(&mut row);
+        self.mirror_values.copy_from_slice(&row);
+        let replies = self.broadcast_command(ShardCommand::Observe(Arc::new(row)));
         debug_assert!(replies.is_empty());
         self.meter.record_time_step();
     }
@@ -246,6 +257,7 @@ impl Network for ThreadedEngine {
         // the previous value would leave node state untouched anyway.
         let mut routed: Vec<Vec<(usize, Value)>> = vec![Vec::new(); self.senders.len()];
         for &(node, v) in changes {
+            let v = if self.population.is_live(node) { v } else { 0 };
             let s = self.shard_of(node.index());
             self.mirror_values[node.index()] = v;
             routed[s].push((node.index() - self.bounds[s], v));
@@ -264,6 +276,48 @@ impl Network for ThreadedEngine {
             debug_assert!(ack.replies.is_empty());
         }
         self.meter.record_time_step();
+    }
+
+    fn apply_membership(&mut self, events: &[MembershipEvent]) {
+        for &event in events {
+            match event {
+                MembershipEvent::Leave(node) => {
+                    self.population.apply(event);
+                    let i = node.index();
+                    self.mirror_values[i] = 0;
+                    // The leaver observes 0 — node-side this is exactly a
+                    // sparse observation, so the command is reused (not a
+                    // model message; nothing is charged).
+                    let s = self.shard_of(i);
+                    let local = i - self.bounds[s];
+                    self.senders[s]
+                        .send(ShardCommand::ObserveSparse(vec![(local, 0)]))
+                        .expect("shard thread hung up");
+                    let ack = self.reply_rx.recv().expect("shard thread hung up");
+                    debug_assert!(ack.replies.is_empty());
+                }
+                MembershipEvent::Join(node) => {
+                    let generation = self.population.apply(event);
+                    let i = node.index();
+                    let group = self.mirror_groups[i];
+                    let filter = self.mirror_filters[i];
+                    self.mirror_values[i] = 0;
+                    let s = self.shard_of(i);
+                    let local = i - self.bounds[s];
+                    self.senders[s]
+                        .send(ShardCommand::Rejoin(local, generation))
+                        .expect("shard thread hung up");
+                    let ack = self.reply_rx.recv().expect("shard thread hung up");
+                    debug_assert!(ack.replies.is_empty());
+                    // Recovery replay of the slot's current group and filter,
+                    // exactly as the in-process engines charge it.
+                    self.meter.push_label(ProtocolLabel::Recovery);
+                    self.assign_group(node, group);
+                    self.assign_filter(node, filter);
+                    self.meter.pop_label();
+                }
+            }
+        }
     }
 
     fn broadcast_params(&mut self, params: FilterParams) {

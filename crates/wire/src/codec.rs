@@ -16,6 +16,7 @@
 //! | [`ExistencePredicate`] | 0 `PendingViolation`, 1 `GreaterThan`, 2 `AtLeast`, 3 `LessThan`, 4 `RankWindow` + presence byte |
 //! | [`ServerMessage`] | 0 `AssignFilter`, 1 `AssignGroup`, 2 `BroadcastGroup`, 3 `BroadcastParams`, 4 `Probe`, 5 `ExistenceRound`, 6 `EndExistenceRun` |
 //! | [`NodeMessage`] | 0 `ValueReport`, 1 `ViolationReport`, 2 `ExistenceResponse` |
+//! | [`MembershipEvent`] | 0 `Join`, 1 `Leave` |
 //!
 //! Bounded filters ship `hi − lo` rather than `hi`: the protocols assign
 //! narrow bands around a node's value, so the delta is usually a short
@@ -494,6 +495,34 @@ impl WireDecode for NodeMessage {
     }
 }
 
+impl WireEncode for MembershipEvent {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            MembershipEvent::Join(node) => {
+                buf.push(0);
+                node.encode(buf);
+            }
+            MembershipEvent::Leave(node) => {
+                buf.push(1);
+                node.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for MembershipEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("MembershipEvent")? {
+            0 => Ok(MembershipEvent::Join(NodeId::decode(r)?)),
+            1 => Ok(MembershipEvent::Leave(NodeId::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "MembershipEvent",
+                tag,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +657,12 @@ mod tests {
             assert_roundtrip(&group_from(x));
             assert_roundtrip(&params_from(x, y));
             assert_roundtrip(&predicate_from(x, y));
+            let node = NodeId((x % 1_000_000) as usize);
+            assert_roundtrip(&if sel % 2 == 0 {
+                MembershipEvent::Join(node)
+            } else {
+                MembershipEvent::Leave(node)
+            });
         }
 
         /// Corrupting the leading tag byte to a value outside the tag table

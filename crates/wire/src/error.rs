@@ -49,6 +49,14 @@ pub enum WireError {
         /// The declared payload length.
         len: u64,
     },
+    /// A version-3 frame's CRC32 trailer does not match its payload — some
+    /// byte between the magic and the trailer was corrupted in flight.
+    ChecksumMismatch {
+        /// The CRC32 recomputed over the received payload.
+        expected: u32,
+        /// The CRC32 carried in the frame trailer.
+        found: u32,
+    },
     /// The underlying transport failed.
     Io(io::Error),
 }
@@ -75,6 +83,10 @@ impl fmt::Display for WireError {
                 f,
                 "frame length {len} exceeds the {} byte limit",
                 crate::frame::MAX_FRAME_LEN
+            ),
+            WireError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "frame checksum mismatch: computed {expected:#010x}, trailer says {found:#010x}"
             ),
             WireError::Io(e) => write!(f, "transport i/o error: {e}"),
         }
@@ -116,6 +128,13 @@ mod tests {
             (WireError::TrailingBytes { remaining: 3 }, "3 trailing"),
             (WireError::VarintOverflow, "varint"),
             (WireError::FrameTooLarge { len: 1 << 40 }, "limit"),
+            (
+                WireError::ChecksumMismatch {
+                    expected: 0xDEAD_BEEF,
+                    found: 0,
+                },
+                "0xdeadbeef",
+            ),
             (
                 WireError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "gone")),
                 "gone",

@@ -27,11 +27,12 @@
 //!
 //! | tag | frame | direction | body |
 //! |-----|-------|-----------|------|
-//! | 0 | [`Frame::Join`] | node → server | shard index |
+//! | 0 | [`Frame::Join`] | node → server | shard index, optional max-version byte |
 //! | 1 | [`Frame::Batch`] | server → node | flags (bit 0 = reply wanted), seq, op count, [`ServerOp`]s |
 //! | 2 | [`Frame::Replies`] | node → server | seq, reply count, [`NodeMessage`]s |
 //! | 3 | [`Frame::Shutdown`] | server → node | empty |
 //! | 4 | [`Frame::Poll`] | server → node | seq |
+//! | 5 | [`Frame::Leave`] | node → server | shard index |
 //!
 //! The `seq` number pairs each reply with the `wants_reply` batch that asked
 //! for it, which is what makes retries safe on a lossy transport: if a
@@ -39,14 +40,26 @@
 //! carrying the same `seq`, and a duplicate answer (original and poll answer
 //! both arriving) is recognised by its stale `seq` and discarded instead of
 //! being mistaken for the answer to the *next* round. Version 1 had no
-//! sequence numbers; the layout change is why [`WIRE_VERSION`] is 2.
+//! sequence numbers; the layout change is why version 2 exists.
+//!
+//! Version 3 appends a little-endian CRC32 trailer ([`crate::crc32`]) to
+//! every frame payload, covering the magic byte through the last body byte,
+//! and adds the [`Frame::Leave`] departure frame plus the
+//! [`ServerOp::Membership`] churn op. The trailer is *negotiated*, not
+//! assumed: a client advertises its best version in the [`Frame::Join`]
+//! handshake (a trailing byte that version-2 encoders simply never wrote —
+//! its absence identifies a legacy peer), the server answers every later
+//! frame at `min(server, client)`, and the client adopts the version of the
+//! first server frame it reads. A version-2 peer on either end therefore
+//! keeps working, just without trailers; see `docs/WIRE.md`.
 //!
 //! [`ServerOp`] tags: 0 `ObserveRow`, 1 `ObserveSparse`, 2 `Unicast`,
-//! 3 `Broadcast`.
+//! 3 `Broadcast`, 4 `Membership`.
 //!
 //! [`NodeMessage`]: topk_model::message::NodeMessage
 
 use crate::codec::{from_bytes, Reader, WireDecode, WireEncode};
+use crate::crc32::crc32;
 use crate::error::WireError;
 use crate::varint;
 use std::io::{Read, Write};
@@ -57,8 +70,15 @@ pub const MAGIC: u8 = 0xC5;
 
 /// Current wire format version. Bump on any change to the frame layout or
 /// the tag tables that is not a pure append. Version 2 added reply sequence
-/// numbers and the [`Frame::Poll`] retry frame.
-pub const WIRE_VERSION: u8 = 2;
+/// numbers and the [`Frame::Poll`] retry frame; version 3 added the CRC32
+/// payload trailer, [`Frame::Leave`] and [`ServerOp::Membership`].
+pub const WIRE_VERSION: u8 = 3;
+
+/// Oldest version this build still decodes and can be asked to encode.
+/// Version-2 frames are identical to version-3 frames minus the CRC32
+/// trailer (the version-3 tag additions are pure appends), so supporting
+/// both costs one branch in the payload codec.
+pub const LEGACY_WIRE_VERSION: u8 = 2;
 
 /// Upper bound on the payload length of a single frame (16 MiB).
 ///
@@ -103,6 +123,14 @@ pub enum ServerOp {
         /// The message payload, delivered to every node of the shard.
         msg: ServerMessage,
     },
+    /// Population churn delivery (version 3): the membership events of one
+    /// step, applied by the shard client to the slots it hosts. Free at the
+    /// model layer — only the recovery replay a `Join` triggers is charged,
+    /// and the server charges it, exactly as the in-process engines do.
+    Membership {
+        /// The events, applied in order.
+        events: Vec<MembershipEvent>,
+    },
 }
 
 impl WireEncode for ServerOp {
@@ -132,6 +160,13 @@ impl WireEncode for ServerOp {
             ServerOp::Broadcast { msg } => {
                 buf.push(3);
                 msg.encode(buf);
+            }
+            ServerOp::Membership { events } => {
+                buf.push(4);
+                varint::write_u64(buf, events.len() as u64);
+                for event in events {
+                    event.encode(buf);
+                }
             }
         }
     }
@@ -176,6 +211,14 @@ impl WireDecode for ServerOp {
             3 => Ok(ServerOp::Broadcast {
                 msg: ServerMessage::decode(r)?,
             }),
+            4 => {
+                let count = read_count(r, "Membership events")?;
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    events.push(MembershipEvent::decode(r)?);
+                }
+                Ok(ServerOp::Membership { events })
+            }
             tag => Err(WireError::BadTag {
                 what: "ServerOp",
                 tag,
@@ -187,12 +230,21 @@ impl WireDecode for ServerOp {
 /// A complete transport frame (see the module docs for the layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
-    /// Client handshake: "I host shard `shard`". Sent once per connection,
-    /// immediately after connecting, so the server can map accepted
-    /// connections to node ranges regardless of accept order.
+    /// Client handshake: "I host shard `shard`, and I speak up to
+    /// `max_version`". Sent once per connection, immediately after
+    /// connecting, so the server can map accepted connections to node ranges
+    /// regardless of accept order. Always framed at
+    /// [`LEGACY_WIRE_VERSION`] (the pre-negotiation format every peer
+    /// reads); the version byte it carries is what upgrades the rest of the
+    /// conversation.
     Join {
         /// The shard index this connection hosts.
         shard: u32,
+        /// Best wire version the client speaks. Encoded as a trailing byte
+        /// that version-2 encoders never wrote, so its absence marks a
+        /// legacy peer and decodes as 2; encoding `2` omits the byte,
+        /// keeping the frame byte-identical to a genuine version-2 `Join`.
+        max_version: u8,
     },
     /// A batch of server operations for one shard.
     Batch {
@@ -229,14 +281,25 @@ pub enum Frame {
         /// The sequence number of the missing reply.
         seq: u64,
     },
+    /// Orderly departure announcement (node → server, version 3): the shard
+    /// client is closing its connection on purpose. Lets the server tell a
+    /// deliberate goodbye from a crashed connection — only the latter is
+    /// eligible for the reconnect/backoff path.
+    Leave {
+        /// The shard index that is departing.
+        shard: u32,
+    },
 }
 
 impl WireEncode for Frame {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Frame::Join { shard } => {
+            Frame::Join { shard, max_version } => {
                 buf.push(0);
                 varint::write_u64(buf, u64::from(*shard));
+                if *max_version != LEGACY_WIRE_VERSION {
+                    buf.push(*max_version);
+                }
             }
             Frame::Batch {
                 wants_reply,
@@ -264,6 +327,10 @@ impl WireEncode for Frame {
                 buf.push(4);
                 varint::write_u64(buf, *seq);
             }
+            Frame::Leave { shard } => {
+                buf.push(5);
+                varint::write_u64(buf, u64::from(*shard));
+            }
         }
     }
 }
@@ -273,12 +340,27 @@ impl WireDecode for Frame {
         match r.u8("Frame")? {
             0 => {
                 let shard = r.u64()?;
-                u32::try_from(shard)
-                    .map(|shard| Frame::Join { shard })
-                    .map_err(|_| WireError::BadTag {
-                        what: "Frame::Join shard (exceeds u32)",
-                        tag: 0,
-                    })
+                let shard = u32::try_from(shard).map_err(|_| WireError::BadTag {
+                    what: "Frame::Join shard (exceeds u32)",
+                    tag: 0,
+                })?;
+                // The trailing version byte arrived with version 3; a
+                // version-2 peer's Join simply ends after the shard index.
+                // The frame length prefix delimits the body, so absence is
+                // unambiguous.
+                let max_version = if r.remaining() > 0 {
+                    let v = r.u8("Frame::Join max_version")?;
+                    if v < LEGACY_WIRE_VERSION {
+                        return Err(WireError::BadTag {
+                            what: "Frame::Join max_version",
+                            tag: v,
+                        });
+                    }
+                    v
+                } else {
+                    LEGACY_WIRE_VERSION
+                };
+                Ok(Frame::Join { shard, max_version })
             }
             1 => {
                 let flags = r.u8("Frame::Batch flags")?;
@@ -311,12 +393,22 @@ impl WireDecode for Frame {
             }
             3 => Ok(Frame::Shutdown),
             4 => Ok(Frame::Poll { seq: r.u64()? }),
+            5 => {
+                let shard = r.u64()?;
+                u32::try_from(shard)
+                    .map(|shard| Frame::Leave { shard })
+                    .map_err(|_| WireError::BadTag {
+                        what: "Frame::Leave shard (exceeds u32)",
+                        tag: 5,
+                    })
+            }
             tag => Err(WireError::BadTag { what: "Frame", tag }),
         }
     }
 }
 
-/// Writes one frame (length prefix + header + body) and flushes.
+/// Writes one frame (length prefix + header + body) at [`WIRE_VERSION`],
+/// with the CRC32 trailer, and flushes.
 ///
 /// Returns the total number of bytes put on the wire, including the length
 /// prefix — the quantity the throughput harness's bytes/message metric sums.
@@ -329,10 +421,33 @@ impl WireDecode for Frame {
 /// a bogus corrupt-stream diagnostic on the receiving peer. Otherwise
 /// propagates transport errors from the writer.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError> {
+    write_frame_versioned(w, frame, WIRE_VERSION)
+}
+
+/// Writes one frame at an explicit wire version — [`WIRE_VERSION`] (with
+/// CRC32 trailer) or [`LEGACY_WIRE_VERSION`] (without), as negotiated in the
+/// [`Frame::Join`] handshake.
+///
+/// # Errors
+///
+/// [`WireError::UnsupportedVersion`] for a version this build does not
+/// encode; otherwise the same errors as [`write_frame`].
+pub fn write_frame_versioned(
+    w: &mut impl Write,
+    frame: &Frame,
+    version: u8,
+) -> Result<usize, WireError> {
+    if version != WIRE_VERSION && version != LEGACY_WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
     let mut payload = Vec::with_capacity(16);
     payload.push(MAGIC);
-    payload.push(WIRE_VERSION);
+    payload.push(version);
     frame.encode(&mut payload);
+    if version == WIRE_VERSION {
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+    }
     if payload.len() > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge {
             len: payload.len() as u64,
@@ -356,6 +471,17 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError
 /// header, any decoding error for a corrupt body, and
 /// [`WireError::Io`] (typically `UnexpectedEof`) if the stream ends.
 pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    read_frame_versioned(r).map(|(frame, bytes, _)| (frame, bytes))
+}
+
+/// Like [`read_frame`], but also returns the frame's version byte — the
+/// signal a client uses to adopt the version the server negotiated from its
+/// `Join` advertisement.
+///
+/// # Errors
+///
+/// The same errors as [`read_frame`].
+pub fn read_frame_versioned(r: &mut impl Read) -> Result<(Frame, usize, u8), WireError> {
     let mut prefix = [0u8; 4];
     r.read_exact(&mut prefix)?;
     let len = u32::from_le_bytes(prefix) as usize;
@@ -370,20 +496,25 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    let version = payload[1];
     let frame = decode_payload(&payload)?;
-    Ok((frame, 4 + len))
+    Ok((frame, 4 + len, version))
 }
 
 /// Decodes a complete frame payload (the `len` bytes after the length
-/// prefix): validates magic and version, then decodes the frame body.
-/// Shared by [`read_frame`] and the resumable
-/// [`FrameAccumulator`](crate::stream::FrameAccumulator).
+/// prefix): validates magic, version and — for version-3 frames — the CRC32
+/// trailer, then decodes the frame body. Shared by [`read_frame`] and the
+/// resumable [`FrameAccumulator`](crate::stream::FrameAccumulator).
+///
+/// Version-2 and version-3 payloads are both accepted; the version byte
+/// decides whether the last four bytes are a checksum trailer or body.
 ///
 /// # Errors
 ///
 /// [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] for a bad
-/// header, [`WireError::Truncated`] for a payload too short to hold one, and
-/// any decoding error for a corrupt body.
+/// header, [`WireError::Truncated`] for a payload too short to hold one,
+/// [`WireError::ChecksumMismatch`] for a version-3 payload whose trailer
+/// disagrees with its bytes, and any decoding error for a corrupt body.
 pub(crate) fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     if payload.len() < 3 {
         // magic + version + frame tag are mandatory
@@ -396,10 +527,26 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::BadMagic { found: magic });
     }
     let version = payload[1];
-    if version != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion { found: version });
-    }
-    from_bytes::<Frame>(&payload[2..])
+    let body = match version {
+        LEGACY_WIRE_VERSION => &payload[2..],
+        WIRE_VERSION => {
+            // magic + version + tag + 4-byte trailer is the minimum.
+            if payload.len() < 7 {
+                return Err(WireError::Truncated {
+                    what: "frame checksum trailer",
+                });
+            }
+            let split = payload.len() - 4;
+            let found = u32::from_le_bytes(payload[split..].try_into().expect("4 bytes"));
+            let expected = crc32(&payload[..split]);
+            if found != expected {
+                return Err(WireError::ChecksumMismatch { expected, found });
+            }
+            &payload[2..split]
+        }
+        _ => return Err(WireError::UnsupportedVersion { found: version }),
+    };
+    from_bytes::<Frame>(body)
 }
 
 #[cfg(test)]
@@ -409,18 +556,25 @@ mod tests {
     use topk_model::message::ExistencePredicate;
 
     fn roundtrip_frame(frame: &Frame) {
-        let mut wire = Vec::new();
-        let written = write_frame(&mut wire, frame).unwrap();
-        assert_eq!(written, wire.len());
-        let mut cursor = &wire[..];
-        let (back, consumed) = read_frame(&mut cursor).unwrap();
-        assert_eq!(&back, frame);
-        assert_eq!(consumed, written);
-        assert!(cursor.is_empty());
-        // Every strict prefix of the wire bytes fails (EOF or truncation).
-        for cut in 0..wire.len() {
-            let mut cursor = &wire[..cut];
-            assert!(read_frame(&mut cursor).is_err(), "prefix {cut} decoded");
+        // Both negotiated versions must carry every frame; version 3 grows a
+        // 4-byte trailer, version 2 is the legacy trailerless layout.
+        for version in [LEGACY_WIRE_VERSION, WIRE_VERSION] {
+            let mut wire = Vec::new();
+            let written = write_frame_versioned(&mut wire, frame, version).unwrap();
+            assert_eq!(written, wire.len());
+            let mut cursor = &wire[..];
+            let (back, consumed) = read_frame(&mut cursor).unwrap();
+            assert_eq!(&back, frame);
+            assert_eq!(consumed, written);
+            assert!(cursor.is_empty());
+            // Every strict prefix of the wire bytes fails (EOF or truncation).
+            for cut in 0..wire.len() {
+                let mut cursor = &wire[..cut];
+                assert!(
+                    read_frame(&mut cursor).is_err(),
+                    "prefix {cut} decoded (version {version})"
+                );
+            }
         }
     }
 
@@ -444,6 +598,12 @@ mod tests {
                     predicate: ExistencePredicate::GreaterThan(x),
                 },
             },
+            ServerOp::Membership {
+                events: vec![
+                    MembershipEvent::Leave(NodeId((x % 64) as usize)),
+                    MembershipEvent::Join(NodeId((y % 64) as usize)),
+                ],
+            },
         ]
     }
 
@@ -454,7 +614,9 @@ mod tests {
         /// strict byte prefixes.
         #[test]
         fn frames_roundtrip(x in 0u64..u64::MAX, y in 0u64..u64::MAX, shard in 0u32..4096) {
-            roundtrip_frame(&Frame::Join { shard });
+            roundtrip_frame(&Frame::Join { shard, max_version: LEGACY_WIRE_VERSION });
+            roundtrip_frame(&Frame::Join { shard, max_version: WIRE_VERSION });
+            roundtrip_frame(&Frame::Leave { shard });
             roundtrip_frame(&Frame::Shutdown);
             roundtrip_frame(&Frame::Poll { seq: x });
             roundtrip_frame(&Frame::Batch { wants_reply: x % 2 == 0, seq: y, ops: sample_ops(x, y) });
@@ -523,16 +685,27 @@ mod tests {
 
     #[test]
     fn trailing_garbage_inside_a_frame_is_refused() {
+        // Grow the declared length by one and append a stray byte. On a
+        // legacy frame the body decoder notices the unconsumed byte; on a
+        // version-3 frame the stray byte shifts the trailer window, so the
+        // checksum catches it first. Either way the frame is refused.
         let mut wire = Vec::new();
-        write_frame(&mut wire, &Frame::Shutdown).unwrap();
-        // Grow the declared length by one and append a stray byte: the frame
-        // decoder must notice the unconsumed byte.
+        write_frame_versioned(&mut wire, &Frame::Shutdown, LEGACY_WIRE_VERSION).unwrap();
         let len = u32::from_le_bytes(wire[..4].try_into().unwrap());
         wire[..4].copy_from_slice(&(len + 1).to_le_bytes());
         wire.push(0xAB);
         assert!(matches!(
             read_frame(&mut &wire[..]),
             Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Shutdown).unwrap();
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap());
+        wire[..4].copy_from_slice(&(len + 1).to_le_bytes());
+        wire.push(0xAB);
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(WireError::ChecksumMismatch { .. })
         ));
     }
 
@@ -551,17 +724,136 @@ mod tests {
     #[test]
     fn corrupt_counts_fail_fast() {
         // A Replies frame claiming 2^40 replies in a 16-byte body must fail
-        // on the count check, not attempt the allocation.
+        // on the count check, not attempt the allocation — even when its
+        // checksum trailer is valid, so corruption *hidden from* the CRC
+        // (a malicious peer) still cannot drive an allocation.
         let mut body = vec![2u8]; // Replies tag
         varint::write_u64(&mut body, 7); // seq
         varint::write_u64(&mut body, 1 << 40);
         let mut payload = vec![MAGIC, WIRE_VERSION];
         payload.extend_from_slice(&body);
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
         let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
         wire.extend_from_slice(&payload);
         assert!(matches!(
             read_frame(&mut &wire[..]),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn corrupt_trailer_or_body_is_refused_with_a_checksum_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Poll { seq: 0xDEAD }).unwrap();
+        // Every byte after magic and version is covered: body bytes because
+        // the CRC is computed over them, trailer bytes because they *are*
+        // the CRC. Flip each in turn.
+        for i in 6..wire.len() {
+            let mut corrupted = wire.clone();
+            corrupted[i] ^= 0x40;
+            assert!(
+                matches!(
+                    read_frame(&mut &corrupted[..]),
+                    Err(WireError::ChecksumMismatch { .. })
+                ),
+                "flipping byte {i} must trip the checksum"
+            );
+        }
+    }
+
+    proptest! {
+        /// Any single-byte corruption anywhere in a version-3 payload is
+        /// refused — magic and version corruption by the header checks,
+        /// everything else by the CRC32 trailer. Truncating the trailer
+        /// itself is refused as a truncation, not decoded as a shorter body.
+        #[test]
+        fn corrupted_v3_frames_never_decode(seq in 0u64..u64::MAX, mask in 1u32..256) {
+            let mask = mask as u8;
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &Frame::Poll { seq }).unwrap();
+            for i in 4..wire.len() {
+                let mut corrupted = wire.clone();
+                corrupted[i] ^= mask;
+                prop_assert!(
+                    read_frame(&mut &corrupted[..]).is_err(),
+                    "payload byte {i} xor {mask:#04x} decoded"
+                );
+            }
+            // A v3 frame whose trailer is cut off mid-way: shrink the
+            // declared length by two so the payload ends inside the CRC.
+            let mut truncated = wire.clone();
+            let len = u32::from_le_bytes(truncated[..4].try_into().unwrap());
+            truncated[..4].copy_from_slice(&(len - 2).to_le_bytes());
+            truncated.truncate(truncated.len() - 2);
+            prop_assert!(read_frame(&mut &truncated[..]).is_err());
+        }
+    }
+
+    #[test]
+    fn legacy_join_encoding_is_byte_identical() {
+        // A Join advertising only version 2 must be indistinguishable from a
+        // genuine version-2 peer's handshake: same trailerless framing, no
+        // version byte in the body.
+        let mut ours = Vec::new();
+        write_frame_versioned(
+            &mut ours,
+            &Frame::Join {
+                shard: 7,
+                max_version: LEGACY_WIRE_VERSION,
+            },
+            LEGACY_WIRE_VERSION,
+        )
+        .unwrap();
+        let legacy_payload = vec![MAGIC, LEGACY_WIRE_VERSION, 0u8, 7u8];
+        let mut legacy = (legacy_payload.len() as u32).to_le_bytes().to_vec();
+        legacy.extend_from_slice(&legacy_payload);
+        assert_eq!(ours, legacy);
+    }
+
+    #[test]
+    fn join_negotiation_byte_upgrades_and_its_absence_means_legacy() {
+        // A v3 client frames its Join at the legacy version (so any server
+        // reads it) but advertises 3 in the body.
+        let mut wire = Vec::new();
+        write_frame_versioned(
+            &mut wire,
+            &Frame::Join {
+                shard: 2,
+                max_version: WIRE_VERSION,
+            },
+            LEGACY_WIRE_VERSION,
+        )
+        .unwrap();
+        let (frame, _) = read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Join {
+                shard: 2,
+                max_version: WIRE_VERSION
+            }
+        );
+        // A hand-built legacy Join (no version byte) decodes as version 2.
+        let payload = vec![MAGIC, LEGACY_WIRE_VERSION, 0u8, 2u8];
+        let mut legacy = (payload.len() as u32).to_le_bytes().to_vec();
+        legacy.extend_from_slice(&payload);
+        let (frame, _) = read_frame(&mut &legacy[..]).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Join {
+                shard: 2,
+                max_version: LEGACY_WIRE_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_write_versions_are_refused() {
+        let mut wire = Vec::new();
+        assert!(matches!(
+            write_frame_versioned(&mut wire, &Frame::Shutdown, WIRE_VERSION + 1),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+        assert!(wire.is_empty());
     }
 }

@@ -25,7 +25,9 @@
 //!   tag. A [`Frame`] batches many model messages (an observation row, the
 //!   replies of an existence round) into one socket write. Reply-bearing
 //!   frames carry a sequence number so a lossy transport can re-request a
-//!   missing answer ([`Frame::Poll`]) and recognise duplicates.
+//!   missing answer ([`Frame::Poll`]) and recognise duplicates. Version-3
+//!   frames end with a CRC32 integrity trailer ([`crc32`]), negotiated in
+//!   the `Join` handshake so version-2 peers keep working.
 //!   [`stream::FrameAccumulator`] is the timeout-surviving reader the
 //!   retrying coordinator uses.
 //!
@@ -47,6 +49,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod crc32;
 pub mod error;
 pub mod frame;
 pub mod stream;
@@ -54,5 +57,8 @@ pub mod varint;
 
 pub use codec::{from_bytes, to_bytes, Reader, WireDecode, WireEncode};
 pub use error::WireError;
-pub use frame::{read_frame, write_frame, Frame, ServerOp, MAX_FRAME_LEN, WIRE_VERSION};
+pub use frame::{
+    read_frame, read_frame_versioned, write_frame, write_frame_versioned, Frame, ServerOp,
+    LEGACY_WIRE_VERSION, MAX_FRAME_LEN, WIRE_VERSION,
+};
 pub use stream::FrameAccumulator;

@@ -135,7 +135,10 @@ mod tests {
 
     fn sample_frames() -> (Vec<Frame>, Vec<u8>) {
         let frames = vec![
-            Frame::Join { shard: 3 },
+            Frame::Join {
+                shard: 3,
+                max_version: crate::frame::WIRE_VERSION,
+            },
             Frame::Poll { seq: 41 },
             Frame::Replies {
                 seq: 41,

@@ -5,10 +5,11 @@
 //! recovery polls instead of hanging.
 
 use std::time::Duration;
-use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::monitor::{run_on_rows, run_with_membership, Monitor};
 use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
 use topk_gen::{
-    GapWorkload, NoiseOscillationWorkload, RandomWalkWorkload, Workload, ZipfLoadWorkload,
+    GapWorkload, MembershipWorkload, NoiseOscillationWorkload, RandomWalkWorkload, Workload,
+    ZipfLoadWorkload,
 };
 use topk_model::cost::ProtocolLabel;
 use topk_model::fault::FaultSpec;
@@ -174,6 +175,81 @@ fn remote_coordinator_degrades_dropped_replies_to_polls() {
         .by_label_kind
         .retain(|(label, _), _| *label != ProtocolLabel::Recovery);
     assert_eq!(stats, clean.stats);
+}
+
+#[test]
+fn remote_membership_churn_survives_a_lossy_transport() {
+    // The acceptance bar for dynamic membership: a loopback TCP run with
+    // join/leave churn AND a 20% upstream drop rate must converge to exactly
+    // the in-process engine's monitor output, node state and filters on the
+    // same schedule — and the accounting must be identical once the recovery
+    // label (join replays on both sides, drop-recovery polls on the lossy
+    // side only) is stripped.
+    let eps = Epsilon::TENTH;
+    let n = 16;
+    let steps = 24;
+    let rows: Vec<Vec<u64>> = NoiseOscillationWorkload::new(n, 2, 8, 1 << 18, eps, 43)
+        .generate(steps)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let schedule = MembershipWorkload::churn(n, steps as u64, 0xC1A0, 90, 4, 8);
+    assert!(schedule.total_events() > 0, "the plan must churn");
+
+    let run = |net: &mut dyn Network| {
+        let mut monitor = CombinedMonitor::new(4, eps);
+        let mut emitted = 0usize;
+        let report = run_with_membership(
+            &mut monitor,
+            net,
+            eps,
+            |_| {
+                let row = rows.get(emitted).cloned();
+                emitted += 1;
+                row
+            },
+            schedule.driver(),
+        );
+        (report, monitor.output())
+    };
+
+    let mut clean_net = DeterministicEngine::new(n, 77);
+    let (clean, clean_out) = run(&mut clean_net);
+
+    let spec = FaultSpec::drop_upstream(0xC1A1, 200);
+    let mut lossy_net = RemoteEngine::with_fault_spec(n, 77, 3, &spec, Duration::from_millis(20));
+    let (lossy, lossy_out) = run(&mut lossy_net);
+
+    assert!(
+        lossy_net.polls_sent() > 0,
+        "a 200‰ drop rate over {steps} churned steps must cost at least one poll"
+    );
+    assert_eq!(clean_out, lossy_out);
+    assert_eq!(clean_net.peek_filters(), lossy_net.peek_filters());
+    assert_eq!(clean_net.peek_values(), lossy_net.peek_values());
+    assert_eq!(clean.invalid_steps, lossy.invalid_steps);
+    assert_eq!(clean.steps, lossy.steps);
+    // Both sides charge the join replays to the recovery label; the lossy
+    // side additionally charges its polls there. Stripped of that label the
+    // two accountings are bit-identical — churn costs the same over TCP with
+    // loss as it does in process without.
+    let mut clean_stats = clean.stats.clone();
+    let mut lossy_stats = lossy.stats.clone();
+    let clean_recovery = clean_stats.messages_of_label(ProtocolLabel::Recovery);
+    let lossy_recovery = lossy_stats.messages_of_label(ProtocolLabel::Recovery);
+    assert!(clean_recovery > 0, "join replays charge the recovery label");
+    assert_eq!(
+        lossy_recovery,
+        clean_recovery + lossy_net.polls_sent(),
+        "lossy recovery = join replays + drop-recovery polls, nothing else"
+    );
+    clean_stats
+        .by_label_kind
+        .retain(|(label, _), _| *label != ProtocolLabel::Recovery);
+    lossy_stats
+        .by_label_kind
+        .retain(|(label, _), _| *label != ProtocolLabel::Recovery);
+    assert_eq!(lossy_stats, clean_stats);
 }
 
 #[test]

@@ -5,11 +5,11 @@
 //! tell which transport they run on.
 
 use proptest::prelude::*;
-use topk_core::monitor::{run_on_rows, Monitor};
+use topk_core::monitor::{run_on_rows, run_with_membership, Monitor, RunReport};
 use topk_core::{CombinedMonitor, ExactTopKMonitor, TopKMonitor};
 use topk_gen::{
-    ChurnFlatlineWorkload, CorrelatedBurstWorkload, NoiseOscillationWorkload, RandomWalkWorkload,
-    RegimeSwitchWorkload, Workload,
+    ChurnFlatlineWorkload, CorrelatedBurstWorkload, MembershipWorkload, NoiseOscillationWorkload,
+    RandomWalkWorkload, RegimeSwitchWorkload, Workload,
 };
 use topk_model::fault::FaultSpec;
 use topk_model::Epsilon;
@@ -123,6 +123,84 @@ fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>]
     assert_eq!(det_net.peek_filters(), fault_net.peek_filters());
 }
 
+/// Runs one monitor over `rows` on `net` while the population churns
+/// according to `schedule`, returning the report, the final output and the
+/// final filters.
+fn run_churned(
+    mut monitor: Box<dyn Monitor>,
+    net: &mut dyn Network,
+    rows: &[Vec<u64>],
+    schedule: &MembershipWorkload,
+    eps: Epsilon,
+) -> (RunReport, Vec<topk_model::NodeId>, Vec<topk_model::Filter>) {
+    let mut emitted = 0usize;
+    let report = run_with_membership(
+        monitor.as_mut(),
+        net,
+        eps,
+        |_| {
+            let row = rows.get(emitted).cloned();
+            emitted += 1;
+            row
+        },
+        schedule.driver(),
+    );
+    (report, monitor.output(), net.peek_filters())
+}
+
+/// The membership analogue of [`compare`]: the same join/leave schedule must
+/// produce bit-identical run reports, outputs and filters on all six
+/// transport configurations — joiner reseeding, recovery replay charging and
+/// leave re-resolution included.
+fn compare_with_membership(
+    mut make_monitor: impl FnMut() -> Box<dyn Monitor>,
+    rows: &[Vec<u64>],
+    schedule: &MembershipWorkload,
+    eps: Epsilon,
+) {
+    let n = rows[0].len();
+    let seed = 4242;
+
+    let mut det_net = DeterministicEngine::new(n, seed);
+    let det = run_churned(make_monitor(), &mut det_net, rows, schedule, eps);
+
+    let mut idx_net = IndexedEngine::new(n, seed);
+    let idx = run_churned(make_monitor(), &mut idx_net, rows, schedule, eps);
+
+    let mut shard_net = ShardedEngine::with_dispatch(n, seed, 4, Dispatch::Parallel);
+    let shard = run_churned(make_monitor(), &mut shard_net, rows, schedule, eps);
+
+    let mut thr_net = ThreadedEngine::new(n, seed);
+    let thr = run_churned(make_monitor(), &mut thr_net, rows, schedule, eps);
+
+    let mut rem_net = RemoteEngine::with_shards(n, seed, 3);
+    let rem = run_churned(make_monitor(), &mut rem_net, rows, schedule, eps);
+
+    let mut fault_net = FaultyTransport::new(IndexedEngine::new(n, seed), FaultSpec::none());
+    let fault = run_churned(make_monitor(), &mut fault_net, rows, schedule, eps);
+
+    assert_eq!(
+        det, idx,
+        "churned runs differ between deterministic and indexed engines"
+    );
+    assert_eq!(
+        det, shard,
+        "churned runs differ between deterministic and sharded engines"
+    );
+    assert_eq!(
+        det, thr,
+        "churned runs differ between deterministic and threaded engines"
+    );
+    assert_eq!(
+        det, rem,
+        "churned runs differ between deterministic and remote (TCP) engines"
+    );
+    assert_eq!(
+        det, fault,
+        "churned runs differ between deterministic and zero-fault wrapped engines"
+    );
+}
+
 #[test]
 fn engines_agree_for_exact_monitor() {
     let rows: Vec<Vec<u64>> = RandomWalkWorkload::new(12, 10_000, 300, 0.7, 9)
@@ -194,6 +272,71 @@ fn engines_agree_on_churn_traces() {
     compare(|| Box::new(CombinedMonitor::new(4, eps)), &rows, eps);
 }
 
+#[test]
+fn engines_agree_under_membership_churn() {
+    let eps = Epsilon::TENTH;
+    let rows: Vec<Vec<u64>> = NoiseOscillationWorkload::new(12, 2, 6, 1 << 16, eps, 17)
+        .generate(40)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let schedule = MembershipWorkload::churn(12, 40, 0xC0DE, 80, 4, 6);
+    assert!(schedule.total_events() > 0, "the plan must churn");
+    compare_with_membership(
+        || Box::new(CombinedMonitor::new(3, eps)),
+        &rows,
+        &schedule,
+        eps,
+    );
+}
+
+#[test]
+fn transport_crashes_compose_with_membership_churn() {
+    // A node can be down at the transport level (crash/rejoin fault) while
+    // the population also churns at the model level (join/leave) — including
+    // both hitting the same node. The composition must stay deterministic
+    // and the recovery machinery must keep the output valid-or-bounded.
+    let eps = Epsilon::TENTH;
+    let n = 12;
+    let rows: Vec<Vec<u64>> = RandomWalkWorkload::new(n, 1 << 18, 2_000, 0.6, 37)
+        .generate(50)
+        .iter()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    let schedule = MembershipWorkload::churn(n, 50, 0xD00D, 60, 5, 6);
+    assert!(schedule.total_events() > 0, "the plan must churn");
+    let fault = FaultSpec::crash_rejoin(0xFA11, 40, 4, 4);
+    let run = || {
+        let mut net = FaultyTransport::new(IndexedEngine::new(n, 4242), fault);
+        let out = run_churned(
+            Box::new(CombinedMonitor::new(3, eps)),
+            &mut net,
+            &rows,
+            &schedule,
+            eps,
+        );
+        let stats = net.fault_stats();
+        (out, stats.crashes, stats.rejoins)
+    };
+    let (a, crashes, rejoins) = run();
+    let (b, _, _) = run();
+    assert_eq!(a, b, "crash × churn composition must be bit-deterministic");
+    assert!(
+        crashes > 0,
+        "40‰ over 12 nodes × 50 steps must crash someone"
+    );
+    assert!(rejoins > 0, "4-step outages must rejoin within the run");
+    assert_eq!(a.0.steps, 50);
+    // Transport crashes may break validity transiently; true membership never
+    // does (the validator sees the masked row). The composition must stay
+    // within the same transient bound the fault battery tolerates.
+    assert!(
+        a.0.invalid_steps <= 13,
+        "crash × churn broke {} of 50 steps",
+        a.0.invalid_steps
+    );
+}
+
 proptest! {
     // The six-way comparison spawns a worker pool, node threads and TCP
     // shards per case, so the case count stays deliberately small — the
@@ -222,5 +365,32 @@ proptest! {
                 .collect();
         prop_assert!(rows.iter().all(|r| r.len() == n && r.iter().all(|&v| v >= 1)));
         compare(|| Box::new(CombinedMonitor::new(2, eps)), &rows, eps);
+    }
+
+    /// Any seeded churn plan is a valid membership schedule for all six
+    /// configurations: joins reseed the slot's RNG from `(master seed, id,
+    /// generation)` on every engine, the rejoin replay is charged under the
+    /// recovery label everywhere, and a leaver's vacated rank re-resolves
+    /// through the ordinary violation machinery — so the run reports, outputs
+    /// and filters agree bit-for-bit whatever the churn geometry.
+    #[test]
+    fn engines_agree_on_any_membership_schedule(
+        seed in 0u64..1000,
+        n in 8usize..14,
+        leave_permille in 20u32..160,
+        downtime in 1u64..7,
+    ) {
+        let eps = Epsilon::TENTH;
+        let steps = 24usize;
+        let rows: Vec<Vec<u64>> =
+            NoiseOscillationWorkload::new(n, 2, (n / 2).min(5), 1 << 16, eps, seed ^ 0x51)
+                .generate(steps)
+                .iter()
+                .map(|(_, r)| r.to_vec())
+                .collect();
+        let min_live = n / 2;
+        let schedule =
+            MembershipWorkload::churn(n, steps as u64, seed, leave_permille, downtime, min_live);
+        compare_with_membership(|| Box::new(CombinedMonitor::new(2, eps)), &rows, &schedule, eps);
     }
 }
