@@ -8,6 +8,7 @@
 //! cargo run -p topk-bench --bin experiments --release -- --throughput               # engine bench
 //! cargo run -p topk-bench --bin experiments --release -- --throughput --quick       # CI smoke
 //! cargo run -p topk-bench --bin experiments --release -- --throughput --sharded 8   # 8 workers
+//! cargo run -p topk-bench --bin experiments --release -- --scaling --quick          # scaling smoke
 //! cargo run -p topk-bench --bin experiments --release -- --check-floors FILE.json   # validate only
 //! cargo run -p topk-bench --bin experiments --release -- --campaign                 # scenario grid
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick         # CI smoke
@@ -31,6 +32,14 @@
 //! `--check-floors FILE` re-validates an existing report — CI uses it to
 //! hold the *committed* full-scale `BENCH_throughput.json` to the `n = 10⁶`
 //! floors without re-measuring on shared runners.
+//!
+//! `--scaling` measures just the multi-core scaling curve (the sharded engine
+//! across worker counts on the noise/dense cell), writes
+//! `BENCH_scaling.json` — or `BENCH_scaling_quick.json` with `--quick` — and
+//! exits non-zero if a point misses the parallel-efficiency floor. The CI
+//! scaling-smoke job runs the quick curve on every push; the committed
+//! full-scale curve is embedded in `BENCH_throughput.json` and guarded by
+//! `--check-floors`.
 //!
 //! `--campaign` runs the scenario campaign (see `topk_bench::campaign`): the
 //! full generator × protocol × ε × n grid with empirical competitive ratios
@@ -60,11 +69,13 @@ fn report_floors(report: &throughput::ThroughputReport) -> ! {
     if failures.is_empty() {
         let floors = FloorTable::STANDARD.throughput;
         println!(
-            "floors ok: indexed >= {}x baseline (and >= {} steps/s) at n=1e5, sharded >= {}x indexed at n=1e6 (or >= {}x at n=1e5 for quick runs), noise/dense",
+            "floors ok: indexed >= {}x baseline (and >= {} steps/s) at n=1e5, sharded >= {}x indexed at n=1e6 (or >= {}x at n=1e5 for quick runs), noise/dense; scaling curve >= {} worker counts with parallel efficiency >= {}",
             floors.indexed_speedup,
             floors.indexed_absolute_steps_per_sec,
             floors.sharded_speedup_full,
             floors.sharded_speedup_quick,
+            floors.scaling_min_worker_counts,
+            floors.scaling_efficiency_full,
         );
         std::process::exit(0);
     }
@@ -226,6 +237,28 @@ fn check_competitive_floors_only(path: PathBuf) -> ! {
     report_competitive_floors(&report)
 }
 
+fn run_scaling_bench(quick: bool, out: PathBuf) -> ! {
+    let report = throughput::run_scaling(quick, |line| eprintln!("{line}"));
+    std::fs::write(&out, throughput::scaling_to_json(&report)).expect("write scaling json");
+    eprintln!("wrote {}", out.display());
+    let failures = throughput::check_scaling_floors(&report);
+    if failures.is_empty() {
+        let floors = FloorTable::STANDARD.throughput;
+        println!(
+            "scaling floors ok: {} worker counts on {} cores, every point's parallel efficiency >= {} (full) / {} (quick)",
+            report.rows.len(),
+            report.cores,
+            floors.scaling_efficiency_full,
+            floors.scaling_efficiency_quick,
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("SCALING FLOOR REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn run_remote_bench(quick: bool, conns: usize) {
     let remote = throughput::run_remote(quick, conns, |line| eprintln!("{line}"));
     let remote_out = PathBuf::from("BENCH_remote.json");
@@ -290,6 +323,7 @@ fn main() {
     let mut json_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut throughput_mode = false;
+    let mut scaling_mode = false;
     let mut campaign_mode = false;
     let mut faults_only = false;
     let mut membership_only = false;
@@ -306,6 +340,7 @@ fn main() {
         match arg.as_str() {
             "--small" => scale = Scale::Small,
             "--throughput" => throughput_mode = true,
+            "--scaling" => scaling_mode = true,
             "--campaign" => campaign_mode = true,
             "--faults-only" => faults_only = true,
             "--membership-only" => membership_only = true,
@@ -364,7 +399,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --scaling [--quick] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
                 );
                 return;
             }
@@ -373,6 +408,7 @@ fn main() {
     }
     if let Some(path) = check_floors_path {
         if throughput_mode
+            || scaling_mode
             || campaign_mode
             || scale == Scale::Small
             || json_dir.is_some()
@@ -393,6 +429,7 @@ fn main() {
     }
     if let Some(path) = check_competitive_path {
         if throughput_mode
+            || scaling_mode
             || campaign_mode
             || scale == Scale::Small
             || json_dir.is_some()
@@ -412,6 +449,7 @@ fn main() {
     }
     if campaign_mode {
         if throughput_mode
+            || scaling_mode
             || scale == Scale::Small
             || json_dir.is_some()
             || !wanted.is_empty()
@@ -465,6 +503,26 @@ fn main() {
         eprintln!("--baseline only applies to --campaign");
         std::process::exit(2);
     }
+    if scaling_mode {
+        if throughput_mode
+            || scale == Scale::Small
+            || json_dir.is_some()
+            || !wanted.is_empty()
+            || sharded_set
+            || remote_conns.is_some()
+        {
+            eprintln!("--scaling does not combine with --throughput/--small/--json/--sharded/--remote/experiment ids (use --quick and --out)");
+            std::process::exit(2);
+        }
+        // Quick runs default to their own file so a smoke run never clobbers
+        // a committed full-scale curve.
+        let default_out = if quick {
+            "BENCH_scaling_quick.json"
+        } else {
+            "BENCH_scaling.json"
+        };
+        run_scaling_bench(quick, out.unwrap_or_else(|| PathBuf::from(default_out)));
+    }
     if throughput_mode {
         if scale == Scale::Small || json_dir.is_some() || !wanted.is_empty() {
             eprintln!("--throughput does not combine with --small/--json/experiment ids (use --quick and --out instead)");
@@ -495,7 +553,7 @@ fn main() {
     }
     if quick || out.is_some() {
         eprintln!(
-            "--quick/--out only apply to --throughput/--remote (did you mean --small/--json?)"
+            "--quick/--out only apply to --throughput/--scaling/--remote (did you mean --small/--json?)"
         );
         std::process::exit(2);
     }

@@ -43,6 +43,19 @@ pub struct ThroughputFloors {
     /// report whose sharded rows were generated with a different `--sharded`
     /// value must not satisfy the gate.
     pub sharded_floor_workers: u64,
+    /// Minimum number of distinct worker counts a full-scale report's scaling
+    /// curve must cover (quick smoke curves need only 2).
+    pub scaling_min_worker_counts: usize,
+    /// Parallel-efficiency floor — `(steps/sec ratio over workers = 1) /
+    /// min(workers, cores)` — every multi-worker point of a full-scale
+    /// scaling curve must clear. On a many-core machine this demands real
+    /// speedup; on a 1-core runner it bounds the sharding *overhead* (a
+    /// worker-pool layout must not halve single-core throughput).
+    pub scaling_efficiency_full: f64,
+    /// Parallel-efficiency floor for quick-scale (CI smoke) curves. Looser:
+    /// at `n = 10⁵` the per-step work is small enough that pool
+    /// synchronisation and measurement noise eat into the ratio.
+    pub scaling_efficiency_quick: f64,
 }
 
 /// Floors for the scenario campaign (`--check-competitive-floors`).
@@ -132,6 +145,9 @@ impl FloorTable {
             sharded_speedup_full: 2.0,
             sharded_speedup_quick: 1.2,
             sharded_floor_workers: 4,
+            scaling_min_worker_counts: 3,
+            scaling_efficiency_full: 0.5,
+            scaling_efficiency_quick: 0.35,
         },
         competitive: CompetitiveFloors {
             min_protocols: 5,
@@ -175,6 +191,12 @@ mod tests {
         let t = FloorTable::STANDARD;
         assert!(t.throughput.sharded_speedup_quick <= t.throughput.sharded_speedup_full);
         assert!(t.throughput.indexed_speedup > 1.0);
+        assert!(t.throughput.scaling_min_worker_counts >= 3);
+        assert!(t.throughput.scaling_efficiency_quick <= t.throughput.scaling_efficiency_full);
+        assert!(t.throughput.scaling_efficiency_quick > 0.0);
+        // Efficiency is normalised by min(workers, cores), so > 1.0 would be
+        // demanding super-linear scaling.
+        assert!(t.throughput.scaling_efficiency_full <= 1.0);
         assert!(t.competitive.min_protocols >= 5);
         assert!(t.competitive.min_generators >= 7);
         assert_eq!(t.competitive.max_invalid_steps, 0);

@@ -91,6 +91,34 @@ impl DeliveryMode {
     }
 }
 
+/// Per-phase time attribution for one measured configuration.
+///
+/// The monitoring loop has exactly two engine phases per step — observation
+/// delivery (`advance_time`/`advance_time_sparse`) and the violation-drain
+/// loop (existence rounds + filter repairs) — and this struct says where the
+/// nanoseconds went, plus the protocol-level rates (rounds/sec, messages/sec,
+/// ns per model message) that connect wall-clock cost back to the paper's
+/// message accounting. All quantities cover the measured window only
+/// (warm-up excluded), like every other field of [`ThroughputRow`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Engine nanoseconds per measured step spent delivering observations.
+    pub advance_ns_per_step: f64,
+    /// Engine nanoseconds per measured step spent detecting violations and
+    /// assigning repaired filters.
+    pub detect_repair_ns_per_step: f64,
+    /// Interactive protocol rounds consumed during the measured window.
+    pub rounds: u64,
+    /// Protocol rounds per second of engine time.
+    pub rounds_per_sec: f64,
+    /// Model messages per second of engine time.
+    pub messages_per_sec: f64,
+    /// Engine nanoseconds per model message (0 when the window was silent).
+    pub ns_per_message: f64,
+    /// Violation reports drained during the measured window.
+    pub violations: u64,
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputRow {
@@ -116,6 +144,8 @@ pub struct ThroughputRow {
     pub messages: u64,
     /// Mean number of nodes whose value changed per step.
     pub mean_changed_per_step: f64,
+    /// Where the engine time went (phase attribution and protocol rates).
+    pub profile: PhaseProfile,
 }
 
 /// The full benchmark output, serialised to `BENCH_throughput.json`.
@@ -131,6 +161,58 @@ pub struct ThroughputReport {
     pub speedups_dense: Vec<SpeedupRow>,
     /// Sharded-over-indexed steps/sec speedups per `(generator, n)`, dense mode.
     pub speedups_sharded: Vec<SpeedupRow>,
+    /// CPU cores available on the measuring machine (what
+    /// `std::thread::available_parallelism` reported); the denominator the
+    /// parallel-efficiency floor is normalised by. Pre-scaling reports lack
+    /// this field and fail deserialisation — regenerate them.
+    pub cores: u64,
+    /// The multi-core scaling curve: the sharded engine re-measured on the
+    /// noise/dense cell across worker counts (see [`ScalingRow`]).
+    pub scaling: Vec<ScalingRow>,
+}
+
+/// One point of the multi-core scaling curve: the sharded engine on the
+/// noise generator with dense delivery at a given worker count.
+///
+/// `efficiency` is `speedup_vs_one / min(workers, cores)` — the fraction of
+/// ideal linear scaling actually delivered, normalised by the parallelism the
+/// machine can physically provide so a 1-core CI runner holds the sharding
+/// *overhead* to a floor instead of demanding impossible speedups. The floor
+/// check recomputes it from `steps_per_sec`, so the stored field is
+/// documentation, not the gate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Workload generator name (the scaling axis uses `"noise"`).
+    pub generator: String,
+    /// Number of nodes.
+    pub n: u64,
+    /// Sharded-engine worker count of this point.
+    pub workers: u64,
+    /// Measured steps (after warm-up).
+    pub steps: u64,
+    /// Simulated observation steps per second of engine work.
+    pub steps_per_sec: f64,
+    /// Microseconds of engine work per step.
+    pub us_per_step: f64,
+    /// `steps_per_sec` ratio over this curve's `workers = 1` point.
+    pub speedup_vs_one: f64,
+    /// `speedup_vs_one / min(workers, cores)`.
+    pub efficiency: f64,
+}
+
+/// A standalone scaling-curve report (`--scaling`), written to
+/// `BENCH_scaling_quick.json` by the CI smoke job. The committed full-scale
+/// curve lives inside `BENCH_throughput.json` ([`ThroughputReport::scaling`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// Schema/benchmark identifier (`"scaling"`).
+    pub bench: String,
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// CPU cores available on the measuring machine.
+    pub cores: u64,
+    /// The measured curve.
+    pub rows: Vec<ScalingRow>,
 }
 
 /// Speedup summary entry.
@@ -238,6 +320,7 @@ struct LoopOutcome {
     elapsed_s: f64,
     messages: u64,
     mean_changed_per_step: f64,
+    profile: PhaseProfile,
 }
 
 /// The monitoring loop every measurement drives: calibrate filters, warm up,
@@ -251,7 +334,6 @@ fn drive<N: Network>(
     n: usize,
     mode: DeliveryMode,
     steps: u64,
-    phase_log_context: &str,
     mut at_warmup_end: impl FnMut(&N),
 ) -> LoopOutcome {
     // Setup (untimed): observe a few calibration steps under the all-embracing
@@ -282,7 +364,9 @@ fn drive<N: Network>(
     let mut elapsed = Duration::ZERO;
     let mut total_changed = 0u64;
     let mut messages_at_warmup_end = 0u64;
-    // Phase breakdown (whole run incl. warm-up), reported via THROUGHPUT_PHASES.
+    let mut rounds_at_warmup_end = 0u64;
+    // Phase breakdown: where each timed step's engine seconds went. Reset at
+    // the warm-up boundary with every other measured quantity.
     let mut phase_advance = Duration::ZERO;
     let mut phase_detect = Duration::ZERO;
     let mut violations = 0u64;
@@ -291,7 +375,12 @@ fn drive<N: Network>(
         if step == WARMUP_STEPS {
             elapsed = Duration::ZERO;
             total_changed = 0;
-            messages_at_warmup_end = net.stats().total_messages();
+            phase_advance = Duration::ZERO;
+            phase_detect = Duration::ZERO;
+            violations = 0;
+            let stats = net.stats();
+            messages_at_warmup_end = stats.total_messages();
+            rounds_at_warmup_end = stats.rounds;
             at_warmup_end(net);
         }
         // Workload generation and row diffing are the source's job, not the
@@ -335,19 +424,27 @@ fn drive<N: Network>(
         prev = row;
         net.peek_filters_into(&mut filters);
     }
-    if std::env::var_os("THROUGHPUT_PHASES").is_some() {
-        eprintln!(
-            "phases: {phase_log_context}: advance {:.1}us/step, detect+repair {:.1}us/step, {} violations",
-            phase_advance.as_secs_f64() * 1e6 / (WARMUP_STEPS + steps) as f64,
-            phase_detect.as_secs_f64() * 1e6 / (WARMUP_STEPS + steps) as f64,
-            violations,
-        );
-    }
-
+    let stats = net.stats();
+    let messages = stats.total_messages() - messages_at_warmup_end;
+    let rounds = stats.rounds - rounds_at_warmup_end;
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
     LoopOutcome {
-        elapsed_s: elapsed.as_secs_f64().max(1e-9),
-        messages: net.stats().total_messages() - messages_at_warmup_end,
+        elapsed_s,
+        messages,
         mean_changed_per_step: total_changed as f64 / steps as f64,
+        profile: PhaseProfile {
+            advance_ns_per_step: phase_advance.as_secs_f64() * 1e9 / steps as f64,
+            detect_repair_ns_per_step: phase_detect.as_secs_f64() * 1e9 / steps as f64,
+            rounds,
+            rounds_per_sec: rounds as f64 / elapsed_s,
+            messages_per_sec: messages as f64 / elapsed_s,
+            ns_per_message: if messages > 0 {
+                elapsed_s * 1e9 / messages as f64
+            } else {
+                0.0
+            },
+            violations,
+        },
     }
 }
 
@@ -361,46 +458,21 @@ pub fn measure(
     seed: u64,
 ) -> ThroughputRow {
     let mut workload = make_workload(generator, n, seed);
-    let context = format!("{generator} n={n} {}/{}", kind.label(), mode.label());
     let out = match kind {
         EngineKind::Baseline => {
             let mut net = DeterministicEngine::new(n, seed);
-            drive(
-                &mut net,
-                workload.as_mut(),
-                n,
-                mode,
-                steps,
-                &context,
-                |_| {},
-            )
+            drive(&mut net, workload.as_mut(), n, mode, steps, |_| {})
         }
         EngineKind::Indexed => {
             let mut net = IndexedEngine::new(n, seed);
-            drive(
-                &mut net,
-                workload.as_mut(),
-                n,
-                mode,
-                steps,
-                &context,
-                |_| {},
-            )
+            drive(&mut net, workload.as_mut(), n, mode, steps, |_| {})
         }
         // `Dispatch::Auto`: the engine uses its worker pool when the machine
         // has usable parallelism and falls back to inline shard execution
         // otherwise — the measurement reflects what a deployment would get.
         EngineKind::Sharded(workers) => {
             let mut net = ShardedEngine::new(n, seed, workers);
-            drive(
-                &mut net,
-                workload.as_mut(),
-                n,
-                mode,
-                steps,
-                &context,
-                |_| {},
-            )
+            drive(&mut net, workload.as_mut(), n, mode, steps, |_| {})
         }
     };
     ThroughputRow {
@@ -415,6 +487,7 @@ pub fn measure(
         us_per_step: out.elapsed_s * 1e6 / steps as f64,
         messages: out.messages,
         mean_changed_per_step: out.mean_changed_per_step,
+        profile: out.profile,
     }
 }
 
@@ -479,17 +552,10 @@ pub fn measure_remote(
 ) -> RemoteRow {
     let mut workload = make_workload(generator, n, seed);
     let mut net = RemoteEngine::with_shards(n, seed, shards);
-    let context = format!("{generator} n={n} remote({shards})/{}", mode.label());
     let mut transport_at_warmup_end = TransportStats::default();
-    let out = drive(
-        &mut net,
-        workload.as_mut(),
-        n,
-        mode,
-        steps,
-        &context,
-        |net| transport_at_warmup_end = net.transport_stats(),
-    );
+    let out = drive(&mut net, workload.as_mut(), n, mode, steps, |net| {
+        transport_at_warmup_end = net.transport_stats()
+    });
     let transport = net.transport_stats();
     let frames = transport.frames() - transport_at_warmup_end.frames();
     let bytes = transport.bytes() - transport_at_warmup_end.bytes();
@@ -560,6 +626,95 @@ pub fn remote_to_json(report: &RemoteReport) -> String {
     serde_json::to_string_pretty(report).expect("remote reports serialise")
 }
 
+/// CPU cores the measuring machine offers — the denominator of the
+/// parallel-efficiency normalisation.
+pub fn available_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|c| c.get() as u64)
+        .unwrap_or(1)
+}
+
+/// Worker counts the scaling curve measures.
+fn scaling_worker_counts(quick: bool) -> &'static [usize] {
+    if quick {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    }
+}
+
+/// Measures the multi-core scaling curve: the sharded engine on the
+/// noise/dense cell across worker counts, at `n = 10⁶` (full) or `n = 10⁵`
+/// (quick). The `workers = 1` point anchors `speedup_vs_one`; `efficiency`
+/// normalises by `min(workers, cores)` so the curve is meaningful on any
+/// machine (on a 1-core runner it degenerates to a sharding-overhead bound).
+pub fn measure_scaling(quick: bool, log: impl Fn(&str)) -> (u64, Vec<ScalingRow>) {
+    let cores = available_cores();
+    let n: usize = if quick { 100_000 } else { 1_000_000 };
+    let steps = indexed_steps(n, quick);
+    let seed = 0xBE7C;
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut one_sps = 0.0_f64;
+    for &workers in scaling_worker_counts(quick) {
+        let row = measure(
+            "noise",
+            n,
+            EngineKind::Sharded(workers),
+            DeliveryMode::Dense,
+            steps,
+            seed,
+        );
+        if workers == 1 {
+            one_sps = row.steps_per_sec;
+        }
+        let speedup_vs_one = row.steps_per_sec / one_sps.max(1e-9);
+        let efficiency = speedup_vs_one / (workers as u64).min(cores).max(1) as f64;
+        log(&format!(
+            "scaling:    noise n={n:>8} workers={workers:>2} {:>12.1} steps/s  speedup {:>5.2}x  efficiency {:>5.2} (cores={cores})",
+            row.steps_per_sec, speedup_vs_one, efficiency
+        ));
+        rows.push(ScalingRow {
+            generator: row.generator,
+            n: row.n,
+            workers: workers as u64,
+            steps: row.steps,
+            steps_per_sec: row.steps_per_sec,
+            us_per_step: row.us_per_step,
+            speedup_vs_one,
+            efficiency,
+        });
+    }
+    (cores, rows)
+}
+
+/// Runs only the scaling curve and wraps it as a standalone report — the
+/// `--scaling` mode the CI smoke job uses.
+pub fn run_scaling(quick: bool, log: impl Fn(&str)) -> ScalingReport {
+    let (cores, rows) = measure_scaling(quick, log);
+    ScalingReport {
+        bench: "scaling".to_string(),
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        cores,
+        rows,
+    }
+}
+
+/// Serialises a scaling report as pretty JSON.
+pub fn scaling_to_json(report: &ScalingReport) -> String {
+    serde_json::to_string_pretty(report).expect("scaling reports serialise")
+}
+
+/// Checks a standalone scaling report against the standard floor table:
+/// same bars as the embedded curve in a throughput report of the same scale.
+pub fn check_scaling_floors(report: &ScalingReport) -> Vec<String> {
+    check_scaling_axis(
+        &report.rows,
+        report.cores,
+        &report.scale,
+        &crate::floors::FloorTable::STANDARD.throughput,
+    )
+}
+
 /// Runs the whole benchmark matrix.
 ///
 /// `quick` is the CI smoke configuration: `n ∈ {10³, 10⁴, 10⁵}` and fewer
@@ -603,12 +758,15 @@ pub fn run_throughput(quick: bool, sharded_workers: usize, log: impl Fn(&str)) -
     }
     let speedups_dense = speedups(&rows, "indexed", "baseline");
     let speedups_sharded = speedups(&rows, "sharded", "indexed");
+    let (cores, scaling) = measure_scaling(quick, &log);
     ThroughputReport {
         bench: "throughput".to_string(),
         scale: if quick { "quick" } else { "full" }.to_string(),
         rows,
         speedups_dense,
         speedups_sharded,
+        cores,
+        scaling,
     }
 }
 
@@ -705,6 +863,69 @@ pub fn check_floors_against(
             "report is missing the n={n} noise rows the sharded floor check needs"
         )),
     }
+    failures.extend(check_scaling_axis(
+        &report.scaling,
+        report.cores,
+        &report.scale,
+        floors,
+    ));
+    failures
+}
+
+/// Validates a measured scaling curve against the floor table.
+///
+/// Efficiency is *recomputed* here from `steps_per_sec` and the report's
+/// `cores` — the stored `efficiency` field never satisfies the gate on its
+/// own, so a hand-edited JSON cannot launder a regression through it.
+fn check_scaling_axis(
+    rows: &[ScalingRow],
+    cores: u64,
+    scale: &str,
+    floors: &crate::floors::ThroughputFloors,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let (min_counts, min_n, floor) = if scale == "full" {
+        (
+            floors.scaling_min_worker_counts,
+            1_000_000,
+            floors.scaling_efficiency_full,
+        )
+    } else {
+        (2, 100_000, floors.scaling_efficiency_quick)
+    };
+    if cores == 0 {
+        failures.push("report records cores = 0; regenerate it with the scaling axis".into());
+    }
+    let mut counts: Vec<u64> = rows.iter().map(|r| r.workers).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    if counts.len() < min_counts {
+        failures.push(format!(
+            "scaling curve covers {} worker counts, floor is {min_counts}",
+            counts.len()
+        ));
+        return failures;
+    }
+    if let Some(r) = rows.iter().find(|r| r.n < min_n) {
+        failures.push(format!(
+            "{scale}-scale scaling curve has an n={} point; the floor is stated for n >= {min_n}",
+            r.n
+        ));
+    }
+    let Some(one) = rows.iter().find(|r| r.workers == 1) else {
+        failures.push("scaling curve is missing its workers=1 anchor point".into());
+        return failures;
+    };
+    for row in rows.iter().filter(|r| r.workers > 1) {
+        let speedup = row.steps_per_sec / one.steps_per_sec;
+        let efficiency = speedup / row.workers.min(cores.max(1)).max(1) as f64;
+        if efficiency < floor {
+            failures.push(format!(
+                "parallel efficiency at workers={} is {efficiency:.2} ({speedup:.2}x over 1 worker on {cores} cores), floor is {floor}",
+                row.workers
+            ));
+        }
+    }
     failures
 }
 
@@ -731,6 +952,18 @@ mod tests {
         assert!(row.steps_per_sec > 0.0);
         assert!(row.us_per_step > 0.0);
         assert!(row.mean_changed_per_step > 0.0);
+        // The phase attribution must account for the measured window: both
+        // phases ran, and their sum is within the row's per-step total.
+        assert!(row.profile.advance_ns_per_step > 0.0);
+        assert!(row.profile.detect_repair_ns_per_step > 0.0);
+        let phase_sum = row.profile.advance_ns_per_step + row.profile.detect_repair_ns_per_step;
+        assert!(
+            phase_sum <= row.us_per_step * 1e3 * 1.01,
+            "phases ({phase_sum} ns/step) exceed the measured total ({} ns/step)",
+            row.us_per_step * 1e3
+        );
+        assert!(row.profile.rounds > 0, "violation drains consume rounds");
+        assert!(row.profile.rounds_per_sec > 0.0);
     }
 
     #[test]
@@ -791,6 +1024,24 @@ mod tests {
         assert!(row.mean_changed_per_step < 40.0);
     }
 
+    /// A healthy full-scale scaling curve for hand-built report fixtures.
+    fn scaling_fixture() -> Vec<ScalingRow> {
+        [1u64, 2, 4]
+            .iter()
+            .map(|&workers| ScalingRow {
+                generator: "noise".into(),
+                n: 1_000_000,
+                workers,
+                steps: 1,
+                // Perfect linear scaling on the fixture's 4 "cores".
+                steps_per_sec: 100.0 * workers as f64,
+                us_per_step: 1.0,
+                speedup_vs_one: workers as f64,
+                efficiency: 1.0,
+            })
+            .collect()
+    }
+
     #[test]
     fn floor_check_detects_missing_rows() {
         let empty = ThroughputReport {
@@ -799,18 +1050,31 @@ mod tests {
             rows: vec![],
             speedups_dense: vec![],
             speedups_sharded: vec![],
+            cores: 0,
+            scaling: vec![],
         };
-        // Both the indexed and the sharded floor report their missing rows.
-        assert_eq!(check_floors(&empty).len(), 2);
+        // The indexed and sharded floors report their missing rows; the
+        // scaling gate reports the zero cores field and the empty curve.
+        assert_eq!(check_floors(&empty).len(), 4);
     }
 
     #[test]
     fn sharded_floor_uses_full_scale_rows_when_present() {
+        // The sharded axis must be built with the same worker count the
+        // full-scale floor is stated for — derive it, never hard-code it, so
+        // a floor-table change cannot silently diverge from this fixture.
+        let floor_workers = crate::floors::FloorTable::STANDARD
+            .throughput
+            .sharded_floor_workers;
         let row = |engine: &str, n: u64, steps_per_sec: f64| ThroughputRow {
             generator: "noise".into(),
             n,
             engine: engine.into(),
-            workers: if engine == "sharded" { 4 } else { 0 },
+            workers: if engine == "sharded" {
+                floor_workers
+            } else {
+                0
+            },
             mode: "dense".into(),
             steps: 1,
             elapsed_s: 1.0,
@@ -818,6 +1082,7 @@ mod tests {
             us_per_step: 1.0,
             messages: 0,
             mean_changed_per_step: 0.0,
+            profile: PhaseProfile::default(),
         };
         let mut report = ThroughputReport {
             bench: "throughput".into(),
@@ -831,6 +1096,8 @@ mod tests {
             ],
             speedups_dense: vec![],
             speedups_sharded: vec![],
+            cores: 4,
+            scaling: scaling_fixture(),
         };
         assert!(check_floors(&report).is_empty());
         // Degrading the 1e6 sharded row below 2x must trip the floor.
@@ -844,6 +1111,74 @@ mod tests {
         let failures = check_floors(&report);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("missing the n=1000000"));
+    }
+
+    #[test]
+    fn scaling_floor_recomputes_efficiency_from_steps_per_sec() {
+        let mut report = ThroughputReport {
+            bench: "throughput".into(),
+            scale: "full".into(),
+            rows: vec![],
+            speedups_dense: vec![],
+            speedups_sharded: vec![],
+            cores: 4,
+            scaling: scaling_fixture(),
+        };
+        let scaling_only = |r: &ThroughputReport| -> Vec<String> {
+            check_floors(r)
+                .into_iter()
+                .filter(|f| {
+                    f.contains("scaling") || f.contains("efficiency") || f.contains("cores")
+                })
+                .collect()
+        };
+        assert!(scaling_only(&report).is_empty());
+        // Dropping workers=4 to 1.2x over workers=1 (efficiency 0.3 on 4
+        // cores) must trip the 0.5 floor — even though the *stored*
+        // efficiency field still says 1.0 (the gate recomputes).
+        report.scaling.last_mut().unwrap().steps_per_sec = 120.0;
+        let failures = scaling_only(&report);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("parallel efficiency at workers=4"));
+        // On a 1-core machine the same numbers are *fine*: min(workers,
+        // cores) = 1, so 1.2x over one worker is efficiency 1.2.
+        report.cores = 1;
+        assert!(scaling_only(&report).is_empty());
+        // Fewer than 3 distinct worker counts fails a full-scale report.
+        report.cores = 4;
+        report.scaling.pop();
+        let failures = scaling_only(&report);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("worker counts"));
+        // A full-scale curve measured below n=1e6 fails.
+        report.scaling = scaling_fixture();
+        report.scaling[0].n = 100_000;
+        assert!(scaling_only(&report)
+            .iter()
+            .any(|f| f.contains("n >= 1000000")));
+    }
+
+    #[test]
+    fn standalone_scaling_report_round_trips_and_checks() {
+        let report = ScalingReport {
+            bench: "scaling".into(),
+            scale: "full".into(),
+            cores: 4,
+            rows: scaling_fixture(),
+        };
+        assert!(check_scaling_floors(&report).is_empty());
+        let json = scaling_to_json(&report);
+        let parsed: ScalingReport = serde_json::from_str(&json).expect("scaling deserialises");
+        assert_eq!(parsed.rows.len(), 3);
+        assert_eq!(parsed.cores, 4);
+        // A quick-scale curve is allowed 2 worker counts at n=1e5.
+        let mut quick = report;
+        quick.scale = "quick".into();
+        quick.rows.pop();
+        for r in &mut quick.rows {
+            r.n = 100_000;
+        }
+        assert!(check_scaling_floors(&quick).is_empty());
     }
 
     #[test]
@@ -863,13 +1198,21 @@ mod tests {
             speedups_dense: speedups(std::slice::from_ref(&row), "indexed", "baseline"),
             speedups_sharded: speedups(std::slice::from_ref(&row), "sharded", "indexed"),
             rows: vec![row],
+            cores: available_cores(),
+            scaling: vec![],
         };
         let json = to_json(&report);
         assert!(json.contains("\"generator\""));
         assert!(json.contains("random-walk"));
+        assert!(json.contains("advance_ns_per_step"));
         let parsed: ThroughputReport = serde_json::from_str(&json).expect("reports deserialise");
         assert_eq!(parsed.rows.len(), 1);
         assert_eq!(parsed.rows[0].workers, 2);
+        assert!(parsed.cores >= 1);
+        // A pre-scaling report (no `cores`/`scaling` keys) must fail loudly
+        // at the parse, not silently pass a floor check with empty defaults.
+        let legacy = json.replace("\"cores\"", "\"cpus\"");
+        assert!(serde_json::from_str::<ThroughputReport>(&legacy).is_err());
     }
 
     #[test]

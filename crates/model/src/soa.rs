@@ -75,7 +75,25 @@ pub struct NodeStateSoA {
     chunk_pending: Vec<u32>,
     /// Chunks whose zone-map entries are stale (a filter changed); recomputed
     /// lazily by the next bulk pass that wants the fast path.
+    ///
+    /// Soundness of the lazy protocol (audited): [`NodeStateSoA::set_filter`]
+    /// is the *only* mutator of the filter columns and it unconditionally
+    /// marks the chunk dirty *before* returning, and every zone-map reader
+    /// ([`NodeStateSoA::advance_row`]'s dense pass and
+    /// [`NodeStateSoA::refresh_pending_bulk`]) rebuilds a dirty chunk before
+    /// consulting `chunk_lo_max`/`chunk_hi_min`. A filter that widens in the
+    /// same step as a value write therefore can never leave the skip test
+    /// reading stale bounds: either the rebuild ran first (fresh bounds), or
+    /// the entry is still the *pre-widening* one — which is tighter, so the
+    /// test is conservative and falls through to the full per-node pass.
+    /// `tests/zone_map_skip.rs` proves the property under random interleaved
+    /// filter/value traffic by differencing against a skip-disabled twin
+    /// (see [`NodeStateSoA::set_zone_map_enabled`]).
     chunk_dirty: Vec<bool>,
+    /// Whether the bulk passes may use the zone-map skip (`true` in
+    /// production; the differential proptest turns it off on a twin state to
+    /// prove the skip never masks a transition).
+    zone_map_enabled: bool,
 }
 
 impl PartialEq for NodeStateSoA {
@@ -123,6 +141,47 @@ fn code_of(lo: Value, hi: Value, v: Value) -> u8 {
 /// cheap.
 const CHUNK: usize = 64;
 
+/// Violation codes for one full chunk: `codes[k] = code_of(lo[k], hi[k],
+/// vals[k])`, widened to `u64` lanes.
+///
+/// The fixed-width `[_; CHUNK]` signature plus same-width lanes is the
+/// vectorisation contract: the trip count is a compile-time constant, every
+/// lane is a branch-free compare-and-or, and keeping the codes in `u64`
+/// avoids the 8:1 narrowing store that defeats LLVM's loop vectoriser. The
+/// codegen is pinned by inspection: with AVX2 (`-C target-cpu=x86-64-v3`)
+/// the loop compiles to 32 `vpcmpgtq` (sign-bias-XOR'd unsigned compares,
+/// four lanes each — 64 lanes × 2 compares, no scalar fallback, no bounds
+/// checks); the portable x86-64 baseline has no packed 64-bit compare and
+/// gets fully unrolled branch-free scalar code instead. Callers carve full
+/// chunks out of the columns with `try_into` and handle the ragged tail with
+/// [`code_of`] directly; a unit test pins `band_codes` lane-for-lane equal
+/// to `code_of`.
+#[inline]
+fn band_codes(
+    lo: &[Value; CHUNK],
+    hi: &[Value; CHUNK],
+    vals: &[Value; CHUNK],
+    codes: &mut [u64; CHUNK],
+) {
+    for k in 0..CHUNK {
+        codes[k] = ((vals[k] > hi[k]) as u64) | (((vals[k] < lo[k]) as u64) << 1);
+    }
+}
+
+/// OR-accumulated XOR of fresh codes against the stored pending column: zero
+/// iff no flag in the chunk changed. Fixed-width like [`band_codes`] (the
+/// `u8` pending lanes widen with `vpmovzxbq` under AVX2); the caller only
+/// runs the scalar fix-up (store + transition record) when this is non-zero,
+/// which on quiet chunks keeps the pending column write-free.
+#[inline]
+fn chunk_delta(codes: &[u64; CHUNK], pending: &[u8; CHUNK]) -> u64 {
+    let mut delta = 0;
+    for k in 0..CHUNK {
+        delta |= codes[k] ^ (pending[k] as u64);
+    }
+    delta
+}
+
 impl NodeStateSoA {
     /// Creates the state of `n` fresh nodes: value 0, the all-embracing filter
     /// `[0, ∞)`, group `Lower`, no pending violation — exactly the initial state
@@ -140,7 +199,19 @@ impl NodeStateSoA {
             chunk_hi_min: vec![Value::MAX; chunks],
             chunk_pending: vec![0; chunks],
             chunk_dirty: vec![false; chunks],
+            zone_map_enabled: true,
         }
+    }
+
+    /// Enables or disables the zone-map skip in the bulk passes.
+    ///
+    /// With the skip disabled every chunk takes the full code-re-derivation
+    /// pass, so the observable state trajectory must be *identical* — the
+    /// zone map is purely an elision of provably-idempotent work. This knob
+    /// exists so differential tests can pin that claim; production callers
+    /// never touch it.
+    pub fn set_zone_map_enabled(&mut self, enabled: bool) {
+        self.zone_map_enabled = enabled;
     }
 
     /// Writes pending code `code` for node `i`, maintaining the per-chunk
@@ -332,7 +403,7 @@ impl NodeStateSoA {
             while base < n {
                 let c = base / CHUNK;
                 let end = (base + CHUNK).min(n);
-                if self.chunk_dirty[c] {
+                if self.zone_map_enabled && self.chunk_dirty[c] {
                     self.rebuild_chunk(c);
                 }
                 let mut mn = Value::MAX;
@@ -341,7 +412,8 @@ impl NodeStateSoA {
                     mn = mn.min(new);
                     mx = mx.max(new);
                 }
-                let cannot_transition = self.chunk_pending[c] == 0
+                let cannot_transition = self.zone_map_enabled
+                    && self.chunk_pending[c] == 0
                     && mn >= self.chunk_lo_max[c]
                     && mx <= self.chunk_hi_min[c];
                 let mut chunk_changed = 0u64;
@@ -349,6 +421,41 @@ impl NodeStateSoA {
                     for (v, &new) in self.values[base..end].iter_mut().zip(&row[base..end]) {
                         chunk_changed += (*v != new) as u64;
                         *v = new;
+                    }
+                } else if end - base == CHUNK {
+                    // Full chunk: three fixed-width kernels (value copy +
+                    // change count, band codes, change detection), each of
+                    // which vectorises; the scalar fix-up below only runs
+                    // when some flag in the chunk actually flipped.
+                    let row_chunk: &[Value; CHUNK] = row[base..end].try_into().expect("full chunk");
+                    {
+                        let vals: &mut [Value; CHUNK] = (&mut self.values[base..end])
+                            .try_into()
+                            .expect("full chunk");
+                        for k in 0..CHUNK {
+                            chunk_changed += (vals[k] != row_chunk[k]) as u64;
+                            vals[k] = row_chunk[k];
+                        }
+                    }
+                    let mut codes = [0u64; CHUNK];
+                    band_codes(
+                        self.filter_lo[base..end].try_into().expect("full chunk"),
+                        self.check_hi[base..end].try_into().expect("full chunk"),
+                        row_chunk,
+                        &mut codes,
+                    );
+                    let delta = chunk_delta(
+                        &codes,
+                        self.pending[base..end].try_into().expect("full chunk"),
+                    );
+                    if delta != 0 {
+                        for (off, &code) in codes.iter().enumerate() {
+                            let i = base + off;
+                            if code as u8 != self.pending[i] {
+                                self.store_code(i, code as u8);
+                                transitions.push(i as u32);
+                            }
+                        }
                     }
                 } else {
                     for (off, &new) in row[base..end].iter().enumerate() {
@@ -411,13 +518,13 @@ impl NodeStateSoA {
         while base < n {
             let c = base / CHUNK;
             let end = (base + CHUNK).min(n);
-            if self.chunk_dirty[c] {
+            if self.zone_map_enabled && self.chunk_dirty[c] {
                 self.rebuild_chunk(c);
             }
             // Same zone-map fast path as the dense advance: a chunk with no
             // flag set whose values all sit inside the chunk-wide band cannot
             // have transitioned, and only the value column is read.
-            if self.chunk_pending[c] == 0 {
+            if self.zone_map_enabled && self.chunk_pending[c] == 0 {
                 let mut mn = Value::MAX;
                 let mut mx = 0;
                 for &v in &self.values[base..end] {
@@ -429,15 +536,80 @@ impl NodeStateSoA {
                     continue;
                 }
             }
-            for i in base..end {
-                let code = code_of(self.filter_lo[i], self.check_hi[i], self.values[i]);
-                if code != self.pending[i] {
-                    self.store_code(i, code);
-                    transitions.push(i as u32);
+            if end - base == CHUNK {
+                // Same fixed-width kernels as the dense advance; the values
+                // were already written by `set_value_deferred`, so only the
+                // code re-derivation and change detection remain.
+                let mut codes = [0u64; CHUNK];
+                band_codes(
+                    self.filter_lo[base..end].try_into().expect("full chunk"),
+                    self.check_hi[base..end].try_into().expect("full chunk"),
+                    self.values[base..end].try_into().expect("full chunk"),
+                    &mut codes,
+                );
+                let delta = chunk_delta(
+                    &codes,
+                    self.pending[base..end].try_into().expect("full chunk"),
+                );
+                if delta != 0 {
+                    for (off, &code) in codes.iter().enumerate() {
+                        let i = base + off;
+                        if code as u8 != self.pending[i] {
+                            self.store_code(i, code as u8);
+                            transitions.push(i as u32);
+                        }
+                    }
+                }
+            } else {
+                for i in base..end {
+                    let code = code_of(self.filter_lo[i], self.check_hi[i], self.values[i]);
+                    if code != self.pending[i] {
+                        self.store_code(i, code);
+                        transitions.push(i as u32);
+                    }
                 }
             }
             base = end;
         }
+    }
+
+    /// Like [`NodeStateSoA::advance_row`] with `expect_dense = false`, but
+    /// additionally records the indices whose *value* changed into
+    /// `changed_ids` (cleared first). Engines that maintain a per-observation
+    /// incremental index over the value column (see `topk-net`'s radix value
+    /// index) use this to learn exactly which entries moved without a second
+    /// diff pass; the state trajectory is identical to `advance_row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.len()` or the state holds more than
+    /// `u32::MAX` nodes.
+    pub fn advance_row_tracked(
+        &mut self,
+        row: &[Value],
+        transitions: &mut Vec<u32>,
+        changed_ids: &mut Vec<u32>,
+    ) -> usize {
+        assert_eq!(row.len(), self.len(), "one observation per node required");
+        assert!(
+            self.len() <= u32::MAX as usize,
+            "node count exceeds u32 index range"
+        );
+        transitions.clear();
+        changed_ids.clear();
+        for (i, &new) in row.iter().enumerate() {
+            if self.values[i] == new {
+                continue;
+            }
+            changed_ids.push(i as u32);
+            self.values[i] = new;
+            let code = code_of(self.filter_lo[i], self.check_hi[i], new);
+            if code != self.pending[i] {
+                self.store_code(i, code);
+                transitions.push(i as u32);
+            }
+        }
+        changed_ids.len()
     }
 }
 
@@ -620,6 +792,152 @@ mod tests {
         assert_eq!(transitions, vec![0]);
         assert_eq!(bulk.pending(0), None);
         assert_eq!(bulk.pending(1), Some(Violation::FromAbove));
+    }
+
+    #[test]
+    fn band_codes_agrees_with_code_of_per_lane() {
+        let mut seed = 0xabcdu64;
+        let mut lo = [0u64; CHUNK];
+        let mut hi = [0u64; CHUNK];
+        let mut vals = [0u64; CHUNK];
+        for k in 0..CHUNK {
+            lo[k] = lcg(&mut seed) % 64;
+            hi[k] = lo[k] + lcg(&mut seed) % 64;
+            // Cover below / inside / above and the extremes.
+            vals[k] = match k % 5 {
+                0 => 0,
+                1 => lo[k].saturating_sub(1),
+                2 => (lo[k] + hi[k]) / 2,
+                3 => hi[k] + 1,
+                _ => Value::MAX,
+            };
+        }
+        let mut codes = [0u64; CHUNK];
+        band_codes(&lo, &hi, &vals, &mut codes);
+        for k in 0..CHUNK {
+            assert_eq!(codes[k], code_of(lo[k], hi[k], vals[k]) as u64, "lane {k}");
+        }
+        // chunk_delta is zero exactly when the pending column already matches.
+        let pending: [u8; CHUNK] = core::array::from_fn(|k| codes[k] as u8);
+        assert_eq!(chunk_delta(&codes, &pending), 0);
+        let mut off_by_one = pending;
+        off_by_one[17] ^= 1;
+        assert_ne!(chunk_delta(&codes, &off_by_one), 0);
+    }
+
+    /// Tiny deterministic LCG so the kernel tests cover pseudo-random traffic
+    /// without pulling a RNG crate into `topk-model`'s dev-deps.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 16
+    }
+
+    #[test]
+    fn full_chunk_kernel_matches_per_node_set_value() {
+        // Spans two full chunks plus a ragged tail so both the fixed-width
+        // kernel and the scalar tail run; compared against per-node writes
+        // across dense, quiet and tracked variants.
+        let n = CHUNK * 2 + 7;
+        let mut seed = 0x5eed_1234u64;
+        let mut bulk_dense = NodeStateSoA::new(n);
+        let mut bulk_quiet = NodeStateSoA::new(n);
+        let mut bulk_tracked = NodeStateSoA::new(n);
+        let mut scalar = NodeStateSoA::new(n);
+        for i in 0..n {
+            let lo = lcg(&mut seed) % 100;
+            let f = match lcg(&mut seed) % 3 {
+                0 => Filter::FULL,
+                1 => Filter::at_least(lo),
+                _ => Filter::bounded(lo, lo + lcg(&mut seed) % 50).unwrap(),
+            };
+            for s in [
+                &mut bulk_dense,
+                &mut bulk_quiet,
+                &mut bulk_tracked,
+                &mut scalar,
+            ] {
+                s.set_filter(i, f);
+            }
+        }
+        let mut transitions = Vec::new();
+        let mut tracked_transitions = Vec::new();
+        let mut changed_ids = Vec::new();
+        for step in 0..6 {
+            let row: Vec<Value> = (0..n)
+                .map(|i| {
+                    if lcg(&mut seed) % 4 == 0 {
+                        lcg(&mut seed) % 160
+                    } else {
+                        scalar.value(i) // unchanged
+                    }
+                })
+                .collect();
+            let mut expect_changed_ids = Vec::new();
+            let mut expect_transitions = Vec::new();
+            for (i, &v) in row.iter().enumerate() {
+                if scalar.value(i) != v {
+                    expect_changed_ids.push(i as u32);
+                }
+                let before = scalar.pending(i);
+                if scalar.set_value(i, v) != before {
+                    expect_transitions.push(i as u32);
+                }
+            }
+            let cd = bulk_dense.advance_row(&row, &mut transitions, true);
+            assert_eq!(bulk_dense, scalar, "dense step {step}");
+            assert_eq!(cd, expect_changed_ids.len());
+            assert_eq!(transitions, expect_transitions);
+            let cq = bulk_quiet.advance_row(&row, &mut transitions, false);
+            assert_eq!(bulk_quiet, scalar, "quiet step {step}");
+            assert_eq!(cq, expect_changed_ids.len());
+            assert_eq!(transitions, expect_transitions);
+            let ct =
+                bulk_tracked.advance_row_tracked(&row, &mut tracked_transitions, &mut changed_ids);
+            assert_eq!(bulk_tracked, scalar, "tracked step {step}");
+            assert_eq!(ct, expect_changed_ids.len());
+            assert_eq!(changed_ids, expect_changed_ids);
+            assert_eq!(tracked_transitions, expect_transitions);
+        }
+    }
+
+    #[test]
+    fn zone_map_disable_preserves_trajectory() {
+        let n = CHUNK + 3;
+        let mut on = NodeStateSoA::new(n);
+        let mut off = NodeStateSoA::new(n);
+        off.set_zone_map_enabled(false);
+        for i in 0..n {
+            let f = Filter::bounded(10, 40).unwrap();
+            on.set_filter(i, f);
+            off.set_filter(i, f);
+        }
+        let mut ta = Vec::new();
+        let mut tb = Vec::new();
+        let rows: Vec<Vec<Value>> = vec![
+            vec![20; n],                                  // all in band: skippable
+            (0..n as u64).map(|i| 10 + i % 31).collect(), // still in band
+            (0..n as u64)
+                .map(|i| if i == 5 { 99 } else { 20 })
+                .collect(), // one violation
+        ];
+        for row in &rows {
+            let ca = on.advance_row(row, &mut ta, true);
+            let cb = off.advance_row(row, &mut tb, true);
+            assert_eq!(on, off);
+            assert_eq!(ca, cb);
+            assert_eq!(ta, tb);
+        }
+        // Deferred path as well.
+        for s in [&mut on, &mut off] {
+            s.set_value_deferred(7, 39);
+            s.set_value_deferred(5, 7);
+        }
+        on.refresh_pending_bulk(&mut ta);
+        off.refresh_pending_bulk(&mut tb);
+        assert_eq!(on, off);
+        assert_eq!(ta, tb);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! The zone-map skip is a pure elision: it never masks a real transition.
+//!
+//! `NodeStateSoA`'s dense bulk passes skip a whole 64-node chunk when the
+//! per-chunk zone map proves no flag can flip (no pending violation, every
+//! new value inside the chunk-wide `[lo_max, hi_min]` band). The soundness
+//! argument lives on the `chunk_dirty` field in `soa.rs`: stale bounds after
+//! a filter write are always the *pre-widening* (tighter) ones, so the skip
+//! test can only be conservative. This battery pins the claim differentially:
+//! a skip-enabled state and a skip-disabled twin (same API, every chunk takes
+//! the full re-derivation pass) are driven through random interleaved filter
+//! and value traffic and must report identical transitions, identical change
+//! counts, and identical observable state after every step — under
+//! dense-biased, quiet-biased, tracked and deferred+refresh delivery alike.
+
+use proptest::prelude::*;
+use topk_model::prelude::*;
+use topk_model::soa::NodeStateSoA;
+
+/// Maximum population the raw rows are generated for; the driver truncates
+/// to the case's actual `n`.
+const N_MAX: usize = 200;
+
+/// One step of interleaved traffic, already shaped for population `n`.
+struct Step {
+    /// `(node, filter)` assignments applied before the row.
+    filters: Vec<(usize, Filter)>,
+    /// The observation row (`n` values).
+    row: Vec<Value>,
+    /// Which bulk delivery path carries the row (0 = dense-biased, 1 =
+    /// quiet-biased, 2 = tracked, 3 = deferred + `refresh_pending_bulk`).
+    path: u8,
+}
+
+/// Shapes one raw generated step for population `n`. Values and filter
+/// bounds share the 0..50 range so violations and returns-to-band are both
+/// common; `width >= 50` becomes the one-sided `[lo, ∞)` filter, covering
+/// widening, narrowing and unbounding alike.
+/// One step as the stand-in proptest strategies generate it, before
+/// [`shape`] folds indices into range and widths into `Filter`s.
+type RawStep = (Vec<(usize, u64, u64)>, Vec<u64>, u8);
+
+fn shape(raw: &RawStep, n: usize) -> Step {
+    let (filters, row, path) = raw;
+    Step {
+        filters: filters
+            .iter()
+            .map(|&(i, lo, width)| {
+                let f = if width >= 50 {
+                    Filter::at_least(lo)
+                } else {
+                    Filter::bounded(lo, lo + width).expect("lo <= lo + width")
+                };
+                (i % n, f)
+            })
+            .collect(),
+        row: row[..n].to_vec(),
+        path: *path,
+    }
+}
+
+/// Applies one step to a state, returning `(changed, transitions)`.
+fn apply(s: &mut NodeStateSoA, step: &Step) -> (usize, Vec<u32>) {
+    for &(i, f) in &step.filters {
+        s.set_filter(i, f);
+    }
+    let mut transitions = Vec::new();
+    let changed = match step.path {
+        0 => s.advance_row(&step.row, &mut transitions, true),
+        1 => s.advance_row(&step.row, &mut transitions, false),
+        2 => {
+            let mut changed_ids = Vec::new();
+            s.advance_row_tracked(&step.row, &mut transitions, &mut changed_ids)
+        }
+        _ => {
+            let mut changed = 0;
+            for (i, &v) in step.row.iter().enumerate() {
+                if s.value(i) != v {
+                    changed += 1;
+                }
+                s.set_value_deferred(i, v);
+            }
+            s.refresh_pending_bulk(&mut transitions);
+            changed
+        }
+    };
+    (changed, transitions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn skip_enabled_and_disabled_states_stay_identical(
+        // Sizes straddle the CHUNK = 64 boundary: sub-chunk, around-chunk
+        // (exact and ragged tail), multi-chunk.
+        n_band in 0usize..3,
+        n_off in 0usize..97,
+        raw_steps in proptest::collection::vec(
+            (
+                proptest::collection::vec((0usize..N_MAX, 0u64..40, 0u64..60), 0..8),
+                proptest::collection::vec(0u64..50, N_MAX..N_MAX + 1),
+                0u8..4,
+            ),
+            1..16,
+        ),
+    ) {
+        let n = match n_band {
+            0 => 1 + n_off % 7,
+            1 => 60 + n_off % 10,
+            _ => 120 + n_off % 80,
+        };
+        let mut skip = NodeStateSoA::new(n);
+        let mut twin = NodeStateSoA::new(n);
+        twin.set_zone_map_enabled(false);
+        for (t, raw) in raw_steps.iter().enumerate() {
+            let step = shape(raw, n);
+            let (changed_a, trans_a) = apply(&mut skip, &step);
+            let (changed_b, trans_b) = apply(&mut twin, &step);
+            prop_assert_eq!(
+                changed_a, changed_b,
+                "step {}: skip path disagrees on the change count", t
+            );
+            prop_assert_eq!(
+                trans_a, trans_b,
+                "step {}: skip path masked or invented a transition", t
+            );
+            prop_assert_eq!(&skip, &twin, "step {}: observable state diverged", t);
+            for i in 0..n {
+                prop_assert_eq!(
+                    skip.pending(i),
+                    skip.filter(i).check(skip.value(i)),
+                    "step {}: node {} pending flag violates the invariant", t, i
+                );
+            }
+        }
+    }
+}

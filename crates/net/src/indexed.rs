@@ -23,13 +23,15 @@
 //! * a **pending-violation set** (ordered ids), updated whenever an observation
 //!   or a filter change flips a node's violation status — so a
 //!   `PendingViolation` round touches exactly the violating nodes;
-//! * a **value-sorted index** (ids sorted by the paper's `(value, id)` total
-//!   order), rebuilt lazily: observations merely mark it dirty, and the first
-//!   threshold/rank round of a protocol run sorts it once — so the common
-//!   silent step never pays for it.
+//! * a **radix value index** ([`ValueIndex`]): ids bucketed by a monotone
+//!   compression of the value domain, maintained *incrementally* — one `O(1)`
+//!   bucket move per changed observation — once the first threshold/rank
+//!   round warms it. While no such round has run (the common case on pure
+//!   violation-detection workloads) the index stays cold and observations pay
+//!   a single branch, nothing more.
 //!
-//! A round visits only the nodes its predicate selects: `O(log n)` index lookup
-//! plus `O(active)` coin flips, instead of `O(n)` deliveries.
+//! A round visits only the nodes its predicate selects: a bitmap-guided
+//! bucket walk plus `O(active)` coin flips, instead of `O(n)` deliveries.
 //!
 //! ## Why skipping inactive nodes is exact, not approximate
 //!
@@ -45,6 +47,7 @@
 
 use crate::network::Network;
 use crate::node::{existence_coin, node_seed, node_seed_gen};
+use crate::value_index::ValueIndex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeSet;
@@ -52,7 +55,6 @@ use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
 use topk_model::rule::filter_for;
 use topk_model::soa::NodeStateSoA;
-use topk_model::types::value_order;
 
 /// Indexed single-threaded engine (see module documentation).
 #[derive(Debug, Clone)]
@@ -65,12 +67,15 @@ pub struct IndexedEngine {
     /// Ids of nodes with a pending violation, in ascending id order (the reply
     /// order of the baseline engine).
     pending_ids: BTreeSet<usize>,
-    /// `(value, id)` pairs sorted ascending by [`value_order`]; valid only when
-    /// `by_value_dirty` is false.
-    by_value: Vec<(Value, usize)>,
-    by_value_dirty: bool,
+    /// Radix value index for threshold/rank predicates: warmed by the first
+    /// such round, then maintained per observation (see `crate::value_index`).
+    index: ValueIndex,
+    /// Number of full index builds so far — observable via
+    /// [`IndexedEngine::index_rebuilds`] so tests can pin "one protocol round
+    /// never rebuilds twice".
+    index_rebuilds: u64,
     /// Scratch for the ids active in the current round (reused, never shrunk).
-    scratch_ids: Vec<usize>,
+    scratch_ids: Vec<u32>,
     meter: CostMeter,
     /// Retained for reseeding joining nodes from `(master seed, id, generation)`.
     master_seed: u64,
@@ -100,8 +105,8 @@ impl IndexedEngine {
                 .map(|id| ChaCha8Rng::seed_from_u64(node_seed(master_seed, id)))
                 .collect(),
             pending_ids: BTreeSet::new(),
-            by_value: Vec::new(),
-            by_value_dirty: true,
+            index: ValueIndex::new(0, n),
+            index_rebuilds: 0,
             scratch_ids: Vec::new(),
             meter: CostMeter::new(),
             master_seed,
@@ -113,6 +118,14 @@ impl IndexedEngine {
     /// inspection, useful for harnesses and tests).
     pub fn pending_count(&self) -> usize {
         self.pending_ids.len()
+    }
+
+    /// Number of full value-index builds so far. A threshold/rank round warms
+    /// the index at most once per `collect_active` dispatch; repeated rounds
+    /// without intervening bulk invalidation reuse the warm index, so this
+    /// counter should climb far slower than the round count.
+    pub fn index_rebuilds(&self) -> u64 {
+        self.index_rebuilds
     }
 
     /// Updates the pending-violation index entry of node `i` after a mutation
@@ -130,12 +143,14 @@ impl IndexedEngine {
         }
     }
 
-    /// Records a new observation for node `i` and maintains the pending index.
+    /// Records a new observation for node `i` and maintains both the pending
+    /// index and (when warm) the value index.
     #[inline]
     fn apply_value(&mut self, i: usize, v: Value) {
         let was = self.state.pending(i).is_some();
         let now = self.state.set_value(i, v).is_some();
         self.note_pending(i, was, now);
+        self.index.note_update(i as u32, v);
     }
 
     /// Applies a filter to node `i` and maintains the pending index.
@@ -155,67 +170,44 @@ impl IndexedEngine {
         }
     }
 
-    /// Sorts the value index if observations invalidated it. Called only by
-    /// threshold/rank predicates, so silent steps never pay the sort.
-    fn rebuild_by_value(&mut self) {
-        if !self.by_value_dirty {
-            return;
-        }
-        self.by_value.clear();
-        self.by_value
-            .extend(self.state.values().iter().copied().zip(0..));
-        self.by_value.sort_unstable_by(|&(va, ia), &(vb, ib)| {
-            value_order((va, NodeId(ia)), (vb, NodeId(ib)))
-        });
-        self.by_value_dirty = false;
-    }
-
     /// Fills `scratch_ids` with the ids of all nodes satisfying `predicate`.
     ///
-    /// `PendingViolation` ids come out in ascending id order; threshold/rank ids
-    /// come out in value order (callers sort the replies by sender afterwards).
+    /// `PendingViolation` ids come out in ascending id order; threshold/rank
+    /// ids come out in bucket order (callers sort the replies by sender
+    /// afterwards). The index warm-up is hoisted to a single dispatch point —
+    /// one round can warm the index at most once, and `index_rebuilds` counts
+    /// the builds so a test can pin that.
     fn collect_active(&mut self, predicate: ExistencePredicate) {
         self.scratch_ids.clear();
+        if !matches!(predicate, ExistencePredicate::PendingViolation)
+            && self.index.ensure_warm(self.state.values())
+        {
+            self.index_rebuilds += 1;
+        }
         match predicate {
             ExistencePredicate::PendingViolation => {
-                self.scratch_ids.extend(self.pending_ids.iter().copied());
+                self.scratch_ids
+                    .extend(self.pending_ids.iter().map(|&i| i as u32));
             }
             ExistencePredicate::GreaterThan(t) => {
-                self.rebuild_by_value();
-                let start = self.by_value.partition_point(|&(v, _)| v <= t);
-                self.scratch_ids
-                    .extend(self.by_value[start..].iter().map(|&(_, i)| i));
+                self.index
+                    .collect_greater_than(t, self.state.values(), &mut self.scratch_ids);
             }
             ExistencePredicate::AtLeast(t) => {
-                self.rebuild_by_value();
-                let start = self.by_value.partition_point(|&(v, _)| v < t);
-                self.scratch_ids
-                    .extend(self.by_value[start..].iter().map(|&(_, i)| i));
+                self.index
+                    .collect_at_least(t, self.state.values(), &mut self.scratch_ids);
             }
             ExistencePredicate::LessThan(t) => {
-                self.rebuild_by_value();
-                let end = self.by_value.partition_point(|&(v, _)| v < t);
-                self.scratch_ids
-                    .extend(self.by_value[..end].iter().map(|&(_, i)| i));
+                self.index
+                    .collect_less_than(t, self.state.values(), &mut self.scratch_ids);
             }
             ExistencePredicate::RankWindow { above, below } => {
-                self.rebuild_by_value();
-                let start = match above {
-                    Some(bound) => self.by_value.partition_point(|&(v, i)| {
-                        value_order((v, NodeId(i)), bound) != std::cmp::Ordering::Greater
-                    }),
-                    None => 0,
-                };
-                let end = match below {
-                    Some(bound) => self.by_value.partition_point(|&(v, i)| {
-                        value_order((v, NodeId(i)), bound) == std::cmp::Ordering::Less
-                    }),
-                    None => self.by_value.len(),
-                };
-                if start < end {
-                    self.scratch_ids
-                        .extend(self.by_value[start..end].iter().map(|&(_, i)| i));
-                }
+                self.index.collect_rank_window(
+                    above,
+                    below,
+                    self.state.values(),
+                    &mut self.scratch_ids,
+                );
             }
         }
     }
@@ -242,7 +234,6 @@ impl Network for IndexedEngine {
             };
             if self.state.value(i) != v {
                 self.apply_value(i, v);
-                self.by_value_dirty = true;
             }
         }
         self.meter.record_time_step();
@@ -254,7 +245,6 @@ impl Network for IndexedEngine {
             let v = if self.population.is_live(node) { v } else { 0 };
             if self.state.value(i) != v {
                 self.apply_value(i, v);
-                self.by_value_dirty = true;
             }
         }
         self.meter.record_time_step();
@@ -270,7 +260,6 @@ impl Network for IndexedEngine {
                     // is already 0 leaves the pending invariant untouched.
                     if self.state.value(i) != 0 {
                         self.apply_value(i, 0);
-                        self.by_value_dirty = true;
                     }
                 }
                 MembershipEvent::Join(node) => {
@@ -279,8 +268,10 @@ impl Network for IndexedEngine {
                     let group = self.state.group(i);
                     let filter = self.state.filter(i);
                     let was = self.state.pending(i).is_some();
+                    // `reset_node` bypasses `apply_value`, so the value index
+                    // learns about the slot's reset-to-0 here.
                     if self.state.value(i) != 0 {
-                        self.by_value_dirty = true;
+                        self.index.note_update(i as u32, 0);
                     }
                     self.state.reset_node(i);
                     self.note_pending(i, was, false);
@@ -345,7 +336,7 @@ impl Network for IndexedEngine {
         self.collect_active(predicate);
         replies.clear();
         for idx in 0..self.scratch_ids.len() {
-            let i = self.scratch_ids[idx];
+            let i = self.scratch_ids[idx] as usize;
             if !existence_coin(&mut self.rngs[i], round, population) {
                 continue;
             }
@@ -362,9 +353,10 @@ impl Network for IndexedEngine {
                 _ => NodeMessage::ExistenceResponse { node, value },
             });
         }
-        // Threshold/rank actives were visited in value order; the baseline
-        // replies in node-id order. (Per-node RNG streams are independent, so
-        // the flip order does not matter — only the reply order does.)
+        // Threshold/rank actives were visited in radix-bucket order; the
+        // baseline replies in node-id order. (Per-node RNG streams are
+        // independent, so the flip order does not matter — only the active
+        // *set* and the reply order do.)
         if !matches!(predicate, ExistencePredicate::PendingViolation) {
             replies.sort_unstable_by_key(NodeMessage::sender);
         }
@@ -504,6 +496,66 @@ mod tests {
         let mut ids: Vec<usize> = r.iter().map(|m| m.sender().index()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn one_round_never_rebuilds_the_index_twice() {
+        let mut net = IndexedEngine::new(16, 5);
+        net.advance_time(&(0..16).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(net.index_rebuilds(), 0, "cold until a threshold round");
+        // A violation-detection round must not warm the index at all.
+        net.existence_round(10, 16, ExistencePredicate::PendingViolation);
+        assert_eq!(net.index_rebuilds(), 0);
+        // The first threshold round warms it exactly once, even though the
+        // dispatch serves four different predicate shapes.
+        net.existence_round(10, 16, ExistencePredicate::GreaterThan(20));
+        assert_eq!(net.index_rebuilds(), 1);
+        // Further rounds of every shape reuse the warm index: no rebuild.
+        net.existence_round(10, 16, ExistencePredicate::AtLeast(9));
+        net.existence_round(10, 16, ExistencePredicate::LessThan(30));
+        net.existence_round(
+            10,
+            16,
+            ExistencePredicate::RankWindow {
+                above: Some((6, NodeId(2))),
+                below: None,
+            },
+        );
+        assert_eq!(net.index_rebuilds(), 1);
+        // Observations update the warm index incrementally — still no rebuild.
+        net.advance_time(&(0..16).map(|i| i * 5).collect::<Vec<_>>());
+        net.existence_round(10, 16, ExistencePredicate::GreaterThan(20));
+        assert_eq!(net.index_rebuilds(), 1);
+    }
+
+    #[test]
+    fn interleaved_queries_and_observations_match_baseline() {
+        // Warm/cold transitions and incremental maintenance under an
+        // adversarial interleaving must stay bit-identical to the baseline.
+        let mut base = DeterministicEngine::new(40, 77);
+        let mut indexed = IndexedEngine::new(40, 77);
+        let mut x = 1u64;
+        for step in 0..60u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(step);
+            let row: Vec<u64> = (0..40).map(|i| (x >> (i % 13)) % 500).collect();
+            base.advance_time(&row);
+            indexed.advance_time(&row);
+            let predicate = match step % 5 {
+                0 => ExistencePredicate::PendingViolation,
+                1 => ExistencePredicate::GreaterThan(x % 500),
+                2 => ExistencePredicate::AtLeast(x % 500),
+                3 => ExistencePredicate::LessThan(x % 500),
+                _ => ExistencePredicate::RankWindow {
+                    above: Some((x % 500, NodeId((x % 40) as usize))),
+                    below: None,
+                },
+            };
+            let a = base.existence_round(10, 40, predicate);
+            let b = indexed.existence_round(10, 40, predicate);
+            assert_eq!(a, b, "step {step}");
+        }
+        assert_eq!(base.stats(), indexed.stats());
+        assert_eq!(base.peek_values(), indexed.peek_values());
     }
 
     #[test]

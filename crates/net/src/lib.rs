@@ -77,6 +77,7 @@ mod partition;
 pub mod remote;
 pub mod sharded;
 pub mod threaded;
+pub mod value_index;
 
 pub use deterministic::DeterministicEngine;
 pub use fault::{FaultyTransport, PROBE_ATTEMPTS};
@@ -86,3 +87,4 @@ pub use node::SimNode;
 pub use remote::{RemoteEngine, TransportStats};
 pub use sharded::{Dispatch, ShardedEngine};
 pub use threaded::ThreadedEngine;
+pub use value_index::ValueIndex;

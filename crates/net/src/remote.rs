@@ -249,6 +249,12 @@ struct Conn {
     /// one awaits and falls into the duplicate-discard path instead of
     /// poisoning the stream.
     next_seq: u64,
+    /// The read deadline currently armed on the socket (`None` = blocking
+    /// reads). Tracked so the engine can prove the backoff schedule resets:
+    /// after a successful reply — and on a freshly accepted (re)connection —
+    /// this must be back at the policy's *base* deadline, never a leftover
+    /// escalated one.
+    armed_deadline: Option<Duration>,
     stats: TransportStats,
 }
 
@@ -340,6 +346,7 @@ impl Conn {
         self.reader
             .set_read_timeout(Some(deadline))
             .expect("remote transport: cannot set read timeout");
+        self.armed_deadline = Some(deadline);
     }
 }
 
@@ -568,6 +575,18 @@ impl RemoteEngine {
             total.absorb(&conn.stats);
         }
         total
+    }
+
+    /// The read deadline currently armed on shard `s`'s connection (`None`
+    /// for blocking reads or while the shard is disconnected).
+    ///
+    /// The invariant this exposes: outside a retry exchange the armed
+    /// deadline equals the policy's *base* deadline. Reply waits escalate it
+    /// along the backoff schedule, but a successful reply — and a successful
+    /// reconnect — restore the base, so one slow exchange never taxes every
+    /// later one with an inflated first deadline.
+    pub fn armed_deadline(&self, s: usize) -> Option<Duration> {
+        self.conns[s].as_ref().and_then(|c| c.armed_deadline)
     }
 
     /// The node range of shard `s`.
@@ -1017,7 +1036,15 @@ impl Drop for RemoteEngine {
 /// and returns the connection together with the shard index the client
 /// claimed (the caller slots or verifies it).
 fn accept_shard(listener: &TcpListener, policy: Option<&RetryPolicy>) -> (Conn, u32) {
-    let (stream, _) = listener.accept().expect("remote transport: accept failed");
+    let stream = match policy {
+        None => {
+            listener
+                .accept()
+                .expect("remote transport: accept failed")
+                .0
+        }
+        Some(policy) => accept_with_policy(listener, policy),
+    };
     stream
         .set_nodelay(true)
         .expect("remote transport: cannot set TCP_NODELAY");
@@ -1032,6 +1059,7 @@ fn accept_shard(listener: &TcpListener, policy: Option<&RetryPolicy>) -> (Conn, 
         acc: FrameAccumulator::new(),
         wire_version: WIRE_VERSION.min(max_version),
         next_seq: 1,
+        armed_deadline: None,
         stats: TransportStats {
             frames_received: 1,
             bytes_received: bytes as u64,
@@ -1042,6 +1070,43 @@ fn accept_shard(listener: &TcpListener, policy: Option<&RetryPolicy>) -> (Conn, 
         conn.arm_deadline(policy.deadline(0));
     }
     (conn, shard)
+}
+
+/// Accepts a connection under the retry policy's deadline schedule instead of
+/// blocking forever: the listener goes non-blocking, attempt `i` waits the
+/// policy's deadline for `i` before polling again, and once `max_attempts`
+/// deadlines have elapsed with no client the peer is declared dead — the
+/// attempt budget [`RemoteEngine::reconnect_shard`] documents. The listener
+/// is restored to blocking mode on success (later accepts start fresh).
+fn accept_with_policy(listener: &TcpListener, policy: &RetryPolicy) -> TcpStream {
+    listener
+        .set_nonblocking(true)
+        .expect("remote transport: cannot make listener non-blocking");
+    let mut attempts = 0u32;
+    let stream = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                assert!(
+                    attempts < policy.max_attempts,
+                    "remote transport: no shard connected within {} accept deadlines — client dead",
+                    policy.max_attempts
+                );
+                std::thread::sleep(policy.deadline(attempts));
+                attempts += 1;
+            }
+            Err(e) => panic!("remote transport: accept failed: {e}"),
+        }
+    };
+    listener
+        .set_nonblocking(false)
+        .expect("remote transport: cannot restore blocking listener");
+    // Accepted sockets do not inherit the listener's non-blocking flag on
+    // the platforms we run on, but the reply deadlines depend on it — pin it.
+    stream
+        .set_nonblocking(false)
+        .expect("remote transport: cannot make stream blocking");
+    stream
 }
 
 /// Body of one shard-client thread: connect, join, then serve batches until
@@ -1447,6 +1512,58 @@ mod tests {
             bounced.frames() > 0,
             "retired counters must survive the old connection"
         );
+    }
+
+    #[test]
+    fn reconnect_resets_the_armed_deadline_to_the_policy_base() {
+        // A policy-armed engine on a lossless transport: deadlines are set,
+        // no frame is ever dropped, so every read succeeds on attempt 0.
+        let policy = RetryPolicy::backoff_from(Duration::from_millis(250));
+        let mut net = RemoteEngine::with_fault_policy(6, 7, 2, &FaultSpec::none(), policy);
+        assert_eq!(net.armed_deadline(0), Some(policy.deadline(0)));
+        assert_eq!(net.armed_deadline(1), Some(policy.deadline(0)));
+        net.advance_time(&[5, 6, 7, 8, 9, 10]);
+        net.apply_membership(&[
+            MembershipEvent::Leave(NodeId(3)),
+            MembershipEvent::Leave(NodeId(4)),
+            MembershipEvent::Leave(NodeId(5)),
+        ]);
+        net.disconnect_shard(1);
+        assert_eq!(net.armed_deadline(1), None, "no socket while disconnected");
+        net.reconnect_shard(1);
+        // The replacement connection starts the schedule over at the base
+        // deadline — a successful reconnect is a success, not another retry.
+        assert_eq!(net.armed_deadline(1), Some(policy.deadline(0)));
+        assert_eq!(net.armed_deadline(0), Some(policy.deadline(0)));
+        // Blocking-mode engines (no policy) never arm a deadline at all.
+        let blocking = RemoteEngine::with_shards(4, 7, 2);
+        assert_eq!(blocking.armed_deadline(0), None);
+    }
+
+    #[test]
+    fn accept_honors_the_retry_policy_budget() {
+        // A client that connects only after a few deadlines have elapsed is
+        // still accepted within the policy budget.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let policy = RetryPolicy::new(Duration::from_millis(5), 2, Duration::from_millis(40), 32);
+        let client = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            let stream = TcpStream::connect(addr).expect("connect");
+            // Keep the socket open until the server side has accepted it.
+            std::thread::sleep(Duration::from_millis(100));
+            drop(stream);
+        });
+        let _accepted = accept_with_policy(&listener, &policy);
+        client.join().expect("client thread");
+        // With no client at all, the accept must exhaust `max_attempts`
+        // deadlines and give up instead of blocking forever.
+        let lonely = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let tiny = RetryPolicy::new(Duration::from_millis(1), 1, Duration::from_millis(1), 3);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            accept_with_policy(&lonely, &tiny)
+        }));
+        assert!(outcome.is_err(), "an absent client must exhaust the budget");
     }
 
     #[test]

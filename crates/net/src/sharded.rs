@@ -63,6 +63,7 @@
 use crate::network::Network;
 use crate::node::{existence_coin, node_seed, node_seed_gen};
 use crate::partition;
+use crate::value_index::ValueIndex;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -73,7 +74,6 @@ use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
 use topk_model::rule::filter_for;
 use topk_model::soa::NodeStateSoA;
-use topk_model::types::value_order;
 
 /// Where multi-shard operations execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,12 +117,18 @@ struct Shard {
     rngs: Vec<ChaCha8Rng>,
     /// Local ids with a pending violation, ascending (= ascending global id).
     pending: BTreeSet<u32>,
-    /// `(value, local id)` sorted by the global `(value, id)` order; valid
-    /// only when `by_value_dirty` is false.
-    by_value: Vec<(Value, u32)>,
-    by_value_dirty: bool,
+    /// Radix value index over the shard's slice (local ids, global tie-break
+    /// via `offset`); warmed by the first threshold/rank round, maintained
+    /// incrementally on quiet paths, invalidated by bulk mutation (see
+    /// `crate::value_index`).
+    index: ValueIndex,
+    /// Full index builds so far (see `IndexedEngine::index_rebuilds`).
+    index_rebuilds: u64,
     /// Scratch: pending-flag transitions reported by `advance_row`.
     transitions: Vec<u32>,
+    /// Scratch: value-changed ids reported by `advance_row_tracked` when the
+    /// warm index is maintained across a dense row.
+    changed_ids: Vec<u32>,
     /// Scratch: local ids active in the current round.
     scratch_ids: Vec<u32>,
     /// Per-shard reply buffer, merged by the server in shard order.
@@ -153,9 +159,10 @@ impl Shard {
                 .map(|id| ChaCha8Rng::seed_from_u64(node_seed(master_seed, NodeId(id))))
                 .collect(),
             pending: BTreeSet::new(),
-            by_value: Vec::new(),
-            by_value_dirty: true,
+            index: ValueIndex::new(offset, len),
+            index_rebuilds: 0,
             transitions: Vec::new(),
+            changed_ids: Vec::new(),
             scratch_ids: Vec::new(),
             replies: Vec::new(),
             row: Vec::new(),
@@ -186,6 +193,7 @@ impl Shard {
         let was = self.state.pending(i as usize).is_some();
         let now = self.state.set_value(i as usize, v).is_some();
         self.note_pending(i, was, now);
+        self.index.note_update(i, v);
     }
 
     fn apply_filter(&mut self, i: u32, filter: Filter) {
@@ -202,14 +210,35 @@ impl Shard {
     }
 
     /// Dense observation delivery over the shard's slice of the row.
+    ///
+    /// Index policy: in the quiet regime a warm value index is kept warm —
+    /// `advance_row_tracked` reports exactly the changed ids and each one is
+    /// an `O(1)` bucket move. In the dense regime (≥ 1/64 of the shard
+    /// changing per step) per-id maintenance would approach the cost of a
+    /// full rebuild while forfeiting the vectorised dense kernel, so the
+    /// index is dropped cold instead and the next threshold round rebuilds
+    /// it once.
     fn advance_dense(&mut self, row: &[Value]) {
         let mut transitions = std::mem::take(&mut self.transitions);
-        let changed = self
-            .state
-            .advance_row(row, &mut transitions, self.dense_biased);
-        if changed > 0 {
-            self.by_value_dirty = true;
-        }
+        let changed = if self.index.is_warm() && !self.dense_biased {
+            let mut changed_ids = std::mem::take(&mut self.changed_ids);
+            let changed = self
+                .state
+                .advance_row_tracked(row, &mut transitions, &mut changed_ids);
+            for &i in &changed_ids {
+                self.index.note_update(i, self.state.value(i as usize));
+            }
+            self.changed_ids = changed_ids;
+            changed
+        } else {
+            let changed = self
+                .state
+                .advance_row(row, &mut transitions, self.dense_biased);
+            if changed > 0 {
+                self.index.invalidate();
+            }
+            changed
+        };
         // Feed the observed change rate back as the next step's loop hint
         // (workload regimes are temporally correlated).
         self.dense_biased = changed >= (self.len() >> DENSE_BIAS_SHIFT).max(1);
@@ -244,14 +273,15 @@ impl Shard {
                 }
             }
             if changed {
-                self.by_value_dirty = true;
+                // Deferred writes bypass `apply_value`, so the index cannot
+                // be maintained per id here; drop it cold.
+                self.index.invalidate();
             }
             self.refresh_after_deferred();
         } else {
             for &(i, v) in &sparse {
                 if self.state.value(i as usize) != v {
                     self.apply_value(i, v);
-                    self.by_value_dirty = true;
                 }
             }
         }
@@ -288,70 +318,40 @@ impl Shard {
         }
     }
 
-    fn rebuild_by_value(&mut self) {
-        if !self.by_value_dirty {
-            return;
-        }
-        self.by_value.clear();
-        self.by_value
-            .extend(self.state.values().iter().copied().zip(0..));
-        let offset = self.offset;
-        self.by_value.sort_unstable_by(|&(va, ia), &(vb, ib)| {
-            value_order(
-                (va, NodeId(offset + ia as usize)),
-                (vb, NodeId(offset + ib as usize)),
-            )
-        });
-        self.by_value_dirty = false;
-    }
-
     /// Fills `scratch_ids` with the local ids of all nodes satisfying
-    /// `predicate` — the shard's part of the global active set.
+    /// `predicate` — the shard's part of the global active set. The index
+    /// warm-up is hoisted to this single dispatch point (one round warms a
+    /// shard's index at most once; `index_rebuilds` counts the builds).
     fn collect_active(&mut self, predicate: ExistencePredicate) {
         self.scratch_ids.clear();
+        if !matches!(predicate, ExistencePredicate::PendingViolation)
+            && self.index.ensure_warm(self.state.values())
+        {
+            self.index_rebuilds += 1;
+        }
         match predicate {
             ExistencePredicate::PendingViolation => {
                 self.scratch_ids.extend(self.pending.iter().copied());
             }
             ExistencePredicate::GreaterThan(t) => {
-                self.rebuild_by_value();
-                let start = self.by_value.partition_point(|&(v, _)| v <= t);
-                self.scratch_ids
-                    .extend(self.by_value[start..].iter().map(|&(_, i)| i));
+                self.index
+                    .collect_greater_than(t, self.state.values(), &mut self.scratch_ids);
             }
             ExistencePredicate::AtLeast(t) => {
-                self.rebuild_by_value();
-                let start = self.by_value.partition_point(|&(v, _)| v < t);
-                self.scratch_ids
-                    .extend(self.by_value[start..].iter().map(|&(_, i)| i));
+                self.index
+                    .collect_at_least(t, self.state.values(), &mut self.scratch_ids);
             }
             ExistencePredicate::LessThan(t) => {
-                self.rebuild_by_value();
-                let end = self.by_value.partition_point(|&(v, _)| v < t);
-                self.scratch_ids
-                    .extend(self.by_value[..end].iter().map(|&(_, i)| i));
+                self.index
+                    .collect_less_than(t, self.state.values(), &mut self.scratch_ids);
             }
             ExistencePredicate::RankWindow { above, below } => {
-                self.rebuild_by_value();
-                let offset = self.offset;
-                let start = match above {
-                    Some(bound) => self.by_value.partition_point(|&(v, i)| {
-                        value_order((v, NodeId(offset + i as usize)), bound)
-                            != std::cmp::Ordering::Greater
-                    }),
-                    None => 0,
-                };
-                let end = match below {
-                    Some(bound) => self.by_value.partition_point(|&(v, i)| {
-                        value_order((v, NodeId(offset + i as usize)), bound)
-                            == std::cmp::Ordering::Less
-                    }),
-                    None => self.by_value.len(),
-                };
-                if start < end {
-                    self.scratch_ids
-                        .extend(self.by_value[start..end].iter().map(|&(_, i)| i));
-                }
+                self.index.collect_rank_window(
+                    above,
+                    below,
+                    self.state.values(),
+                    &mut self.scratch_ids,
+                );
             }
         }
     }
@@ -379,9 +379,11 @@ impl Shard {
                 _ => NodeMessage::ExistenceResponse { node, value },
             });
         }
-        // Threshold/rank actives were visited in value order; per-shard
-        // replies must come out in id order so the shard-order concatenation
-        // is globally id-ordered (the baseline's reply order).
+        // Threshold/rank actives were visited in radix-bucket order (the
+        // active *set* is exact; iteration order is free because per-node RNG
+        // streams are independent); per-shard replies must come out in id
+        // order so the shard-order concatenation is globally id-ordered (the
+        // baseline's reply order).
         if !matches!(predicate, ExistencePredicate::PendingViolation) {
             self.replies.sort_unstable_by_key(NodeMessage::sender);
         }
@@ -682,7 +684,7 @@ impl Network for ShardedEngine {
                 let shard = self.shards[s].as_mut().expect("shard at home");
                 if shard.state.value(local) != v {
                     shard.state.set_value_deferred(local, v);
-                    shard.by_value_dirty = true;
+                    shard.index.invalidate();
                     shard.touched = true;
                 }
             }
@@ -720,7 +722,6 @@ impl Network for ShardedEngine {
                     let shard = self.shard_mut(s);
                     if shard.state.value(local) != 0 {
                         shard.apply_value(local as u32, 0);
-                        shard.by_value_dirty = true;
                     }
                 }
                 MembershipEvent::Join(node) => {
@@ -731,8 +732,10 @@ impl Network for ShardedEngine {
                     let group = shard.state.group(local);
                     let filter = shard.state.filter(local);
                     let was = shard.state.pending(local).is_some();
+                    // `reset_node` bypasses `apply_value`; tell the value
+                    // index about the reset-to-0 explicitly.
                     if shard.state.value(local) != 0 {
-                        shard.by_value_dirty = true;
+                        shard.index.note_update(local as u32, 0);
                     }
                     shard.state.reset_node(local);
                     shard.note_pending(local as u32, was, false);
