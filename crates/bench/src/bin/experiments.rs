@@ -59,10 +59,28 @@
 //! `--check-competitive-floors FILE` re-validates a committed
 //! campaign report without re-measuring. All numeric bars of both check
 //! modes live in `topk_bench::floors::FloorTable`.
+//!
+//! The *scenario-file* modes work on the declarative JSON scenarios under
+//! `scenarios/` (schema in `docs/SCENARIOS.md`, loader in
+//! `topk_bench::scenario`): `--scenario FILE` runs one cell under every
+//! protocol (its fault/membership companions included), `--scenario-dir DIR`
+//! runs a whole library (`--quick` caps the horizon and skips the largest
+//! populations, logging every cap). `--emit-scenarios DIR` regenerates the
+//! canonical library from the compiled-in grids, and `--check-scenarios DIR`
+//! fails when the directory differs from that derivation by a single byte —
+//! the CI guard that keeps `scenarios/` and `standard_grid` the same object.
+//!
+//! The *trace* modes record and re-drive full runs (`topk_bench::replay`,
+//! wire format in `topk_wire::trace`): `--scenario FILE --record OUT.trace`
+//! records the run (protocol selectable with `--protocol NAME`), and
+//! `--replay FILE.trace` re-drives the recording through all six engines —
+//! or one, with `--engine NAME` — and exits non-zero unless every reply,
+//! message counter and the final filter/value state match bit for bit.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use topk_bench::experiments::{self, Scale};
-use topk_bench::{campaign, throughput, ExperimentTable, FloorTable};
+use topk_bench::{campaign, replay, scenario, throughput, ExperimentTable, FloorTable};
+use topk_offline::PhaseSolver;
 
 fn report_floors(report: &throughput::ThroughputReport) -> ! {
     let failures = throughput::check_floors(report);
@@ -317,6 +335,233 @@ fn check_floors_only(path: PathBuf) -> ! {
     report_floors(&report)
 }
 
+fn run_emit_scenarios(dir: PathBuf) -> ! {
+    match scenario::emit_library(&dir) {
+        Ok(names) => {
+            println!(
+                "wrote {} scenario files into {} (canonical derivation of the standard grids)",
+                names.len(),
+                dir.display()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("--emit-scenarios failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_check_scenarios(dir: PathBuf) -> ! {
+    let problems = scenario::check_library_sync(&dir);
+    if problems.is_empty() {
+        println!(
+            "scenario library ok: {} canonical files, byte-identical to the compiled-in grids",
+            scenario::standard_library().len()
+        );
+        std::process::exit(0);
+    }
+    for p in &problems {
+        eprintln!("SCENARIO LIBRARY DRIFT: {p}");
+    }
+    eprintln!(
+        "{} problem(s); regenerate with: experiments --emit-scenarios {}",
+        problems.len(),
+        dir.display()
+    );
+    std::process::exit(1);
+}
+
+fn load_scenario_or_exit(path: &Path) -> scenario::ScenarioFile {
+    match scenario::load_scenario(path) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("invalid scenario: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_record(scenario_path: PathBuf, out: PathBuf, protocol_name: Option<String>) -> ! {
+    let file = load_scenario_or_exit(&scenario_path);
+    let name = protocol_name.unwrap_or_else(|| "topk_protocol".to_string());
+    let Some(protocol) = campaign::ProtocolKind::from_name(&name) else {
+        eprintln!(
+            "--protocol: unknown protocol `{name}` (one of: {})",
+            campaign::ProtocolKind::ALL.map(|p| p.name()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let (report, records) = replay::record_run(&file, protocol);
+    if let Err(e) = replay::save_trace(&out, &records) {
+        eprintln!("cannot write trace {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "recorded {}: {} under {} — {} steps, {} messages, {} records -> {}",
+        file.name,
+        scenario_path.display(),
+        protocol.name(),
+        report.steps,
+        report.messages(),
+        records.len(),
+        out.display()
+    );
+    std::process::exit(0);
+}
+
+fn run_replay(path: PathBuf, engine_name: Option<String>) -> ! {
+    let records = match replay::load_trace(&path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("cannot read trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let kinds: Vec<replay::EngineKind> = match &engine_name {
+        None => replay::EngineKind::ALL.to_vec(),
+        Some(name) => {
+            let Some(kind) = replay::EngineKind::ALL
+                .into_iter()
+                .find(|k| k.name() == *name)
+            else {
+                eprintln!(
+                    "--engine: unknown engine `{name}` (one of: {})",
+                    replay::EngineKind::ALL.map(|k| k.name()).join(", ")
+                );
+                std::process::exit(2);
+            };
+            vec![kind]
+        }
+    };
+    let mut diverged = false;
+    for kind in kinds {
+        match replay::replay_trace(&records, kind) {
+            Ok(outcome) if outcome.is_identical() => {
+                println!(
+                    "replay {:>13} ok: {} — {} steps bit-identical",
+                    outcome.engine, outcome.label, outcome.steps
+                );
+            }
+            Ok(outcome) => {
+                diverged = true;
+                for m in &outcome.mismatches {
+                    eprintln!("REPLAY DIVERGENCE [{}]: {m}", outcome.engine);
+                }
+            }
+            Err(e) => {
+                eprintln!("replay through {} failed: {e}", kind.name());
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(i32::from(diverged));
+}
+
+/// Caps one scenario for a `--quick` smoke run. Returns `None` (with a log
+/// line) when the cell is too large to smoke at all.
+fn quick_cap(mut file: scenario::ScenarioFile) -> Option<scenario::ScenarioFile> {
+    const MAX_QUICK_N: usize = 1024;
+    const MAX_QUICK_STEPS: usize = 60;
+    if file.spec.n > MAX_QUICK_N {
+        eprintln!(
+            "skip {} (n = {} exceeds the quick cap of {MAX_QUICK_N})",
+            file.name, file.spec.n
+        );
+        return None;
+    }
+    if file.spec.steps > MAX_QUICK_STEPS {
+        eprintln!(
+            "cap  {} ({} steps -> {MAX_QUICK_STEPS} for the quick run)",
+            file.name, file.spec.steps
+        );
+        file.spec.steps = MAX_QUICK_STEPS;
+    }
+    Some(file)
+}
+
+fn run_scenario_cells(files: Vec<scenario::ScenarioFile>, quick: bool) -> ! {
+    let floors = FloorTable::STANDARD.competitive;
+    let mut solver = PhaseSolver::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut cells = 0usize;
+    for file in files {
+        let Some(file) = (if quick { quick_cap(file) } else { Some(file) }) else {
+            continue;
+        };
+        for protocol in campaign::ProtocolKind::ALL {
+            // The clean cell is both the base measurement and the reference
+            // the fault/membership companions are compared against.
+            let clean = campaign::run_cell(&file.spec, protocol, &floors, &mut solver);
+            cells += 1;
+            if let Some(fault) = &file.fault {
+                let cell = campaign::run_fault_cell(
+                    &file.spec,
+                    fault,
+                    protocol,
+                    &floors,
+                    &mut solver,
+                    clean.messages,
+                );
+                println!(
+                    "{:<44} {:>13} fault={:<7} messages={:>9} ratio={:>7.2} degradation={:>5.2} invalid={}",
+                    file.name,
+                    protocol.name(),
+                    cell.fault_family,
+                    cell.messages,
+                    cell.ratio,
+                    cell.degradation,
+                    cell.invalid_steps
+                );
+            } else if let Some(plan) = &file.membership {
+                let cell = campaign::run_membership_cell(
+                    &file.spec,
+                    plan,
+                    protocol,
+                    &floors,
+                    &mut solver,
+                    clean.messages,
+                );
+                println!(
+                    "{:<44} {:>13} churn={:<9} messages={:>9} ratio={:>7.2} degradation={:>5.2} invalid={}",
+                    file.name,
+                    protocol.name(),
+                    plan.name(),
+                    cell.messages,
+                    cell.ratio,
+                    cell.degradation,
+                    cell.invalid_steps
+                );
+            } else {
+                println!(
+                    "{:<44} {:>13} messages={:>9} ratio={:>7.2} invalid={}",
+                    file.name,
+                    protocol.name(),
+                    clean.messages,
+                    clean.ratio,
+                    clean.invalid_steps
+                );
+                if clean.invalid_steps > 0 {
+                    failures.push(format!(
+                        "{} under {}: {} invalid steps on a fault-free run",
+                        file.name,
+                        protocol.name(),
+                        clean.invalid_steps
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("scenario run ok: {cells} cells, every fault-free cell valid at every step");
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("SCENARIO FAILURE: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
@@ -335,6 +580,14 @@ fn main() {
     let mut check_floors_path: Option<PathBuf> = None;
     let mut check_competitive_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut scenario_path: Option<PathBuf> = None;
+    let mut scenario_dir: Option<PathBuf> = None;
+    let mut record_path: Option<PathBuf> = None;
+    let mut replay_path: Option<PathBuf> = None;
+    let mut emit_scenarios_dir: Option<PathBuf> = None;
+    let mut check_scenarios_dir: Option<PathBuf> = None;
+    let mut protocol_name: Option<String> = None;
+    let mut engine_name: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -390,6 +643,62 @@ fn main() {
                 };
                 out = Some(PathBuf::from(path));
             }
+            "--scenario" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--scenario requires a scenario json file argument");
+                    std::process::exit(2);
+                };
+                scenario_path = Some(PathBuf::from(path));
+            }
+            "--scenario-dir" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--scenario-dir requires a directory argument");
+                    std::process::exit(2);
+                };
+                scenario_dir = Some(PathBuf::from(path));
+            }
+            "--record" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--record requires an output trace file argument");
+                    std::process::exit(2);
+                };
+                record_path = Some(PathBuf::from(path));
+            }
+            "--replay" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--replay requires a trace file argument");
+                    std::process::exit(2);
+                };
+                replay_path = Some(PathBuf::from(path));
+            }
+            "--emit-scenarios" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--emit-scenarios requires a directory argument");
+                    std::process::exit(2);
+                };
+                emit_scenarios_dir = Some(PathBuf::from(path));
+            }
+            "--check-scenarios" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--check-scenarios requires a directory argument");
+                    std::process::exit(2);
+                };
+                check_scenarios_dir = Some(PathBuf::from(path));
+            }
+            "--protocol" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--protocol requires a protocol name argument");
+                    std::process::exit(2);
+                };
+                protocol_name = Some(name);
+            }
+            "--engine" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--engine requires an engine name argument");
+                    std::process::exit(2);
+                };
+                engine_name = Some(name);
+            }
             "--json" => {
                 json_dir = iter.next().map(PathBuf::from);
                 if json_dir.is_none() {
@@ -399,7 +708,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --scaling [--quick] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --scaling [--quick] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json\n       experiments --scenario FILE.json [--quick]\n       experiments --scenario FILE.json --record OUT.trace [--protocol NAME]\n       experiments --scenario-dir DIR [--quick]\n       experiments --replay FILE.trace [--engine NAME]\n       experiments --emit-scenarios DIR\n       experiments --check-scenarios DIR"
                 );
                 return;
             }
@@ -446,6 +755,108 @@ fn main() {
             std::process::exit(2);
         }
         check_competitive_floors_only(path);
+    }
+    let scenario_mode = scenario_path.is_some()
+        || scenario_dir.is_some()
+        || record_path.is_some()
+        || replay_path.is_some()
+        || emit_scenarios_dir.is_some()
+        || check_scenarios_dir.is_some();
+    if scenario_mode {
+        if throughput_mode
+            || scaling_mode
+            || campaign_mode
+            || scale == Scale::Small
+            || json_dir.is_some()
+            || !wanted.is_empty()
+            || sharded_set
+            || remote_conns.is_some()
+            || baseline_path.is_some()
+            || faults_only
+            || membership_only
+            || out.is_some()
+        {
+            eprintln!(
+                "the scenario/trace modes do not combine with the benchmark modes or their flags"
+            );
+            std::process::exit(2);
+        }
+        if scenario_path.is_some() && scenario_dir.is_some() {
+            eprintln!("--scenario and --scenario-dir are mutually exclusive");
+            std::process::exit(2);
+        }
+        if protocol_name.is_some() && record_path.is_none() {
+            eprintln!("--protocol only applies to --record");
+            std::process::exit(2);
+        }
+        if engine_name.is_some() && replay_path.is_none() {
+            eprintln!("--engine only applies to --replay");
+            std::process::exit(2);
+        }
+        if let Some(dir) = emit_scenarios_dir {
+            if scenario_path.is_some()
+                || scenario_dir.is_some()
+                || record_path.is_some()
+                || replay_path.is_some()
+                || check_scenarios_dir.is_some()
+                || quick
+            {
+                eprintln!("--emit-scenarios is a standalone mode");
+                std::process::exit(2);
+            }
+            run_emit_scenarios(dir);
+        }
+        if let Some(dir) = check_scenarios_dir {
+            if scenario_path.is_some()
+                || scenario_dir.is_some()
+                || record_path.is_some()
+                || replay_path.is_some()
+                || quick
+            {
+                eprintln!("--check-scenarios is a standalone mode");
+                std::process::exit(2);
+            }
+            run_check_scenarios(dir);
+        }
+        if let Some(path) = replay_path {
+            if scenario_path.is_some() || scenario_dir.is_some() || record_path.is_some() || quick {
+                eprintln!("--replay only combines with --engine");
+                std::process::exit(2);
+            }
+            run_replay(path, engine_name);
+        }
+        if let Some(out_path) = record_path {
+            let Some(path) = scenario_path else {
+                eprintln!("--record needs --scenario FILE to know what to run");
+                std::process::exit(2);
+            };
+            if scenario_dir.is_some() || quick {
+                eprintln!("--record only combines with --scenario and --protocol");
+                std::process::exit(2);
+            }
+            run_record(path, out_path, protocol_name);
+        }
+        if let Some(path) = scenario_path {
+            run_scenario_cells(vec![load_scenario_or_exit(&path)], quick);
+        }
+        if let Some(dir) = scenario_dir {
+            match scenario::load_scenario_dir(&dir) {
+                Ok(files) if files.is_empty() => {
+                    eprintln!("{}: no scenario files found", dir.display());
+                    std::process::exit(1);
+                }
+                Ok(files) => run_scenario_cells(files, quick),
+                Err(e) => {
+                    eprintln!("invalid scenario library: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        unreachable!("every scenario mode dispatches above");
+    }
+    if protocol_name.is_some() || engine_name.is_some() {
+        eprintln!("--protocol/--engine only apply to the scenario/trace modes");
+        std::process::exit(2);
     }
     if campaign_mode {
         if throughput_mode

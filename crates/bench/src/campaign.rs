@@ -144,6 +144,26 @@ pub enum GeneratorSpec {
         /// Per-node per-step flip probability, in permille.
         churn_permille: u32,
     },
+    /// Heavy-tailed web loads with an explicit seasonal period (the
+    /// `examples/load_balancer.rs` workload; [`GeneratorSpec::Zipf`] pins the
+    /// campaign's 200-step period).
+    ZipfWeb {
+        /// Approximate load of the busiest node at the seasonal peak.
+        peak_load: Value,
+        /// Steps per seasonal cycle.
+        period: u64,
+    },
+    /// Dense oscillation with an explicit high-group size (the
+    /// `examples/sensor_noise.rs` workload; [`GeneratorSpec::Noise`] derives
+    /// the high group from `k`).
+    NoiseField {
+        /// Number of clearly-leading nodes.
+        high: usize,
+        /// Number of oscillating nodes.
+        sigma: usize,
+        /// Pivot value of the neighbourhood.
+        z: Value,
+    },
 }
 
 impl GeneratorSpec {
@@ -158,11 +178,13 @@ impl GeneratorSpec {
             GeneratorSpec::RegimeSwitch { .. } => "regime-switch",
             GeneratorSpec::CorrelatedBurst { .. } => "correlated-burst",
             GeneratorSpec::Churn { .. } => "churn",
+            GeneratorSpec::ZipfWeb { .. } => "zipf-web",
+            GeneratorSpec::NoiseField { .. } => "noise-field",
         }
     }
 
     /// Instantiates the generator for one scenario.
-    fn build(&self, n: usize, k: usize, eps: Epsilon, seed: u64) -> Box<dyn AdaptiveWorkload> {
+    pub fn build(&self, n: usize, k: usize, eps: Epsilon, seed: u64) -> Box<dyn AdaptiveWorkload> {
         match *self {
             GeneratorSpec::Zipf { peak_load } => {
                 Box::new(ZipfLoadWorkload::new(n, 1.1, peak_load, 200, 0.005, seed))
@@ -228,6 +250,12 @@ impl GeneratorSpec {
                 f64::from(churn_permille) / 1000.0,
                 seed,
             )),
+            GeneratorSpec::ZipfWeb { peak_load, period } => Box::new(ZipfLoadWorkload::new(
+                n, 1.1, peak_load, period, 0.005, seed,
+            )),
+            GeneratorSpec::NoiseField { high, sigma, z } => {
+                Box::new(NoiseOscillationWorkload::new(n, high, sigma, z, eps, seed))
+            }
         }
     }
 }
@@ -279,7 +307,14 @@ impl ProtocolKind {
         }
     }
 
-    fn build_monitor(self, k: usize, eps: Epsilon) -> Box<dyn Monitor> {
+    /// Parses a protocol from its [`ProtocolKind::name`] — the inverse used
+    /// when rebuilding a monitor from a recorded trace header.
+    pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Instantiates the protocol's monitor.
+    pub fn build_monitor(self, k: usize, eps: Epsilon) -> Box<dyn Monitor> {
         match self {
             ProtocolKind::ExactTopK => Box::new(ExactTopKMonitor::new(k)),
             ProtocolKind::TopKProtocol => Box::new(TopKMonitor::new(k, eps)),

@@ -40,11 +40,18 @@
 pub mod campaign;
 pub mod experiments;
 pub mod floors;
+pub mod replay;
+pub mod scenario;
 pub mod table;
 pub mod throughput;
 
 pub use campaign::{run_campaign, CompetitiveReport};
 pub use experiments::*;
 pub use floors::FloorTable;
+pub use replay::{record_run, replay_trace, EngineKind, ReplayOutcome};
+pub use scenario::{
+    check_library_sync, emit_library, load_scenario, load_scenario_dir, parse_scenario,
+    scenario_to_json, standard_library, ScenarioError, ScenarioFile, SCENARIO_SCHEMA,
+};
 pub use table::ExperimentTable;
 pub use throughput::{run_throughput, ThroughputReport};

@@ -1,0 +1,1550 @@
+//! Declarative scenario files: the on-disk form of [`ScenarioSpec`].
+//!
+//! A scenario file is one campaign cell as JSON — the workload generator and
+//! its regime parameters, the population size, `k`, ε, horizon and seed, plus
+//! an optional fault plan and an optional membership churn plan. The committed
+//! library under `scenarios/` is the single human-editable source of the
+//! experiment grid: `standard_library` derives the exact same cells the
+//! compiled-in [`standard_grid`] (and its fault/membership companions) runs,
+//! and [`check_library_sync`] holds the directory byte-for-byte to that
+//! derivation, so a stale or hand-drifted file fails CI instead of silently
+//! measuring something else.
+//!
+//! ## Schema (`topk-scenario/v1`, normative copy in `docs/SCENARIOS.md`)
+//!
+//! ```json
+//! {
+//!   "schema": "topk-scenario/v1",
+//!   "name": "zipf-n64-k4-e1of10-s240",
+//!   "generator": { "family": "zipf", "peak_load": 100000 },
+//!   "n": 64,
+//!   "k": 4,
+//!   "eps": { "num": 1, "den": 10 },
+//!   "steps": 240,
+//!   "seed": 51772,
+//!   "fault": { … optional … },
+//!   "membership": { … optional … }
+//! }
+//! ```
+//!
+//! Validation is strict and typed: unknown fields anywhere, a missing
+//! required field, a wrong JSON type, an unknown generator family,
+//! `ε ∉ (0, 1)` or an out-of-range parameter each produce the corresponding
+//! [`ScenarioError`] variant, carrying the file and (best-effort) line/column
+//! where the offending key sits. Nothing in this module panics on bad input —
+//! the loaders re-check every bound the underlying constructors would
+//! otherwise `assert!` on.
+//!
+//! Serialisation is canonical: [`scenario_to_json`] emits keys in a fixed
+//! order with fixed formatting, so `parse → serialize` is the identity on
+//! library files and the sync check can compare bytes.
+
+use crate::campaign::{
+    standard_fault_grid, standard_grid, standard_membership_grid, GeneratorSpec,
+    MembershipPlanSpec, ScenarioSpec,
+};
+use serde::Json;
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+use topk_model::prelude::*;
+
+/// The schema tag every scenario file must carry.
+pub const SCENARIO_SCHEMA: &str = "topk-scenario/v1";
+
+/// A parsed scenario file: one grid cell plus its optional fault/membership
+/// companions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFile {
+    /// The scenario's name (also its file stem in a library directory).
+    pub name: String,
+    /// The cell itself.
+    pub spec: ScenarioSpec,
+    /// Fault plan to run the cell under, if any.
+    pub fault: Option<FaultSpec>,
+    /// Membership churn plan to run the cell under, if any.
+    pub membership: Option<MembershipPlanSpec>,
+}
+
+/// Where in a file an error was found. Lines and columns are 1-based; for
+/// field-level errors they point at the first occurrence of the offending
+/// key (best effort — the value tree carries no spans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Context {
+    /// File path (or a synthetic origin like `<inline>`).
+    pub origin: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.origin, self.line, self.col)
+    }
+}
+
+/// Typed validation errors of the scenario loader.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The text is not well-formed JSON.
+    Parse {
+        /// Where parsing stopped.
+        at: Context,
+        /// The parser's message.
+        message: String,
+    },
+    /// The `schema` tag is missing or not a version this loader reads.
+    BadSchema {
+        /// Where the tag sits (or the file start if absent).
+        at: Context,
+        /// The tag found, if any.
+        found: Option<String>,
+    },
+    /// An object carries a field the schema does not define.
+    UnknownField {
+        /// Where the field sits.
+        at: Context,
+        /// Dotted path of the field (e.g. `generator.peak_load`).
+        field: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Where the enclosing object sits.
+        at: Context,
+        /// Dotted path of the missing field.
+        field: String,
+    },
+    /// A field holds a value of the wrong JSON type.
+    WrongType {
+        /// Where the field sits.
+        at: Context,
+        /// Dotted path of the field.
+        field: String,
+        /// What the schema expects there.
+        expected: &'static str,
+    },
+    /// The generator `family` is not one this build knows.
+    UnknownFamily {
+        /// Where the family tag sits.
+        at: Context,
+        /// The unknown family name.
+        family: String,
+    },
+    /// `eps` does not describe an error in `(0, 1)`.
+    InvalidEpsilon {
+        /// Where the `eps` object sits.
+        at: Context,
+        /// Offending numerator.
+        num: u64,
+        /// Offending denominator.
+        den: u64,
+    },
+    /// A value parses but violates a documented bound.
+    OutOfRange {
+        /// Where the field sits.
+        at: Context,
+        /// Dotted path of the field.
+        field: String,
+        /// The violated bound, in words.
+        message: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io { path, source } => write!(f, "{path}: {source}"),
+            ScenarioError::Parse { at, message } => write!(f, "{at}: {message}"),
+            ScenarioError::BadSchema { at, found } => match found {
+                Some(tag) => write!(
+                    f,
+                    "{at}: unsupported schema `{tag}` (expected `{SCENARIO_SCHEMA}`)"
+                ),
+                None => write!(
+                    f,
+                    "{at}: missing `schema` tag (expected `{SCENARIO_SCHEMA}`)"
+                ),
+            },
+            ScenarioError::UnknownField { at, field } => {
+                write!(f, "{at}: unknown field `{field}`")
+            }
+            ScenarioError::MissingField { at, field } => {
+                write!(f, "{at}: missing required field `{field}`")
+            }
+            ScenarioError::WrongType {
+                at,
+                field,
+                expected,
+            } => {
+                write!(f, "{at}: field `{field}` must be {expected}")
+            }
+            ScenarioError::UnknownFamily { at, family } => {
+                write!(f, "{at}: unknown generator family `{family}`")
+            }
+            ScenarioError::InvalidEpsilon { at, num, den } => {
+                write!(f, "{at}: eps {num}/{den} is not in (0, 1)")
+            }
+            ScenarioError::OutOfRange { at, field, message } => {
+                write!(f, "{at}: field `{field}` out of range: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Shared parse state: the origin and raw text, for line/column lookup.
+struct Loader<'a> {
+    origin: &'a str,
+    text: &'a str,
+}
+
+impl Loader<'_> {
+    /// Best-effort context of a dotted field path: the first occurrence of
+    /// its last segment as a quoted key.
+    fn at(&self, field: &str) -> Context {
+        let key = field.rsplit('.').next().unwrap_or(field);
+        let quoted = format!("\"{key}\"");
+        let byte = self.text.find(&quoted).unwrap_or(0);
+        self.at_byte(byte)
+    }
+
+    fn at_byte(&self, byte: usize) -> Context {
+        let byte = byte.min(self.text.len());
+        let before = &self.text[..byte];
+        let line = before.matches('\n').count() + 1;
+        let col = byte - before.rfind('\n').map_or(0, |i| i + 1) + 1;
+        Context {
+            origin: self.origin.to_string(),
+            line,
+            col,
+        }
+    }
+
+    fn obj<'j>(
+        &self,
+        json: &'j Json,
+        path: &str,
+        allowed: &[&str],
+        required: &[&str],
+    ) -> Result<&'j [(String, Json)], ScenarioError> {
+        let Some(pairs) = json.as_object() else {
+            return Err(ScenarioError::WrongType {
+                at: self.at(path),
+                field: path.to_string(),
+                expected: "an object",
+            });
+        };
+        for (key, _) in pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ScenarioError::UnknownField {
+                    at: self.at(key),
+                    field: join(path, key),
+                });
+            }
+        }
+        for key in required {
+            if !pairs.iter().any(|(k, _)| k == key) {
+                return Err(ScenarioError::MissingField {
+                    at: self.at(path),
+                    field: join(path, key),
+                });
+            }
+        }
+        Ok(pairs)
+    }
+
+    fn u64(&self, pairs: &[(String, Json)], path: &str, key: &str) -> Result<u64, ScenarioError> {
+        match get(pairs, key) {
+            Some(Json::UInt(v)) => Ok(*v),
+            _ => Err(ScenarioError::WrongType {
+                at: self.at(key),
+                field: join(path, key),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    fn usize(
+        &self,
+        pairs: &[(String, Json)],
+        path: &str,
+        key: &str,
+    ) -> Result<usize, ScenarioError> {
+        let raw = self.u64(pairs, path, key)?;
+        usize::try_from(raw).map_err(|_| ScenarioError::OutOfRange {
+            at: self.at(key),
+            field: join(path, key),
+            message: format!("{raw} exceeds this platform's usize"),
+        })
+    }
+
+    fn u32(&self, pairs: &[(String, Json)], path: &str, key: &str) -> Result<u32, ScenarioError> {
+        let raw = self.u64(pairs, path, key)?;
+        u32::try_from(raw).map_err(|_| ScenarioError::OutOfRange {
+            at: self.at(key),
+            field: join(path, key),
+            message: format!("{raw} exceeds u32"),
+        })
+    }
+
+    fn permille(
+        &self,
+        pairs: &[(String, Json)],
+        path: &str,
+        key: &str,
+    ) -> Result<u32, ScenarioError> {
+        let v = self.u32(pairs, path, key)?;
+        if v > 1000 {
+            return Err(ScenarioError::OutOfRange {
+                at: self.at(key),
+                field: join(path, key),
+                message: format!("{v} is a permille probability (at most 1000)"),
+            });
+        }
+        Ok(v)
+    }
+
+    fn str<'j>(
+        &self,
+        pairs: &'j [(String, Json)],
+        path: &str,
+        key: &str,
+    ) -> Result<&'j str, ScenarioError> {
+        match get(pairs, key) {
+            Some(Json::Str(s)) => Ok(s),
+            _ => Err(ScenarioError::WrongType {
+                at: self.at(key),
+                field: join(path, key),
+                expected: "a string",
+            }),
+        }
+    }
+
+    fn out_of_range(&self, path: &str, key: &str, message: String) -> ScenarioError {
+        ScenarioError::OutOfRange {
+            at: self.at(key),
+            field: join(path, key),
+            message,
+        }
+    }
+}
+
+fn get<'j>(pairs: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Parses one scenario from JSON text. `origin` labels errors (a file path,
+/// or something like `<inline>` for tests).
+///
+/// # Errors
+///
+/// Every [`ScenarioError`] variant except `Io`; see the module docs for the
+/// validation rules.
+pub fn parse_scenario(text: &str, origin: &str) -> Result<ScenarioFile, ScenarioError> {
+    let loader = Loader { origin, text };
+    let root: Json = serde_json::from_str(text).map_err(|e| {
+        let message = e.to_string();
+        // The vendored parser reports positions as "… at byte N".
+        let byte = message
+            .rsplit("at byte ")
+            .next()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        ScenarioError::Parse {
+            at: loader.at_byte(byte),
+            message,
+        }
+    })?;
+    let pairs = loader.obj(
+        &root,
+        "",
+        &[
+            "schema",
+            "name",
+            "generator",
+            "n",
+            "k",
+            "eps",
+            "steps",
+            "seed",
+            "fault",
+            "membership",
+        ],
+        &[
+            "schema",
+            "name",
+            "generator",
+            "n",
+            "k",
+            "eps",
+            "steps",
+            "seed",
+        ],
+    )?;
+    let schema = match get(pairs, "schema") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    if schema.as_deref() != Some(SCENARIO_SCHEMA) {
+        return Err(ScenarioError::BadSchema {
+            at: loader.at("schema"),
+            found: schema,
+        });
+    }
+    let name = loader.str(pairs, "", "name")?.to_string();
+    let n = loader.usize(pairs, "", "n")?;
+    let k = loader.usize(pairs, "", "k")?;
+    let steps = loader.usize(pairs, "", "steps")?;
+    let seed = loader.u64(pairs, "", "seed")?;
+    if n == 0 {
+        return Err(loader.out_of_range("", "n", "at least one node is required".into()));
+    }
+    if k == 0 || k > n {
+        return Err(loader.out_of_range("", "k", format!("k must be in 1..=n (n = {n})")));
+    }
+    if steps == 0 {
+        return Err(loader.out_of_range("", "steps", "at least one step is required".into()));
+    }
+    let eps = parse_eps(&loader, pairs)?;
+    let generator = parse_generator(&loader, pairs, n, k)?;
+    let fault = match get(pairs, "fault") {
+        None => None,
+        Some(json) => Some(parse_fault(&loader, json)?),
+    };
+    let membership = match get(pairs, "membership") {
+        None => None,
+        Some(json) => Some(parse_membership(&loader, json, n)?),
+    };
+    Ok(ScenarioFile {
+        name,
+        spec: ScenarioSpec {
+            generator,
+            n,
+            k,
+            eps,
+            steps,
+            seed,
+        },
+        fault,
+        membership,
+    })
+}
+
+fn parse_eps(loader: &Loader<'_>, root: &[(String, Json)]) -> Result<Epsilon, ScenarioError> {
+    let json = get(root, "eps").expect("required field was checked");
+    let pairs = loader.obj(json, "eps", &["num", "den"], &["num", "den"])?;
+    let num = loader.u64(pairs, "eps", "num")?;
+    let den = loader.u64(pairs, "eps", "den")?;
+    let (num32, den32) = match (u32::try_from(num), u32::try_from(den)) {
+        (Ok(n), Ok(d)) => (n, d),
+        _ => {
+            return Err(ScenarioError::InvalidEpsilon {
+                at: loader.at("eps"),
+                num,
+                den,
+            })
+        }
+    };
+    Epsilon::new(num32, den32).map_err(|_| ScenarioError::InvalidEpsilon {
+        at: loader.at("eps"),
+        num,
+        den,
+    })
+}
+
+/// Per-family parameter tables: `(family, allowed-and-required param keys)`.
+const FAMILIES: [(&str, &[&str]); 10] = [
+    ("zipf", &["peak_load"]),
+    ("noise", &["sigma", "z"]),
+    ("random-walk", &["delta", "max_step", "move_permille"]),
+    ("gap", &["high_base"]),
+    ("adversarial", &["sigma", "y0"]),
+    ("regime-switch", &["sigma", "z", "segment_len"]),
+    (
+        "correlated-burst",
+        &["base_load", "factor", "group", "burst_permille"],
+    ),
+    ("churn", &["z", "churn_permille"]),
+    ("zipf-web", &["peak_load", "period"]),
+    ("noise-field", &["high", "sigma", "z"]),
+];
+
+fn parse_generator(
+    loader: &Loader<'_>,
+    root: &[(String, Json)],
+    n: usize,
+    k: usize,
+) -> Result<GeneratorSpec, ScenarioError> {
+    let json = get(root, "generator").expect("required field was checked");
+    // First pass: the family tag decides which params are legal.
+    let Some(pairs) = json.as_object() else {
+        return Err(ScenarioError::WrongType {
+            at: loader.at("generator"),
+            field: "generator".to_string(),
+            expected: "an object",
+        });
+    };
+    let family = match get(pairs, "family") {
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => {
+            return Err(ScenarioError::WrongType {
+                at: loader.at("family"),
+                field: "generator.family".to_string(),
+                expected: "a string",
+            })
+        }
+        None => {
+            return Err(ScenarioError::MissingField {
+                at: loader.at("generator"),
+                field: "generator.family".to_string(),
+            })
+        }
+    };
+    let Some((_, params)) = FAMILIES.iter().find(|(f, _)| *f == family) else {
+        return Err(ScenarioError::UnknownFamily {
+            at: loader.at("family"),
+            family: family.to_string(),
+        });
+    };
+    let mut allowed = vec!["family"];
+    allowed.extend_from_slice(params);
+    let mut required = vec!["family"];
+    required.extend_from_slice(params);
+    let pairs = loader.obj(json, "generator", &allowed, &required)?;
+    let g = "generator";
+    let spec = match family {
+        "zipf" => GeneratorSpec::Zipf {
+            peak_load: loader.u64(pairs, g, "peak_load")?,
+        },
+        "noise" => GeneratorSpec::Noise {
+            sigma: loader.usize(pairs, g, "sigma")?,
+            z: loader.u64(pairs, g, "z")?,
+        },
+        "random-walk" => GeneratorSpec::RandomWalk {
+            delta: loader.u64(pairs, g, "delta")?,
+            max_step: loader.u64(pairs, g, "max_step")?,
+            move_permille: loader.permille(pairs, g, "move_permille")?,
+        },
+        "gap" => GeneratorSpec::Gap {
+            high_base: loader.u64(pairs, g, "high_base")?,
+        },
+        "adversarial" => {
+            let sigma = loader.usize(pairs, g, "sigma")?;
+            if sigma <= k || sigma > n {
+                return Err(loader.out_of_range(
+                    g,
+                    "sigma",
+                    format!("the adversary needs k < sigma <= n (k = {k}, n = {n})"),
+                ));
+            }
+            GeneratorSpec::Adversarial {
+                sigma,
+                y0: loader.u64(pairs, g, "y0")?,
+            }
+        }
+        "regime-switch" => {
+            let segment_len = loader.u64(pairs, g, "segment_len")?;
+            if segment_len == 0 {
+                return Err(loader.out_of_range(
+                    g,
+                    "segment_len",
+                    "a regime segment needs at least one step".into(),
+                ));
+            }
+            GeneratorSpec::RegimeSwitch {
+                sigma: loader.usize(pairs, g, "sigma")?,
+                z: loader.u64(pairs, g, "z")?,
+                segment_len,
+            }
+        }
+        "correlated-burst" => {
+            let group = loader.usize(pairs, g, "group")?;
+            if group == 0 || group > n {
+                return Err(loader.out_of_range(
+                    g,
+                    "group",
+                    format!("burst groups must have 1..=n nodes (n = {n})"),
+                ));
+            }
+            GeneratorSpec::CorrelatedBurst {
+                base_load: loader.u64(pairs, g, "base_load")?,
+                factor: loader.u64(pairs, g, "factor")?,
+                group,
+                burst_permille: loader.permille(pairs, g, "burst_permille")?,
+            }
+        }
+        "churn" => GeneratorSpec::Churn {
+            z: loader.u64(pairs, g, "z")?,
+            churn_permille: loader.permille(pairs, g, "churn_permille")?,
+        },
+        "zipf-web" => {
+            let period = loader.u64(pairs, g, "period")?;
+            if period == 0 {
+                return Err(loader.out_of_range(
+                    g,
+                    "period",
+                    "the seasonal cycle needs at least one step".into(),
+                ));
+            }
+            GeneratorSpec::ZipfWeb {
+                peak_load: loader.u64(pairs, g, "peak_load")?,
+                period,
+            }
+        }
+        "noise-field" => {
+            let high = loader.usize(pairs, g, "high")?;
+            let sigma = loader.usize(pairs, g, "sigma")?;
+            if sigma == 0 {
+                return Err(loader.out_of_range(
+                    g,
+                    "sigma",
+                    "at least one oscillating node is required".into(),
+                ));
+            }
+            if high + sigma > n {
+                return Err(loader.out_of_range(
+                    g,
+                    "sigma",
+                    format!("high + sigma must not exceed n (n = {n})"),
+                ));
+            }
+            GeneratorSpec::NoiseField {
+                high,
+                sigma,
+                z: loader.u64(pairs, g, "z")?,
+            }
+        }
+        _ => unreachable!("family table was checked"),
+    };
+    // Families that oscillate around a pivot need the pivot the generator
+    // itself asserts on — re-checked here so a bad file errors, not panics.
+    if let GeneratorSpec::Noise { sigma, z } | GeneratorSpec::NoiseField { sigma, z, .. } = spec {
+        if z < 16 {
+            return Err(loader.out_of_range(g, "z", "pivot must be at least 16".into()));
+        }
+        if let GeneratorSpec::Noise { .. } = spec {
+            if sigma == 0 {
+                return Err(loader.out_of_range(
+                    g,
+                    "sigma",
+                    "at least one oscillating node is required".into(),
+                ));
+            }
+            if (k / 2).max(1) + sigma > n {
+                return Err(loader.out_of_range(
+                    g,
+                    "sigma",
+                    format!("max(k/2, 1) + sigma must not exceed n (k = {k}, n = {n})"),
+                ));
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_fault(loader: &Loader<'_>, json: &Json) -> Result<FaultSpec, ScenarioError> {
+    let pairs = loader.obj(
+        json,
+        "fault",
+        &[
+            "seed",
+            "drop_upstream_permille",
+            "drop_downstream_permille",
+            "reorder_permille",
+            "latency",
+            "crash",
+        ],
+        &["seed"],
+    )?;
+    let f = "fault";
+    let mut spec = FaultSpec::none();
+    spec.seed = loader.u64(pairs, f, "seed")?;
+    if get(pairs, "drop_upstream_permille").is_some() {
+        spec.drop_upstream_permille = loader.permille(pairs, f, "drop_upstream_permille")?;
+    }
+    if get(pairs, "drop_downstream_permille").is_some() {
+        spec.drop_downstream_permille = loader.permille(pairs, f, "drop_downstream_permille")?;
+    }
+    if get(pairs, "reorder_permille").is_some() {
+        spec.reorder_permille = loader.permille(pairs, f, "reorder_permille")?;
+    }
+    if let Some(json) = get(pairs, "latency") {
+        spec.latency = parse_latency(loader, json)?;
+    }
+    if let Some(json) = get(pairs, "crash") {
+        let pairs = loader.obj(
+            json,
+            "fault.crash",
+            &["crash_permille", "down_steps", "max_down"],
+            &["crash_permille", "down_steps", "max_down"],
+        )?;
+        let c = "fault.crash";
+        let down_steps = loader.u64(pairs, c, "down_steps")?;
+        if down_steps == 0 {
+            return Err(loader.out_of_range(
+                c,
+                "down_steps",
+                "a crashed node must stay down at least one step".into(),
+            ));
+        }
+        spec.crash = Some(CrashSpec {
+            crash_permille: loader.permille(pairs, c, "crash_permille")?,
+            down_steps,
+            max_down: loader.usize(pairs, c, "max_down")?,
+        });
+    }
+    Ok(spec)
+}
+
+fn parse_latency(loader: &Loader<'_>, json: &Json) -> Result<LatencySpec, ScenarioError> {
+    let l = "fault.latency";
+    let Some(pairs) = json.as_object() else {
+        return Err(ScenarioError::WrongType {
+            at: loader.at("latency"),
+            field: l.to_string(),
+            expected: "an object",
+        });
+    };
+    let kind = match get(pairs, "kind") {
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => {
+            return Err(ScenarioError::WrongType {
+                at: loader.at("kind"),
+                field: join(l, "kind"),
+                expected: "a string",
+            })
+        }
+        None => {
+            return Err(ScenarioError::MissingField {
+                at: loader.at("latency"),
+                field: join(l, "kind"),
+            })
+        }
+    };
+    match kind {
+        "immediate" => {
+            loader.obj(json, l, &["kind"], &["kind"])?;
+            Ok(LatencySpec::Immediate)
+        }
+        "fixed" => {
+            let pairs = loader.obj(json, l, &["kind", "rounds"], &["kind", "rounds"])?;
+            Ok(LatencySpec::Fixed(loader.u32(pairs, l, "rounds")?))
+        }
+        "uniform" => {
+            let pairs = loader.obj(json, l, &["kind", "lo", "hi"], &["kind", "lo", "hi"])?;
+            let lo = loader.u32(pairs, l, "lo")?;
+            let hi = loader.u32(pairs, l, "hi")?;
+            if lo > hi {
+                return Err(loader.out_of_range(l, "lo", format!("lo ({lo}) exceeds hi ({hi})")));
+            }
+            Ok(LatencySpec::Uniform { lo, hi })
+        }
+        other => Err(ScenarioError::OutOfRange {
+            at: loader.at("kind"),
+            field: join(l, "kind"),
+            message: format!("unknown latency kind `{other}` (immediate, fixed or uniform)"),
+        }),
+    }
+}
+
+fn parse_membership(
+    loader: &Loader<'_>,
+    json: &Json,
+    n: usize,
+) -> Result<MembershipPlanSpec, ScenarioError> {
+    let pairs = loader.obj(
+        json,
+        "membership",
+        &["seed", "leave_permille", "downtime", "min_live"],
+        &["seed", "leave_permille", "downtime", "min_live"],
+    )?;
+    let m = "membership";
+    let downtime = loader.u64(pairs, m, "downtime")?;
+    if downtime == 0 {
+        return Err(loader.out_of_range(
+            m,
+            "downtime",
+            "a leaver must stay away at least one step".into(),
+        ));
+    }
+    let min_live = loader.usize(pairs, m, "min_live")?;
+    if min_live == 0 || min_live > n {
+        return Err(loader.out_of_range(
+            m,
+            "min_live",
+            format!("the live floor must be in 1..=n (n = {n})"),
+        ));
+    }
+    Ok(MembershipPlanSpec {
+        seed: loader.u64(pairs, m, "seed")?,
+        leave_permille: loader.permille(pairs, m, "leave_permille")?,
+        downtime,
+        min_live,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialisation
+// ---------------------------------------------------------------------------
+
+fn uint(v: u64) -> Json {
+    Json::UInt(v)
+}
+
+fn generator_json(generator: &GeneratorSpec) -> Json {
+    let mut pairs = vec![("family".to_string(), Json::Str(generator.family().into()))];
+    let mut push = |key: &str, v: u64| pairs.push((key.to_string(), uint(v)));
+    match *generator {
+        GeneratorSpec::Zipf { peak_load } => push("peak_load", peak_load),
+        GeneratorSpec::Noise { sigma, z } => {
+            push("sigma", sigma as u64);
+            push("z", z);
+        }
+        GeneratorSpec::RandomWalk {
+            delta,
+            max_step,
+            move_permille,
+        } => {
+            push("delta", delta);
+            push("max_step", max_step);
+            push("move_permille", u64::from(move_permille));
+        }
+        GeneratorSpec::Gap { high_base } => push("high_base", high_base),
+        GeneratorSpec::Adversarial { sigma, y0 } => {
+            push("sigma", sigma as u64);
+            push("y0", y0);
+        }
+        GeneratorSpec::RegimeSwitch {
+            sigma,
+            z,
+            segment_len,
+        } => {
+            push("sigma", sigma as u64);
+            push("z", z);
+            push("segment_len", segment_len);
+        }
+        GeneratorSpec::CorrelatedBurst {
+            base_load,
+            factor,
+            group,
+            burst_permille,
+        } => {
+            push("base_load", base_load);
+            push("factor", factor);
+            push("group", group as u64);
+            push("burst_permille", u64::from(burst_permille));
+        }
+        GeneratorSpec::Churn { z, churn_permille } => {
+            push("z", z);
+            push("churn_permille", u64::from(churn_permille));
+        }
+        GeneratorSpec::ZipfWeb { peak_load, period } => {
+            push("peak_load", peak_load);
+            push("period", period);
+        }
+        GeneratorSpec::NoiseField { high, sigma, z } => {
+            push("high", high as u64);
+            push("sigma", sigma as u64);
+            push("z", z);
+        }
+    }
+    Json::Object(pairs)
+}
+
+fn latency_json(latency: &LatencySpec) -> Json {
+    let pairs = match *latency {
+        LatencySpec::Immediate => vec![("kind".to_string(), Json::Str("immediate".into()))],
+        LatencySpec::Fixed(rounds) => vec![
+            ("kind".to_string(), Json::Str("fixed".into())),
+            ("rounds".to_string(), uint(u64::from(rounds))),
+        ],
+        LatencySpec::Uniform { lo, hi } => vec![
+            ("kind".to_string(), Json::Str("uniform".into())),
+            ("lo".to_string(), uint(u64::from(lo))),
+            ("hi".to_string(), uint(u64::from(hi))),
+        ],
+    };
+    Json::Object(pairs)
+}
+
+fn fault_json(fault: &FaultSpec) -> Json {
+    let mut pairs = vec![("seed".to_string(), uint(fault.seed))];
+    // Zero-valued axes are omitted: the parser defaults them, and the files
+    // stay readable (a latency-only plan shows only its latency).
+    if fault.drop_upstream_permille > 0 {
+        pairs.push((
+            "drop_upstream_permille".to_string(),
+            uint(u64::from(fault.drop_upstream_permille)),
+        ));
+    }
+    if fault.drop_downstream_permille > 0 {
+        pairs.push((
+            "drop_downstream_permille".to_string(),
+            uint(u64::from(fault.drop_downstream_permille)),
+        ));
+    }
+    if fault.reorder_permille > 0 {
+        pairs.push((
+            "reorder_permille".to_string(),
+            uint(u64::from(fault.reorder_permille)),
+        ));
+    }
+    // Structural, not semantic, comparison: `Fixed(0)` behaves like
+    // `Immediate` but must survive the round trip unchanged.
+    if fault.latency != LatencySpec::Immediate {
+        pairs.push(("latency".to_string(), latency_json(&fault.latency)));
+    }
+    if let Some(crash) = fault.crash {
+        pairs.push((
+            "crash".to_string(),
+            Json::Object(vec![
+                (
+                    "crash_permille".to_string(),
+                    uint(u64::from(crash.crash_permille)),
+                ),
+                ("down_steps".to_string(), uint(crash.down_steps)),
+                ("max_down".to_string(), uint(crash.max_down as u64)),
+            ]),
+        ));
+    }
+    Json::Object(pairs)
+}
+
+/// Serialises a scenario to its canonical JSON text (fixed key order, pretty
+/// two-space indentation, trailing newline). `parse_scenario` of the result
+/// reproduces `file` exactly.
+pub fn scenario_to_json(file: &ScenarioFile) -> String {
+    let spec = &file.spec;
+    let mut pairs = vec![
+        ("schema".to_string(), Json::Str(SCENARIO_SCHEMA.into())),
+        ("name".to_string(), Json::Str(file.name.clone())),
+        ("generator".to_string(), generator_json(&spec.generator)),
+        ("n".to_string(), uint(spec.n as u64)),
+        ("k".to_string(), uint(spec.k as u64)),
+        (
+            "eps".to_string(),
+            Json::Object(vec![
+                ("num".to_string(), uint(u64::from(spec.eps.numerator()))),
+                ("den".to_string(), uint(u64::from(spec.eps.denominator()))),
+            ]),
+        ),
+        ("steps".to_string(), uint(spec.steps as u64)),
+        ("seed".to_string(), uint(spec.seed)),
+    ];
+    if let Some(fault) = &file.fault {
+        pairs.push(("fault".to_string(), fault_json(fault)));
+    }
+    if let Some(plan) = &file.membership {
+        pairs.push((
+            "membership".to_string(),
+            Json::Object(vec![
+                ("seed".to_string(), uint(plan.seed)),
+                (
+                    "leave_permille".to_string(),
+                    uint(u64::from(plan.leave_permille)),
+                ),
+                ("downtime".to_string(), uint(plan.downtime)),
+                ("min_live".to_string(), uint(plan.min_live as u64)),
+            ]),
+        ));
+    }
+    let mut text =
+        serde_json::to_string_pretty(&Json::Object(pairs)).expect("serialisation is infallible");
+    text.push('\n');
+    text
+}
+
+// ---------------------------------------------------------------------------
+// File and directory loading
+// ---------------------------------------------------------------------------
+
+/// Loads and validates one scenario file.
+///
+/// # Errors
+///
+/// [`ScenarioError::Io`] if the file cannot be read, else any parse or
+/// validation error from [`parse_scenario`].
+pub fn load_scenario(path: &Path) -> Result<ScenarioFile, ScenarioError> {
+    let origin = path.display().to_string();
+    let mut text = String::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|source| ScenarioError::Io {
+            path: origin.clone(),
+            source,
+        })?;
+    parse_scenario(&text, &origin)
+}
+
+/// Loads every `*.json` file of a directory, sorted by file name.
+///
+/// # Errors
+///
+/// [`ScenarioError::Io`] if the directory cannot be listed, else the first
+/// failing file's error.
+pub fn load_scenario_dir(dir: &Path) -> Result<Vec<ScenarioFile>, ScenarioError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|source| ScenarioError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_scenario(p)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The standard library and its sync check
+// ---------------------------------------------------------------------------
+
+fn grid_name(spec: &ScenarioSpec) -> String {
+    format!(
+        "{}-n{}-k{}-e{}of{}-s{}",
+        spec.generator.family(),
+        spec.n,
+        spec.k,
+        spec.eps.numerator(),
+        spec.eps.denominator(),
+        spec.steps
+    )
+}
+
+/// The scenario library `scenarios/` must hold: every cell of
+/// [`standard_grid`], [`standard_fault_grid`] and [`standard_membership_grid`]
+/// (full scale), plus the two example workloads, each under its canonical
+/// name. Returned sorted by name.
+pub fn standard_library() -> Vec<ScenarioFile> {
+    let mut files = Vec::new();
+    for spec in standard_grid(false) {
+        files.push(ScenarioFile {
+            name: grid_name(&spec),
+            spec,
+            fault: None,
+            membership: None,
+        });
+    }
+    for (spec, fault) in standard_fault_grid(false) {
+        files.push(ScenarioFile {
+            name: format!(
+                "fault-{}-{}-s{}",
+                spec.generator.family(),
+                fault.family(),
+                spec.steps
+            ),
+            spec,
+            fault: Some(fault),
+            membership: None,
+        });
+    }
+    for (spec, plan) in standard_membership_grid(false) {
+        files.push(ScenarioFile {
+            name: format!(
+                "member-{}-churn{}-s{}",
+                spec.generator.family(),
+                plan.leave_permille,
+                spec.steps
+            ),
+            spec,
+            fault: None,
+            membership: Some(plan),
+        });
+    }
+    files.extend(example_scenarios());
+    files.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut seen = std::collections::BTreeSet::new();
+    for file in &files {
+        assert!(
+            seen.insert(file.name.clone()),
+            "library names must be unique: {}",
+            file.name
+        );
+    }
+    files
+}
+
+/// The two example workloads (`examples/load_balancer.rs`,
+/// `examples/sensor_noise.rs`) as library entries — the examples load these
+/// instead of hard-coding parameters.
+pub fn example_scenarios() -> Vec<ScenarioFile> {
+    vec![
+        ScenarioFile {
+            // `ZipfLoadWorkload::web_cluster(64, 99)`, as scenario data.
+            name: "load_balancer".to_string(),
+            spec: ScenarioSpec {
+                generator: GeneratorSpec::ZipfWeb {
+                    peak_load: 100_000,
+                    period: 500,
+                },
+                n: 64,
+                k: 8,
+                eps: Epsilon::TENTH,
+                steps: 600,
+                seed: 99,
+            },
+            fault: None,
+            membership: None,
+        },
+        ScenarioFile {
+            name: "sensor_noise".to_string(),
+            spec: ScenarioSpec {
+                generator: GeneratorSpec::NoiseField {
+                    high: 6,
+                    sigma: 12,
+                    z: 1_000_000,
+                },
+                n: 40,
+                k: 10,
+                eps: Epsilon::new(1, 20).expect("1/20 is in (0, 1)"),
+                steps: 400,
+                seed: 5,
+            },
+            fault: None,
+            membership: None,
+        },
+    ]
+}
+
+/// Writes the standard library into `dir` (creating it), one canonical file
+/// per scenario. Returns the file names written.
+///
+/// # Errors
+///
+/// Any I/O error, wrapped with the failing path.
+pub fn emit_library(dir: &Path) -> Result<Vec<String>, ScenarioError> {
+    std::fs::create_dir_all(dir).map_err(|source| ScenarioError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
+    let mut names = Vec::new();
+    for file in standard_library() {
+        let file_name = format!("{}.json", file.name);
+        let path = dir.join(&file_name);
+        std::fs::write(&path, scenario_to_json(&file)).map_err(|source| ScenarioError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        names.push(file_name);
+    }
+    Ok(names)
+}
+
+/// Checks that `dir` holds *exactly* the standard library, byte for byte:
+/// every expected file present with canonical contents, no stray `*.json`
+/// files. Returns the list of discrepancies (empty = in sync).
+pub fn check_library_sync(dir: &Path) -> Vec<String> {
+    let mut problems = Vec::new();
+    let expected: Vec<(String, String)> = standard_library()
+        .iter()
+        .map(|file| (format!("{}.json", file.name), scenario_to_json(file)))
+        .collect();
+    for (file_name, contents) in &expected {
+        let path = dir.join(file_name);
+        match std::fs::read_to_string(&path) {
+            Err(e) => problems.push(format!("{}: {e}", path.display())),
+            Ok(found) if &found != contents => problems.push(format!(
+                "{}: stale (differs from the generated scenario; run `experiments --emit-scenarios {}`)",
+                path.display(),
+                dir.display()
+            )),
+            Ok(_) => {}
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                let file_name = path
+                    .file_name()
+                    .map(|s| s.to_string_lossy().to_string())
+                    .unwrap_or_default();
+                if !expected.iter().any(|(name, _)| *name == file_name) {
+                    problems.push(format!(
+                        "{}: not part of the standard library (stray file)",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic derivation of a *valid* scenario from a few integers,
+    /// sweeping every generator family and both optional companions.
+    fn scenario_from(sel: u8, x: u64, y: u64) -> ScenarioFile {
+        let n = 8 + (x % 64) as usize;
+        let k = 1 + (y % 4) as usize;
+        let eps = Epsilon::new(1 + (x % 8) as u32, 10 + (y % 90) as u32)
+            .expect("num in 1..=8 < den in 10..=99");
+        let generator = match sel % 10 {
+            0 => GeneratorSpec::Zipf {
+                peak_load: x % 1_000_000,
+            },
+            1 => GeneratorSpec::Noise {
+                sigma: 1 + (y % (n - (k / 2).max(1)) as u64) as usize,
+                z: 16 + x % 1_000_000,
+            },
+            2 => GeneratorSpec::RandomWalk {
+                delta: x % 1_000_000,
+                max_step: y % 10_000,
+                move_permille: (x % 1001) as u32,
+            },
+            3 => GeneratorSpec::Gap {
+                high_base: x % 1_000_000,
+            },
+            4 => GeneratorSpec::Adversarial {
+                sigma: k + 1 + (x % (n - k) as u64) as usize,
+                y0: 16 + y % 1_000_000,
+            },
+            5 => GeneratorSpec::RegimeSwitch {
+                sigma: 1 + (y % (n - (k / 2).max(1)) as u64) as usize,
+                z: 16 + x % 1_000_000,
+                segment_len: 1 + y % 50,
+            },
+            6 => GeneratorSpec::CorrelatedBurst {
+                base_load: 1 + x % 10_000,
+                factor: 2 + y % 10,
+                group: 1 + (x % n as u64) as usize,
+                burst_permille: (y % 1001) as u32,
+            },
+            7 => GeneratorSpec::Churn {
+                z: 16 + y % 1_000_000,
+                churn_permille: (x % 1001) as u32,
+            },
+            8 => GeneratorSpec::ZipfWeb {
+                peak_load: x % 1_000_000,
+                period: 1 + y % 600,
+            },
+            _ => {
+                let high = (x % (n as u64 - 1)) as usize;
+                GeneratorSpec::NoiseField {
+                    high,
+                    sigma: 1 + (y % (n - high) as u64) as usize,
+                    z: 16 + x % 1_000_000,
+                }
+            }
+        };
+        let fault = (sel & 0x10 != 0).then(|| {
+            let mut spec = FaultSpec::none();
+            spec.seed = x.wrapping_mul(31).wrapping_add(y);
+            spec.drop_upstream_permille = (x % 1001) as u32;
+            spec.drop_downstream_permille = (y % 1001) as u32;
+            spec.reorder_permille = ((x ^ y) % 1001) as u32;
+            spec.latency = match y % 3 {
+                0 => LatencySpec::Immediate,
+                1 => LatencySpec::Fixed((x % 5) as u32),
+                _ => LatencySpec::Uniform {
+                    lo: (x % 3) as u32,
+                    hi: (x % 3 + y % 4) as u32,
+                },
+            };
+            spec.crash = (y % 2 == 0).then_some(CrashSpec {
+                crash_permille: (x % 200) as u32,
+                down_steps: y % 20 + 1,
+                max_down: 1 + (x % 8) as usize,
+            });
+            spec
+        });
+        let membership = (sel & 0x20 != 0 && fault.is_none()).then(|| MembershipPlanSpec {
+            seed: y.wrapping_mul(37).wrapping_add(x),
+            leave_permille: (y % 1001) as u32,
+            downtime: 1 + x % 10,
+            min_live: 1 + (y % n as u64) as usize,
+        });
+        ScenarioFile {
+            name: format!("prop-{}", x % 1000),
+            spec: ScenarioSpec {
+                generator,
+                n,
+                k,
+                eps,
+                steps: 1 + (x % 300) as usize,
+                seed: x ^ y,
+            },
+            fault,
+            membership,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Arbitrary valid scenario → serialize → parse == original, and the
+        /// canonical text is a fixed point of the round trip.
+        #[test]
+        fn arbitrary_scenarios_round_trip(
+            sel in 0u8..255,
+            x in 0u64..u64::MAX,
+            y in 0u64..u64::MAX,
+        ) {
+            let file = scenario_from(sel, x, y);
+            let text = scenario_to_json(&file);
+            let back = parse_scenario(&text, "<prop>").expect("canonical text must parse");
+            prop_assert_eq!(&back, &file);
+            prop_assert_eq!(scenario_to_json(&back), text);
+        }
+    }
+
+    #[test]
+    fn canonical_files_round_trip_exactly() {
+        for file in standard_library() {
+            let text = scenario_to_json(&file);
+            let back = parse_scenario(&text, "<inline>").expect("canonical file must parse");
+            assert_eq!(back, file, "parse(serialize) must be the identity");
+            assert_eq!(
+                scenario_to_json(&back),
+                text,
+                "serialize(parse) must reproduce the canonical bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn the_library_contains_the_standard_grids_exactly() {
+        let library = standard_library();
+        let specs: Vec<ScenarioSpec> = library
+            .iter()
+            .filter(|f| f.fault.is_none() && f.membership.is_none())
+            .filter(|f| !f.name.starts_with("load_balancer") && !f.name.starts_with("sensor_noise"))
+            .map(|f| f.spec)
+            .collect();
+        let grid = standard_grid(false);
+        assert_eq!(specs.len(), grid.len());
+        for spec in &grid {
+            assert!(
+                specs.contains(spec),
+                "grid cell missing from library: {spec:?}"
+            );
+        }
+        let faults: Vec<(ScenarioSpec, FaultSpec)> = library
+            .iter()
+            .filter_map(|f| f.fault.map(|fault| (f.spec, fault)))
+            .collect();
+        for cell in standard_fault_grid(false) {
+            assert!(faults.contains(&cell), "fault cell missing: {cell:?}");
+        }
+        let plans: Vec<(ScenarioSpec, MembershipPlanSpec)> = library
+            .iter()
+            .filter_map(|f| f.membership.map(|plan| (f.spec, plan)))
+            .collect();
+        for cell in standard_membership_grid(false) {
+            assert!(plans.contains(&cell), "membership cell missing: {cell:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_context() {
+        let mut text = scenario_to_json(&example_scenarios()[0]);
+        text = text.replace("\"seed\": 99", "\"seed\": 99,\n  \"sede\": 7");
+        match parse_scenario(&text, "bad.json") {
+            Err(ScenarioError::UnknownField { at, field }) => {
+                assert_eq!(field, "sede");
+                assert_eq!(at.origin, "bad.json");
+                assert!(at.line > 1, "line context must point into the file");
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_generator_params_are_rejected() {
+        let text = scenario_to_json(&example_scenarios()[0])
+            .replace("\"period\": 500", "\"period\": 500,\n    \"skew\": 2");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::UnknownField { field, .. }) if field == "generator.skew"
+        ));
+    }
+
+    #[test]
+    fn missing_required_fields_are_rejected() {
+        let text = scenario_to_json(&example_scenarios()[0]).replace("  \"steps\": 600,\n", "");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::MissingField { field, .. }) if field == "steps"
+        ));
+    }
+
+    #[test]
+    fn unknown_families_are_rejected() {
+        let text =
+            scenario_to_json(&example_scenarios()[0]).replace("\"zipf-web\"", "\"zipf-galaxy\"");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::UnknownFamily { family, .. }) if family == "zipf-galaxy"
+        ));
+    }
+
+    #[test]
+    fn out_of_unit_interval_epsilons_are_rejected() {
+        for (num, den) in [(0u64, 10u64), (10, 10), (11, 10), (1, 0)] {
+            let text = scenario_to_json(&example_scenarios()[0]).replace(
+                "\"num\": 1,\n    \"den\": 10",
+                &format!("\"num\": {num},\n    \"den\": {den}"),
+            );
+            match parse_scenario(&text, "<inline>") {
+                Err(ScenarioError::InvalidEpsilon { num: n, den: d, .. }) => {
+                    assert_eq!((n, d), (num, den));
+                }
+                other => panic!("eps {num}/{den}: expected InvalidEpsilon, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_types_and_trailing_garbage_are_rejected() {
+        let canonical = scenario_to_json(&example_scenarios()[0]);
+        let text = canonical.replace("\"n\": 64", "\"n\": \"lots\"");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::WrongType { field, .. }) if field == "n"
+        ));
+        let text = canonical.replace("\"n\": 64", "\"n\": -3");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::WrongType { field, .. }) if field == "n"
+        ));
+        let mut text = canonical.clone();
+        text.push_str("garbage");
+        match parse_scenario(&text, "<inline>") {
+            Err(ScenarioError::Parse { message, .. }) => {
+                assert!(message.contains("trailing"), "{message}")
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let text = "{\n  \"schema\": \"topk-scenario/v1\",\n  \"name\": oops\n}";
+        match parse_scenario(text, "broken.json") {
+            Err(ScenarioError::Parse { at, .. }) => {
+                assert_eq!(at.origin, "broken.json");
+                assert_eq!(at.line, 3, "the bad token sits on line 3");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_skew_is_a_typed_error() {
+        let text =
+            scenario_to_json(&example_scenarios()[0]).replace(SCENARIO_SCHEMA, "topk-scenario/v9");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::BadSchema { found: Some(tag), .. }) if tag == "topk-scenario/v9"
+        ));
+    }
+
+    #[test]
+    fn out_of_range_bounds_error_instead_of_panicking() {
+        let canonical = scenario_to_json(&example_scenarios()[0]);
+        // k > n
+        let text = canonical.replace("\"k\": 8", "\"k\": 65");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field == "k"
+        ));
+        // a permille probability over 1000
+        let churn = scenario_to_json(&ScenarioFile {
+            name: "x".into(),
+            spec: ScenarioSpec {
+                generator: GeneratorSpec::Churn {
+                    z: 1 << 18,
+                    churn_permille: 80,
+                },
+                n: 24,
+                k: 4,
+                eps: Epsilon::TENTH,
+                steps: 10,
+                seed: 1,
+            },
+            fault: None,
+            membership: None,
+        });
+        let text = churn.replace("\"churn_permille\": 80", "\"churn_permille\": 1001");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field == "generator.churn_permille"
+        ));
+    }
+
+    #[test]
+    fn emit_and_sync_check_agree() {
+        let dir = std::env::temp_dir().join(format!("topk-scenarios-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        emit_library(&dir).expect("emit must succeed");
+        assert_eq!(check_library_sync(&dir), Vec::<String>::new());
+        // Tamper with one byte: the check must name the stale file.
+        let tampered = dir.join("load_balancer.json");
+        let mut text = std::fs::read_to_string(&tampered).unwrap();
+        text = text.replace("\"seed\": 99", "\"seed\": 98");
+        std::fs::write(&tampered, text).unwrap();
+        let problems = check_library_sync(&dir);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("load_balancer.json"), "{problems:?}");
+        // A stray file is flagged too.
+        emit_library(&dir).unwrap();
+        std::fs::write(dir.join("extra.json"), "{}").unwrap();
+        let problems = check_library_sync(&dir);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("stray"), "{problems:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loaded_scenarios_build_their_workloads() {
+        // Every library entry must instantiate its generator (and companions)
+        // without panicking — the loader's bounds are sufficient.
+        for file in standard_library() {
+            let spec = &file.spec;
+            let _ = spec
+                .generator
+                .build(spec.n, spec.k, spec.eps, spec.seed)
+                .as_ref();
+            if let Some(plan) = &file.membership {
+                let _ = plan.build(spec.n, spec.steps as u64);
+            }
+            if let Some(fault) = &file.fault {
+                fault.validate();
+            }
+        }
+    }
+}

@@ -124,6 +124,9 @@ pub struct StepObservation<'a> {
     pub step: u64,
     /// The observations delivered at this step.
     pub row: &'a [Value],
+    /// Membership events applied before this step's row was delivered
+    /// (always empty under [`run_adaptive_observed`]).
+    pub events: &'a [MembershipEvent],
     /// The monitor's output after processing the step.
     pub output: &'a [NodeId],
     /// Whether the output was a valid ε-top-k set for this row.
@@ -239,6 +242,7 @@ pub fn run_with_membership_observed(
         observer(StepObservation {
             step: report.steps,
             row: &row,
+            events: &events,
             output: &output,
             valid,
             messages_total,

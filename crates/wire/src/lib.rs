@@ -31,6 +31,13 @@
 //!   [`stream::FrameAccumulator`] is the timeout-surviving reader the
 //!   retrying coordinator uses.
 //!
+//! A fourth layer, [`trace`], reuses the same framing discipline for files
+//! instead of sockets: a record stream capturing one monitored run step by
+//! step (magic `0xC7`, its own version byte, a CRC32 trailer on every
+//! record), the storage format of the golden-trace regression corpus under
+//! `tests/traces/` and of `experiments --record`/`--replay`. The schema is
+//! documented in `docs/SCENARIOS.md`.
+//!
 //! Decoding is strict: unknown tags, truncated input, oversized frames and
 //! trailing bytes are all [`WireError`]s, never panics — a corrupt or
 //! malicious peer cannot take the server down. The round-trip property
@@ -53,6 +60,7 @@ pub mod crc32;
 pub mod error;
 pub mod frame;
 pub mod stream;
+pub mod trace;
 pub mod varint;
 
 pub use codec::{from_bytes, to_bytes, Reader, WireDecode, WireEncode};
@@ -62,3 +70,7 @@ pub use frame::{
     LEGACY_WIRE_VERSION, MAX_FRAME_LEN, WIRE_VERSION,
 };
 pub use stream::FrameAccumulator;
+pub use trace::{
+    read_all_records, read_record, write_record, TraceEnd, TraceHeader, TraceRecord, TraceStep,
+    MAX_RECORD_LEN, TRACE_MAGIC, TRACE_VERSION,
+};

@@ -13,22 +13,32 @@
 //! * polling every server every step (the naive baseline),
 //! * the exact top-k monitor (Corollary 3.3),
 //! * the combined ε-approximate algorithm of Theorem 5.8.
+//!
+//! The whole workload — cluster size, `k`, ε, horizon, generator parameters —
+//! is declarative data in `scenarios/load_balancer.json` (schema in
+//! `docs/SCENARIOS.md`); this example is just the runner.
 
+use std::path::Path;
+use topk_bench::scenario::load_scenario;
 use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::{CombinedMonitor, ExactTopKMonitor};
-use topk_gen::{Trace, Workload, ZipfLoadWorkload};
-use topk_model::Epsilon;
+use topk_gen::Trace;
 use topk_net::DeterministicEngine;
 use topk_offline::ApproxOfflineOpt;
 
 fn main() {
-    let n = 64;
-    let k = 8;
-    let eps = Epsilon::TENTH;
-    let steps = 600;
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/load_balancer.json"
+    ));
+    let scenario = load_scenario(path).expect("scenarios/load_balancer.json must validate");
+    let spec = scenario.spec;
+    let (n, k, eps, steps) = (spec.n, spec.k, spec.eps, spec.steps);
 
-    let mut workload = ZipfLoadWorkload::web_cluster(n, 99);
-    let rows: Vec<Vec<u64>> = (0..steps).map(|_| workload.next_step()).collect();
+    let mut workload = spec.generator.build(n, k, eps, spec.seed);
+    let rows: Vec<Vec<u64>> = (0..steps)
+        .map(|_| workload.next_step_adaptive(&[]))
+        .collect();
     let trace = Trace::new(rows.clone()).expect("rectangular trace");
 
     // Naive baseline: the balancer polls every server every step.

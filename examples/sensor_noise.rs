@@ -11,24 +11,33 @@
 //! `DenseProtocol` ignores the noise band and stays almost silent. The example
 //! prints the per-step message cost of both and the offline baselines they are
 //! compared against in the paper.
+//!
+//! The sensor field — 6 sensors clearly above the threshold, 12 oscillating
+//! inside the ε-band around it, the rest clearly below — is declarative data
+//! in `scenarios/sensor_noise.json` (schema in `docs/SCENARIOS.md`); this
+//! example is just the runner.
 
+use std::path::Path;
+use topk_bench::scenario::load_scenario;
 use topk_core::monitor::run_on_rows;
 use topk_core::{DenseMonitor, ExactTopKMonitor};
-use topk_gen::{NoiseOscillationWorkload, Trace, Workload};
-use topk_model::Epsilon;
+use topk_gen::Trace;
 use topk_net::DeterministicEngine;
 use topk_offline::{ApproxOfflineOpt, ExactOfflineOpt};
 
 fn main() {
-    let n = 40;
-    let k = 10;
-    let eps = Epsilon::new(1, 20).expect("5 % error"); // 5 % noise band
-    let steps = 400;
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/sensor_noise.json"
+    ));
+    let scenario = load_scenario(path).expect("scenarios/sensor_noise.json must validate");
+    let spec = scenario.spec;
+    let (n, k, eps, steps) = (spec.n, spec.k, spec.eps, spec.steps);
 
-    // 6 sensors clearly above the threshold, 12 oscillating inside the ε-band
-    // around it, the rest clearly below.
-    let mut workload = NoiseOscillationWorkload::new(n, 6, 12, 1_000_000, eps, 5);
-    let rows: Vec<Vec<u64>> = (0..steps).map(|_| workload.next_step()).collect();
+    let mut workload = spec.generator.build(n, k, eps, spec.seed);
+    let rows: Vec<Vec<u64>> = (0..steps)
+        .map(|_| workload.next_step_adaptive(&[]))
+        .collect();
     let trace = Trace::new(rows.clone()).expect("rectangular trace");
 
     let mut net = DeterministicEngine::new(n, 3);

@@ -9,16 +9,20 @@
 //! single dependency:
 //!
 //! * [`model`] — execution-model substrate (values, filters, ε, cost accounting),
+//! * [`wire`] — the binary wire format and the trace record/replay codec,
 //! * [`net`] — simulation runtimes (deterministic and channel-threaded),
 //! * [`gen`] — workload generators,
 //! * [`offline`] — optimal offline (OPT) baselines,
-//! * [`core`] — the paper's online protocols.
+//! * [`core`] — the paper's online protocols,
+//! * [`mod@bench`] — the experiment harness, scenario files and trace replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use topk_bench as bench;
 pub use topk_core as core;
 pub use topk_gen as gen;
 pub use topk_model as model;
 pub use topk_net as net;
 pub use topk_offline as offline;
+pub use topk_wire as wire;
