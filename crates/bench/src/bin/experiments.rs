@@ -14,6 +14,7 @@
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick         # CI smoke
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick --faults-only
 //! cargo run -p topk-bench --bin experiments --release -- --campaign --quick --membership-only
+//! cargo run -p topk-bench --bin experiments --release -- --campaign --quick --multiquery-only
 //! cargo run -p topk-bench --bin experiments --release -- --check-competitive-floors FILE.json
 //! ```
 //!
@@ -56,6 +57,10 @@
 //! membership axis (`topk_bench::campaign::run_membership_report`): the
 //! churn grid re-measured and ratcheted against the committed report's
 //! membership cells, written to `BENCH_membership_quick.json` by default.
+//! `--multiquery-only` is the same smoke mode for the multi-query axis
+//! (`topk_bench::campaign::run_multiquery_report`): the shared-population
+//! plan grid re-measured, its amortization held to the committed ceilings,
+//! written to `BENCH_multiquery_quick.json` by default.
 //! `--check-competitive-floors FILE` re-validates a committed
 //! campaign report without re-measuring. All numeric bars of both check
 //! modes live in `topk_bench::floors::FloorTable`.
@@ -200,6 +205,47 @@ fn run_membership_bench(quick: bool, out: PathBuf, baseline: Option<PathBuf>) ->
     }
     for f in &failures {
         eprintln!("MEMBERSHIP FLOOR REGRESSION: {f}");
+    }
+    std::process::exit(1);
+}
+
+fn run_multiquery_bench(quick: bool, out: PathBuf, baseline: Option<PathBuf>) -> ! {
+    let report = campaign::run_multiquery_report(quick, |line| eprintln!("{line}"));
+    std::fs::write(&out, campaign::to_json(&report)).expect("write multiquery campaign json");
+    eprintln!("wrote {}", out.display());
+    if let Some(path) = baseline {
+        // The multi-query ratchet: hold the freshly measured amortization of
+        // every cell to the ceiling committed in the full report.
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let committed: campaign::CompetitiveReport = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {}: {e}", path.display()));
+        let failures = campaign::check_against_baseline(&report, &committed);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("MULTIQUERY FLOOR REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "baseline ok: all {} multi-query cells within the amortization ceilings committed in {}",
+            report.multiquery_cells.len(),
+            path.display()
+        );
+    }
+    let floors = FloorTable::STANDARD.competitive;
+    let failures =
+        campaign::check_multiquery_cells(&report.multiquery_cells, &floors, &report.scale);
+    if failures.is_empty() {
+        println!(
+            "multiquery floors ok: {} multi-query cells across twin/overlap/disjoint plans, every amortization within its ceiling, invalid steps within {}‰, shared runs amortize on at least one cell",
+            report.multiquery_cells.len(),
+            floors.multiquery_invalid_fraction_permille,
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("MULTIQUERY FLOOR REGRESSION: {f}");
     }
     std::process::exit(1);
 }
@@ -384,6 +430,10 @@ fn load_scenario_or_exit(path: &Path) -> scenario::ScenarioFile {
 
 fn run_record(scenario_path: PathBuf, out: PathBuf, protocol_name: Option<String>) -> ! {
     let file = load_scenario_or_exit(&scenario_path);
+    if file.queries.is_some() {
+        eprintln!("--record takes a single-query scenario (traces record one monitor's run)");
+        std::process::exit(2);
+    }
     let name = protocol_name.unwrap_or_else(|| "topk_protocol".to_string());
     let Some(protocol) = campaign::ProtocolKind::from_name(&name) else {
         eprintln!(
@@ -481,7 +531,6 @@ fn quick_cap(mut file: scenario::ScenarioFile) -> Option<scenario::ScenarioFile>
 }
 
 fn run_scenario_cells(files: Vec<scenario::ScenarioFile>, quick: bool) -> ! {
-    let floors = FloorTable::STANDARD.competitive;
     let mut solver = PhaseSolver::new();
     let mut failures: Vec<String> = Vec::new();
     let mut cells = 0usize;
@@ -489,6 +538,40 @@ fn run_scenario_cells(files: Vec<scenario::ScenarioFile>, quick: bool) -> ! {
         let Some(file) = (if quick { quick_cap(file) } else { Some(file) }) else {
             continue;
         };
+        // Per-scenario floor overrides (schema v2) take effect here: the
+        // file's `floors` block replaces the corresponding standard bars.
+        let floors = file.effective_floors();
+        if let Some(queries) = &file.queries {
+            // A multi-query scenario is one shared-engine cell, not a
+            // per-protocol loop — the plan embeds each query's protocol.
+            let plan = campaign::MultiQueryPlanSpec {
+                name: file.name.clone(),
+                queries: queries.clone(),
+            };
+            let cell = campaign::run_multiquery_cell(&file.spec, &plan, &floors);
+            cells += 1;
+            println!(
+                "{:<44} queries={:<2} messages={:>9} independent={:>9} amortization={:>6.3} invalid={}",
+                file.name,
+                queries.len(),
+                cell.messages,
+                cell.independent_messages,
+                cell.amortization,
+                cell.invalid_steps
+            );
+            let step_budget = (file.spec.steps * queries.len()) as u64;
+            let allowed = floors.multiquery_invalid_fraction_permille * step_budget / 1000;
+            if cell.invalid_steps > allowed {
+                failures.push(format!(
+                    "{}: {} invalid steps exceed the {}‰ multi-query bar ({} allowed)",
+                    file.name,
+                    cell.invalid_steps,
+                    floors.multiquery_invalid_fraction_permille,
+                    allowed
+                ));
+            }
+            continue;
+        }
         for protocol in campaign::ProtocolKind::ALL {
             // The clean cell is both the base measurement and the reference
             // the fault/membership companions are compared against.
@@ -549,6 +632,21 @@ fn run_scenario_cells(files: Vec<scenario::ScenarioFile>, quick: bool) -> ! {
                         clean.invalid_steps
                     ));
                 }
+                // An overridden poll-factor bar gates the clean cells of
+                // exactly this scenario (the standard bar only gates the
+                // compiled-in campaign grid).
+                if file.floors.is_some() {
+                    let poll = (file.spec.n * file.spec.steps).max(1) as f64;
+                    let factor = clean.messages as f64 / poll;
+                    if factor > floors.max_poll_factor {
+                        failures.push(format!(
+                            "{} under {}: poll factor {factor:.3} exceeds the scenario's {:.3} bar",
+                            file.name,
+                            protocol.name(),
+                            floors.max_poll_factor
+                        ));
+                    }
+                }
             }
         }
     }
@@ -572,6 +670,7 @@ fn main() {
     let mut campaign_mode = false;
     let mut faults_only = false;
     let mut membership_only = false;
+    let mut multiquery_only = false;
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut sharded_workers = 4usize;
@@ -597,6 +696,7 @@ fn main() {
             "--campaign" => campaign_mode = true,
             "--faults-only" => faults_only = true,
             "--membership-only" => membership_only = true,
+            "--multiquery-only" => multiquery_only = true,
             "--quick" => quick = true,
             "--sharded" => {
                 let parsed = iter.next().and_then(|w| w.parse::<usize>().ok());
@@ -708,7 +808,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --scaling [--quick] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json\n       experiments --scenario FILE.json [--quick]\n       experiments --scenario FILE.json --record OUT.trace [--protocol NAME]\n       experiments --scenario-dir DIR [--quick]\n       experiments --replay FILE.trace [--engine NAME]\n       experiments --emit-scenarios DIR\n       experiments --check-scenarios DIR"
+                    "usage: experiments [--small] [--json DIR] [e1 e2 ... e8]\n       experiments --throughput [--quick] [--sharded THREADS] [--remote CONNS] [--out FILE]\n       experiments --scaling [--quick] [--out FILE]\n       experiments --campaign [--quick] [--faults-only | --membership-only | --multiquery-only] [--out FILE] [--baseline COMMITTED.json]\n       experiments --check-floors FILE.json\n       experiments --check-competitive-floors FILE.json\n       experiments --scenario FILE.json [--quick]\n       experiments --scenario FILE.json --record OUT.trace [--protocol NAME]\n       experiments --scenario-dir DIR [--quick]\n       experiments --replay FILE.trace [--engine NAME]\n       experiments --emit-scenarios DIR\n       experiments --check-scenarios DIR"
                 );
                 return;
             }
@@ -870,8 +970,10 @@ fn main() {
             eprintln!("--campaign does not combine with --throughput/--small/--json/--sharded/--remote/experiment ids (use --quick, --out and --baseline)");
             std::process::exit(2);
         }
-        if faults_only && membership_only {
-            eprintln!("--faults-only and --membership-only are mutually exclusive");
+        if (faults_only as u8) + (membership_only as u8) + (multiquery_only as u8) > 1 {
+            eprintln!(
+                "--faults-only, --membership-only and --multiquery-only are mutually exclusive"
+            );
             std::process::exit(2);
         }
         // Quick runs default to their own file: a bare `--campaign --quick`
@@ -888,6 +990,12 @@ fn main() {
             } else {
                 "BENCH_membership.json"
             }
+        } else if multiquery_only {
+            if quick {
+                "BENCH_multiquery_quick.json"
+            } else {
+                "BENCH_multiquery.json"
+            }
         } else if quick {
             "BENCH_competitive_quick.json"
         } else {
@@ -900,6 +1008,9 @@ fn main() {
         if membership_only {
             run_membership_bench(quick, out, baseline_path);
         }
+        if multiquery_only {
+            run_multiquery_bench(quick, out, baseline_path);
+        }
         run_campaign_bench(quick, out, baseline_path);
     }
     if faults_only {
@@ -908,6 +1019,10 @@ fn main() {
     }
     if membership_only {
         eprintln!("--membership-only only applies to --campaign");
+        std::process::exit(2);
+    }
+    if multiquery_only {
+        eprintln!("--multiquery-only only applies to --campaign");
         std::process::exit(2);
     }
     if baseline_path.is_some() {

@@ -67,6 +67,7 @@ use crate::floors::{CompetitiveFloors, FloorTable};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use topk_core::monitor::{run_adaptive_observed, run_with_membership_observed, Monitor};
+use topk_core::queryset::{run_query_set, QuerySet};
 use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
 use topk_gen::{
     AdaptiveWorkload, ChurnFlatlineWorkload, CorrelatedBurstWorkload, GapWorkload,
@@ -539,6 +540,54 @@ pub struct MembershipCell {
     pub degradation_ceiling: f64,
 }
 
+/// A multi-query plan, as serialisable data: the query set registered against
+/// one shared engine. Together with a [`ScenarioSpec`] it fully determines a
+/// multi-query cell — specs embed the protocol name, `k`, `ε` and subset of
+/// every query in registration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiQueryPlanSpec {
+    /// Stable plan name — the coverage key (`twin` / `overlap` / `disjoint`).
+    pub name: String,
+    /// The queries, in registration order.
+    pub queries: Vec<QuerySpec>,
+}
+
+/// One multi-query cell: a scenario run under a [`MultiQueryPlanSpec`] on one
+/// shared engine, measured against the sum of the same queries run
+/// independently — the amortization the shared-filter design claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiQueryCell {
+    /// The scenario that was run (embedded verbatim for reproducibility).
+    pub scenario: ScenarioSpec,
+    /// The query plan in force (embedded verbatim; fully determines the run
+    /// together with the scenario).
+    pub plan: MultiQueryPlanSpec,
+    /// The plan name ([`MultiQueryPlanSpec::name`]) — the coverage key.
+    pub plan_name: String,
+    /// Total messages of the joint run (everything on one engine).
+    pub messages: u64,
+    /// Sum of the message counts of each query run independently on its own
+    /// fresh engine over the identical rows — the un-amortized baseline.
+    pub independent_messages: u64,
+    /// Per-query attributed cost in [`SPLIT_SCALE`]-ths of a message, in
+    /// registration order. Sums to exactly `messages × SPLIT_SCALE` (the
+    /// ledger invariant the query-set driver itself asserts).
+    pub per_query_units: Vec<u64>,
+    /// Reports the joint run delivered (routing volume, for context).
+    pub deliveries: u64,
+    /// Invalid output steps summed over the queries, each validated against
+    /// its own subset-restricted row. Gated as a permille fraction of
+    /// `steps × queries` by `multiquery_invalid_fraction_permille`.
+    pub invalid_steps: u64,
+    /// Amortization factor: `messages / max(independent_messages, 1)`.
+    /// Below 1 the shared run is cheaper than its independent baseline.
+    pub amortization: f64,
+    /// Ratcheted amortization ceiling (`CompetitiveFloors::ceiling` applied
+    /// to the amortization) — a sharing regression shows up here even though
+    /// no OPT ratio exists for the joint run.
+    pub amortization_ceiling: f64,
+}
+
 /// The campaign output, serialised to `BENCH_competitive.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompetitiveReport {
@@ -554,6 +603,8 @@ pub struct CompetitiveReport {
     pub fault_cells: Vec<FaultCell>,
     /// All measured membership-axis cells (see [`MembershipCell`]).
     pub membership_cells: Vec<MembershipCell>,
+    /// All measured multi-query-axis cells (see [`MultiQueryCell`]).
+    pub multiquery_cells: Vec<MultiQueryCell>,
 }
 
 /// The standard scenario grid.
@@ -1144,6 +1195,194 @@ pub fn run_membership_campaign(
     cells
 }
 
+/// The standard multi-query grid: base scenarios × one plan per query-set
+/// shape.
+///
+/// The bases are **non-adaptive** families so the joint run and its
+/// independent baseline see the identical rows. The noise-field base puts the
+/// top-k boundary inside a small oscillating pack — every step has a
+/// violation and its resolution is cheap, the regime where sharing one
+/// violation report among queries amortizes best. Three plan shapes cover the
+/// three claims of the design: `twin` (identical full-population queries —
+/// maximal sharing), `overlap` (partially overlapping subsets), `disjoint`
+/// (non-overlapping subsets — pure isolation, no sharing possible). Like the
+/// other grids, the full grid contains every quick cell verbatim (the ratchet
+/// anchor) plus longer-horizon variants.
+pub fn standard_multiquery_grid(quick: bool) -> Vec<(ScenarioSpec, MultiQueryPlanSpec)> {
+    let topk = ProtocolKind::TopKProtocol.name();
+    let eps = Epsilon::TENTH;
+    let k = 4usize;
+    let twin = MultiQueryPlanSpec {
+        name: "twin".to_string(),
+        queries: vec![QuerySpec::new(k, eps, topk), QuerySpec::new(k, eps, topk)],
+    };
+    let overlap = MultiQueryPlanSpec {
+        name: "overlap".to_string(),
+        queries: vec![
+            QuerySpec::new(k, eps, topk).with_subset(NodeSubset::range(0, 48)),
+            QuerySpec::new(k, eps, topk).with_subset(NodeSubset::range(16, 48)),
+        ],
+    };
+    let disjoint = MultiQueryPlanSpec {
+        name: "disjoint".to_string(),
+        queries: vec![
+            QuerySpec::new(k, eps, topk).with_subset(NodeSubset::range(0, 32)),
+            QuerySpec::new(k, eps, topk).with_subset(NodeSubset::range(32, 32)),
+        ],
+    };
+    // The boundary-oscillation operating point: 3 clear leaders, a pack of 2
+    // oscillating across the rank-4 boundary.
+    let noise = GeneratorSpec::NoiseField {
+        high: 3,
+        sigma: 2,
+        z: 1 << 18,
+    };
+    let walk = GeneratorSpec::RandomWalk {
+        delta: 1 << 20,
+        max_step: 1 << 10,
+        move_permille: 300,
+    };
+    let mut grid = Vec::new();
+    let pairs: [(GeneratorSpec, &MultiQueryPlanSpec); 4] = [
+        (noise, &twin),
+        (noise, &overlap),
+        (noise, &disjoint),
+        (walk, &twin),
+    ];
+    for (i, (generator, plan)) in pairs.into_iter().enumerate() {
+        let seed = 0xA110 + i as u64;
+        // The quick cell — identical in both grids (the ratchet anchor).
+        grid.push((
+            ScenarioSpec {
+                generator,
+                n: 64,
+                k,
+                eps,
+                steps: 60,
+                seed,
+            },
+            plan.clone(),
+        ));
+        if !quick {
+            grid.push((
+                ScenarioSpec {
+                    generator,
+                    n: 64,
+                    k,
+                    eps,
+                    steps: 240,
+                    seed,
+                },
+                plan.clone(),
+            ));
+        }
+    }
+    grid
+}
+
+/// Runs one multi-query cell: the plan's query set jointly on one shared
+/// engine, then each query independently on its own fresh engine over the
+/// identical rows, recording the amortization factor between the two.
+pub fn run_multiquery_cell(
+    spec: &ScenarioSpec,
+    plan: &MultiQueryPlanSpec,
+    floors: &CompetitiveFloors,
+) -> MultiQueryCell {
+    // Pre-generate the rows once so the joint run and every independent
+    // baseline see the identical trace (the grid families are non-adaptive,
+    // so the filters passed to the generator are irrelevant).
+    let mut workload = spec.generator.build(spec.n, spec.k, spec.eps, spec.seed);
+    let full = vec![Filter::FULL; spec.n];
+    let rows: Vec<Vec<Value>> = (0..spec.steps)
+        .map(|_| workload.next_step_adaptive(&full))
+        .collect();
+
+    let build_set = |queries: &[QuerySpec]| {
+        let mut set = QuerySet::new(spec.n);
+        for q in queries {
+            let protocol = ProtocolKind::from_name(&q.protocol)
+                .unwrap_or_else(|| panic!("unknown protocol `{}` in multi-query plan", q.protocol));
+            set.register(q.clone(), protocol.build_monitor(q.k, q.eps));
+        }
+        set
+    };
+
+    let mut set = build_set(&plan.queries);
+    let mut net = IndexedEngine::new(spec.n, spec.seed);
+    let report = run_query_set(&mut set, &mut net, rows.iter().cloned());
+
+    let mut independent_messages = 0u64;
+    for q in &plan.queries {
+        let mut solo_set = build_set(std::slice::from_ref(q));
+        let mut solo_net = IndexedEngine::new(spec.n, spec.seed);
+        let solo = run_query_set(&mut solo_set, &mut solo_net, rows.iter().cloned());
+        independent_messages += solo.messages();
+    }
+
+    let messages = report.messages();
+    let amortization = messages as f64 / independent_messages.max(1) as f64;
+    MultiQueryCell {
+        scenario: *spec,
+        plan: plan.clone(),
+        plan_name: plan.name.clone(),
+        messages,
+        independent_messages,
+        per_query_units: report.per_query.iter().map(|r| r.units).collect(),
+        deliveries: report.deliveries.len() as u64,
+        invalid_steps: report.per_query.iter().map(|r| r.invalid_steps).sum(),
+        amortization,
+        amortization_ceiling: floors.ceiling(amortization),
+    }
+}
+
+/// Runs the multi-query axis: every [`standard_multiquery_grid`] pair (the
+/// protocol of every query is embedded in the plan, so there is no outer
+/// protocol loop).
+pub fn run_multiquery_campaign(
+    quick: bool,
+    floors: &CompetitiveFloors,
+    log: impl Fn(&str),
+) -> Vec<MultiQueryCell> {
+    let mut cells = Vec::new();
+    for (spec, plan) in standard_multiquery_grid(quick) {
+        let cell = run_multiquery_cell(&spec, &plan, floors);
+        log(&format!(
+            "campaign: {:>16} n={:>6} plan={:>9} x{}: {:>8} msgs (independent {:>8}) = amortization {:>6.3}, {:>4} deliveries, {:>2} invalid steps",
+            cell.scenario.generator.family(),
+            spec.n,
+            cell.plan_name,
+            cell.plan.queries.len(),
+            cell.messages,
+            cell.independent_messages,
+            cell.amortization,
+            cell.deliveries,
+            cell.invalid_steps,
+        ));
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Runs only the multi-query axis and wraps it in a report whose other cell
+/// lists are empty — the `--campaign --multiquery-only` smoke mode, which CI
+/// uses to re-measure the multi-query grid and ratchet it against the
+/// committed full-scale report without re-running the base campaign. The
+/// bench id is `"competitive-multiquery"` so the partial report can never be
+/// mistaken for (or committed as) a full campaign report.
+pub fn run_multiquery_report(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
+    let floors = FloorTable::STANDARD.competitive;
+    let multiquery_cells = run_multiquery_campaign(quick, &floors, log);
+    CompetitiveReport {
+        bench: "competitive-multiquery".to_string(),
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        floors,
+        cells: Vec::new(),
+        fault_cells: Vec::new(),
+        membership_cells: Vec::new(),
+        multiquery_cells,
+    }
+}
+
 /// Runs only the membership axis and wraps it in a report whose other cell
 /// lists are empty — the `--campaign --membership-only` smoke mode, which CI
 /// uses to re-measure the membership grid and ratchet it against the
@@ -1161,6 +1400,7 @@ pub fn run_membership_report(quick: bool, log: impl Fn(&str)) -> CompetitiveRepo
         cells: Vec::new(),
         fault_cells: Vec::new(),
         membership_cells,
+        multiquery_cells: Vec::new(),
     }
 }
 
@@ -1181,6 +1421,7 @@ pub fn run_faults_report(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
         cells: Vec::new(),
         fault_cells,
         membership_cells: Vec::new(),
+        multiquery_cells: Vec::new(),
     }
 }
 
@@ -1210,6 +1451,7 @@ pub fn run_campaign(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
     }
     let fault_cells = run_fault_campaign(quick, &floors, &mut solver, &log);
     let membership_cells = run_membership_campaign(quick, &floors, &mut solver, &log);
+    let multiquery_cells = run_multiquery_campaign(quick, &floors, &log);
     CompetitiveReport {
         bench: "competitive".to_string(),
         scale: if quick { "quick" } else { "full" }.to_string(),
@@ -1217,6 +1459,7 @@ pub fn run_campaign(quick: bool, log: impl Fn(&str)) -> CompetitiveReport {
         cells,
         fault_cells,
         membership_cells,
+        multiquery_cells,
     }
 }
 
@@ -1387,6 +1630,11 @@ pub fn check_competitive_floors(report: &CompetitiveReport) -> Vec<String> {
     ));
     failures.extend(check_membership_cells(
         &report.membership_cells,
+        &floors,
+        &report.scale,
+    ));
+    failures.extend(check_multiquery_cells(
+        &report.multiquery_cells,
         &floors,
         &report.scale,
     ));
@@ -1666,6 +1914,158 @@ pub fn check_membership_cells(
     failures
 }
 
+/// Validates the multi-query axis of a report: per-cell consistency (the
+/// attribution ledger must partition the message total exactly), amortization
+/// ceilings, plan-shape coverage, the amortization-present invariant (on at
+/// least one cell the joint run must beat its independent baseline — the
+/// shared-filter design's reason to exist), and (full scale) exact grid sync.
+/// Shared between [`check_competitive_floors`] and the `--multiquery-only`
+/// smoke mode.
+pub fn check_multiquery_cells(
+    cells: &[MultiQueryCell],
+    floors: &CompetitiveFloors,
+    scale: &str,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut plans = BTreeSet::new();
+    for cell in cells {
+        let id = format!(
+            "{}+{}x{} (n={}, steps={})",
+            cell.scenario.generator.family(),
+            cell.plan_name,
+            cell.plan.queries.len(),
+            cell.scenario.n,
+            cell.scenario.steps
+        );
+        plans.insert(cell.plan_name.clone());
+        if cell.plan_name != cell.plan.name {
+            failures.push(format!(
+                "{id}: plan_name `{}` does not match the embedded plan's name `{}`",
+                cell.plan_name, cell.plan.name
+            ));
+        }
+        if cell.plan.queries.len() < 2 {
+            failures.push(format!(
+                "{id}: a multi-query cell needs at least 2 queries, has {}",
+                cell.plan.queries.len()
+            ));
+        }
+        if cell.per_query_units.len() != cell.plan.queries.len() {
+            failures.push(format!(
+                "{id}: {} per-query unit entries for {} queries",
+                cell.per_query_units.len(),
+                cell.plan.queries.len()
+            ));
+        }
+        // The attribution ledger must partition the wire total exactly — the
+        // split-charging scheme's defining invariant.
+        let units: u64 = cell.per_query_units.iter().sum();
+        if units != cell.messages * SPLIT_SCALE {
+            failures.push(format!(
+                "{id}: per-query units sum to {units}, expected messages x {SPLIT_SCALE} = {} — attribution no longer partitions the wire total",
+                cell.messages * SPLIT_SCALE
+            ));
+        }
+        if !cell.amortization.is_finite() || cell.amortization < 0.0 {
+            failures.push(format!(
+                "{id}: amortization {} is not a sane number",
+                cell.amortization
+            ));
+            continue;
+        }
+        // The same anti-tamper consistency rules as the other axes.
+        let recomputed = cell.messages as f64 / cell.independent_messages.max(1) as f64;
+        if (cell.amortization - recomputed).abs() > 1e-9 {
+            failures.push(format!(
+                "{id}: amortization {} does not match messages/independent_messages = {recomputed} — the cell was edited or corrupted",
+                cell.amortization
+            ));
+        }
+        if cell.amortization > cell.amortization_ceiling {
+            failures.push(format!(
+                "{id}: amortization {:.3} exceeds the committed ceiling {:.3}",
+                cell.amortization, cell.amortization_ceiling
+            ));
+        }
+        if cell.amortization_ceiling > floors.ceiling(cell.amortization) + 1e-9 {
+            failures.push(format!(
+                "{id}: amortization ceiling {:.3} is looser than the standard formula allows ({:.3})",
+                cell.amortization_ceiling,
+                floors.ceiling(cell.amortization)
+            ));
+        }
+        // Every query validates against its own subset-restricted row on a
+        // clean transport, so the bar is (at standard settings) zero.
+        let query_steps = cell.scenario.steps as u64 * cell.plan.queries.len() as u64;
+        let tolerated = floors.multiquery_invalid_fraction_permille * query_steps / 1000;
+        if cell.invalid_steps > tolerated {
+            failures.push(format!(
+                "{id}: {} of {} per-query output steps invalid (tolerated: {} = {}‰) — query isolation broke",
+                cell.invalid_steps,
+                query_steps,
+                tolerated,
+                floors.multiquery_invalid_fraction_permille
+            ));
+        }
+        // Polling bound per query: a shared run of Q queries must stay within
+        // the same per-query polling factor as the base campaign.
+        let poll_cost =
+            cell.scenario.n as f64 * cell.scenario.steps as f64 * cell.plan.queries.len() as f64;
+        if cell.messages as f64 > floors.max_poll_factor * poll_cost {
+            failures.push(format!(
+                "{id}: {} messages exceeds {} x the per-query naive polling cost — shared filters have stopped paying for themselves",
+                cell.messages, floors.max_poll_factor
+            ));
+        }
+    }
+    if !cells.is_empty() {
+        if cells.len() < floors.min_multiquery_cells {
+            failures.push(format!(
+                "only {} multi-query cells measured, need {}",
+                cells.len(),
+                floors.min_multiquery_cells
+            ));
+        }
+        for shape in ["twin", "overlap", "disjoint"] {
+            if !plans.contains(shape) {
+                failures.push(format!(
+                    "multi-query axis is missing the `{shape}` plan shape (covered: {plans:?})"
+                ));
+            }
+        }
+        // The amortization-present invariant: somewhere in the grid, sharing
+        // must actually be cheaper than running the queries independently.
+        if !cells.iter().any(|c| c.messages < c.independent_messages) {
+            failures.push(
+                "no multi-query cell beats its independent baseline — shared-filter amortization is gone"
+                    .to_string(),
+            );
+        }
+    }
+    // A full-scale report must contain exactly the current multi-query grid.
+    if scale == "full" {
+        let expected = standard_multiquery_grid(false);
+        for (spec, plan) in &expected {
+            if !cells.iter().any(|c| c.scenario == *spec && c.plan == *plan) {
+                failures.push(format!(
+                    "full-scale report is missing the {}+{} multi-query cell (steps={}) the current grid defines — regenerate with --campaign",
+                    spec.generator.family(),
+                    plan.name,
+                    spec.steps
+                ));
+            }
+        }
+        if cells.len() != expected.len() {
+            failures.push(format!(
+                "full-scale report has {} multi-query cells, the current grid defines {} — regenerate with --campaign",
+                cells.len(),
+                expected.len()
+            ));
+        }
+    }
+    failures
+}
+
 /// Cross-checks a freshly measured report against a committed baseline: every
 /// fresh cell must have a baseline cell with the identical scenario and
 /// protocol, and the fresh ratio must stay under the *committed* ceiling.
@@ -1766,6 +2166,32 @@ pub fn check_against_baseline(
             failures.push(format!(
                 "{id}: measured degradation {:.2} exceeds the committed ceiling {:.2} (committed degradation was {:.2}) — rejoin recovery regressed",
                 cell.degradation, committed.degradation_ceiling, committed.degradation
+            ));
+        }
+    }
+    for cell in &fresh.multiquery_cells {
+        let id = format!(
+            "{}+{}x{} (n={}, steps={})",
+            cell.scenario.generator.family(),
+            cell.plan_name,
+            cell.plan.queries.len(),
+            cell.scenario.n,
+            cell.scenario.steps
+        );
+        let Some(committed) = baseline
+            .multiquery_cells
+            .iter()
+            .find(|b| b.scenario == cell.scenario && b.plan == cell.plan)
+        else {
+            failures.push(format!(
+                "{id}: no counterpart in the committed baseline — the multi-query grid changed; regenerate the committed report with --campaign"
+            ));
+            continue;
+        };
+        if cell.amortization > committed.amortization_ceiling {
+            failures.push(format!(
+                "{id}: measured amortization {:.3} exceeds the committed ceiling {:.3} (committed amortization was {:.3}) — query sharing regressed",
+                cell.amortization, committed.amortization_ceiling, committed.amortization
             ));
         }
     }
@@ -1908,6 +2334,10 @@ mod tests {
             report.membership_cells.len(),
             standard_membership_grid(true).len() * ProtocolKind::ALL.len()
         );
+        assert_eq!(
+            report.multiquery_cells.len(),
+            standard_multiquery_grid(true).len()
+        );
         let failures = check_competitive_floors(&report);
         assert!(failures.is_empty(), "quick campaign failed: {failures:?}");
     }
@@ -1940,6 +2370,23 @@ mod tests {
                     cell.rejoins, cell.recovery_messages,
                 );
             }
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn calibrate_multiquery_grid() {
+        let floors = FloorTable::STANDARD.competitive;
+        // The *full* grid: the amortization-present invariant must hold at
+        // both horizons of the committed report, not just the quick anchor.
+        for (spec, plan) in standard_multiquery_grid(false) {
+            let cell = run_multiquery_cell(&spec, &plan, &floors);
+            println!(
+                "{:?}+{} steps={}: joint {} vs independent {} = amortization {:.3}, {} deliveries, units {:?}, invalid {}",
+                spec.generator, cell.plan_name, spec.steps, cell.messages,
+                cell.independent_messages, cell.amortization, cell.deliveries,
+                cell.per_query_units, cell.invalid_steps,
+            );
         }
     }
 
@@ -2337,6 +2784,11 @@ mod tests {
             &mut solver,
             clean.messages,
         );
+        let (mq_spec, mq_plan) = standard_multiquery_grid(true)
+            .into_iter()
+            .next()
+            .expect("the multi-query grid is non-empty");
+        let multiquery_cell = run_multiquery_cell(&mq_spec, &mq_plan, &floors);
         let report = CompetitiveReport {
             bench: "competitive".into(),
             scale: "quick".into(),
@@ -2344,6 +2796,7 @@ mod tests {
             cells: vec![clean],
             fault_cells: vec![fault_cell],
             membership_cells: vec![membership_cell],
+            multiquery_cells: vec![multiquery_cell],
         };
         let json = to_json(&report);
         assert!(json.contains("\"ceiling\""));
@@ -2352,6 +2805,8 @@ mod tests {
         assert!(json.contains("\"degradation\""));
         assert!(json.contains("\"plan_name\""));
         assert!(json.contains("\"leaves\""));
+        assert!(json.contains("\"amortization\""));
+        assert!(json.contains("\"per_query_units\""));
         let back: CompetitiveReport = serde_json::from_str(&json).expect("reports deserialise");
         assert_eq!(back, report);
     }

@@ -14,7 +14,7 @@ use topk_gen::{
 };
 use topk_model::message::ExistencePredicate;
 use topk_model::prelude::*;
-use topk_net::{DeterministicEngine, Network};
+use topk_net::{build_engine, EngineKind};
 use topk_offline::{ApproxOfflineOpt, ExactOfflineOpt};
 
 /// Problem sizes for an experiment run.
@@ -49,8 +49,8 @@ fn drive_monitor(
     seed: u64,
 ) -> RunReport {
     let n = rows[0].len();
-    let mut net = DeterministicEngine::new(n, seed);
-    run_on_rows(monitor, &mut net, rows.iter().cloned(), eps)
+    let mut net = build_engine(EngineKind::Deterministic, n, seed, None);
+    run_on_rows(monitor, net.as_mut(), rows.iter().cloned(), eps)
 }
 
 // ---------------------------------------------------------------------------
@@ -75,14 +75,16 @@ pub fn e1_existence(scale: Scale) -> ExperimentTable {
             let mut total_msgs = 0u64;
             let mut total_rounds = 0u64;
             for seed in 0..scale.trials() {
-                let mut net = DeterministicEngine::new(n, seed);
+                let mut net = build_engine(EngineKind::Deterministic, n, seed, None);
                 let mut values = vec![0u64; n];
                 for v in values.iter_mut().take(b) {
                     *v = 100;
                 }
                 net.advance_time(&values);
-                let _ =
-                    topk_core::existence::existence(&mut net, ExistencePredicate::GreaterThan(50));
+                let _ = topk_core::existence::existence(
+                    net.as_mut(),
+                    ExistencePredicate::GreaterThan(50),
+                );
                 let stats = net.stats();
                 total_msgs += stats.total_messages();
                 total_rounds += stats.rounds;
@@ -117,10 +119,10 @@ pub fn e2_maximum(scale: Scale) -> ExperimentTable {
     for &n in sizes {
         let mut total = 0u64;
         for seed in 0..scale.trials() {
-            let mut net = DeterministicEngine::new(n, seed);
+            let mut net = build_engine(EngineKind::Deterministic, n, seed, None);
             let mut w = RandomWalkWorkload::new(n, 1_000_000, 1000, 1.0, seed ^ 0x5a5a);
             net.advance_time(&w.next_step());
-            let _ = topk_core::maximum::find_max(&mut net);
+            let _ = topk_core::maximum::find_max(net.as_mut());
             total += net.stats().total_messages();
         }
         let mean = total as f64 / scale.trials() as f64;
@@ -280,8 +282,8 @@ pub fn e5_lower_bound(scale: Scale) -> ExperimentTable {
             Scale::Full => 10,
         };
         let mut monitor = CombinedMonitor::new(k, eps);
-        let mut net = DeterministicEngine::new(n, 11);
-        let report = run_adaptive(&mut monitor, &mut net, eps, |filters| {
+        let mut net = build_engine(EngineKind::Deterministic, n, 11, None);
+        let report = run_adaptive(&mut monitor, net.as_mut(), eps, |filters| {
             if adversary.phases_completed() >= phases_target {
                 None
             } else {
@@ -440,9 +442,9 @@ pub fn e8_crossover(scale: Scale) -> ExperimentTable {
     let steps = scale.steps();
     for &delta in deltas {
         let run = |monitor: &mut dyn Monitor| {
-            let mut net = DeterministicEngine::new(n, 21);
+            let mut net = build_engine(EngineKind::Deterministic, n, 21, None);
             let mut emitted = 0usize;
-            run_adaptive(monitor, &mut net, eps, |filters: &[Filter]| {
+            run_adaptive(monitor, net.as_mut(), eps, |filters: &[Filter]| {
                 if emitted >= steps {
                     return None;
                 }

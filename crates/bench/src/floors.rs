@@ -116,6 +116,16 @@ pub struct CompetitiveFloors {
     /// protocols re-resolve the vacated ranks, but the total must still stay
     /// within a constant factor of naive polling.
     pub membership_poll_factor: f64,
+    /// Minimum number of multi-query cells the report's multi-query axis must
+    /// cover (the twin / overlapping / disjoint plan shapes at least —
+    /// sharing, partial sharing and isolation are three different claims).
+    pub min_multiquery_cells: usize,
+    /// Maximum tolerated invalid output steps in a *multi-query* cell, in
+    /// permille of the cell's per-query step total. Every query is validated
+    /// against its own subset-restricted row, so sharing a transport never
+    /// excuses an invalid output; the bar only absorbs the same single-step
+    /// re-resolution transients the single-query battery tolerates.
+    pub multiquery_invalid_fraction_permille: u64,
 }
 
 impl CompetitiveFloors {
@@ -162,6 +172,8 @@ impl FloorTable {
             min_membership_plans: 2,
             membership_invalid_fraction_permille: 100,
             membership_poll_factor: 4.0,
+            min_multiquery_cells: 3,
+            multiquery_invalid_fraction_permille: 0,
         },
     };
 }
@@ -213,5 +225,12 @@ mod tests {
                 < t.competitive.fault_invalid_fraction_permille
         );
         assert!(t.competitive.membership_poll_factor >= t.competitive.max_poll_factor);
+        // The multi-query axis shares a clean transport, so its invalid bar
+        // must be at least as tight as the membership axis's.
+        assert!(t.competitive.min_multiquery_cells >= 3);
+        assert!(
+            t.competitive.multiquery_invalid_fraction_permille
+                <= t.competitive.membership_invalid_fraction_permille
+        );
     }
 }

@@ -18,6 +18,11 @@
 //! `tests/traces/` runs every trace through all six engines this way on every
 //! CI run.
 //!
+//! [`replay_trace_queryset`] re-drives the same recordings through a
+//! [`QuerySet`](topk_core::queryset::QuerySet) of one full-population query
+//! instead of a bare monitor: the corpus thereby pins the query-set driver's
+//! solo fast path to the legacy runs byte for byte, on every engine.
+//!
 //! Traces are stored in the `topk-wire` [`trace`](topk_wire::trace) format
 //! (length-prefixed, versioned, CRC-trailered records); [`save_trace`] and
 //! [`load_trace`] are the file endpoints `experiments --record`/`--replay`
@@ -29,83 +34,11 @@ use std::fmt;
 use std::path::Path;
 use topk_core::monitor::{run_with_membership_observed, RunReport};
 use topk_model::prelude::*;
-use topk_net::{
-    DeterministicEngine, Dispatch, FaultyTransport, IndexedEngine, Network, RemoteEngine,
-    ShardedEngine, ThreadedEngine,
-};
 use topk_wire::{
     read_all_records, write_record, TraceEnd, TraceHeader, TraceRecord, TraceStep, WireError,
 };
 
-/// The engine implementations a trace can be replayed through — the same six
-/// the `engines_agree` differential battery holds bit-identical.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineKind {
-    /// The reference `O(n)`-per-step engine.
-    Deterministic,
-    /// The value-indexed engine (also what [`record_run`] records on).
-    Indexed,
-    /// The work-stealing sharded engine (4 shards, parallel dispatch).
-    Sharded,
-    /// The persistent-worker threaded engine.
-    Threaded,
-    /// [`FaultyTransport`] over the indexed engine (a no-op fault spec when
-    /// the trace was recorded fault-free).
-    Fault,
-    /// The TCP-backed remote engine (3 shard servers over loopback).
-    Remote,
-}
-
-impl EngineKind {
-    /// Every kind, in battery order.
-    pub const ALL: [EngineKind; 6] = [
-        EngineKind::Deterministic,
-        EngineKind::Indexed,
-        EngineKind::Sharded,
-        EngineKind::Threaded,
-        EngineKind::Fault,
-        EngineKind::Remote,
-    ];
-
-    /// Stable name used in reports and mismatch messages.
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Deterministic => "deterministic",
-            EngineKind::Indexed => "indexed",
-            EngineKind::Sharded => "sharded",
-            EngineKind::Threaded => "threaded",
-            EngineKind::Fault => "fault",
-            EngineKind::Remote => "remote",
-        }
-    }
-
-    /// Builds a fresh engine for `n` nodes. A recorded fault plan wraps
-    /// *every* kind in a [`FaultyTransport`] executing it — fault decisions
-    /// are functions of the spec's own seed and the message sequence, which
-    /// the battery holds identical across engines.
-    fn build(self, n: usize, seed: u64, fault: Option<FaultSpec>) -> Box<dyn Network> {
-        fn wrap<E: Network + 'static>(engine: E, fault: Option<FaultSpec>) -> Box<dyn Network> {
-            match fault {
-                Some(spec) => Box::new(FaultyTransport::new(engine, spec)),
-                None => Box::new(engine),
-            }
-        }
-        match self {
-            EngineKind::Deterministic => wrap(DeterministicEngine::new(n, seed), fault),
-            EngineKind::Indexed => wrap(IndexedEngine::new(n, seed), fault),
-            EngineKind::Sharded => wrap(
-                ShardedEngine::with_dispatch(n, seed, 4, Dispatch::Parallel),
-                fault,
-            ),
-            EngineKind::Threaded => wrap(ThreadedEngine::new(n, seed), fault),
-            EngineKind::Fault => Box::new(FaultyTransport::new(
-                IndexedEngine::new(n, seed),
-                fault.unwrap_or(FaultSpec::none()),
-            )),
-            EngineKind::Remote => wrap(RemoteEngine::with_shards(n, seed, 3), fault),
-        }
-    }
-}
+pub use topk_net::{build_engine, EngineKind};
 
 /// A trace that cannot be replayed at all (as opposed to one that replays
 /// but diverges — that is a [`ReplayOutcome`] with mismatches).
@@ -164,19 +97,14 @@ impl ReplayOutcome {
 }
 
 /// Records one full run of `file` under `protocol` on the indexed engine
-/// (wrapped in a [`FaultyTransport`] when the scenario carries a fault plan),
+/// (wrapped in a [`FaultyTransport`](topk_net::FaultyTransport) when the
+/// scenario carries a fault plan),
 /// returning the driver's report and the complete record stream.
 pub fn record_run(file: &ScenarioFile, protocol: ProtocolKind) -> (RunReport, Vec<TraceRecord>) {
     let spec = &file.spec;
     let mut workload = spec.generator.build(spec.n, spec.k, spec.eps, spec.seed);
     let mut monitor = protocol.build_monitor(spec.k, spec.eps);
-    let mut net: Box<dyn Network> = match file.fault {
-        Some(fault) => Box::new(FaultyTransport::new(
-            IndexedEngine::new(spec.n, spec.seed),
-            fault,
-        )),
-        None => Box::new(IndexedEngine::new(spec.n, spec.seed)),
-    };
+    let mut net = build_engine(EngineKind::Indexed, spec.n, spec.seed, file.fault.as_ref());
     let schedule = file
         .membership
         .as_ref()
@@ -293,7 +221,7 @@ pub fn replay_trace(
         message: format!("k = {} exceeds this platform's usize", header.k),
     })?;
     let mut monitor = protocol.build_monitor(k, header.eps);
-    let mut net = kind.build(n, header.seed, header.fault);
+    let mut net = build_engine(kind, n, header.seed, header.fault.as_ref());
     // Cap the noise: after this many divergences the engines have clearly
     // forked and further diffs repeat the same story.
     const MAX_MISMATCHES: usize = 8;
@@ -377,6 +305,118 @@ pub fn replay_trace(
     })
 }
 
+/// Replays `records` through a [`QuerySet`](topk_core::queryset::QuerySet) of
+/// one full-population query on a fresh engine of the given kind and diffs
+/// every recorded quantity bit for bit — the golden-trace proof that the
+/// query-set driver's solo path *is* the legacy monitor run, not merely close
+/// to it.
+///
+/// # Errors
+///
+/// [`ReplayError`] when the trace cannot be driven at all; divergence is
+/// reported through [`ReplayOutcome::mismatches`] like [`replay_trace`].
+pub fn replay_trace_queryset(
+    records: &[TraceRecord],
+    kind: EngineKind,
+) -> Result<ReplayOutcome, ReplayError> {
+    use topk_core::queryset::{run_query_set_observed, QuerySet};
+
+    let (header, steps, end) = dissect(records)?;
+    let Some(protocol) = ProtocolKind::from_name(&header.protocol) else {
+        return Err(ReplayError::UnknownProtocol {
+            name: header.protocol.clone(),
+        });
+    };
+    let n = usize::try_from(header.n).map_err(|_| ReplayError::Malformed {
+        message: format!("n = {} exceeds this platform's usize", header.n),
+    })?;
+    let k = usize::try_from(header.k).map_err(|_| ReplayError::Malformed {
+        message: format!("k = {} exceeds this platform's usize", header.k),
+    })?;
+    let mut set = QuerySet::new(n);
+    set.register(
+        QuerySpec::new(k, header.eps, protocol.name()),
+        protocol.build_monitor(k, header.eps),
+    );
+    let mut net = build_engine(kind, n, header.seed, header.fault.as_ref());
+    const MAX_MISMATCHES: usize = 8;
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut cursor = 0usize;
+    let report = run_query_set_observed(
+        &mut set,
+        net.as_mut(),
+        |_filters| {
+            let row = steps.get(cursor).map(|s| s.row.clone());
+            cursor += 1;
+            row
+        },
+        |step| steps[step as usize].events.clone(),
+        |obs| {
+            if mismatches.len() >= MAX_MISMATCHES {
+                return;
+            }
+            let recorded = steps[obs.step as usize];
+            if obs.outputs[0] != recorded.output {
+                mismatches.push(format!(
+                    "step {}: output {:?} != recorded {:?}",
+                    obs.step, obs.outputs[0], recorded.output
+                ));
+            }
+            if obs.valid[0] != recorded.valid {
+                mismatches.push(format!(
+                    "step {}: validity {} != recorded {}",
+                    obs.step, obs.valid[0], recorded.valid
+                ));
+            }
+            if obs.messages_total != recorded.messages_total {
+                mismatches.push(format!(
+                    "step {}: cumulative messages {} != recorded {}",
+                    obs.step, obs.messages_total, recorded.messages_total
+                ));
+            }
+            if obs.row != recorded.row.as_slice() {
+                mismatches.push(format!(
+                    "step {}: the driver re-masked the row differently",
+                    obs.step
+                ));
+            }
+        },
+    );
+    if report.steps != end.steps {
+        mismatches.push(format!(
+            "run ended after {} steps, recording has {}",
+            report.steps, end.steps
+        ));
+    }
+    if report.per_query[0].invalid_steps != end.invalid_steps {
+        mismatches.push(format!(
+            "invalid steps {} != recorded {}",
+            report.per_query[0].invalid_steps, end.invalid_steps
+        ));
+    }
+    if report.per_query[0].inexact_steps != end.inexact_steps {
+        mismatches.push(format!(
+            "inexact steps {} != recorded {}",
+            report.per_query[0].inexact_steps, end.inexact_steps
+        ));
+    }
+    if report.stats != end.stats {
+        mismatches.push("final CommStats differ from the recording".to_string());
+    }
+    if net.peek_filters() != end.filters {
+        mismatches.push("final filter assignment differs from the recording".to_string());
+    }
+    if net.peek_values() != end.values {
+        mismatches.push("final value vector differs from the recording".to_string());
+    }
+    Ok(ReplayOutcome {
+        engine: kind.name(),
+        label: header.label.clone(),
+        steps: report.steps,
+        mismatches,
+    })
+}
+
 /// Writes a record stream to a trace file.
 ///
 /// # Errors
@@ -425,6 +465,8 @@ mod tests {
             },
             fault: None,
             membership: None,
+            queries: None,
+            floors: None,
         }
     }
 
@@ -522,5 +564,48 @@ mod tests {
         let (_, records) = record_run(&file, ProtocolKind::Dense);
         let outcome = replay_trace(&records, EngineKind::Indexed).unwrap();
         assert!(outcome.is_identical(), "{:?}", outcome.mismatches);
+    }
+
+    #[test]
+    fn a_query_set_of_one_replays_every_recording_identically() {
+        for protocol in ProtocolKind::ALL {
+            let (_, records) = record_run(&small_cell(), protocol);
+            let outcome =
+                replay_trace_queryset(&records, EngineKind::Indexed).expect("well-formed trace");
+            assert!(
+                outcome.is_identical(),
+                "{}: {:?}",
+                protocol.name(),
+                outcome.mismatches
+            );
+            assert_eq!(outcome.steps, 12);
+        }
+    }
+
+    #[test]
+    fn the_query_set_replay_also_reproduces_membership_recordings() {
+        let mut file = small_cell();
+        file.membership = Some(MembershipPlanSpec {
+            seed: 0xAB,
+            leave_permille: 120,
+            downtime: 2,
+            min_live: 8,
+        });
+        let (_, records) = record_run(&file, ProtocolKind::Combined);
+        let outcome = replay_trace_queryset(&records, EngineKind::Deterministic).unwrap();
+        assert!(outcome.is_identical(), "{:?}", outcome.mismatches);
+    }
+
+    #[test]
+    fn the_query_set_replay_detects_tampering_too() {
+        let (_, mut records) = record_run(&small_cell(), ProtocolKind::ExactTopK);
+        let last_step = records.len() - 2;
+        if let TraceRecord::Step(step) = &mut records[last_step] {
+            step.messages_total += 1;
+        } else {
+            panic!("expected a step record before the end marker");
+        }
+        let outcome = replay_trace_queryset(&records, EngineKind::Indexed).unwrap();
+        assert!(!outcome.is_identical());
     }
 }

@@ -27,6 +27,24 @@
 //! }
 //! ```
 //!
+//! ## Schema `topk-scenario/v2`
+//!
+//! v2 is v1 plus two optional root fields; a v2 loader reads both tags, and
+//! the canonical serialiser emits the `v2` tag *only* when one of the new
+//! fields is present, so every v1 file stays byte-stable:
+//!
+//! * `"queries"` — a multi-query plan: a non-empty array of query specs
+//!   (`{"k": …, "eps": {…}, "protocol": "…", "subset": [ids…]}`, `subset`
+//!   omitted for a full-population query). A scenario with `queries` is run
+//!   as one shared-engine multi-query cell instead of the per-protocol loop,
+//!   and takes no `fault`/`membership` companion.
+//! * `"floors"` — per-scenario floor/ceiling overrides
+//!   ([`FloorOverride`]): integer knobs that replace the corresponding bars
+//!   of [`FloorTable::STANDARD`](crate::FloorTable) when *this* scenario is
+//!   checked in the scenario-run mode (`--scenario` / `--scenario-dir`).
+//!   Committed override files are validated like everything else by
+//!   `--check-scenarios`.
+//!
 //! Validation is strict and typed: unknown fields anywhere, a missing
 //! required field, a wrong JSON type, an unknown generator family,
 //! `ε ∉ (0, 1)` or an out-of-range parameter each produce the corresponding
@@ -40,20 +58,73 @@
 //! library files and the sync check can compare bytes.
 
 use crate::campaign::{
-    standard_fault_grid, standard_grid, standard_membership_grid, GeneratorSpec,
-    MembershipPlanSpec, ScenarioSpec,
+    standard_fault_grid, standard_grid, standard_membership_grid, standard_multiquery_grid,
+    GeneratorSpec, MembershipPlanSpec, ProtocolKind, ScenarioSpec,
 };
+use crate::floors::{CompetitiveFloors, FloorTable};
 use serde::Json;
 use std::fmt;
 use std::io::Read;
 use std::path::Path;
 use topk_model::prelude::*;
 
-/// The schema tag every scenario file must carry.
+/// The v1 schema tag (single-query scenarios; emitted whenever no v2 field is
+/// present, so pre-existing files stay byte-stable).
 pub const SCENARIO_SCHEMA: &str = "topk-scenario/v1";
 
+/// The v2 schema tag (adds the optional `queries` and `floors` root fields).
+pub const SCENARIO_SCHEMA_V2: &str = "topk-scenario/v2";
+
+/// Per-scenario overrides of the campaign floor table (`"floors"`, v2).
+///
+/// Every knob is an integer (the schema has no floats); an absent knob keeps
+/// the corresponding bar of [`FloorTable::STANDARD`]. Overrides take effect
+/// in the scenario-run mode only — the compiled-in campaign grids always run
+/// under the standard table, so a committed `BENCH_*.json` is never gated by
+/// a JSON-editable knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FloorOverride {
+    /// Replaces [`CompetitiveFloors::ceiling_headroom_permille`] (≤ 1000).
+    pub ceiling_headroom_permille: Option<u64>,
+    /// Replaces [`CompetitiveFloors::ceiling_slack_permille`] (≤ 1000).
+    pub ceiling_slack_permille: Option<u64>,
+    /// Replaces [`CompetitiveFloors::max_poll_factor`], stated in permille
+    /// (500 = the scenario's protocols must stay under 0.5 × naive polling;
+    /// 1..=10000). The fault/membership poll bars are raised to at least this
+    /// value so a loosened override cannot make them incoherent.
+    pub poll_factor_permille: Option<u64>,
+    /// Replaces the invalid-step bars of the fault, membership and
+    /// multi-query companions, in permille of a cell's steps (≤ 1000). The
+    /// fault-free bar stays hard zero — no override can excuse an invalid
+    /// output on a clean run.
+    pub invalid_fraction_permille: Option<u64>,
+}
+
+impl FloorOverride {
+    /// The floor table in force for a scenario carrying this override.
+    pub fn apply(&self, mut base: CompetitiveFloors) -> CompetitiveFloors {
+        if let Some(v) = self.ceiling_headroom_permille {
+            base.ceiling_headroom_permille = v;
+        }
+        if let Some(v) = self.ceiling_slack_permille {
+            base.ceiling_slack_permille = v;
+        }
+        if let Some(v) = self.poll_factor_permille {
+            base.max_poll_factor = v as f64 / 1000.0;
+            base.fault_poll_factor = base.fault_poll_factor.max(base.max_poll_factor);
+            base.membership_poll_factor = base.membership_poll_factor.max(base.max_poll_factor);
+        }
+        if let Some(v) = self.invalid_fraction_permille {
+            base.fault_invalid_fraction_permille = v;
+            base.membership_invalid_fraction_permille = v;
+            base.multiquery_invalid_fraction_permille = v;
+        }
+        base
+    }
+}
+
 /// A parsed scenario file: one grid cell plus its optional fault/membership
-/// companions.
+/// companions and (v2) its optional multi-query plan and floor overrides.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioFile {
     /// The scenario's name (also its file stem in a library directory).
@@ -64,6 +135,23 @@ pub struct ScenarioFile {
     pub fault: Option<FaultSpec>,
     /// Membership churn plan to run the cell under, if any.
     pub membership: Option<MembershipPlanSpec>,
+    /// Multi-query plan (v2): when present the scenario runs as one
+    /// shared-engine multi-query cell, and `fault`/`membership` are absent.
+    pub queries: Option<Vec<QuerySpec>>,
+    /// Per-scenario floor overrides (v2), applied by the scenario-run mode.
+    pub floors: Option<FloorOverride>,
+}
+
+impl ScenarioFile {
+    /// The floor table this scenario is checked against: the standard table
+    /// with this file's overrides (if any) applied.
+    pub fn effective_floors(&self) -> CompetitiveFloors {
+        let base = FloorTable::STANDARD.competitive;
+        match &self.floors {
+            Some(o) => o.apply(base),
+            None => base,
+        }
+    }
 }
 
 /// Where in a file an error was found. Lines and columns are 1-based; for
@@ -167,11 +255,11 @@ impl fmt::Display for ScenarioError {
             ScenarioError::BadSchema { at, found } => match found {
                 Some(tag) => write!(
                     f,
-                    "{at}: unsupported schema `{tag}` (expected `{SCENARIO_SCHEMA}`)"
+                    "{at}: unsupported schema `{tag}` (expected `{SCENARIO_SCHEMA}` or `{SCENARIO_SCHEMA_V2}`)"
                 ),
                 None => write!(
                     f,
-                    "{at}: missing `schema` tag (expected `{SCENARIO_SCHEMA}`)"
+                    "{at}: missing `schema` tag (expected `{SCENARIO_SCHEMA}` or `{SCENARIO_SCHEMA_V2}`)"
                 ),
             },
             ScenarioError::UnknownField { at, field } => {
@@ -384,21 +472,43 @@ pub fn parse_scenario(text: &str, origin: &str) -> Result<ScenarioFile, Scenario
             message,
         }
     })?;
+    // The schema tag decides which root fields are legal, so it is read
+    // before the strict field check.
+    let schema = root
+        .as_object()
+        .and_then(|pairs| match get(pairs, "schema") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        });
+    let v2 = match schema.as_deref() {
+        Some(tag) if tag == SCENARIO_SCHEMA => false,
+        Some(tag) if tag == SCENARIO_SCHEMA_V2 => true,
+        _ => {
+            return Err(ScenarioError::BadSchema {
+                at: loader.at("schema"),
+                found: schema,
+            })
+        }
+    };
+    let mut allowed = vec![
+        "schema",
+        "name",
+        "generator",
+        "n",
+        "k",
+        "eps",
+        "steps",
+        "seed",
+        "fault",
+        "membership",
+    ];
+    if v2 {
+        allowed.extend(["queries", "floors"]);
+    }
     let pairs = loader.obj(
         &root,
         "",
-        &[
-            "schema",
-            "name",
-            "generator",
-            "n",
-            "k",
-            "eps",
-            "steps",
-            "seed",
-            "fault",
-            "membership",
-        ],
+        &allowed,
         &[
             "schema",
             "name",
@@ -410,16 +520,6 @@ pub fn parse_scenario(text: &str, origin: &str) -> Result<ScenarioFile, Scenario
             "seed",
         ],
     )?;
-    let schema = match get(pairs, "schema") {
-        Some(Json::Str(s)) => Some(s.clone()),
-        _ => None,
-    };
-    if schema.as_deref() != Some(SCENARIO_SCHEMA) {
-        return Err(ScenarioError::BadSchema {
-            at: loader.at("schema"),
-            found: schema,
-        });
-    }
     let name = loader.str(pairs, "", "name")?.to_string();
     let n = loader.usize(pairs, "", "n")?;
     let k = loader.usize(pairs, "", "k")?;
@@ -444,6 +544,21 @@ pub fn parse_scenario(text: &str, origin: &str) -> Result<ScenarioFile, Scenario
         None => None,
         Some(json) => Some(parse_membership(&loader, json, n)?),
     };
+    let queries = match get(pairs, "queries") {
+        None => None,
+        Some(json) => Some(parse_queries(&loader, json, n)?),
+    };
+    if queries.is_some() && (fault.is_some() || membership.is_some()) {
+        return Err(loader.out_of_range(
+            "",
+            "queries",
+            "a multi-query scenario takes no fault/membership companion".into(),
+        ));
+    }
+    let floors = match get(pairs, "floors") {
+        None => None,
+        Some(json) => Some(parse_floors(&loader, json)?),
+    };
     Ok(ScenarioFile {
         name,
         spec: ScenarioSpec {
@@ -456,26 +571,32 @@ pub fn parse_scenario(text: &str, origin: &str) -> Result<ScenarioFile, Scenario
         },
         fault,
         membership,
+        queries,
+        floors,
     })
 }
 
 fn parse_eps(loader: &Loader<'_>, root: &[(String, Json)]) -> Result<Epsilon, ScenarioError> {
     let json = get(root, "eps").expect("required field was checked");
-    let pairs = loader.obj(json, "eps", &["num", "den"], &["num", "den"])?;
-    let num = loader.u64(pairs, "eps", "num")?;
-    let den = loader.u64(pairs, "eps", "den")?;
+    parse_eps_obj(loader, json, "eps")
+}
+
+fn parse_eps_obj(loader: &Loader<'_>, json: &Json, path: &str) -> Result<Epsilon, ScenarioError> {
+    let pairs = loader.obj(json, path, &["num", "den"], &["num", "den"])?;
+    let num = loader.u64(pairs, path, "num")?;
+    let den = loader.u64(pairs, path, "den")?;
     let (num32, den32) = match (u32::try_from(num), u32::try_from(den)) {
         (Ok(n), Ok(d)) => (n, d),
         _ => {
             return Err(ScenarioError::InvalidEpsilon {
-                at: loader.at("eps"),
+                at: loader.at(path),
                 num,
                 den,
             })
         }
     };
     Epsilon::new(num32, den32).map_err(|_| ScenarioError::InvalidEpsilon {
-        at: loader.at("eps"),
+        at: loader.at(path),
         num,
         den,
     })
@@ -812,6 +933,176 @@ fn parse_membership(
     })
 }
 
+fn parse_queries(
+    loader: &Loader<'_>,
+    json: &Json,
+    n: usize,
+) -> Result<Vec<QuerySpec>, ScenarioError> {
+    let q = "queries";
+    let Some(entries) = json.as_array() else {
+        return Err(ScenarioError::WrongType {
+            at: loader.at(q),
+            field: q.to_string(),
+            expected: "an array of query specs",
+        });
+    };
+    if entries.is_empty() {
+        return Err(loader.out_of_range("", q, "at least one query is required".into()));
+    }
+    let mut queries = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let path = format!("queries[{i}]");
+        let pairs = loader.obj(
+            entry,
+            &path,
+            &["k", "eps", "protocol", "subset"],
+            &["k", "eps", "protocol"],
+        )?;
+        let k = loader.usize(pairs, &path, "k")?;
+        let eps = {
+            let json = get(pairs, "eps").expect("required field was checked");
+            parse_eps_obj(loader, json, &format!("{path}.eps"))?
+        };
+        let protocol = loader.str(pairs, &path, "protocol")?.to_string();
+        if ProtocolKind::from_name(&protocol).is_none() {
+            return Err(loader.out_of_range(
+                &path,
+                "protocol",
+                format!("unknown protocol `{protocol}`"),
+            ));
+        }
+        let subset = match get(pairs, "subset") {
+            None => NodeSubset::All,
+            Some(Json::Array(ids)) => {
+                if ids.is_empty() {
+                    return Err(loader.out_of_range(
+                        &path,
+                        "subset",
+                        "a subset query must monitor at least one node".into(),
+                    ));
+                }
+                let mut nodes = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let Json::UInt(raw) = id else {
+                        return Err(ScenarioError::WrongType {
+                            at: loader.at("subset"),
+                            field: join(&path, "subset"),
+                            expected: "an array of node ids (non-negative integers)",
+                        });
+                    };
+                    let id = usize::try_from(*raw)
+                        .ok()
+                        .filter(|&v| v < n)
+                        .ok_or_else(|| {
+                            loader.out_of_range(
+                                &path,
+                                "subset",
+                                format!("node id {raw} is outside the population (n = {n})"),
+                            )
+                        })?;
+                    // Strictly ascending: the canonical form is sorted and
+                    // deduplicated, so parse → serialize stays the identity.
+                    if nodes.last().is_some_and(|&NodeId(prev)| prev >= id) {
+                        return Err(loader.out_of_range(
+                            &path,
+                            "subset",
+                            "node ids must be strictly ascending".into(),
+                        ));
+                    }
+                    nodes.push(NodeId(id));
+                }
+                NodeSubset::Nodes(nodes)
+            }
+            Some(_) => {
+                return Err(ScenarioError::WrongType {
+                    at: loader.at("subset"),
+                    field: join(&path, "subset"),
+                    expected: "an array of node ids (non-negative integers)",
+                });
+            }
+        };
+        let subset_size = subset.resolve(n).len();
+        if k == 0 || k > subset_size {
+            return Err(loader.out_of_range(
+                &path,
+                "k",
+                format!("k must be in 1..=|subset| (|subset| = {subset_size})"),
+            ));
+        }
+        queries.push(QuerySpec {
+            k,
+            eps,
+            protocol,
+            subset,
+        });
+    }
+    Ok(queries)
+}
+
+fn parse_floors(loader: &Loader<'_>, json: &Json) -> Result<FloorOverride, ScenarioError> {
+    let f = "floors";
+    let pairs = loader.obj(
+        json,
+        f,
+        &[
+            "ceiling_headroom_permille",
+            "ceiling_slack_permille",
+            "poll_factor_permille",
+            "invalid_fraction_permille",
+        ],
+        &[],
+    )?;
+    if pairs.is_empty() {
+        return Err(loader.out_of_range("", f, "must override at least one bar".into()));
+    }
+    let mut overrides = FloorOverride::default();
+    if get(pairs, "ceiling_headroom_permille").is_some() {
+        let v = loader.u64(pairs, f, "ceiling_headroom_permille")?;
+        if v > 1000 {
+            return Err(loader.out_of_range(
+                f,
+                "ceiling_headroom_permille",
+                format!("{v} is a permille headroom (at most 1000)"),
+            ));
+        }
+        overrides.ceiling_headroom_permille = Some(v);
+    }
+    if get(pairs, "ceiling_slack_permille").is_some() {
+        let v = loader.u64(pairs, f, "ceiling_slack_permille")?;
+        if v > 1000 {
+            return Err(loader.out_of_range(
+                f,
+                "ceiling_slack_permille",
+                format!("{v} is a permille slack (at most 1000)"),
+            ));
+        }
+        overrides.ceiling_slack_permille = Some(v);
+    }
+    if get(pairs, "poll_factor_permille").is_some() {
+        let v = loader.u64(pairs, f, "poll_factor_permille")?;
+        if !(1..=10_000).contains(&v) {
+            return Err(loader.out_of_range(
+                f,
+                "poll_factor_permille",
+                format!("{v} must be in 1..=10000 (a permille poll-factor bound)"),
+            ));
+        }
+        overrides.poll_factor_permille = Some(v);
+    }
+    if get(pairs, "invalid_fraction_permille").is_some() {
+        let v = loader.u64(pairs, f, "invalid_fraction_permille")?;
+        if v > 1000 {
+            return Err(loader.out_of_range(
+                f,
+                "invalid_fraction_permille",
+                format!("{v} is a permille fraction (at most 1000)"),
+            ));
+        }
+        overrides.invalid_fraction_permille = Some(v);
+    }
+    Ok(overrides)
+}
+
 // ---------------------------------------------------------------------------
 // Canonical serialisation
 // ---------------------------------------------------------------------------
@@ -939,13 +1230,67 @@ fn fault_json(fault: &FaultSpec) -> Json {
     Json::Object(pairs)
 }
 
+fn queries_json(queries: &[QuerySpec]) -> Json {
+    Json::Array(
+        queries
+            .iter()
+            .map(|q| {
+                let mut pairs = vec![
+                    ("k".to_string(), uint(q.k as u64)),
+                    (
+                        "eps".to_string(),
+                        Json::Object(vec![
+                            ("num".to_string(), uint(u64::from(q.eps.numerator()))),
+                            ("den".to_string(), uint(u64::from(q.eps.denominator()))),
+                        ]),
+                    ),
+                    ("protocol".to_string(), Json::Str(q.protocol.clone())),
+                ];
+                if let NodeSubset::Nodes(nodes) = &q.subset {
+                    pairs.push((
+                        "subset".to_string(),
+                        Json::Array(nodes.iter().map(|id| uint(id.index() as u64)).collect()),
+                    ));
+                }
+                Json::Object(pairs)
+            })
+            .collect(),
+    )
+}
+
+fn floors_json(floors: &FloorOverride) -> Json {
+    let mut pairs = Vec::new();
+    let mut push = |key: &str, v: Option<u64>| {
+        if let Some(v) = v {
+            pairs.push((key.to_string(), uint(v)));
+        }
+    };
+    push(
+        "ceiling_headroom_permille",
+        floors.ceiling_headroom_permille,
+    );
+    push("ceiling_slack_permille", floors.ceiling_slack_permille);
+    push("poll_factor_permille", floors.poll_factor_permille);
+    push(
+        "invalid_fraction_permille",
+        floors.invalid_fraction_permille,
+    );
+    Json::Object(pairs)
+}
+
 /// Serialises a scenario to its canonical JSON text (fixed key order, pretty
 /// two-space indentation, trailing newline). `parse_scenario` of the result
-/// reproduces `file` exactly.
+/// reproduces `file` exactly. The `v2` tag is emitted only when a v2 field
+/// (`queries`, `floors`) is present, so v1 files stay byte-stable.
 pub fn scenario_to_json(file: &ScenarioFile) -> String {
     let spec = &file.spec;
+    let schema = if file.queries.is_some() || file.floors.is_some() {
+        SCENARIO_SCHEMA_V2
+    } else {
+        SCENARIO_SCHEMA
+    };
     let mut pairs = vec![
-        ("schema".to_string(), Json::Str(SCENARIO_SCHEMA.into())),
+        ("schema".to_string(), Json::Str(schema.into())),
         ("name".to_string(), Json::Str(file.name.clone())),
         ("generator".to_string(), generator_json(&spec.generator)),
         ("n".to_string(), uint(spec.n as u64)),
@@ -976,6 +1321,12 @@ pub fn scenario_to_json(file: &ScenarioFile) -> String {
                 ("min_live".to_string(), uint(plan.min_live as u64)),
             ]),
         ));
+    }
+    if let Some(queries) = &file.queries {
+        pairs.push(("queries".to_string(), queries_json(queries)));
+    }
+    if let Some(floors) = &file.floors {
+        pairs.push(("floors".to_string(), floors_json(floors)));
     }
     let mut text =
         serde_json::to_string_pretty(&Json::Object(pairs)).expect("serialisation is infallible");
@@ -1042,9 +1393,10 @@ fn grid_name(spec: &ScenarioSpec) -> String {
 }
 
 /// The scenario library `scenarios/` must hold: every cell of
-/// [`standard_grid`], [`standard_fault_grid`] and [`standard_membership_grid`]
-/// (full scale), plus the two example workloads, each under its canonical
-/// name. Returned sorted by name.
+/// [`standard_grid`], [`standard_fault_grid`], [`standard_membership_grid`]
+/// and [`standard_multiquery_grid`] (full scale), plus the two example
+/// workloads and the floor-override showcase, each under its canonical name.
+/// Returned sorted by name.
 pub fn standard_library() -> Vec<ScenarioFile> {
     let mut files = Vec::new();
     for spec in standard_grid(false) {
@@ -1053,6 +1405,8 @@ pub fn standard_library() -> Vec<ScenarioFile> {
             spec,
             fault: None,
             membership: None,
+            queries: None,
+            floors: None,
         });
     }
     for (spec, fault) in standard_fault_grid(false) {
@@ -1066,6 +1420,8 @@ pub fn standard_library() -> Vec<ScenarioFile> {
             spec,
             fault: Some(fault),
             membership: None,
+            queries: None,
+            floors: None,
         });
     }
     for (spec, plan) in standard_membership_grid(false) {
@@ -1079,6 +1435,23 @@ pub fn standard_library() -> Vec<ScenarioFile> {
             spec,
             fault: None,
             membership: Some(plan),
+            queries: None,
+            floors: None,
+        });
+    }
+    for (spec, plan) in standard_multiquery_grid(false) {
+        files.push(ScenarioFile {
+            name: format!(
+                "mq-{}-{}-s{}",
+                plan.name,
+                spec.generator.family(),
+                spec.steps
+            ),
+            spec,
+            fault: None,
+            membership: None,
+            queries: Some(plan.queries),
+            floors: None,
         });
     }
     files.extend(example_scenarios());
@@ -1096,7 +1469,10 @@ pub fn standard_library() -> Vec<ScenarioFile> {
 
 /// The two example workloads (`examples/load_balancer.rs`,
 /// `examples/sensor_noise.rs`) as library entries — the examples load these
-/// instead of hard-coding parameters.
+/// instead of hard-coding parameters — plus the floor-override showcase
+/// (`gap-tight-floors`): a clear-gap cell whose `floors` override tightens
+/// the poll-factor bar to 0.5 ×, the committed proof that per-scenario
+/// overrides parse, round-trip and gate the scenario-run mode.
 pub fn example_scenarios() -> Vec<ScenarioFile> {
     vec![
         ScenarioFile {
@@ -1115,6 +1491,8 @@ pub fn example_scenarios() -> Vec<ScenarioFile> {
             },
             fault: None,
             membership: None,
+            queries: None,
+            floors: None,
         },
         ScenarioFile {
             name: "sensor_noise".to_string(),
@@ -1132,6 +1510,29 @@ pub fn example_scenarios() -> Vec<ScenarioFile> {
             },
             fault: None,
             membership: None,
+            queries: None,
+            floors: None,
+        },
+        ScenarioFile {
+            name: "gap-tight-floors".to_string(),
+            spec: ScenarioSpec {
+                generator: GeneratorSpec::Gap { high_base: 1 << 20 },
+                n: 64,
+                k: 4,
+                eps: Epsilon::TENTH,
+                steps: 240,
+                seed: 7,
+            },
+            fault: None,
+            membership: None,
+            queries: None,
+            // On a clear-gap workload the filters silence the population
+            // almost completely; the standard 3 × polling bar is far too
+            // loose to catch a regression there.
+            floors: Some(FloorOverride {
+                poll_factor_permille: Some(500),
+                ..FloorOverride::default()
+            }),
         },
     ]
 }
@@ -1288,6 +1689,39 @@ mod tests {
             downtime: 1 + x % 10,
             min_live: 1 + (y % n as u64) as usize,
         });
+        let queries = (sel & 0x40 != 0 && fault.is_none() && membership.is_none()).then(|| {
+            let protocols = [
+                "exact_topk",
+                "topk_protocol",
+                "dense",
+                "combined",
+                "half_eps",
+            ];
+            (0..1 + (x % 3) as usize)
+                .map(|i| {
+                    let subset = if (y >> i) & 1 == 0 {
+                        NodeSubset::All
+                    } else {
+                        let start = (x as usize).wrapping_add(i) % n;
+                        NodeSubset::range(start, 1 + (y as usize).wrapping_add(i) % (n - start))
+                    };
+                    let size = subset.resolve(n).len();
+                    QuerySpec {
+                        k: 1 + (x as usize).wrapping_add(i) % size,
+                        eps,
+                        protocol: protocols[(y as usize + i) % protocols.len()].to_string(),
+                        subset,
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        let floors = (sel & 0x80 != 0).then(|| FloorOverride {
+            ceiling_headroom_permille: (x % 2 == 0).then_some(y % 1001),
+            ceiling_slack_permille: (y % 2 == 0).then_some(x % 1001),
+            // Always present: the schema rejects an empty override object.
+            poll_factor_permille: Some(1 + (x ^ y) % 10_000),
+            invalid_fraction_permille: (x % 3 == 0).then_some(y % 1001),
+        });
         ScenarioFile {
             name: format!("prop-{}", x % 1000),
             spec: ScenarioSpec {
@@ -1300,6 +1734,8 @@ mod tests {
             },
             fault,
             membership,
+            queries,
+            floors,
         }
     }
 
@@ -1341,7 +1777,12 @@ mod tests {
         let library = standard_library();
         let specs: Vec<ScenarioSpec> = library
             .iter()
-            .filter(|f| f.fault.is_none() && f.membership.is_none())
+            .filter(|f| {
+                f.fault.is_none()
+                    && f.membership.is_none()
+                    && f.queries.is_none()
+                    && f.floors.is_none()
+            })
             .filter(|f| !f.name.starts_with("load_balancer") && !f.name.starts_with("sensor_noise"))
             .map(|f| f.spec)
             .collect();
@@ -1367,6 +1808,151 @@ mod tests {
         for cell in standard_membership_grid(false) {
             assert!(plans.contains(&cell), "membership cell missing: {cell:?}");
         }
+        let query_plans: Vec<(ScenarioSpec, Vec<QuerySpec>)> = library
+            .iter()
+            .filter_map(|f| f.queries.clone().map(|q| (f.spec, q)))
+            .collect();
+        for (spec, plan) in standard_multiquery_grid(false) {
+            assert!(
+                query_plans.contains(&(spec, plan.queries.clone())),
+                "multi-query cell missing: {} on {spec:?}",
+                plan.name
+            );
+        }
+    }
+
+    #[test]
+    fn v2_tag_is_emitted_exactly_when_a_v2_field_is_present() {
+        let library = standard_library();
+        let v1 = library.iter().find(|f| f.name == "load_balancer").unwrap();
+        assert!(scenario_to_json(v1).contains(SCENARIO_SCHEMA));
+        let mq = library
+            .iter()
+            .find(|f| f.queries.is_some())
+            .expect("the library carries the multi-query grid");
+        assert!(scenario_to_json(mq).contains(SCENARIO_SCHEMA_V2));
+        let floored = library
+            .iter()
+            .find(|f| f.floors.is_some())
+            .expect("the library carries the floor-override showcase");
+        assert!(scenario_to_json(floored).contains(SCENARIO_SCHEMA_V2));
+    }
+
+    #[test]
+    fn v1_files_reject_the_v2_fields() {
+        // The v2 root fields under a v1 tag are unknown fields, not silently
+        // ignored extensions.
+        let base = scenario_to_json(&example_scenarios()[0]);
+        let text = base.replace(
+            "\"seed\": 99",
+            "\"seed\": 99,\n  \"floors\": {\"poll_factor_permille\": 500}",
+        );
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::UnknownField { field, .. }) if field == "floors"
+        ));
+    }
+
+    #[test]
+    fn multiquery_scenarios_validate_their_plan() {
+        let mq = standard_library()
+            .into_iter()
+            .find(|f| f.queries.is_some())
+            .unwrap();
+        let canonical = scenario_to_json(&mq);
+        // Unknown protocol.
+        let text = canonical.replace("\"topk_protocol\"", "\"topk_oracle\"");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field.ends_with(".protocol")
+        ));
+        // A query cannot ask for more positions than its subset holds.
+        let text = canonical.replace("\"k\": 4,", "\"k\": 400,");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field == "k" || field.ends_with("].k")
+        ));
+        // No fault/membership companion next to a query plan.
+        let text = canonical.replace("\"queries\"", "\"fault\": {\"seed\": 1},\n  \"queries\"");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field == "queries"
+        ));
+    }
+
+    #[test]
+    fn subset_ids_must_be_ascending_and_in_range() {
+        let mq = standard_library()
+            .into_iter()
+            .find(|f| f.name.starts_with("mq-disjoint"))
+            .unwrap();
+        let canonical = scenario_to_json(&mq);
+        let text = canonical.replace("[\n        0,", "[\n        1,");
+        match parse_scenario(&text, "<inline>") {
+            Err(ScenarioError::OutOfRange { field, message, .. }) => {
+                assert!(field.ends_with(".subset"), "{field}");
+                assert!(message.contains("ascending"), "{message}");
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        let text = canonical.replace("\n        63\n", "\n        64\n");
+        match parse_scenario(&text, "<inline>") {
+            Err(ScenarioError::OutOfRange { field, message, .. }) => {
+                assert!(field.ends_with(".subset"), "{field}");
+                assert!(message.contains("outside the population"), "{message}");
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn floor_overrides_are_bounded_and_non_empty() {
+        let floored = standard_library()
+            .into_iter()
+            .find(|f| f.floors.is_some())
+            .unwrap();
+        let canonical = scenario_to_json(&floored);
+        let text = canonical.replace(
+            "\"poll_factor_permille\": 500",
+            "\"poll_factor_permille\": 0",
+        );
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field == "floors.poll_factor_permille"
+        ));
+        let text = canonical.replace("{\n    \"poll_factor_permille\": 500\n  }", "{}");
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. }) if field == "floors"
+        ));
+        let text = canonical.replace(
+            "\"poll_factor_permille\": 500",
+            "\"ceiling_headroom_permille\": 1001",
+        );
+        assert!(matches!(
+            parse_scenario(&text, "<inline>"),
+            Err(ScenarioError::OutOfRange { field, .. })
+                if field == "floors.ceiling_headroom_permille"
+        ));
+    }
+
+    #[test]
+    fn floor_overrides_apply_onto_the_standard_table() {
+        let floored = standard_library()
+            .into_iter()
+            .find(|f| f.floors.is_some())
+            .unwrap();
+        let floors = floored.effective_floors();
+        let standard = crate::FloorTable::STANDARD.competitive;
+        assert!((floors.max_poll_factor - 0.5).abs() < 1e-9);
+        // Untouched bars keep their standard values.
+        assert_eq!(
+            floors.ceiling_headroom_permille,
+            standard.ceiling_headroom_permille
+        );
+        assert_eq!(floors.max_invalid_steps, standard.max_invalid_steps);
+        // The companion poll bars never drop below the overridden main bar.
+        assert!(floors.fault_poll_factor >= floors.max_poll_factor);
     }
 
     #[test]
@@ -1498,6 +2084,8 @@ mod tests {
             },
             fault: None,
             membership: None,
+            queries: None,
+            floors: None,
         });
         let text = churn.replace("\"churn_permille\": 80", "\"churn_permille\": 1001");
         assert!(matches!(

@@ -52,6 +52,7 @@ pub mod existence;
 pub mod half_eps;
 pub mod maximum;
 pub mod monitor;
+pub mod queryset;
 pub mod topk_protocol;
 
 pub use combined::CombinedMonitor;
@@ -61,5 +62,9 @@ pub use half_eps::HalfEpsMonitor;
 pub use monitor::{
     run_adaptive, run_adaptive_observed, run_on_rows, run_with_membership,
     run_with_membership_observed, Monitor, RunReport, StepObservation,
+};
+pub use queryset::{
+    run_query_set, run_query_set_adaptive, run_query_set_observed, QueryRunReport, QuerySet,
+    QuerySetReport, QueryStepObservation,
 };
 pub use topk_protocol::TopKMonitor;

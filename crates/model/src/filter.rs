@@ -49,6 +49,13 @@ impl Filter {
     /// The all-embracing filter `[0, ∞)`; a node with this filter never reports.
     pub const FULL: Filter = Filter { lo: 0, hi: None };
 
+    /// The empty filter `[1, 0]`: no value lies inside it, so a node holding it
+    /// reports at every observation. It arises as the intersection of disjoint
+    /// per-query bands (see [`Filter::intersect`]) and is the canonical
+    /// representation of every empty interval — [`Filter::bounded`] still
+    /// rejects constructing one directly.
+    pub const EMPTY: Filter = Filter { lo: 1, hi: Some(0) };
+
     /// Creates the bounded filter `[lo, hi]`.
     ///
     /// # Errors
@@ -97,6 +104,42 @@ impl Filter {
     #[inline]
     pub fn is_bounded(&self) -> bool {
         self.hi.is_some()
+    }
+
+    /// Whether the filter is empty (contains no value at all).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        matches!(self.hi, Some(hi) if self.lo > hi)
+    }
+
+    /// The intersection of two filters: `[max(ℓ, ℓ'), min(u, u')]`.
+    ///
+    /// This is how the server combines the bands several queries assign to the
+    /// same node into one *effective* filter — the node stays silent exactly
+    /// while its value satisfies every query's band. Disjoint bands intersect
+    /// to [`Filter::EMPTY`] (canonically), which every value violates.
+    ///
+    /// ```
+    /// use topk_model::Filter;
+    ///
+    /// let a = Filter::bounded(10, 30).unwrap();
+    /// let b = Filter::at_least(20);
+    /// assert_eq!(a.intersect(&b), Filter::bounded(20, 30).unwrap());
+    /// assert!(a.intersect(&Filter::at_least(31)).is_empty());
+    /// ```
+    #[inline]
+    pub fn intersect(&self, other: &Filter) -> Filter {
+        let lo = self.lo.max(other.lo);
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        };
+        if matches!(hi, Some(hi) if lo > hi) {
+            Filter::EMPTY
+        } else {
+            Filter { lo, hi }
+        }
     }
 
     /// Whether `v` lies inside the filter.
@@ -374,6 +417,39 @@ mod tests {
         assert_eq!(Filter::FULL.check(0), None);
         assert_eq!(Filter::FULL.check(Value::MAX), None);
         assert_eq!(Filter::default(), Filter::FULL);
+    }
+
+    #[test]
+    fn empty_filter_violates_everything() {
+        assert!(Filter::EMPTY.is_empty());
+        assert!(!Filter::FULL.is_empty());
+        assert!(!Filter::bounded(3, 3).unwrap().is_empty());
+        assert!(!Filter::EMPTY.contains(0));
+        assert!(!Filter::EMPTY.contains(Value::MAX));
+        assert_eq!(Filter::EMPTY.check(0), Some(Violation::FromAbove));
+        assert_eq!(Filter::EMPTY.check(1), Some(Violation::FromBelow));
+        assert_eq!(Filter::EMPTY.check(Value::MAX), Some(Violation::FromBelow));
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let a = Filter::bounded(10, 30).unwrap();
+        let b = Filter::bounded(20, 40).unwrap();
+        assert_eq!(a.intersect(&b), Filter::bounded(20, 30).unwrap());
+        assert_eq!(b.intersect(&a), Filter::bounded(20, 30).unwrap());
+        assert_eq!(a.intersect(&Filter::FULL), a);
+        assert_eq!(Filter::FULL.intersect(&Filter::FULL), Filter::FULL);
+        assert_eq!(
+            Filter::at_least(5).intersect(&Filter::at_most(7)),
+            Filter::bounded(5, 7).unwrap()
+        );
+        // Disjoint bands collapse to the canonical empty filter.
+        let lowband = Filter::at_most(10);
+        let highband = Filter::at_least(20);
+        assert_eq!(lowband.intersect(&highband), Filter::EMPTY);
+        // Empty absorbs everything.
+        assert_eq!(Filter::EMPTY.intersect(&Filter::FULL), Filter::EMPTY);
+        assert_eq!(a.intersect(&Filter::EMPTY), Filter::EMPTY);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod fault;
 pub mod filter;
 pub mod membership;
 pub mod message;
+pub mod query;
 pub mod rule;
 pub mod soa;
 pub mod topk;
@@ -58,6 +59,7 @@ pub use fault::{CrashSpec, FaultSpec, FaultStats, LatencySpec};
 pub use filter::{Filter, FilterSet, Violation};
 pub use membership::{MembershipEvent, Population};
 pub use message::{NodeMessage, ServerMessage};
+pub use query::{NodeSubset, QueryCostLedger, QueryId, QuerySpec, SPLIT_SCALE};
 pub use rule::{filter_for, FilterParams, NodeGroup};
 pub use soa::NodeStateSoA;
 pub use topk::{OutputValidity, TopKView};
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::filter::{Filter, FilterSet, Violation};
     pub use crate::membership::{MembershipEvent, Population};
     pub use crate::message::{NodeMessage, ServerMessage};
+    pub use crate::query::{NodeSubset, QueryCostLedger, QueryId, QuerySpec, SPLIT_SCALE};
     pub use crate::rule::{filter_for, FilterParams, NodeGroup};
     pub use crate::topk::{OutputValidity, TopKView};
     pub use crate::types::{NodeId, TimeStep, Value};

@@ -10,6 +10,7 @@
 //! carries at most a couple of values and identifiers.
 
 use crate::filter::{Filter, Violation};
+use crate::query::QueryId;
 use crate::rule::{FilterParams, NodeGroup};
 use crate::types::{NodeId, Value};
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,19 @@ pub enum ServerMessage {
     /// piggy-backed with the next payload, hence free of charge in the
     /// accounting (see `CostMeter::note_free_control`).
     EndExistenceRun,
+    /// Assign a filter on behalf of a specific query (unicast, wire v4).
+    ///
+    /// The carried filter is the node's new *effective* filter — the
+    /// intersection of the bands of every query covering the node, computed
+    /// server-side — and the node applies it exactly like
+    /// [`ServerMessage::AssignFilter`]. The [`QueryId`] tags the message for
+    /// per-query cost attribution only; nodes keep no per-query state.
+    AssignQueryFilter {
+        /// The query on whose behalf the assignment is charged.
+        query: QueryId,
+        /// The node's new effective filter.
+        filter: Filter,
+    },
 }
 
 /// Messages sent by a node to the server.
@@ -238,6 +252,10 @@ mod tests {
                 predicate: ExistencePredicate::GreaterThan(7),
             },
             ServerMessage::EndExistenceRun,
+            ServerMessage::AssignQueryFilter {
+                query: QueryId(9),
+                filter: Filter::bounded(2, 4).unwrap(),
+            },
         ];
         for m in msgs {
             let s = serde_json::to_string(&m).unwrap();

@@ -1,0 +1,144 @@
+//! [`EngineKind`] and [`build_engine`] — the one place an engine is chosen.
+//!
+//! Six interchangeable [`Network`] implementations exist (see the crate
+//! docs); before this module every harness that wanted "all of them" —
+//! trace replay, the experiments CLI, the differential battery, the
+//! examples — hand-rolled its own constructor `match`. [`build_engine`]
+//! is the canonical factory: it fixes the configuration the differential
+//! battery holds bit-identical (4 parallel shards for the sharded engine,
+//! 3 TCP shard servers for the remote engine) so every caller exercises
+//! the *same* six engines, not six similar ones.
+
+use crate::fault::FaultyTransport;
+use crate::network::Network;
+use crate::sharded::Dispatch;
+use crate::{DeterministicEngine, IndexedEngine, RemoteEngine, ShardedEngine, ThreadedEngine};
+use topk_model::prelude::*;
+
+/// The engine implementations the differential battery holds bit-identical —
+/// the same six every trace can be replayed through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The reference `O(n)`-per-step engine.
+    Deterministic,
+    /// The value-indexed engine (the single-threaded engine for large `n`).
+    Indexed,
+    /// The work-stealing sharded engine (4 shards, parallel dispatch).
+    Sharded,
+    /// The persistent-worker threaded engine.
+    Threaded,
+    /// [`FaultyTransport`] over the indexed engine (a no-op fault spec when
+    /// no fault plan is given).
+    Fault,
+    /// The TCP-backed remote engine (3 shard servers over loopback).
+    Remote,
+}
+
+impl EngineKind {
+    /// Every kind, in battery order.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::Deterministic,
+        EngineKind::Indexed,
+        EngineKind::Sharded,
+        EngineKind::Threaded,
+        EngineKind::Fault,
+        EngineKind::Remote,
+    ];
+
+    /// Stable name used in reports and mismatch messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Deterministic => "deterministic",
+            EngineKind::Indexed => "indexed",
+            EngineKind::Sharded => "sharded",
+            EngineKind::Threaded => "threaded",
+            EngineKind::Fault => "fault",
+            EngineKind::Remote => "remote",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a fresh engine of `kind` for `n` nodes seeded with `seed`.
+///
+/// A fault plan wraps *every* kind in a [`FaultyTransport`] executing it —
+/// fault decisions are functions of the spec's own seed and the message
+/// sequence, which the differential battery holds identical across engines.
+/// [`EngineKind::Fault`] without a plan uses [`FaultSpec::none`], the
+/// bit-transparent wrapper.
+pub fn build_engine(
+    kind: EngineKind,
+    n: usize,
+    seed: u64,
+    fault: Option<&FaultSpec>,
+) -> Box<dyn Network> {
+    fn wrap<E: Network + 'static>(engine: E, fault: Option<&FaultSpec>) -> Box<dyn Network> {
+        match fault {
+            Some(spec) => Box::new(FaultyTransport::new(engine, *spec)),
+            None => Box::new(engine),
+        }
+    }
+    match kind {
+        EngineKind::Deterministic => wrap(DeterministicEngine::new(n, seed), fault),
+        EngineKind::Indexed => wrap(IndexedEngine::new(n, seed), fault),
+        EngineKind::Sharded => wrap(
+            ShardedEngine::with_dispatch(n, seed, 4, Dispatch::Parallel),
+            fault,
+        ),
+        EngineKind::Threaded => wrap(ThreadedEngine::new(n, seed), fault),
+        EngineKind::Fault => Box::new(FaultyTransport::new(
+            IndexedEngine::new(n, seed),
+            fault.cloned().unwrap_or(FaultSpec::none()),
+        )),
+        EngineKind::Remote => wrap(RemoteEngine::with_shards(n, seed, 3), fault),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_advances() {
+        for kind in EngineKind::ALL {
+            let mut net = build_engine(kind, 4, 7, None);
+            assert_eq!(net.n(), 4, "{kind}");
+            net.advance_time(&[1, 2, 3, 4]);
+            assert_eq!(net.peek_values(), vec![1, 2, 3, 4], "{kind}");
+            assert_eq!(net.stats().time_steps, 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_wraps_every_kind() {
+        let spec = FaultSpec::none();
+        for kind in [EngineKind::Deterministic, EngineKind::Fault] {
+            let mut net = build_engine(kind, 3, 1, Some(&spec));
+            net.advance_time(&[5, 5, 5]);
+            net.assign_filter(NodeId(1), Filter::at_least(3));
+            assert_eq!(net.peek_filter(NodeId(1)), Filter::at_least(3), "{kind}");
+            assert_eq!(net.stats().total_messages(), 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "deterministic",
+                "indexed",
+                "sharded",
+                "threaded",
+                "fault",
+                "remote"
+            ]
+        );
+    }
+}

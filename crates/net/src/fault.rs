@@ -395,6 +395,19 @@ impl<N: Network> Network for FaultyTransport<N> {
         self.inner.assign_filter(node, filter);
     }
 
+    fn load_query_filters(&mut self, filters: &[(NodeId, Filter)]) {
+        // The load path models node-local recomputation of effective filters
+        // from traffic that was already delivered and charged — it is not
+        // transit, so fault injection must not touch it (a dropped load would
+        // break the multi-query layer's state guarantee). Forward to the
+        // inner engine verbatim, mirroring the filters as the rejoin replay
+        // target.
+        for &(node, filter) in filters {
+            self.mirror.set_filter(node.index(), filter);
+        }
+        self.inner.load_query_filters(filters);
+    }
+
     fn probe(&mut self, node: NodeId) -> Value {
         if !self.active {
             return self.inner.probe(node);

@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod deterministic;
+pub mod engine;
 pub mod fault;
 pub mod indexed;
 pub mod network;
@@ -80,6 +81,7 @@ pub mod threaded;
 pub mod value_index;
 
 pub use deterministic::DeterministicEngine;
+pub use engine::{build_engine, EngineKind};
 pub use fault::{FaultyTransport, PROBE_ATTEMPTS};
 pub use indexed::IndexedEngine;
 pub use network::Network;

@@ -87,6 +87,40 @@ pub trait Network {
     /// Assigns an explicit filter to one node (cost: 1 downstream unicast).
     fn assign_filter(&mut self, node: NodeId, filter: Filter);
 
+    /// Assigns a filter to one node *on behalf of a query* (cost: 1 downstream
+    /// unicast, charged exactly like [`Network::assign_filter`]).
+    ///
+    /// `filter` is the node's new **effective** filter — the intersection of
+    /// the bands of every query covering the node, computed by the caller
+    /// (see `topk_model::Filter::intersect`). The [`QueryId`] tags the
+    /// message for per-query cost attribution; the node-side semantics are
+    /// identical to a plain assignment, and the default implementation *is*
+    /// the plain assignment. Engines with a wire format (the remote engine)
+    /// override this to put the tag on the wire when the peer negotiated
+    /// wire v4, so all engines stay bit-identical in state and cost.
+    fn assign_query_filter(&mut self, query: QueryId, node: NodeId, filter: Filter) {
+        let _ = query;
+        self.assign_filter(node, filter);
+    }
+
+    /// Pushes already-announced effective filters to nodes **free of charge**.
+    ///
+    /// The multi-query layer charges one unicast per *changed band* through
+    /// [`Network::assign_query_filter`]; when one query's band change also
+    /// shifts the effective (intersection) filter of nodes whose own bands
+    /// did not change, the node can recompute the intersection locally from
+    /// what it already heard — this call models that recomputation, so it
+    /// moves state but records no message. The default implementation routes
+    /// each pair through [`Network::assign_filter`] and retracts the charge,
+    /// which keeps node-side state transitions (and RNG streams) identical
+    /// on every engine.
+    fn load_query_filters(&mut self, filters: &[(NodeId, Filter)]) {
+        for &(node, filter) in filters {
+            self.assign_filter(node, filter);
+            self.meter().retract(MessageKind::DownstreamUnicast, 1);
+        }
+    }
+
     /// Probes one node for its current value (cost: 1 downstream + 1 upstream).
     fn probe(&mut self, node: NodeId) -> Value;
 

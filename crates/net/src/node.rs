@@ -82,7 +82,11 @@ impl SimNode {
     /// protocol calls for one.
     pub fn handle(&mut self, msg: &ServerMessage) -> Option<NodeMessage> {
         match *msg {
-            ServerMessage::AssignFilter(f) => {
+            // A query-scoped assignment carries the node's new *effective*
+            // filter (the intersection the server computed); the node applies
+            // it exactly like a plain assignment — the QueryId is a cost
+            // attribution tag, not node state.
+            ServerMessage::AssignFilter(f) | ServerMessage::AssignQueryFilter { filter: f, .. } => {
                 self.filter = f;
                 self.pending_violation = self.filter.check(self.value);
                 None
@@ -240,6 +244,27 @@ mod tests {
             Filter::bounded(50, 150).unwrap(),
         ));
         assert_eq!(n.pending_violation(), None);
+    }
+
+    #[test]
+    fn query_scoped_assignment_behaves_like_plain_assignment() {
+        let mut plain = node();
+        let mut scoped = node();
+        plain.observe(100);
+        scoped.observe(100);
+        plain.handle(&ServerMessage::AssignFilter(Filter::at_most(50)));
+        scoped.handle(&ServerMessage::AssignQueryFilter {
+            query: QueryId(7),
+            filter: Filter::at_most(50),
+        });
+        assert_eq!(plain.filter(), scoped.filter());
+        assert_eq!(plain.pending_violation(), scoped.pending_violation());
+        // An empty effective filter (disjoint query bands) always violates.
+        scoped.handle(&ServerMessage::AssignQueryFilter {
+            query: QueryId(7),
+            filter: Filter::EMPTY,
+        });
+        assert_eq!(scoped.pending_violation(), Some(Violation::FromBelow));
     }
 
     #[test]

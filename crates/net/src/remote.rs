@@ -117,7 +117,7 @@ use topk_model::rule::filter_for;
 use topk_model::soa::NodeStateSoA;
 use topk_wire::{
     read_frame, read_frame_versioned, write_frame_versioned, Frame, FrameAccumulator, ServerOp,
-    WireError, LEGACY_WIRE_VERSION, WIRE_VERSION,
+    WireError, LEGACY_WIRE_VERSION, QUERY_WIRE_VERSION, WIRE_VERSION,
 };
 
 /// Deterministic retry schedule for the reply-wait and reconnect paths.
@@ -913,6 +913,25 @@ impl Network for RemoteEngine {
                 msg: ServerMessage::AssignFilter(filter),
             },
         );
+        self.mirror.set_filter(node.index(), filter);
+    }
+
+    fn assign_query_filter(&mut self, query: QueryId, node: NodeId, filter: Filter) {
+        self.meter.record(MessageKind::DownstreamUnicast);
+        let owner = self.owner(node);
+        // Put the QueryId on the wire only for peers that negotiated wire v4;
+        // older peers get the plain assignment, which is node-side identical
+        // (the tag is pure attribution). Either way the cost, the mirror and
+        // the node's state transition match the in-process engines exactly.
+        let speaks_v4 = self.conns[owner]
+            .as_ref()
+            .is_some_and(|conn| conn.wire_version >= QUERY_WIRE_VERSION);
+        let msg = if speaks_v4 {
+            ServerMessage::AssignQueryFilter { query, filter }
+        } else {
+            ServerMessage::AssignFilter(filter)
+        };
+        self.command(owner, ServerOp::Unicast { node, msg });
         self.mirror.set_filter(node.index(), filter);
     }
 

@@ -11,10 +11,10 @@
 //! |------|------|
 //! | [`Violation`] | 0 `FromBelow`, 1 `FromAbove` |
 //! | [`NodeGroup`] | 0 `Upper`, 1 `Lower`, 2 `V1`, 3 `V3`, 4 `V2` + flags byte (bit 0 = `s1`, bit 1 = `s2`) |
-//! | [`Filter`] | 0 `[lo, ∞)` + `lo`, 1 `[lo, hi]` + `lo` + `hi − lo` |
+//! | [`Filter`] | 0 `[lo, ∞)` + `lo`, 1 `[lo, hi]` + `lo` + `hi − lo`, 2 empty |
 //! | [`FilterParams`] | 0 `Separator`, 1 `Dense`, 2 `SubDense` |
 //! | [`ExistencePredicate`] | 0 `PendingViolation`, 1 `GreaterThan`, 2 `AtLeast`, 3 `LessThan`, 4 `RankWindow` + presence byte |
-//! | [`ServerMessage`] | 0 `AssignFilter`, 1 `AssignGroup`, 2 `BroadcastGroup`, 3 `BroadcastParams`, 4 `Probe`, 5 `ExistenceRound`, 6 `EndExistenceRun` |
+//! | [`ServerMessage`] | 0 `AssignFilter`, 1 `AssignGroup`, 2 `BroadcastGroup`, 3 `BroadcastParams`, 4 `Probe`, 5 `ExistenceRound`, 6 `EndExistenceRun`, 7 `AssignQueryFilter` + `query` varint + filter |
 //! | [`NodeMessage`] | 0 `ValueReport`, 1 `ViolationReport`, 2 `ExistenceResponse` |
 //! | [`MembershipEvent`] | 0 `Join`, 1 `Leave` |
 //!
@@ -215,6 +215,13 @@ impl WireDecode for NodeGroup {
 
 impl WireEncode for Filter {
     fn encode(&self, buf: &mut Vec<u8>) {
+        if self.is_empty() {
+            // The canonical empty filter (`Filter::EMPTY`, e.g. the
+            // intersection of disjoint query bands) gets its own tag: the
+            // `hi − lo` delta of tag 1 cannot represent `lo > hi`.
+            buf.push(2);
+            return;
+        }
         match self.hi() {
             None => {
                 buf.push(0);
@@ -233,6 +240,7 @@ impl WireDecode for Filter {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8("Filter")? {
             0 => Ok(Filter::at_least(r.u64()?)),
+            2 => Ok(Filter::EMPTY),
             1 => {
                 let lo = r.u64()?;
                 let width = r.u64()?;
@@ -413,6 +421,11 @@ impl WireEncode for ServerMessage {
                 predicate.encode(buf);
             }
             ServerMessage::EndExistenceRun => buf.push(6),
+            ServerMessage::AssignQueryFilter { query, filter } => {
+                buf.push(7);
+                varint::write_u64(buf, u64::from(query.0));
+                filter.encode(buf);
+            }
         }
     }
 }
@@ -436,6 +449,10 @@ impl WireDecode for ServerMessage {
                 predicate: ExistencePredicate::decode(r)?,
             }),
             6 => Ok(ServerMessage::EndExistenceRun),
+            7 => Ok(ServerMessage::AssignQueryFilter {
+                query: QueryId(read_u32(r, "AssignQueryFilter query (exceeds u32)")?),
+                filter: Filter::decode(r)?,
+            }),
             tag => Err(WireError::BadTag {
                 what: "ServerMessage",
                 tag,
@@ -558,7 +575,7 @@ mod tests {
     /// Deterministic derivation of each message family from three integers,
     /// covering every variant and flag combination as the seeds sweep.
     fn server_message_from(sel: u8, x: u64, y: u64) -> ServerMessage {
-        match sel % 7 {
+        match sel % 8 {
             0 => ServerMessage::AssignFilter(filter_from(x, y)),
             1 => ServerMessage::AssignGroup(group_from(x)),
             2 => ServerMessage::BroadcastGroup(group_from(x)),
@@ -569,7 +586,11 @@ mod tests {
                 population: (y % 1_000_000) as u32,
                 predicate: predicate_from(x, y),
             },
-            _ => ServerMessage::EndExistenceRun,
+            6 => ServerMessage::EndExistenceRun,
+            _ => ServerMessage::AssignQueryFilter {
+                query: QueryId((x % 4096) as u32),
+                filter: filter_from(y, x),
+            },
         }
     }
 
@@ -591,10 +612,11 @@ mod tests {
     }
 
     fn filter_from(x: u64, y: u64) -> Filter {
-        match y % 3 {
+        match y % 4 {
             0 => Filter::at_least(x),
             1 => Filter::at_most(x),
-            _ => Filter::bounded(x.min(y), x.max(y)).unwrap(),
+            2 => Filter::bounded(x.min(y), x.max(y)).unwrap(),
+            _ => Filter::EMPTY,
         }
     }
 
@@ -712,6 +734,18 @@ mod tests {
                 tag: 0b100
             })
         ));
+    }
+
+    #[test]
+    fn empty_filter_has_its_own_tag() {
+        let bytes = to_bytes(&Filter::EMPTY);
+        assert_eq!(bytes, vec![2]);
+        assert_eq!(from_bytes::<Filter>(&bytes).unwrap(), Filter::EMPTY);
+        let msg = ServerMessage::AssignQueryFilter {
+            query: QueryId(3),
+            filter: Filter::EMPTY,
+        };
+        assert_eq!(to_bytes(&msg), vec![7, 3, 2]);
     }
 
     #[test]

@@ -53,6 +53,13 @@
 //! first server frame it reads. A version-2 peer on either end therefore
 //! keeps working, just without trailers; see `docs/WIRE.md`.
 //!
+//! Version 4 adds the query-scoped filter assignment
+//! (`ServerMessage::AssignQueryFilter`, carrying a `QueryId` varint) used by
+//! the multi-query layer. The frame layout is unchanged from version 3 —
+//! same CRC32 trailer, same negotiation — and a server only emits the new
+//! message tag to peers that negotiated version 4, downgrading to a plain
+//! `AssignFilter` otherwise.
+//!
 //! [`ServerOp`] tags: 0 `ObserveRow`, 1 `ObserveSparse`, 2 `Unicast`,
 //! 3 `Broadcast`, 4 `Membership`.
 //!
@@ -71,8 +78,19 @@ pub const MAGIC: u8 = 0xC5;
 /// Current wire format version. Bump on any change to the frame layout or
 /// the tag tables that is not a pure append. Version 2 added reply sequence
 /// numbers and the [`Frame::Poll`] retry frame; version 3 added the CRC32
-/// payload trailer, [`Frame::Leave`] and [`ServerOp::Membership`].
-pub const WIRE_VERSION: u8 = 3;
+/// payload trailer, [`Frame::Leave`] and [`ServerOp::Membership`]; version 4
+/// added the query-scoped filter assignment (`AssignQueryFilter` with its
+/// `QueryId` varint).
+pub const WIRE_VERSION: u8 = 4;
+
+/// First version that appends the CRC32 payload trailer. Versions 3 and 4
+/// share the trailered layout; version 2 is trailerless.
+pub const CRC_WIRE_VERSION: u8 = 3;
+
+/// First version that understands the query-scoped filter assignment
+/// (`ServerMessage::AssignQueryFilter`). A server downgrades the message to
+/// a plain `AssignFilter` for peers that negotiated anything older.
+pub const QUERY_WIRE_VERSION: u8 = 4;
 
 /// Oldest version this build still decodes and can be asked to encode.
 /// Version-2 frames are identical to version-3 frames minus the CRC32
@@ -424,9 +442,10 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError
     write_frame_versioned(w, frame, WIRE_VERSION)
 }
 
-/// Writes one frame at an explicit wire version — [`WIRE_VERSION`] (with
-/// CRC32 trailer) or [`LEGACY_WIRE_VERSION`] (without), as negotiated in the
-/// [`Frame::Join`] handshake.
+/// Writes one frame at an explicit wire version — any of
+/// [`LEGACY_WIRE_VERSION`]`..=`[`WIRE_VERSION`], as negotiated in the
+/// [`Frame::Join`] handshake. Versions from [`CRC_WIRE_VERSION`] on carry
+/// the CRC32 trailer; version 2 is trailerless.
 ///
 /// # Errors
 ///
@@ -437,14 +456,14 @@ pub fn write_frame_versioned(
     frame: &Frame,
     version: u8,
 ) -> Result<usize, WireError> {
-    if version != WIRE_VERSION && version != LEGACY_WIRE_VERSION {
+    if !(LEGACY_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion { found: version });
     }
     let mut payload = Vec::with_capacity(16);
     payload.push(MAGIC);
     payload.push(version);
     frame.encode(&mut payload);
-    if version == WIRE_VERSION {
+    if version >= CRC_WIRE_VERSION {
         let crc = crc32(&payload);
         payload.extend_from_slice(&crc.to_le_bytes());
     }
@@ -502,18 +521,18 @@ pub fn read_frame_versioned(r: &mut impl Read) -> Result<(Frame, usize, u8), Wir
 }
 
 /// Decodes a complete frame payload (the `len` bytes after the length
-/// prefix): validates magic, version and — for version-3 frames — the CRC32
-/// trailer, then decodes the frame body. Shared by [`read_frame`] and the
-/// resumable [`FrameAccumulator`](crate::stream::FrameAccumulator).
+/// prefix): validates magic, version and — for version-3+ frames — the
+/// CRC32 trailer, then decodes the frame body. Shared by [`read_frame`] and
+/// the resumable [`FrameAccumulator`](crate::stream::FrameAccumulator).
 ///
-/// Version-2 and version-3 payloads are both accepted; the version byte
+/// Versions 2 through [`WIRE_VERSION`] are accepted; the version byte
 /// decides whether the last four bytes are a checksum trailer or body.
 ///
 /// # Errors
 ///
 /// [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] for a bad
 /// header, [`WireError::Truncated`] for a payload too short to hold one,
-/// [`WireError::ChecksumMismatch`] for a version-3 payload whose trailer
+/// [`WireError::ChecksumMismatch`] for a version-3+ payload whose trailer
 /// disagrees with its bytes, and any decoding error for a corrupt body.
 pub(crate) fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     if payload.len() < 3 {
@@ -529,7 +548,7 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     let version = payload[1];
     let body = match version {
         LEGACY_WIRE_VERSION => &payload[2..],
-        WIRE_VERSION => {
+        v if (CRC_WIRE_VERSION..=WIRE_VERSION).contains(&v) => {
             // magic + version + tag + 4-byte trailer is the minimum.
             if payload.len() < 7 {
                 return Err(WireError::Truncated {
@@ -556,9 +575,9 @@ mod tests {
     use topk_model::message::ExistencePredicate;
 
     fn roundtrip_frame(frame: &Frame) {
-        // Both negotiated versions must carry every frame; version 3 grows a
-        // 4-byte trailer, version 2 is the legacy trailerless layout.
-        for version in [LEGACY_WIRE_VERSION, WIRE_VERSION] {
+        // Every negotiable version must carry every frame; versions 3 and 4
+        // grow a 4-byte trailer, version 2 is the legacy trailerless layout.
+        for version in [LEGACY_WIRE_VERSION, CRC_WIRE_VERSION, WIRE_VERSION] {
             let mut wire = Vec::new();
             let written = write_frame_versioned(&mut wire, frame, version).unwrap();
             assert_eq!(written, wire.len());
@@ -591,6 +610,13 @@ mod tests {
                 node: NodeId(3),
                 msg: ServerMessage::Probe,
             },
+            ServerOp::Unicast {
+                node: NodeId(5),
+                msg: ServerMessage::AssignQueryFilter {
+                    query: QueryId((x % 128) as u32),
+                    filter: Filter::at_least(y),
+                },
+            },
             ServerOp::Broadcast {
                 msg: ServerMessage::ExistenceRound {
                     round: (x % 33) as u32,
@@ -615,6 +641,7 @@ mod tests {
         #[test]
         fn frames_roundtrip(x in 0u64..u64::MAX, y in 0u64..u64::MAX, shard in 0u32..4096) {
             roundtrip_frame(&Frame::Join { shard, max_version: LEGACY_WIRE_VERSION });
+            roundtrip_frame(&Frame::Join { shard, max_version: CRC_WIRE_VERSION });
             roundtrip_frame(&Frame::Join { shard, max_version: WIRE_VERSION });
             roundtrip_frame(&Frame::Leave { shard });
             roundtrip_frame(&Frame::Shutdown);

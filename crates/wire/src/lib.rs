@@ -67,7 +67,7 @@ pub use codec::{from_bytes, to_bytes, Reader, WireDecode, WireEncode};
 pub use error::WireError;
 pub use frame::{
     read_frame, read_frame_versioned, write_frame, write_frame_versioned, Frame, ServerOp,
-    LEGACY_WIRE_VERSION, MAX_FRAME_LEN, WIRE_VERSION,
+    CRC_WIRE_VERSION, LEGACY_WIRE_VERSION, MAX_FRAME_LEN, QUERY_WIRE_VERSION, WIRE_VERSION,
 };
 pub use stream::FrameAccumulator;
 pub use trace::{

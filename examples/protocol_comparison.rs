@@ -15,24 +15,19 @@ use topk_core::monitor::{run_on_rows, Monitor, RunReport};
 use topk_core::{CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor};
 use topk_gen::{GapWorkload, NoiseOscillationWorkload, Trace, Workload, ZipfLoadWorkload};
 use topk_model::Epsilon;
-use topk_net::{DeterministicEngine, ThreadedEngine};
+use topk_net::{build_engine, EngineKind};
 use topk_offline::{ApproxOfflineOpt, ExactOfflineOpt};
 
 fn run_with(
     make_monitor: &dyn Fn() -> Box<dyn Monitor>,
     rows: &[Vec<u64>],
     eps: Epsilon,
-    threaded: bool,
+    kind: EngineKind,
 ) -> RunReport {
     let n = rows[0].len();
     let mut monitor = make_monitor();
-    if threaded {
-        let mut net = ThreadedEngine::new(n, 7);
-        run_on_rows(monitor.as_mut(), &mut net, rows.iter().cloned(), eps)
-    } else {
-        let mut net = DeterministicEngine::new(n, 7);
-        run_on_rows(monitor.as_mut(), &mut net, rows.iter().cloned(), eps)
-    }
+    let mut net = build_engine(kind, n, 7, None);
+    run_on_rows(monitor.as_mut(), net.as_mut(), rows.iter().cloned(), eps)
 }
 
 fn main() {
@@ -106,8 +101,8 @@ fn main() {
             "monitor", "messages", "msgs/step", "valid"
         );
         for (name, make) in &monitors {
-            let det = run_with(make, rows, eps, false);
-            let thr = run_with(make, rows, eps, true);
+            let det = run_with(make, rows, eps, EngineKind::Deterministic);
+            let thr = run_with(make, rows, eps, EngineKind::Threaded);
             assert_eq!(
                 det.messages(),
                 thr.messages(),

@@ -16,7 +16,7 @@ use topk_core::monitor::{run_on_rows, Monitor};
 use topk_core::TopKMonitor;
 use topk_gen::{Workload, ZipfLoadWorkload};
 use topk_model::{Epsilon, NodeId};
-use topk_net::{DeterministicEngine, Network, RemoteEngine};
+use topk_net::{build_engine, EngineKind, Network, RemoteEngine};
 
 fn main() {
     let (n, k, steps, seed) = (64, 4, 200, 2024);
@@ -67,9 +67,14 @@ fn main() {
     // The punchline: the same monitor over the in-process reference engine
     // sends *exactly* the same messages — the transport is invisible to the
     // protocol stack.
-    let mut reference = DeterministicEngine::new(n, seed);
+    let mut reference = build_engine(EngineKind::Deterministic, n, seed, None);
     let mut ref_monitor = TopKMonitor::new(k, eps);
-    let ref_report = run_on_rows(&mut ref_monitor, &mut reference, rows.iter().cloned(), eps);
+    let ref_report = run_on_rows(
+        &mut ref_monitor,
+        reference.as_mut(),
+        rows.iter().cloned(),
+        eps,
+    );
     assert_eq!(
         report, ref_report,
         "TCP and in-process runs must agree bit for bit"

@@ -17,7 +17,7 @@
 //! * [`mod@bench`] — the experiment harness, scenario files and trace replay.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use topk_bench as bench;
 pub use topk_core as core;
@@ -26,3 +26,42 @@ pub use topk_model as model;
 pub use topk_net as net;
 pub use topk_offline as offline;
 pub use topk_wire as wire;
+
+/// The curated single-import surface: `use topk_repro::prelude::*;` brings in
+/// everything a typical monitoring program needs — the model vocabulary
+/// (values, filters, ε, cost accounting, query specs), the engine factory and
+/// the six [`net::Network`] engines behind it, the paper's monitors, the
+/// single-query and multi-query run drivers, and the scenario/trace entry
+/// points of the experiment harness.
+///
+/// ```
+/// use topk_repro::prelude::*;
+///
+/// let mut net = build_engine(EngineKind::Deterministic, 3, 7, None);
+/// let mut monitor = TopKMonitor::new(1, Epsilon::HALF);
+/// let rows = vec![vec![100, 40, 10], vec![30, 46, 12]];
+/// let report = run_on_rows(&mut monitor, net.as_mut(), rows.iter().cloned(), Epsilon::HALF);
+/// assert_eq!(report.invalid_steps, 0);
+/// ```
+pub mod prelude {
+    pub use topk_core::monitor::{
+        run_adaptive, run_on_rows, run_with_membership, Monitor, RunReport,
+    };
+    pub use topk_core::queryset::{
+        run_query_set, run_query_set_adaptive, QueryRunReport, QuerySet, QuerySetReport,
+    };
+    pub use topk_core::{
+        CombinedMonitor, DenseMonitor, ExactTopKMonitor, HalfEpsMonitor, TopKMonitor,
+    };
+    pub use topk_model::prelude::*;
+    pub use topk_net::{
+        build_engine, DeterministicEngine, EngineKind, FaultyTransport, IndexedEngine, Network,
+        RemoteEngine, ShardedEngine, ThreadedEngine,
+    };
+
+    pub use topk_bench::campaign::ProtocolKind;
+    pub use topk_bench::replay::{
+        load_trace, record_run, replay_trace, replay_trace_queryset, save_trace,
+    };
+    pub use topk_bench::scenario::{standard_library, ScenarioFile};
+}

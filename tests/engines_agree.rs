@@ -13,114 +13,43 @@ use topk_gen::{
 };
 use topk_model::fault::FaultSpec;
 use topk_model::Epsilon;
-use topk_net::{
-    DeterministicEngine, Dispatch, FaultyTransport, IndexedEngine, Network, RemoteEngine,
-    ShardedEngine, ThreadedEngine,
-};
+use topk_net::{build_engine, EngineKind, FaultyTransport, IndexedEngine, Network};
 
 fn compare(mut make_monitor: impl FnMut() -> Box<dyn Monitor>, rows: &[Vec<u64>], eps: Epsilon) {
     let n = rows[0].len();
     let seed = 4242;
 
-    let mut det_monitor = make_monitor();
-    let mut det_net = DeterministicEngine::new(n, seed);
-    let det = run_on_rows(
-        det_monitor.as_mut(),
-        &mut det_net,
-        rows.iter().cloned(),
-        eps,
-    );
+    // One run per battery engine, all built through the canonical factory —
+    // the zero-fault `FaultyTransport` wrapper (`EngineKind::Fault`) rides
+    // along and must be invisible: same report, output and filters.
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut monitor = make_monitor();
+        let mut net = build_engine(kind, n, seed, None);
+        let report = run_on_rows(monitor.as_mut(), net.as_mut(), rows.iter().cloned(), eps);
+        results.push((kind, report, monitor, net.peek_filters()));
+    }
 
-    let mut idx_monitor = make_monitor();
-    let mut idx_net = IndexedEngine::new(n, seed);
-    let idx = run_on_rows(
-        idx_monitor.as_mut(),
-        &mut idx_net,
-        rows.iter().cloned(),
-        eps,
-    );
-
-    let mut shard_monitor = make_monitor();
-    let mut shard_net = ShardedEngine::with_dispatch(n, seed, 4, Dispatch::Parallel);
-    let shard = run_on_rows(
-        shard_monitor.as_mut(),
-        &mut shard_net,
-        rows.iter().cloned(),
-        eps,
-    );
-
-    let mut thr_monitor = make_monitor();
-    let mut thr_net = ThreadedEngine::new(n, seed);
-    let thr = run_on_rows(
-        thr_monitor.as_mut(),
-        &mut thr_net,
-        rows.iter().cloned(),
-        eps,
-    );
-
-    let mut rem_monitor = make_monitor();
-    let mut rem_net = RemoteEngine::with_shards(n, seed, 3);
-    let rem = run_on_rows(
-        rem_monitor.as_mut(),
-        &mut rem_net,
-        rows.iter().cloned(),
-        eps,
-    );
-
-    // Sixth configuration: the fault layer with the identity plan wrapped
-    // around an engine must be invisible — same report, output and filters.
-    let mut fault_monitor = make_monitor();
-    let mut fault_net = FaultyTransport::new(IndexedEngine::new(n, seed), FaultSpec::none());
-    let fault = run_on_rows(
-        fault_monitor.as_mut(),
-        &mut fault_net,
-        rows.iter().cloned(),
-        eps,
-    );
-
-    assert_eq!(
-        det.messages(),
-        thr.messages(),
-        "{}: message counts differ between deterministic and threaded engines",
-        det_monitor.name()
-    );
-    assert_eq!(
-        det,
-        idx,
-        "{}: run reports differ between deterministic and indexed engines",
-        det_monitor.name()
-    );
-    assert_eq!(
-        det,
-        shard,
-        "{}: run reports differ between deterministic and sharded engines",
-        det_monitor.name()
-    );
-    assert_eq!(
-        det,
-        rem,
-        "{}: run reports differ between deterministic and remote (TCP) engines",
-        det_monitor.name()
-    );
-    assert_eq!(
-        det,
-        fault,
-        "{}: run reports differ between deterministic and zero-fault wrapped engines",
-        det_monitor.name()
-    );
-    assert_eq!(det.stats.rounds, thr.stats.rounds);
-    assert_eq!(det.invalid_steps, thr.invalid_steps);
-    assert_eq!(det_monitor.output(), thr_monitor.output());
-    assert_eq!(det_monitor.output(), idx_monitor.output());
-    assert_eq!(det_monitor.output(), shard_monitor.output());
-    assert_eq!(det_monitor.output(), rem_monitor.output());
-    assert_eq!(det_monitor.output(), fault_monitor.output());
-    // The filters visible at the end must agree as well.
-    assert_eq!(det_net.peek_filters(), thr_net.peek_filters());
-    assert_eq!(det_net.peek_filters(), idx_net.peek_filters());
-    assert_eq!(det_net.peek_filters(), shard_net.peek_filters());
-    assert_eq!(det_net.peek_filters(), rem_net.peek_filters());
-    assert_eq!(det_net.peek_filters(), fault_net.peek_filters());
+    let (_, det, det_monitor, det_filters) = &results[0];
+    for (kind, report, monitor, filters) in &results[1..] {
+        assert_eq!(
+            det.messages(),
+            report.messages(),
+            "{}: message counts differ between deterministic and {kind} engines",
+            det_monitor.name()
+        );
+        assert_eq!(
+            det,
+            report,
+            "{}: run reports differ between deterministic and {kind} engines",
+            det_monitor.name()
+        );
+        assert_eq!(det.stats.rounds, report.stats.rounds, "{kind}");
+        assert_eq!(det.invalid_steps, report.invalid_steps, "{kind}");
+        assert_eq!(det_monitor.output(), monitor.output(), "{kind}");
+        // The filters visible at the end must agree as well.
+        assert_eq!(det_filters, filters, "{kind}");
+    }
 }
 
 /// Runs one monitor over `rows` on `net` while the population churns
@@ -161,44 +90,21 @@ fn compare_with_membership(
     let n = rows[0].len();
     let seed = 4242;
 
-    let mut det_net = DeterministicEngine::new(n, seed);
-    let det = run_churned(make_monitor(), &mut det_net, rows, schedule, eps);
-
-    let mut idx_net = IndexedEngine::new(n, seed);
-    let idx = run_churned(make_monitor(), &mut idx_net, rows, schedule, eps);
-
-    let mut shard_net = ShardedEngine::with_dispatch(n, seed, 4, Dispatch::Parallel);
-    let shard = run_churned(make_monitor(), &mut shard_net, rows, schedule, eps);
-
-    let mut thr_net = ThreadedEngine::new(n, seed);
-    let thr = run_churned(make_monitor(), &mut thr_net, rows, schedule, eps);
-
-    let mut rem_net = RemoteEngine::with_shards(n, seed, 3);
-    let rem = run_churned(make_monitor(), &mut rem_net, rows, schedule, eps);
-
-    let mut fault_net = FaultyTransport::new(IndexedEngine::new(n, seed), FaultSpec::none());
-    let fault = run_churned(make_monitor(), &mut fault_net, rows, schedule, eps);
-
-    assert_eq!(
-        det, idx,
-        "churned runs differ between deterministic and indexed engines"
-    );
-    assert_eq!(
-        det, shard,
-        "churned runs differ between deterministic and sharded engines"
-    );
-    assert_eq!(
-        det, thr,
-        "churned runs differ between deterministic and threaded engines"
-    );
-    assert_eq!(
-        det, rem,
-        "churned runs differ between deterministic and remote (TCP) engines"
-    );
-    assert_eq!(
-        det, fault,
-        "churned runs differ between deterministic and zero-fault wrapped engines"
-    );
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut net = build_engine(kind, n, seed, None);
+        results.push((
+            kind,
+            run_churned(make_monitor(), net.as_mut(), rows, schedule, eps),
+        ));
+    }
+    let (_, det) = &results[0];
+    for (kind, run) in &results[1..] {
+        assert_eq!(
+            det, run,
+            "churned runs differ between deterministic and {kind} engines"
+        );
+    }
 }
 
 #[test]
